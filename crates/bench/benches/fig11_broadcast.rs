@@ -1,0 +1,134 @@
+//! Fig. 11 — broadcast-protocol latency vs. parallelism (a) and proposal
+//! size (b), on a 4-node single-hop LoRa network.
+//!
+//! Expected shapes (paper): CBC and PRBC (threshold signatures) sit above
+//! RBC; RBC-small and CBC-small are flatter across parallelism and win more
+//! as parallelism grows (~35.5 % / 27.8 % at parallelism 4); latency grows
+//! with proposal size, with the CBC–RBC gap widening and the CBC–PRBC gap
+//! narrowing (crypto dominates message count).
+
+use wbft_bench::{banner, proposal_of_packets, row, run_component, Comp, CompInput};
+use wbft_components::baseline::BaselineCbcSet;
+use wbft_components::cbc::{CbcBatch, CbcSmallBatch};
+use wbft_components::prbc::PrbcBatch;
+use wbft_components::rbc::RbcBatch;
+use wbft_components::rbc_small::RbcSmallBatch;
+
+/// Latency of one protocol at `parallelism` active proposers, averaged
+/// over three seeds to smooth CSMA/backoff luck.
+fn measure(which: &str, parallelism: usize, packets: usize, seed: u64) -> f64 {
+    (0..3).map(|k| measure_once(which, parallelism, packets, seed + 100 * k)).sum::<f64>() / 3.0
+}
+
+fn measure_once(which: &str, parallelism: usize, packets: usize, seed: u64) -> f64 {
+    let inputs = move |i: usize| {
+        CompInput::Value((i < parallelism).then(|| proposal_of_packets(packets, i)))
+    };
+    let result = match which {
+        "RBC" => run_component(4, seed, |_, _, p| Comp::Rbc(RbcBatch::new(p)), inputs, parallelism),
+        "RBC-small" => {
+            run_component(4, seed, |_, _, p| Comp::RbcSmall(RbcSmallBatch::new(p)), inputs, parallelism)
+        }
+        "CBC" => run_component(
+            4,
+            seed,
+            |_, c, p| Comp::Cbc(CbcBatch::new(p, c.cbc_pub.clone(), c.cbc_sec.clone())),
+            inputs,
+            parallelism,
+        ),
+        "CBC-small" => run_component(
+            4,
+            seed,
+            |_, c, p| Comp::CbcSmall(CbcSmallBatch::new(p, c.cbc_pub.clone(), c.cbc_sec.clone())),
+            inputs,
+            parallelism,
+        ),
+        "PRBC" => run_component(
+            4,
+            seed,
+            |_, c, p| Comp::Prbc(PrbcBatch::new(p, c.prbc_pub.clone(), c.prbc_sec.clone())),
+            inputs,
+            parallelism,
+        ),
+        "CBC-baseline" => run_component(
+            4,
+            seed,
+            |_, c, p| Comp::BaseCbc(BaselineCbcSet::new(p, c.cbc_pub.clone(), c.cbc_sec.clone())),
+            inputs,
+            parallelism,
+        ),
+        _ => unreachable!(),
+    };
+    assert!(result.completed, "{which} p={parallelism} did not complete");
+    result.latency.as_secs_f64()
+}
+
+fn main() {
+    fig11a();
+    fig11b();
+    println!("\n[fig11_broadcast] OK");
+}
+
+fn fig11a() {
+    banner(
+        "Fig. 11a — broadcast latency (s) vs number of parallel instances",
+        "4 nodes; 1-packet proposals; LoRa airtime + calibrated crypto costs",
+    );
+    let protos = ["RBC", "RBC-small", "CBC", "CBC-small", "PRBC"];
+    let widths = [11usize, 8, 8, 8, 8];
+    let mut header = vec!["protocol".to_string()];
+    header.extend((1..=4).map(|p| format!("p={p}")));
+    println!("{}", row(&header, &widths));
+    let mut table = Vec::new();
+    for proto in protos {
+        let mut cells = vec![proto.to_string()];
+        let mut lats = Vec::new();
+        for parallelism in 1..=4 {
+            let lat = measure(proto, parallelism, 1, 21 + parallelism as u64);
+            lats.push(lat);
+            cells.push(format!("{lat:.1}"));
+        }
+        println!("{}", row(&cells, &widths));
+        table.push((proto, lats));
+    }
+    // Shape checks at parallelism 4.
+    let get = |name: &str| table.iter().find(|(p, _)| *p == name).unwrap().1[3];
+    assert!(get("RBC-small") < get("RBC"), "RBC-small must beat RBC at p=4");
+    assert!(get("CBC-small") < get("CBC"), "CBC-small must beat CBC at p=4");
+    assert!(get("RBC") < get("PRBC"), "PRBC adds the DONE phase above RBC");
+    println!(
+        "shape: small variants win at p=4 (paper: 35.5% / 27.8%); measured {:.0}% / {:.0}%",
+        (1.0 - get("RBC-small") / get("RBC")) * 100.0,
+        (1.0 - get("CBC-small") / get("CBC")) * 100.0,
+    );
+}
+
+fn fig11b() {
+    banner(
+        "Fig. 11b — broadcast latency (s) vs proposal size (packets)",
+        "4 nodes; parallelism 4",
+    );
+    let protos = ["RBC", "PRBC", "CBC"];
+    let widths = [11usize, 8, 8, 8, 8];
+    let mut header = vec!["protocol".to_string()];
+    header.extend((1..=4).map(|p| format!("{p}pkt")));
+    println!("{}", row(&header, &widths));
+    let mut table = Vec::new();
+    for proto in protos {
+        let mut cells = vec![proto.to_string()];
+        let mut lats = Vec::new();
+        for packets in 1..=4 {
+            let lat = measure(proto, 4, packets, 31 + packets as u64);
+            lats.push(lat);
+            cells.push(format!("{lat:.1}"));
+        }
+        println!("{}", row(&cells, &widths));
+        table.push((proto, lats));
+    }
+    for (proto, lats) in &table {
+        assert!(
+            lats[3] > lats[0],
+            "{proto}: latency must grow with proposal size ({lats:?})"
+        );
+    }
+}

@@ -1,0 +1,538 @@
+//! Batched Bracha (local-coin) asynchronous binary agreement — paper
+//! Fig. 6a.
+//!
+//! Each round has three phases; each phase is a set of N vote-broadcasts
+//! with Bracha-RBC semantics (a voter's phase vote is *accepted* only after
+//! `2f+1` distinct nodes relay the same value, with `f+1`-relay
+//! amplification), which is what makes unbatched deployment O(N³).
+//! ConsensusBatcher folds all three phase lattices of all k batched
+//! instances into one packet: the node's current *report matrix* — for each
+//! instance, round and phase, the value it relays for every voter.
+//!
+//! Round structure (Bracha '84):
+//! 1. broadcast `est`; on `n−f` accepted votes, take the majority `m`;
+//! 2. broadcast `m`; on `n−f` accepted votes, broadcast `v` if some value
+//!    holds a strict majority, else `⊥`;
+//! 3. on `n−f` accepted votes: `≥ 2f+1` for `v` → **decide v**; `≥ f+1` →
+//!    `est = v`; otherwise `est =` local coin flip.
+//!
+//! The local coin needs no cryptography — the trade the paper studies
+//! against the shared-coin variant (O(N³) messages vs. threshold-crypto
+//! cost).
+
+use crate::context::{Actions, BinaryAgreement, Params, RetxState};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use std::collections::BTreeMap;
+use wbft_net::packets::AbaLcInst;
+use wbft_net::{Body, RetransmitPolicy, Vote};
+
+const TIMER_RETX: u32 = 0;
+
+/// Rounds of report history carried per packet. Wide enough that a node
+/// left out of three fast peers' quorums for several rounds still finds
+/// every vote it needs in any single later packet.
+const HISTORY_WINDOW: u16 = 8;
+
+/// Per-round vote-lattice state for one instance.
+#[derive(Debug, Clone)]
+struct RoundState {
+    /// `my_reports[phase][voter]` — the value this node relays.
+    my_reports: [Vec<Vote>; 3],
+    /// `reporters[phase][voter][vote code − 1]` — bitmask of relaying nodes.
+    reporters: [Vec<[u64; 3]>; 3],
+    /// Accepted (2f+1-relayed) vote per phase and voter.
+    accepted: [Vec<Vote>; 3],
+    /// Round finished (est chosen / decided).
+    finished: bool,
+}
+
+impl RoundState {
+    fn new(n: usize) -> Self {
+        RoundState {
+            my_reports: [vec![Vote::Unknown; n], vec![Vote::Unknown; n], vec![Vote::Unknown; n]],
+            reporters: [vec![[0; 3]; n], vec![[0; 3]; n], vec![[0; 3]; n]],
+            accepted: [vec![Vote::Unknown; n], vec![Vote::Unknown; n], vec![Vote::Unknown; n]],
+            finished: false,
+        }
+    }
+
+    fn accepted_count(&self, phase: usize) -> usize {
+        self.accepted[phase].iter().filter(|v| v.is_cast()).count()
+    }
+
+    /// Counts accepted votes equal to `v` in a phase.
+    fn accepted_votes(&self, phase: usize, v: Vote) -> usize {
+        self.accepted[phase].iter().filter(|x| **x == v).count()
+    }
+}
+
+#[derive(Debug)]
+struct Inst {
+    active: bool,
+    est: bool,
+    round: u16,
+    rounds: BTreeMap<u16, RoundState>,
+    decided: Option<bool>,
+    claims0: u64,
+    claims1: u64,
+    /// Highest round observed per peer (adaptive history floor: packets
+    /// carry votes back to the slowest undecided peer, so a laggard can
+    /// never drift past recovery).
+    peer_round: Vec<u16>,
+    peer_decided: u64,
+}
+
+impl Inst {
+    fn new(n: usize) -> Self {
+        Inst {
+            active: false,
+            est: false,
+            round: 0,
+            rounds: BTreeMap::new(),
+            decided: None,
+            claims0: 0,
+            claims1: 0,
+            peer_round: vec![0; n],
+            peer_decided: 0,
+        }
+    }
+
+    /// Oldest round any undecided peer is known to need.
+    fn history_floor(&self, me: usize) -> u16 {
+        let mut floor = self.round;
+        for (i, r) in self.peer_round.iter().enumerate() {
+            if i != me && self.peer_decided & (1 << i) == 0 {
+                floor = floor.min(*r);
+            }
+        }
+        floor
+    }
+}
+
+/// k parallel Bracha-ABA instances under ConsensusBatcher.
+#[derive(Debug)]
+pub struct AbaLcBatch {
+    p: Params,
+    insts: Vec<Inst>,
+    rng: ChaCha12Rng,
+    dirty: bool,
+    timer_armed: bool,
+    retx: RetxState,
+}
+
+impl AbaLcBatch {
+    /// Creates the batch; the local coin is an independent deterministic
+    /// stream per node and session.
+    pub fn new(p: Params) -> Self {
+        let seed = 0x5eed_ab_a1c ^ ((p.me as u64) << 40) ^ p.session;
+        AbaLcBatch {
+            insts: (0..p.n).map(|_| Inst::new(p.n)).collect(),
+            rng: ChaCha12Rng::seed_from_u64(seed),
+            dirty: false,
+            timer_armed: false,
+            retx: RetxState::new(RetransmitPolicy::lora_class(), &p),
+            p,
+        }
+    }
+
+    fn round_state(&mut self, instance: usize, round: u16) -> &mut RoundState {
+        let n = self.p.n;
+        self.insts[instance].rounds.entry(round).or_insert_with(|| RoundState::new(n))
+    }
+
+    /// Records `from`'s relay of `voter`'s `phase` vote, applying the
+    /// amplification and acceptance thresholds.
+    fn record_report(
+        &mut self,
+        instance: usize,
+        round: u16,
+        phase: usize,
+        voter: usize,
+        vote: Vote,
+        from: usize,
+    ) {
+        if !vote.is_cast() || voter >= self.p.n {
+            return;
+        }
+        let quorum = self.p.quorum();
+        let f1 = self.p.f + 1;
+        let me = self.p.me;
+        let rs = self.round_state(instance, round);
+        let code = (vote.code() - 1) as usize;
+        rs.reporters[phase][voter][code] |= 1 << from;
+        let count = rs.reporters[phase][voter][code].count_ones() as usize;
+        // Echo on direct receipt from the voter; f+1 relay amplification
+        // otherwise (Bracha-RBC semantics per vote).
+        if (from == voter || count >= f1) && rs.my_reports[phase][voter] == Vote::Unknown {
+            rs.my_reports[phase][voter] = vote;
+            rs.reporters[phase][voter][code] |= 1 << me;
+            self.dirty = true;
+        }
+        // 2f+1 acceptance.
+        let rs = self.round_state(instance, round);
+        let count = rs.reporters[phase][voter][code].count_ones() as usize;
+        if count >= quorum && rs.accepted[phase][voter] == Vote::Unknown {
+            rs.accepted[phase][voter] = vote;
+        }
+    }
+
+    /// Casts this node's own `phase` vote in `(instance, round)`.
+    fn cast(&mut self, instance: usize, round: u16, phase: usize, vote: Vote) {
+        let me = self.p.me;
+        let rs = self.round_state(instance, round);
+        if rs.my_reports[phase][me].is_cast() {
+            return;
+        }
+        rs.my_reports[phase][me] = vote;
+        rs.reporters[phase][me][(vote.code() - 1) as usize] |= 1 << me;
+        self.dirty = true;
+    }
+
+    fn evaluate(&mut self, instance: usize) {
+        loop {
+            let (active, round, decided) = {
+                let i = &self.insts[instance];
+                (i.active, i.round, i.decided)
+            };
+            if !active {
+                return;
+            }
+            let est = self.insts[instance].est;
+            // Phase 1: vote est.
+            self.cast(instance, round, 0, Vote::from_bool(est));
+            let n_minus_f = self.p.n_minus_f();
+            let quorum = self.p.quorum();
+            let f1 = self.p.f + 1;
+            let me = self.p.me;
+
+            let mut progressed = false;
+            // Phase 2 on n−f accepted phase-1 votes: majority.
+            let phase2_vote = {
+                let rs = self.round_state(instance, round);
+                if rs.accepted_count(0) >= n_minus_f && !rs.my_reports[1][me].is_cast() {
+                    let ones = rs.accepted_votes(0, Vote::One);
+                    let zeros = rs.accepted_votes(0, Vote::Zero);
+                    Some(Vote::from_bool(ones > zeros))
+                } else {
+                    None
+                }
+            };
+            if let Some(maj) = phase2_vote {
+                self.cast(instance, round, 1, maj);
+                progressed = true;
+            }
+            // Phase 3 on n−f accepted phase-2 votes: strict majority or ⊥.
+            let phase3_vote = {
+                let n = self.p.n;
+                let rs = self.round_state(instance, round);
+                if rs.accepted_count(1) >= n_minus_f && !rs.my_reports[2][me].is_cast() {
+                    let ones = rs.accepted_votes(1, Vote::One);
+                    let zeros = rs.accepted_votes(1, Vote::Zero);
+                    Some(if 2 * ones > n {
+                        Vote::One
+                    } else if 2 * zeros > n {
+                        Vote::Zero
+                    } else {
+                        Vote::Bot
+                    })
+                } else {
+                    None
+                }
+            };
+            if let Some(v) = phase3_vote {
+                self.cast(instance, round, 2, v);
+                progressed = true;
+            }
+            // Round completion on n−f *valid* accepted phase-3 votes.
+            // Bracha's validation rule: a non-⊥ phase-3 value is countable
+            // only if it holds a strict majority among this node's accepted
+            // phase-2 votes. Without the check, a Byzantine voter can
+            // smuggle an unjustified value into the n−f sample and break
+            // the f+1-overlap safety argument (honest nodes could then
+            // decide differently).
+            {
+                let n = self.p.n;
+                let rs = self.round_state(instance, round);
+                let one_ok = 2 * rs.accepted_votes(1, Vote::One) > n;
+                let zero_ok = 2 * rs.accepted_votes(1, Vote::Zero) > n;
+                let ones = if one_ok { rs.accepted_votes(2, Vote::One) } else { 0 };
+                let zeros = if zero_ok { rs.accepted_votes(2, Vote::Zero) } else { 0 };
+                let valid_count = ones + zeros + rs.accepted_votes(2, Vote::Bot);
+                if valid_count >= n_minus_f && !rs.finished {
+                    let (v, c) =
+                        if ones >= zeros { (true, ones) } else { (false, zeros) };
+                    rs.finished = true;
+                    let next_est = if c >= quorum {
+                        // Decide v.
+                        let inst = &mut self.insts[instance];
+                        if inst.decided.is_none() {
+                            inst.decided = Some(v);
+                            if v {
+                                inst.claims1 |= 1 << me;
+                            } else {
+                                inst.claims0 |= 1 << me;
+                            }
+                        }
+                        v
+                    } else if c >= f1 {
+                        v
+                    } else {
+                        self.rng.random_bool(0.5)
+                    };
+                    let inst = &mut self.insts[instance];
+                    if let Some(d) = decided.or(inst.decided) {
+                        inst.est = d; // decided nodes keep voting the decision
+                    } else {
+                        inst.est = next_est;
+                    }
+                    inst.round = round + 1;
+                    self.dirty = true;
+                    // Prune rounds nobody can still need: below both the
+                    // static window and the slowest undecided peer.
+                    let me = self.p.me;
+                    let inst = &mut self.insts[instance];
+                    let keep_from =
+                        inst.round.saturating_sub(HISTORY_WINDOW).min(inst.history_floor(me));
+                    inst.rounds.retain(|r, _| *r >= keep_from);
+                    continue;
+                }
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+
+    fn build_packet(&self) -> Body {
+        let mut insts = Vec::new();
+        for (j, inst) in self.insts.iter().enumerate() {
+            if !inst.active {
+                continue;
+            }
+            let lo = inst
+                .round
+                .saturating_sub(HISTORY_WINDOW - 1)
+                .min(inst.history_floor(self.p.me));
+            for r in lo..=inst.round {
+                if let Some(rs) = inst.rounds.get(&r) {
+                    insts.push(AbaLcInst {
+                        instance: j as u8,
+                        round: r,
+                        reports: rs.my_reports.clone(),
+                        decided: inst.decided.map(Vote::from_bool).unwrap_or(Vote::Unknown),
+                    });
+                }
+            }
+        }
+        Body::AbaLc { insts }
+    }
+
+    fn flush(&mut self, acts: &mut Actions) {
+        if self.dirty {
+            acts.send(self.build_packet());
+            self.dirty = false;
+            self.retx.reset();
+        }
+        if !self.timer_armed {
+            self.timer_armed = true;
+            let d = self.retx.next_delay();
+            acts.timer(d, TIMER_RETX);
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.insts.iter().all(|i| !i.active || i.decided.is_some())
+            && self.insts.iter().any(|i| i.active)
+    }
+}
+
+impl BinaryAgreement for AbaLcBatch {
+    fn set_input(&mut self, instance: usize, value: bool, acts: &mut Actions) {
+        let inst = &mut self.insts[instance];
+        if inst.active {
+            return;
+        }
+        inst.active = true;
+        inst.est = value;
+        self.evaluate(instance);
+        self.flush(acts);
+    }
+
+    fn handle(&mut self, from: usize, body: &Body, acts: &mut Actions) {
+        if from >= self.p.n {
+            return;
+        }
+        let Body::AbaLc { insts } = body else { return };
+        for wire in insts {
+            let j = wire.instance as usize;
+            if j >= self.p.n {
+                continue;
+            }
+            for (phase, reports) in wire.reports.iter().enumerate() {
+                if reports.len() != self.p.n {
+                    continue;
+                }
+                for (voter, vote) in reports.iter().enumerate() {
+                    self.record_report(j, wire.round, phase, voter, *vote, from);
+                }
+            }
+            match wire.decided {
+                Vote::Zero => self.insts[j].claims0 |= 1 << from,
+                Vote::One => self.insts[j].claims1 |= 1 << from,
+                _ => {}
+            }
+            {
+                let inst = &mut self.insts[j];
+                if wire.round > inst.peer_round[from] {
+                    inst.peer_round[from] = wire.round;
+                }
+                if wire.decided != Vote::Unknown {
+                    inst.peer_decided |= 1 << from;
+                }
+                // A peer stuck behind us needs old rounds we still hold.
+                if inst.peer_round[from] < inst.round && inst.decided.is_none() {
+                    self.retx.peer_behind = true;
+                }
+            }
+            let f1 = (self.p.f + 1) as u32;
+            let inst = &mut self.insts[j];
+            if inst.decided.is_none() {
+                if inst.claims0.count_ones() >= f1 {
+                    inst.decided = Some(false);
+                    self.dirty = true;
+                } else if inst.claims1.count_ones() >= f1 {
+                    inst.decided = Some(true);
+                    self.dirty = true;
+                }
+            }
+            if inst.decided.is_some() && wire.decided == Vote::Unknown {
+                self.retx.peer_behind = true;
+            }
+        }
+        for j in 0..self.p.n {
+            self.evaluate(j);
+        }
+        self.flush(acts);
+    }
+
+    fn on_timer(&mut self, local_id: u32, acts: &mut Actions) {
+        if local_id != TIMER_RETX {
+            return;
+        }
+        if self.retx.should_send(self.is_complete()) {
+            acts.send(self.build_packet());
+            self.retx.peer_behind = false;
+        }
+        let d = self.retx.next_delay();
+        acts.timer(d, TIMER_RETX);
+    }
+
+    fn decided(&self, instance: usize) -> Option<bool> {
+        self.insts.get(instance).and_then(|i| i.decided)
+    }
+
+    fn decided_count(&self) -> usize {
+        self.insts.iter().filter(|i| i.decided.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make() -> Vec<AbaLcBatch> {
+        (0..4).map(|i| AbaLcBatch::new(Params::new(4, i, 13))).collect()
+    }
+
+    fn run(nodes: &mut Vec<AbaLcBatch>, inputs: Vec<Vec<bool>>) -> Vec<Vec<bool>> {
+        let n_inst = inputs[0].len();
+        let mut inbox: Vec<(usize, Body)> = Vec::new();
+        for (i, node) in nodes.iter_mut().enumerate() {
+            let mut acts = Actions::new();
+            for (j, v) in inputs[i].iter().enumerate() {
+                node.set_input(j, *v, &mut acts);
+            }
+            for b in acts.drain().0 {
+                inbox.push((i, b));
+            }
+        }
+        let mut steps = 0;
+        while let Some((src, body)) = inbox.pop() {
+            steps += 1;
+            assert!(steps < 400_000, "ABA-LC did not converge");
+            for i in 0..nodes.len() {
+                if i == src {
+                    continue;
+                }
+                let mut acts = Actions::new();
+                nodes[i].handle(src, &body, &mut acts);
+                for b in acts.drain().0 {
+                    inbox.push((i, b));
+                }
+            }
+            if nodes.iter().all(|n| (0..n_inst).all(|j| n.decided(j).is_some())) {
+                break;
+            }
+        }
+        assert!(
+            nodes.iter().all(|n| (0..n_inst).all(|j| n.decided(j).is_some())),
+            "not all decided"
+        );
+        nodes
+            .iter()
+            .map(|n| (0..n_inst).map(|j| n.decided(j).unwrap()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn unanimous_inputs_decide_in_round_one() {
+        let mut nodes = make();
+        let decisions = run(&mut nodes, vec![vec![true]; 4]);
+        assert!(decisions.iter().all(|d| d[0]));
+        // Unanimous inputs must not need the coin: round stays small.
+        assert!(nodes.iter().all(|n| n.insts[0].round <= 2));
+    }
+
+    #[test]
+    fn unanimous_zero_decides_zero() {
+        let mut nodes = make();
+        let decisions = run(&mut nodes, vec![vec![false]; 4]);
+        assert!(decisions.iter().all(|d| !d[0]));
+    }
+
+    #[test]
+    fn split_inputs_agree() {
+        let mut nodes = make();
+        let decisions = run(&mut nodes, vec![vec![true], vec![true], vec![false], vec![false]]);
+        let first = decisions[0][0];
+        assert!(decisions.iter().all(|d| d[0] == first), "{decisions:?}");
+    }
+
+    #[test]
+    fn majority_one_decides_one() {
+        // 3-of-4 voting 1: phase-2 majority forces 1 regardless of the coin.
+        let mut nodes = make();
+        let decisions = run(&mut nodes, vec![vec![true], vec![true], vec![true], vec![false]]);
+        assert!(decisions.iter().all(|d| d[0]), "{decisions:?}");
+    }
+
+    #[test]
+    fn parallel_instances_decide_independently() {
+        let mut nodes = make();
+        let inputs: Vec<Vec<bool>> = (0..4).map(|_| vec![true, false, true, false]).collect();
+        let decisions = run(&mut nodes, inputs);
+        for d in &decisions {
+            assert_eq!(*d, vec![true, false, true, false]);
+        }
+    }
+
+    #[test]
+    fn local_coins_differ_across_nodes() {
+        let mut a = AbaLcBatch::new(Params::new(4, 0, 99));
+        let mut b = AbaLcBatch::new(Params::new(4, 1, 99));
+        let fa: Vec<bool> = (0..64).map(|_| a.rng.random_bool(0.5)).collect();
+        let fb: Vec<bool> = (0..64).map(|_| b.rng.random_bool(0.5)).collect();
+        assert_ne!(fa, fb, "node coins must be independent");
+    }
+}

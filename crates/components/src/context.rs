@@ -1,0 +1,310 @@
+//! Shared component infrastructure: protocol parameters, the action sink
+//! components emit into, per-node cryptographic material, and the
+//! component-facing traits the consensus layer composes.
+
+use bytes::Bytes;
+use rand::RngCore;
+use wbft_crypto::profile::CryptoSuite;
+use wbft_crypto::schnorr::{KeyPair, PublicKey};
+use wbft_crypto::thresh_coin::{CoinPublicSet, CoinSecretShare};
+use wbft_crypto::thresh_enc::{EncPublicSet, EncSecretShare};
+use wbft_crypto::thresh_sig::{PublicKeySet, SecretKeyShare};
+use wbft_net::Body;
+use wbft_wireless::SimDuration;
+
+/// Core BFT parameters of one component batch.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Number of nodes (and of parallel instances), `n = 3f + 1`.
+    pub n: usize,
+    /// Fault tolerance.
+    pub f: usize,
+    /// This node's zero-based id.
+    pub me: usize,
+    /// Session id binding packets to this component batch.
+    pub session: u64,
+}
+
+impl Params {
+    /// Creates parameters, checking `n = 3f + 1` and `me < n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the BFT bound or the id range is violated.
+    pub fn new(n: usize, me: usize, session: u64) -> Self {
+        assert!(n >= 4 && (n - 1) % 3 == 0, "need n = 3f+1 >= 4, got {n}");
+        assert!(me < n, "node id {me} out of range for n = {n}");
+        Params { n, f: (n - 1) / 3, me, session }
+    }
+
+    /// The Byzantine quorum `2f + 1`.
+    pub fn quorum(&self) -> usize {
+        2 * self.f + 1
+    }
+
+    /// `n − f`, the wait threshold of the ABA phases.
+    pub fn n_minus_f(&self) -> usize {
+        self.n - self.f
+    }
+}
+
+/// Commands a component emits during an event; the node driver turns sends
+/// into sealed packets and timers into simulator timers.
+#[derive(Debug, Default)]
+pub struct Actions {
+    /// Packet bodies to broadcast (each becomes one channel access).
+    pub sends: Vec<Body>,
+    /// `(delay, local timer id)` requests.
+    pub timers: Vec<(SimDuration, u32)>,
+    /// Virtual CPU time to charge (µs) for crypto performed in this event.
+    pub charge_us: u64,
+}
+
+impl Actions {
+    /// Fresh empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a broadcast.
+    pub fn send(&mut self, body: Body) {
+        self.sends.push(body);
+    }
+
+    /// Requests a timer.
+    pub fn timer(&mut self, after: SimDuration, local_id: u32) {
+        self.timers.push((after, local_id));
+    }
+
+    /// Charges virtual CPU time.
+    pub fn charge(&mut self, us: u64) {
+        self.charge_us += us;
+    }
+
+    /// Moves everything out (driver side).
+    pub fn drain(&mut self) -> (Vec<Body>, Vec<(SimDuration, u32)>, u64) {
+        (
+            std::mem::take(&mut self.sends),
+            std::mem::take(&mut self.timers),
+            std::mem::replace(&mut self.charge_us, 0),
+        )
+    }
+}
+
+/// A node's full cryptographic identity: packet-signature keypair, peers'
+/// verification keys, and the four threshold key sets the protocols use.
+#[derive(Clone, Debug)]
+pub struct NodeCrypto {
+    /// This node's id.
+    pub me: usize,
+    /// Curve deployments (cost profiles) in effect.
+    pub suite: CryptoSuite,
+    /// Packet-signing keypair.
+    pub keypair: KeyPair,
+    /// All nodes' packet verification keys.
+    pub peer_keys: Vec<PublicKey>,
+    /// `(f, n)` threshold signatures — PRBC delivery proofs.
+    pub prbc_pub: PublicKeySet,
+    /// Secret share for `prbc_pub`.
+    pub prbc_sec: SecretKeyShare,
+    /// `(2f, n)` threshold signatures — CBC quorum certificates.
+    pub cbc_pub: PublicKeySet,
+    /// Secret share for `cbc_pub`.
+    pub cbc_sec: SecretKeyShare,
+    /// `(f, n)` common coin.
+    pub coin_pub: CoinPublicSet,
+    /// Secret share for `coin_pub`.
+    pub coin_sec: CoinSecretShare,
+    /// `(f, n)` threshold encryption — censorship resilience.
+    pub enc_pub: EncPublicSet,
+    /// Secret share for `enc_pub`.
+    pub enc_sec: EncSecretShare,
+}
+
+/// Deals a full set of [`NodeCrypto`] for an `n`-node deployment (the
+/// trusted-dealer setup the paper also assumes).
+pub fn deal_node_crypto(n: usize, suite: CryptoSuite, rng: &mut impl RngCore) -> Vec<NodeCrypto> {
+    assert!(n >= 4 && (n - 1) % 3 == 0, "need n = 3f+1 >= 4, got {n}");
+    let f = (n - 1) / 3;
+    let keypairs: Vec<KeyPair> = (0..n).map(|_| KeyPair::generate(suite.ecdsa, rng)).collect();
+    let peer_keys: Vec<PublicKey> = keypairs.iter().map(|k| k.public()).collect();
+    let (prbc_pub, prbc_secs) = wbft_crypto::thresh_sig::deal(n, f, suite.threshold, rng);
+    let (cbc_pub, cbc_secs) = wbft_crypto::thresh_sig::deal(n, 2 * f, suite.threshold, rng);
+    let (coin_pub, coin_secs) = wbft_crypto::thresh_coin::deal_coin(n, f, suite.threshold, rng);
+    let (enc_pub, enc_secs) = wbft_crypto::thresh_enc::deal_enc(n, f, suite.threshold, rng);
+    keypairs
+        .into_iter()
+        .zip(prbc_secs)
+        .zip(cbc_secs)
+        .zip(coin_secs)
+        .zip(enc_secs)
+        .enumerate()
+        .map(|(me, ((((keypair, prbc_sec), cbc_sec), coin_sec), enc_sec))| NodeCrypto {
+            me,
+            suite,
+            keypair,
+            peer_keys: peer_keys.clone(),
+            prbc_pub: prbc_pub.clone(),
+            prbc_sec,
+            cbc_pub: cbc_pub.clone(),
+            cbc_sec,
+            coin_pub: coin_pub.clone(),
+            coin_sec,
+            enc_pub: enc_pub.clone(),
+            enc_sec,
+        })
+        .collect()
+}
+
+/// Broadcast components that deliver `(instance, value)` pairs — batched
+/// RBC and the per-instance baseline set implement this, so consensus
+/// drivers are generic over the deployment style.
+pub trait Broadcaster {
+    /// Starts the component; `my_value` is this node's proposal (instance
+    /// `me`).
+    fn start(&mut self, my_value: Bytes, acts: &mut Actions);
+
+    /// Processes a packet body addressed to this component's session.
+    fn handle(&mut self, from: usize, body: &Body, acts: &mut Actions);
+
+    /// Handles one of this component's timers.
+    fn on_timer(&mut self, local_id: u32, acts: &mut Actions);
+
+    /// The delivered value of an instance, if any.
+    fn delivered(&self, instance: usize) -> Option<&Bytes>;
+
+    /// How many instances have delivered.
+    fn delivered_count(&self) -> usize;
+}
+
+/// Binary-agreement components over `n` parallel (or serial) instances.
+pub trait BinaryAgreement {
+    /// Provides this node's input for an instance, activating it.
+    fn set_input(&mut self, instance: usize, value: bool, acts: &mut Actions);
+
+    /// Processes a packet body addressed to this component's session.
+    fn handle(&mut self, from: usize, body: &Body, acts: &mut Actions);
+
+    /// Handles one of this component's timers.
+    fn on_timer(&mut self, local_id: u32, acts: &mut Actions);
+
+    /// The decision of an instance, if reached.
+    fn decided(&self, instance: usize) -> Option<bool>;
+
+    /// How many instances have decided.
+    fn decided_count(&self) -> usize;
+}
+
+/// Shared retransmission driver: every component keeps one; it re-arms a
+/// jittered timer while the component is live and decides whether the
+/// periodic tick should actually transmit (state pending or peers behind).
+#[derive(Debug)]
+pub struct RetxState {
+    policy: wbft_net::RetransmitPolicy,
+    attempt: u32,
+    /// Evidence since the last send that some peer is behind (their NACK
+    /// bits, or votes they lack that we have).
+    pub peer_behind: bool,
+    rng: rand_chacha::ChaCha12Rng,
+}
+
+impl RetxState {
+    /// Creates a retransmission driver with its own deterministic jitter
+    /// stream (seeded from node id + session so nodes desynchronize).
+    pub fn new(policy: wbft_net::RetransmitPolicy, params: &Params) -> Self {
+        use rand::SeedableRng;
+        let seed = (params.me as u64) << 32 | (params.session & 0xffff_ffff);
+        RetxState { policy, attempt: 0, peer_behind: false, rng: rand_chacha::ChaCha12Rng::seed_from_u64(seed) }
+    }
+
+    /// Delay until the next tick.
+    pub fn next_delay(&mut self) -> SimDuration {
+        let d = self.policy.delay(self.attempt, &mut self.rng);
+        self.attempt = self.attempt.saturating_add(1);
+        d
+    }
+
+    /// Resets backoff (called when our own state advances — fresh
+    /// information is worth sending promptly).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// Whether the periodic tick should transmit: either we are not done,
+    /// or a peer demonstrably needs our state.
+    pub fn should_send(&self, self_complete: bool) -> bool {
+        !self_complete || self.peer_behind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn params_derive_f_and_quorum() {
+        let p = Params::new(4, 2, 9);
+        assert_eq!(p.f, 1);
+        assert_eq!(p.quorum(), 3);
+        assert_eq!(p.n_minus_f(), 3);
+        let p = Params::new(7, 0, 1);
+        assert_eq!(p.f, 2);
+        assert_eq!(p.quorum(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "3f+1")]
+    fn bad_n_rejected() {
+        Params::new(5, 0, 0);
+    }
+
+    #[test]
+    fn actions_collects_and_drains() {
+        let mut a = Actions::new();
+        a.charge(100);
+        a.charge(50);
+        a.timer(SimDuration::from_millis(5), 1);
+        let (sends, timers, charge) = a.drain();
+        assert!(sends.is_empty());
+        assert_eq!(timers.len(), 1);
+        assert_eq!(charge, 150);
+        let (_, _, charge2) = a.drain();
+        assert_eq!(charge2, 0);
+    }
+
+    #[test]
+    fn dealt_crypto_is_consistent() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let nodes = deal_node_crypto(4, CryptoSuite::light(), &mut rng);
+        assert_eq!(nodes.len(), 4);
+        // PRBC set: threshold f = 1 → 2 shares combine.
+        let msg = b"done";
+        let s0 = nodes[0].prbc_sec.sign_share(msg);
+        let s1 = nodes[1].prbc_sec.sign_share(msg);
+        let sig = nodes[2].prbc_pub.combine(&[s0, s1]).unwrap();
+        nodes[3].prbc_pub.verify(msg, &sig).unwrap();
+        // CBC set: threshold 2f = 2 → 3 shares.
+        let shares: Vec<_> = nodes.iter().take(3).map(|n| n.cbc_sec.sign_share(msg)).collect();
+        let sig = nodes[0].cbc_pub.combine(&shares).unwrap();
+        nodes[1].cbc_pub.verify(msg, &sig).unwrap();
+        // Packet keys cross-verify.
+        let sig = nodes[2].keypair.sign(b"pkt");
+        nodes[0].peer_keys[2].verify(b"pkt", &sig).unwrap();
+        assert!(nodes[0].peer_keys[3].verify(b"pkt", &sig).is_err());
+    }
+
+    #[test]
+    fn retx_should_send_logic() {
+        let params = Params::new(4, 0, 1);
+        let mut r = RetxState::new(wbft_net::RetransmitPolicy::lora_class(), &params);
+        assert!(r.should_send(false));
+        assert!(!r.should_send(true));
+        r.peer_behind = true;
+        assert!(r.should_send(true));
+        let d1 = r.next_delay();
+        let _ = r.next_delay();
+        r.reset();
+        let _ = d1;
+    }
+}

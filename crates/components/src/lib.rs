@@ -1,0 +1,61 @@
+//! # wbft-components — consensus components for wireless asynchronous BFT
+//!
+//! The component layer of the ConsensusBatcher reproduction (*"Asynchronous
+//! BFT Consensus Made Wireless"*, ICDCS 2025): every broadcast and
+//! agreement primitive the three consensus protocols are built from, in
+//! both **ConsensusBatcher-batched** form (one combined packet per channel
+//! access for all N parallel instances) and **baseline** form (per-instance
+//! per-phase packets, the unbatched deployment the paper compares against).
+//!
+//! | Component | Batched | Baseline |
+//! |-----------|---------|----------|
+//! | Bracha reliable broadcast | [`rbc::RbcBatch`] | [`baseline::BaselineRbcSet`] |
+//! | RBC-small (2-bit values)  | [`rbc_small::RbcSmallBatch`] | — |
+//! | Consistent broadcast      | [`cbc::CbcBatch`] | [`baseline::BaselineCbcSet`] |
+//! | CBC-small (id lists)      | [`cbc::CbcSmallBatch`] | — |
+//! | Provable RBC              | [`prbc::PrbcBatch`] | [`baseline::BaselinePrbcSet`] |
+//! | Shared-coin ABA (SC / CP) | [`aba_sc::AbaScBatch`] | [`baseline::BaselineAbaSet`] |
+//! | Local-coin ABA (Bracha)   | [`aba_lc::AbaLcBatch`] | (per-report packets via [`wbft_net::Body::BaseAbaLcReport`]) |
+//!
+//! All components are sans-io state machines: they consume packet bodies
+//! and timer ticks and emit [`context::Actions`] (broadcasts, timers,
+//! virtual CPU charges). The consensus layer in `wbft-consensus` seals
+//! their packets, binds them to simulator nodes, and composes them into
+//! HoneyBadgerBFT, BEAT and Dumbo.
+//!
+//! ## Example: four batched RBC nodes over an in-memory mesh
+//!
+//! ```rust
+//! use wbft_components::{Actions, Broadcaster, Params};
+//! use wbft_components::rbc::RbcBatch;
+//! use bytes::Bytes;
+//!
+//! let mut nodes: Vec<RbcBatch> =
+//!     (0..4).map(|i| RbcBatch::new(Params::new(4, i, 1))).collect();
+//! let mut inbox = Vec::new();
+//! for (i, node) in nodes.iter_mut().enumerate() {
+//!     let mut acts = Actions::new();
+//!     node.start(Bytes::from(format!("proposal-{i}")), &mut acts);
+//!     inbox.extend(acts.drain().0.into_iter().map(|b| (i, b)));
+//! }
+//! while let Some((src, body)) = inbox.pop() {
+//!     for i in 0..4 {
+//!         if i == src { continue; }
+//!         let mut acts = Actions::new();
+//!         nodes[i].handle(src, &body, &mut acts);
+//!         inbox.extend(acts.drain().0.into_iter().map(|b| (i, b)));
+//!     }
+//! }
+//! assert!(nodes.iter().all(|n| n.delivered_count() == 4));
+//! ```
+
+pub mod aba_lc;
+pub mod aba_sc;
+pub mod baseline;
+pub mod cbc;
+pub mod context;
+pub mod prbc;
+pub mod rbc;
+pub mod rbc_small;
+
+pub use context::{deal_node_crypto, Actions, BinaryAgreement, Broadcaster, NodeCrypto, Params};

@@ -1,0 +1,228 @@
+//! Byzantine node behaviours (adversary model §III-A2).
+//!
+//! A Byzantine node is an honest engine behind a corrupting wrapper: it can
+//! fall silent, crash after some epoch, flip every binary vote it sends, or
+//! equivocate on its proposals. Wrapping (rather than reimplementing)
+//! matches the threat model — the adversary controls a *node*, and the
+//! protocol must survive whatever that node transmits.
+
+use crate::driver::{Block, Engine, EngineOut};
+use wbft_net::packets::{AbaLcInst, AbaScInst};
+use wbft_net::{BinValues, Body, Vote};
+
+/// The corruption applied to a wrapped engine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ByzantineMode {
+    /// Sends nothing at all (fail-silent from the start).
+    Silent,
+    /// Behaves honestly until `after_epoch` blocks are decided, then stops
+    /// transmitting (crash fault).
+    Crash {
+        /// Blocks decided before the crash.
+        after_epoch: u64,
+    },
+    /// Flips every binary vote (ABA bval/aux/decided, RBC-small values) in
+    /// outgoing packets.
+    FlipVotes,
+    /// Replaces every outgoing proposal payload with garbage of the same
+    /// length (equivocation-style value corruption; votes stay honest).
+    CorruptProposals,
+}
+
+/// An engine under Byzantine control.
+pub struct ByzantineEngine<E> {
+    inner: E,
+    mode: ByzantineMode,
+}
+
+impl<E: Engine> ByzantineEngine<E> {
+    /// Wraps an engine.
+    pub fn new(inner: E, mode: ByzantineMode) -> Self {
+        ByzantineEngine { inner, mode }
+    }
+
+    fn crashed(&self) -> bool {
+        match self.mode {
+            ByzantineMode::Silent => true,
+            ByzantineMode::Crash { after_epoch } => {
+                self.inner.blocks().len() as u64 >= after_epoch
+            }
+            _ => false,
+        }
+    }
+
+    fn corrupt(&self, out: &mut EngineOut) {
+        if self.crashed() {
+            out.sends.clear();
+            return;
+        }
+        match self.mode {
+            ByzantineMode::FlipVotes => {
+                for (_, body) in out.sends.iter_mut() {
+                    flip_votes(body);
+                }
+            }
+            ByzantineMode::CorruptProposals => {
+                for (_, body) in out.sends.iter_mut() {
+                    corrupt_proposal(body);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn flip_vote(v: &mut Vote) {
+    *v = match *v {
+        Vote::Zero => Vote::One,
+        Vote::One => Vote::Zero,
+        other => other,
+    };
+}
+
+fn flip_votes(body: &mut Body) {
+    match body {
+        Body::AbaSc { insts, .. } => {
+            for AbaScInst { bval, aux, decided, .. } in insts {
+                *bval = BinValues { zero: bval.one, one: bval.zero };
+                flip_vote(aux);
+                flip_vote(decided);
+            }
+        }
+        Body::AbaLc { insts } => {
+            for AbaLcInst { reports, decided, .. } in insts {
+                for phase in reports {
+                    for v in phase {
+                        flip_vote(v);
+                    }
+                }
+                flip_vote(decided);
+            }
+        }
+        Body::RbcSmall { values, .. } => {
+            for v in values {
+                flip_vote(v);
+            }
+        }
+        Body::BaseAbaBval { value, .. }
+        | Body::BaseAbaAux { value, .. }
+        | Body::BaseAbaDecided { value, .. } => *value = !*value,
+        _ => {}
+    }
+}
+
+fn corrupt_proposal(body: &mut Body) {
+    match body {
+        Body::RbcInit { data, .. }
+        | Body::CbcInit { data, .. }
+        | Body::BaseRbcInit { data, .. } => {
+            let garbage: Vec<u8> = data.iter().map(|b| b ^ 0xA5).collect();
+            *data = bytes::Bytes::from(garbage);
+        }
+        _ => {}
+    }
+}
+
+impl<E: Engine> Engine for ByzantineEngine<E> {
+    fn start(&mut self, out: &mut EngineOut) {
+        self.inner.start(out);
+        self.corrupt(out);
+    }
+
+    fn handle(&mut self, session: u64, from: usize, body: &Body, out: &mut EngineOut) {
+        self.inner.handle(session, from, body, out);
+        self.corrupt(out);
+    }
+
+    fn on_timer(&mut self, session: u64, local: u32, out: &mut EngineOut) {
+        self.inner.on_timer(session, local, out);
+        self.corrupt(out);
+    }
+
+    fn blocks(&self) -> &[Block] {
+        self.inner.blocks()
+    }
+
+    fn target_epochs(&self) -> u64 {
+        self.inner.target_epochs()
+    }
+
+    fn is_done(&self) -> bool {
+        // A Byzantine node never gates experiment completion.
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy {
+        blocks: Vec<Block>,
+    }
+    impl Engine for Dummy {
+        fn start(&mut self, out: &mut EngineOut) {
+            out.sends.push((1, Body::BaseAbaBval { instance: 0, round: 0, value: true }));
+        }
+        fn handle(&mut self, _s: u64, _f: usize, _b: &Body, out: &mut EngineOut) {
+            out.sends.push((1, Body::BaseAbaAux { instance: 0, round: 0, value: false }));
+        }
+        fn on_timer(&mut self, _s: u64, _l: u32, _o: &mut EngineOut) {}
+        fn blocks(&self) -> &[Block] {
+            &self.blocks
+        }
+        fn target_epochs(&self) -> u64 {
+            1
+        }
+    }
+
+    #[test]
+    fn silent_drops_everything() {
+        let mut e = ByzantineEngine::new(Dummy { blocks: vec![] }, ByzantineMode::Silent);
+        let mut out = EngineOut::new();
+        e.start(&mut out);
+        assert!(out.sends.is_empty());
+    }
+
+    #[test]
+    fn flip_votes_inverts_binary_fields() {
+        let mut e = ByzantineEngine::new(Dummy { blocks: vec![] }, ByzantineMode::FlipVotes);
+        let mut out = EngineOut::new();
+        e.start(&mut out);
+        assert!(matches!(out.sends[0].1, Body::BaseAbaBval { value: false, .. }));
+        let mut out = EngineOut::new();
+        e.handle(1, 0, &Body::BaseAbaDecided { instance: 0, value: true }, &mut out);
+        assert!(matches!(out.sends[0].1, Body::BaseAbaAux { value: true, .. }));
+    }
+
+    #[test]
+    fn crash_stops_after_threshold() {
+        let block = Block { epoch: 0, txs: vec![] };
+        let mut e = ByzantineEngine::new(
+            Dummy { blocks: vec![block] },
+            ByzantineMode::Crash { after_epoch: 1 },
+        );
+        let mut out = EngineOut::new();
+        e.start(&mut out);
+        assert!(out.sends.is_empty(), "already crashed: one block decided");
+    }
+
+    #[test]
+    fn corrupt_proposals_keeps_length() {
+        let mut body = Body::BaseRbcInit {
+            instance: 0,
+            frag: 0,
+            frag_total: 1,
+            root: wbft_crypto::Digest32::of(b"x"),
+            data: bytes::Bytes::from_static(b"hello"),
+        };
+        corrupt_proposal(&mut body);
+        match body {
+            Body::BaseRbcInit { data, .. } => {
+                assert_eq!(data.len(), 5);
+                assert_ne!(&data[..], b"hello");
+            }
+            _ => unreachable!(),
+        }
+    }
+}

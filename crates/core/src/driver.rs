@@ -1,0 +1,270 @@
+//! Glue between protocol engines and the wireless simulator.
+//!
+//! An [`Engine`] is the protocol brain of one node: it owns the consensus
+//! components of the current (and recent) epochs, routes packet bodies to
+//! them by session id, and reports decided blocks. [`ProtocolNode`] adapts
+//! an engine to [`wbft_wireless::NodeBehavior`]: it seals outgoing bodies
+//! into signed envelopes (charging the micro-ecc sign cost), verifies and
+//! opens incoming frames (charging the verify cost, dropping bad
+//! signatures), translates component timers, and applies the transmit-queue
+//! slot discipline that lets a newer combined packet supersede a stale one.
+
+use bytes::Bytes;
+use wbft_components::NodeCrypto;
+use wbft_net::{Body, Envelope, Sizing};
+use wbft_wireless::{ChannelId, Frame, NodeBehavior, NodeCtx, SimDuration, SimTime};
+
+/// A transaction committed in a block.
+pub type Tx = Bytes;
+
+/// One decided consensus output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// Epoch number.
+    pub epoch: u64,
+    /// Committed transactions, in canonical order.
+    pub txs: Vec<Tx>,
+}
+
+/// Collected engine outputs for one event.
+#[derive(Debug, Default)]
+pub struct EngineOut {
+    /// `(session, body)` broadcasts.
+    pub sends: Vec<(u64, Body)>,
+    /// `(session, local id, delay)` timer requests.
+    pub timers: Vec<(u64, u32, SimDuration)>,
+    /// Virtual CPU to charge (µs).
+    pub charge_us: u64,
+}
+
+impl EngineOut {
+    /// Fresh sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs a component's [`wbft_components::Actions`] under a session.
+    pub fn absorb(&mut self, session: u64, acts: &mut wbft_components::Actions) {
+        let (sends, timers, charge) = acts.drain();
+        for body in sends {
+            self.sends.push((session, body));
+        }
+        for (delay, local) in timers {
+            self.timers.push((session, local, delay));
+        }
+        self.charge_us += charge;
+    }
+}
+
+/// The protocol brain of one node. Implementations: HoneyBadger (and BEAT),
+/// Dumbo, their baselines, and the multi-hop cluster engine.
+pub trait Engine {
+    /// Called once at simulation start.
+    fn start(&mut self, out: &mut EngineOut);
+
+    /// Routes a verified packet body.
+    fn handle(&mut self, session: u64, from: usize, body: &Body, out: &mut EngineOut);
+
+    /// Handles a component timer.
+    fn on_timer(&mut self, session: u64, local: u32, out: &mut EngineOut);
+
+    /// Blocks decided so far, in epoch order.
+    fn blocks(&self) -> &[Block];
+
+    /// Epochs this engine intends to run (completion criterion).
+    fn target_epochs(&self) -> u64;
+
+    /// `true` once all target epochs have decided.
+    fn is_done(&self) -> bool {
+        self.blocks().len() as u64 >= self.target_epochs()
+    }
+}
+
+impl Engine for Box<dyn Engine> {
+    fn start(&mut self, out: &mut EngineOut) {
+        (**self).start(out)
+    }
+    fn handle(&mut self, session: u64, from: usize, body: &Body, out: &mut EngineOut) {
+        (**self).handle(session, from, body, out)
+    }
+    fn on_timer(&mut self, session: u64, local: u32, out: &mut EngineOut) {
+        (**self).on_timer(session, local, out)
+    }
+    fn blocks(&self) -> &[Block] {
+        (**self).blocks()
+    }
+    fn target_epochs(&self) -> u64 {
+        (**self).target_epochs()
+    }
+}
+
+/// Session-id arithmetic: each epoch owns a block of session ids, one per
+/// component role.
+pub mod sessions {
+    /// Sessions per epoch.
+    pub const PER_EPOCH: u64 = 16;
+    /// RBC / PRBC batch.
+    pub const BROADCAST: u64 = 1;
+    /// ABA batch.
+    pub const ABA: u64 = 2;
+    /// Threshold-decryption stage.
+    pub const DEC: u64 = 3;
+    /// Dumbo CBC-value batch.
+    pub const CBC_VALUE: u64 = 4;
+    /// Dumbo CBC-commit batch.
+    pub const CBC_COMMIT: u64 = 5;
+    /// Dumbo π coin.
+    pub const PI_COIN: u64 = 6;
+    /// Multi-hop global consensus offset (added to everything global).
+    pub const GLOBAL_BASE: u64 = 1 << 40;
+
+    /// The session id of `role` in `epoch`.
+    pub fn of(epoch: u64, role: u64) -> u64 {
+        epoch * PER_EPOCH + role
+    }
+
+    /// Inverse of [`of`]: `(epoch, role)`.
+    pub fn split(session: u64) -> (u64, u64) {
+        let local = session % GLOBAL_BASE;
+        (local / PER_EPOCH, local % PER_EPOCH)
+    }
+}
+
+/// How a node records the completion time of each epoch (read by the
+/// testbed for latency statistics).
+#[derive(Clone, Debug, Default)]
+pub struct EpochClock {
+    /// `completed[e]` = simulated time epoch `e`'s block was decided here.
+    pub completed: Vec<SimTime>,
+}
+
+/// Adapts an [`Engine`] to the simulator's [`NodeBehavior`].
+pub struct ProtocolNode<E: Engine> {
+    engine: E,
+    crypto: NodeCrypto,
+    sizing: Sizing,
+    channel: ChannelId,
+    clock: EpochClock,
+    /// Timer-id translation: global id = session * 2^10 + local.
+    _private: (),
+}
+
+/// Timer-id packing: 10 bits of component-local id.
+const TIMER_LOCAL_BITS: u64 = 10;
+
+impl<E: Engine> ProtocolNode<E> {
+    /// Binds an engine to a node's crypto identity and radio channel.
+    pub fn new(engine: E, crypto: NodeCrypto, channel: ChannelId) -> Self {
+        let sizing = Sizing { n: crypto.peer_keys.len(), suite: crypto.suite };
+        ProtocolNode { engine, crypto, sizing, channel, clock: EpochClock::default(), _private: () }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Mutable engine access.
+    pub fn engine_mut(&mut self) -> &mut E {
+        &mut self.engine
+    }
+
+    /// Epoch completion times at this node.
+    pub fn clock(&self) -> &EpochClock {
+        &self.clock
+    }
+
+    /// Decided blocks (convenience passthrough).
+    pub fn blocks(&self) -> &[Block] {
+        self.engine.blocks()
+    }
+
+    /// `true` once the engine ran all its epochs.
+    pub fn is_done(&self) -> bool {
+        self.engine.is_done()
+    }
+
+    fn apply(&mut self, mut out: EngineOut, ctx: &mut NodeCtx) {
+        // Record newly completed epochs.
+        while self.clock.completed.len() < self.engine.blocks().len() {
+            self.clock.completed.push(ctx.now());
+        }
+        if out.charge_us > 0 {
+            ctx.charge_cpu(SimDuration::from_micros(out.charge_us));
+        }
+        let sign_cost = self.crypto.suite.ecdsa.profile().sign_us;
+        for (session, body) in out.sends.drain(..) {
+            let env = Envelope { src: self.crypto.me as u16, session, body };
+            ctx.charge_cpu(SimDuration::from_micros(sign_cost));
+            let (bytes, nominal) = env.seal(&self.crypto.keypair, &self.sizing);
+            // Slot: combined packets supersede stale queued versions; the
+            // session disambiguates components.
+            let slot = session
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(env.body.slot_key());
+            ctx.broadcast_slot(self.channel, bytes, nominal, slot);
+        }
+        for (session, local, delay) in out.timers.drain(..) {
+            ctx.set_timer(delay, (session << TIMER_LOCAL_BITS) | local as u64);
+        }
+    }
+}
+
+impl<E: Engine> NodeBehavior for ProtocolNode<E> {
+    fn on_start(&mut self, ctx: &mut NodeCtx) {
+        let mut out = EngineOut::new();
+        self.engine.start(&mut out);
+        self.apply(out, ctx);
+    }
+
+    fn on_frame(&mut self, frame: &Frame, ctx: &mut NodeCtx) {
+        // Verify the packet signature (cost charged whether it passes or
+        // not — the radio delivered it, the CPU must check it).
+        ctx.charge_cpu(SimDuration::from_micros(self.crypto.suite.ecdsa.profile().verify_us));
+        let peer_keys = &self.crypto.peer_keys;
+        let opened = Envelope::open(&frame.payload, |src| {
+            peer_keys.get(src as usize).copied()
+        });
+        let Ok((env, sig_ok)) = opened else { return };
+        if !sig_ok {
+            return;
+        }
+        let mut out = EngineOut::new();
+        self.engine.handle(env.session, env.src as usize, &env.body, &mut out);
+        self.apply(out, ctx);
+    }
+
+    fn on_timer(&mut self, id: u64, ctx: &mut NodeCtx) {
+        let session = id >> TIMER_LOCAL_BITS;
+        let local = (id & ((1 << TIMER_LOCAL_BITS) - 1)) as u32;
+        let mut out = EngineOut::new();
+        self.engine.on_timer(session, local, &mut out);
+        self.apply(out, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_arithmetic_roundtrips() {
+        for epoch in [0u64, 1, 7, 1000] {
+            for role in [sessions::BROADCAST, sessions::ABA, sessions::DEC] {
+                let s = sessions::of(epoch, role);
+                assert_eq!(sessions::split(s), (epoch, role));
+            }
+        }
+    }
+
+    #[test]
+    fn engine_out_absorbs_actions() {
+        let mut out = EngineOut::new();
+        let mut acts = wbft_components::Actions::new();
+        acts.charge(50);
+        acts.timer(SimDuration::from_millis(5), 2);
+        out.absorb(9, &mut acts);
+        assert_eq!(out.charge_us, 50);
+        assert_eq!(out.timers, vec![(9, 2, SimDuration::from_millis(5))]);
+    }
+}

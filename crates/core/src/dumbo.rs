@@ -1,0 +1,760 @@
+//! Wireless Dumbo (Dumbo2) — paper §V-A, Fig. 7b.
+//!
+//! Per epoch: N batched PRBC instances spread proposals and produce
+//! `(f,n)`-threshold *delivery proofs*; after `2f+1` proofs a node
+//! CBC-broadcasts its proof vector `W_i` (`CBC_value`); after `2f+1`
+//! `CBC_value` deliveries it CBC-broadcasts the id-set `S_i` of completed
+//! `CBC_value` instances (`CBC_commit`, small values → CBC-small packets);
+//! after `2f+1` commits, a common coin fixes a random permutation π and the
+//! nodes run **serial** ABA over candidates in π order — input 1 iff the
+//! candidate's commit was delivered — until one ABA outputs 1. The block is
+//! the union of the PRBC proposals referenced by the elected candidate's
+//! `W` vector. Serial activation also prevents premature coin-share release
+//! for later instances (§V-A).
+
+use crate::driver::{sessions, Block, Engine, EngineOut, Tx};
+use crate::workload::{decode_batch, encode_batch, BatchSource};
+#[cfg(test)]
+use crate::workload::Workload;
+use bytes::Bytes;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use wbft_components::aba_lc::AbaLcBatch;
+use wbft_components::aba_sc::AbaScBatch;
+use wbft_components::baseline::{BaselineAbaSet, BaselineCbcSet, BaselinePrbcSet};
+use wbft_components::cbc::{CbcBatch, CbcSmallBatch};
+use wbft_components::prbc::PrbcBatch;
+use wbft_components::{Actions, BinaryAgreement, Broadcaster, NodeCrypto, Params};
+use wbft_crypto::hash::Digest32;
+use wbft_crypto::thresh_coin::{CoinName, CoinShare};
+use wbft_crypto::thresh_sig::ThresholdSignature;
+use wbft_net::{Bitmap, Body, CoinFlavor, RetransmitPolicy};
+
+const KEEP_EPOCHS: usize = 2;
+const TIMER_PI_RETX: u32 = 0;
+
+// ------------------------------------------------------------------
+// W-vector encoding: (instance, root, proof) triples.
+
+fn encode_w(entries: &[(u8, Digest32, ThresholdSignature)]) -> Bytes {
+    let mut out = Vec::with_capacity(1 + entries.len() * 65);
+    out.push(entries.len() as u8);
+    for (id, root, proof) in entries {
+        out.push(*id);
+        out.extend_from_slice(root.as_bytes());
+        out.extend_from_slice(&proof.to_bytes());
+    }
+    Bytes::from(out)
+}
+
+fn decode_w(data: &[u8]) -> Option<Vec<(u8, Digest32, ThresholdSignature)>> {
+    let count = *data.first()? as usize;
+    if data.len() != 1 + count * 65 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(count);
+    for k in 0..count {
+        let base = 1 + k * 65;
+        let id = data[base];
+        let root = Digest32(data[base + 1..base + 33].try_into().ok()?);
+        let sig = ThresholdSignature::from_bytes(&data[base + 33..base + 65].try_into().ok()?)?;
+        out.push((id, root, sig));
+    }
+    Some(out)
+}
+
+/// Commit-set (bitmap) encoding for the baseline CBC path.
+fn encode_commit(s: &Bitmap) -> Bytes {
+    let mut out = Vec::with_capacity(9);
+    out.push(s.len() as u8);
+    out.extend_from_slice(&s.to_raw().to_le_bytes());
+    Bytes::from(out)
+}
+
+fn decode_commit(data: &[u8]) -> Option<Bitmap> {
+    if data.len() != 9 || data[0] > 64 {
+        return None;
+    }
+    Some(Bitmap::from_raw(u64::from_le_bytes(data[1..9].try_into().ok()?), data[0] as usize))
+}
+
+// ------------------------------------------------------------------
+// Deployment-style wrappers.
+
+/// PRBC in batched or baseline form.
+enum Prbc {
+    Batched(PrbcBatch),
+    Baseline(BaselinePrbcSet),
+}
+
+impl Prbc {
+    fn start(&mut self, v: Bytes, acts: &mut Actions) {
+        match self {
+            Prbc::Batched(x) => x.start(v, acts),
+            Prbc::Baseline(x) => x.start(v, acts),
+        }
+    }
+    fn handle(&mut self, from: usize, body: &Body, acts: &mut Actions) {
+        match self {
+            Prbc::Batched(x) => x.handle(from, body, acts),
+            Prbc::Baseline(x) => x.handle(from, body, acts),
+        }
+    }
+    fn on_timer(&mut self, local: u32, acts: &mut Actions) {
+        match self {
+            Prbc::Batched(x) => x.on_timer(local, acts),
+            Prbc::Baseline(x) => x.on_timer(local, acts),
+        }
+    }
+    fn delivered(&self, j: usize) -> Option<&Bytes> {
+        match self {
+            Prbc::Batched(x) => x.delivered(j),
+            Prbc::Baseline(x) => x.delivered(j),
+        }
+    }
+    fn proof(&self, j: usize) -> Option<&ThresholdSignature> {
+        match self {
+            Prbc::Batched(x) => x.proof(j),
+            Prbc::Baseline(x) => x.proof(j),
+        }
+    }
+    fn proven_count(&self) -> usize {
+        match self {
+            Prbc::Batched(x) => x.proven_count(),
+            Prbc::Baseline(x) => x.proven_count(),
+        }
+    }
+}
+
+/// CBC for the (large) W vectors.
+enum ValueCbc {
+    Batched(CbcBatch),
+    Baseline(BaselineCbcSet),
+}
+
+impl ValueCbc {
+    fn start(&mut self, v: Bytes, acts: &mut Actions) {
+        match self {
+            ValueCbc::Batched(x) => x.start(v, acts),
+            ValueCbc::Baseline(x) => x.start(v, acts),
+        }
+    }
+    fn handle(&mut self, from: usize, body: &Body, acts: &mut Actions) {
+        match self {
+            ValueCbc::Batched(x) => x.handle(from, body, acts),
+            ValueCbc::Baseline(x) => x.handle(from, body, acts),
+        }
+    }
+    fn on_timer(&mut self, local: u32, acts: &mut Actions) {
+        match self {
+            ValueCbc::Batched(x) => x.on_timer(local, acts),
+            ValueCbc::Baseline(x) => x.on_timer(local, acts),
+        }
+    }
+    fn delivered(&self, j: usize) -> Option<&Bytes> {
+        match self {
+            ValueCbc::Batched(x) => x.delivered(j),
+            ValueCbc::Baseline(x) => x.delivered(j),
+        }
+    }
+    fn delivered_count(&self) -> usize {
+        match self {
+            ValueCbc::Batched(x) => x.delivered_count(),
+            ValueCbc::Baseline(x) => x.delivered_count(),
+        }
+    }
+}
+
+/// CBC for the (small) commit sets.
+enum CommitCbc {
+    Small(CbcSmallBatch),
+    Baseline(BaselineCbcSet),
+}
+
+impl CommitCbc {
+    fn start(&mut self, s: Bitmap, acts: &mut Actions) {
+        match self {
+            CommitCbc::Small(x) => x.start(s, acts),
+            CommitCbc::Baseline(x) => x.start(encode_commit(&s), acts),
+        }
+    }
+    fn handle(&mut self, from: usize, body: &Body, acts: &mut Actions) {
+        match self {
+            CommitCbc::Small(x) => x.handle(from, body, acts),
+            CommitCbc::Baseline(x) => x.handle(from, body, acts),
+        }
+    }
+    fn on_timer(&mut self, local: u32, acts: &mut Actions) {
+        match self {
+            CommitCbc::Small(x) => x.on_timer(local, acts),
+            CommitCbc::Baseline(x) => x.on_timer(local, acts),
+        }
+    }
+    fn delivered_set(&self, j: usize) -> Option<Bitmap> {
+        match self {
+            CommitCbc::Small(x) => x.delivered_value(j),
+            CommitCbc::Baseline(x) => x.delivered(j).and_then(|b| decode_commit(b)),
+        }
+    }
+    fn delivered_count(&self) -> usize {
+        match self {
+            CommitCbc::Small(x) => x.delivered_count(),
+            CommitCbc::Baseline(x) => x.delivered_count(),
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// π coin: one common-coin round fixing the candidate permutation.
+
+struct PiCoin {
+    p: Params,
+    released: bool,
+    shares: Vec<CoinShare>,
+    reporters: u64,
+    value: Option<u64>,
+    timer_armed: bool,
+    retx: wbft_components::context::RetxState,
+}
+
+impl PiCoin {
+    fn new(p: Params) -> Self {
+        PiCoin {
+            released: false,
+            shares: Vec::new(),
+            reporters: 0,
+            value: None,
+            timer_armed: false,
+            retx: wbft_components::context::RetxState::new(RetransmitPolicy::lora_class(), &p),
+            p,
+        }
+    }
+
+    fn name(&self) -> CoinName {
+        CoinName { session: self.p.session, round: 0, domain: 0 }
+    }
+
+    fn activate(&mut self, crypto: &NodeCrypto, acts: &mut Actions) {
+        if self.released {
+            return;
+        }
+        self.released = true;
+        acts.charge(crypto.suite.threshold.coin_profile().sign_share_us);
+        let share = crypto.coin_sec.coin_share(self.name());
+        self.record(share, crypto, acts, true);
+        self.emit(crypto, acts);
+        if !self.timer_armed {
+            self.timer_armed = true;
+            let d = self.retx.next_delay();
+            acts.timer(d, TIMER_PI_RETX);
+        }
+    }
+
+    fn record(&mut self, share: CoinShare, crypto: &NodeCrypto, acts: &mut Actions, own: bool) {
+        if self.value.is_some() {
+            return;
+        }
+        let bit = 1u64 << (share.index.value() - 1);
+        if self.reporters & bit != 0 {
+            return;
+        }
+        if !own {
+            acts.charge(crypto.suite.threshold.coin_profile().verify_share_us);
+        }
+        if crypto.coin_pub.verify_share(self.name(), &share).is_err() {
+            return;
+        }
+        self.reporters |= bit;
+        self.shares.push(share);
+        if self.shares.len() >= crypto.coin_pub.threshold() + 1 {
+            acts.charge(crypto.suite.threshold.coin_profile().combine_us);
+            if let Ok(v) = crypto.coin_pub.combine_value(self.name(), &self.shares) {
+                self.value = Some(v);
+            }
+        }
+    }
+
+    fn emit(&mut self, crypto: &NodeCrypto, acts: &mut Actions) {
+        if !self.released {
+            return;
+        }
+        let share = crypto.coin_sec.coin_share(self.name());
+        let mut share_nack = Bitmap::new(self.p.n);
+        if self.value.is_none() {
+            for node in 0..self.p.n {
+                if self.reporters & (1 << node) == 0 {
+                    share_nack.set(node, true);
+                }
+            }
+        }
+        acts.send(Body::AbaSc {
+            flavor: CoinFlavor::ThreshSig,
+            insts: vec![],
+            coin_shares: vec![(0, share)],
+            share_nack,
+        });
+    }
+
+    fn handle(&mut self, body: &Body, crypto: &NodeCrypto, acts: &mut Actions) {
+        let Body::AbaSc { coin_shares, share_nack, .. } = body else { return };
+        for (_, share) in coin_shares {
+            self.record(*share, crypto, acts, false);
+        }
+        if share_nack.len() == self.p.n && share_nack.get(self.p.me) && self.released {
+            self.retx.peer_behind = true;
+        }
+    }
+
+    fn on_timer(&mut self, local: u32, crypto: &NodeCrypto, acts: &mut Actions) {
+        if local != TIMER_PI_RETX {
+            return;
+        }
+        if self.released && self.retx.should_send(self.value.is_some()) {
+            self.emit(crypto, acts);
+            self.retx.peer_behind = false;
+        }
+        let d = self.retx.next_delay();
+        acts.timer(d, TIMER_PI_RETX);
+    }
+}
+
+/// Fisher–Yates permutation of `0..n` from a coin value.
+fn permutation(n: usize, coin: u64) -> Vec<usize> {
+    use rand::Rng;
+    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(coin);
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    order
+}
+
+// ------------------------------------------------------------------
+// The engine.
+
+struct EpochState {
+    epoch: u64,
+    prbc: Prbc,
+    value_cbc: ValueCbc,
+    commit_cbc: CommitCbc,
+    pi: PiCoin,
+    aba: Box<dyn BinaryAgreement + Send>,
+    value_started: bool,
+    commit_started: bool,
+    order: Option<Vec<usize>>,
+    /// Position in π currently being voted.
+    cursor: usize,
+    elected: Option<usize>,
+    committed: bool,
+}
+
+/// Which deployment style and coin a Dumbo engine runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DumboVariant {
+    /// Batched components, shared-coin serial ABA (threshold signatures).
+    Sc,
+    /// Batched components, local-coin (Bracha) serial ABA.
+    Lc,
+    /// Unbatched components, shared-coin serial ABA.
+    ScBaseline,
+}
+
+/// Wireless Dumbo engine.
+pub struct DumboEngine {
+    crypto: NodeCrypto,
+    variant: DumboVariant,
+    n: usize,
+    f: usize,
+    me: usize,
+    source: BatchSource,
+    target_epochs: u64,
+    epochs: VecDeque<EpochState>,
+    blocks: Vec<Block>,
+}
+
+impl DumboEngine {
+    /// Creates a Dumbo engine of the given variant.
+    pub fn new(
+        crypto: NodeCrypto,
+        variant: DumboVariant,
+        source: impl Into<BatchSource>,
+        target_epochs: u64,
+    ) -> Self {
+        let n = crypto.peer_keys.len();
+        let f = (n - 1) / 3;
+        let me = crypto.me;
+        DumboEngine {
+            crypto,
+            variant,
+            n,
+            f,
+            me,
+            source: source.into(),
+            target_epochs,
+            epochs: VecDeque::new(),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Mutable access to the proposal source.
+    pub fn source_mut(&mut self) -> &mut BatchSource {
+        &mut self.source
+    }
+
+    fn begin_epoch(&mut self, epoch: u64, out: &mut EngineOut) {
+        let p_prbc = Params::new(self.n, self.me, sessions::of(epoch, sessions::BROADCAST));
+        let p_val = Params::new(self.n, self.me, sessions::of(epoch, sessions::CBC_VALUE));
+        let p_com = Params::new(self.n, self.me, sessions::of(epoch, sessions::CBC_COMMIT));
+        let p_pi = Params::new(self.n, self.me, sessions::of(epoch, sessions::PI_COIN));
+        let p_aba = Params::new(self.n, self.me, sessions::of(epoch, sessions::ABA));
+        let c = &self.crypto;
+        let (prbc, value_cbc, commit_cbc, aba): (
+            Prbc,
+            ValueCbc,
+            CommitCbc,
+            Box<dyn BinaryAgreement + Send>,
+        ) = match self.variant {
+            DumboVariant::Sc => (
+                Prbc::Batched(PrbcBatch::new(p_prbc, c.prbc_pub.clone(), c.prbc_sec.clone())),
+                ValueCbc::Batched(CbcBatch::new(p_val, c.cbc_pub.clone(), c.cbc_sec.clone())),
+                CommitCbc::Small(CbcSmallBatch::new(p_com, c.cbc_pub.clone(), c.cbc_sec.clone())),
+                Box::new(AbaScBatch::new_serial(
+                    p_aba,
+                    CoinFlavor::ThreshSig,
+                    c.coin_pub.clone(),
+                    c.coin_sec.clone(),
+                )),
+            ),
+            DumboVariant::Lc => (
+                Prbc::Batched(PrbcBatch::new(p_prbc, c.prbc_pub.clone(), c.prbc_sec.clone())),
+                ValueCbc::Batched(CbcBatch::new(p_val, c.cbc_pub.clone(), c.cbc_sec.clone())),
+                CommitCbc::Small(CbcSmallBatch::new(p_com, c.cbc_pub.clone(), c.cbc_sec.clone())),
+                Box::new(AbaLcBatch::new(p_aba)),
+            ),
+            DumboVariant::ScBaseline => (
+                Prbc::Baseline(BaselinePrbcSet::new(
+                    p_prbc,
+                    c.prbc_pub.clone(),
+                    c.prbc_sec.clone(),
+                )),
+                ValueCbc::Baseline(BaselineCbcSet::new(
+                    p_val,
+                    c.cbc_pub.clone(),
+                    c.cbc_sec.clone(),
+                )),
+                CommitCbc::Baseline(BaselineCbcSet::new(
+                    p_com,
+                    c.cbc_pub.clone(),
+                    c.cbc_sec.clone(),
+                )),
+                Box::new(BaselineAbaSet::new(
+                    p_aba,
+                    CoinFlavor::ThreshSig,
+                    c.coin_pub.clone(),
+                    c.coin_sec.clone(),
+                )),
+            ),
+        };
+        let mut st = EpochState {
+            epoch,
+            prbc,
+            value_cbc,
+            commit_cbc,
+            pi: PiCoin::new(p_pi),
+            aba,
+            value_started: false,
+            commit_started: false,
+            order: None,
+            cursor: 0,
+            elected: None,
+            committed: false,
+        };
+        let txs = self.source.batch(epoch, self.me);
+        let mut acts = Actions::new();
+        st.prbc.start(encode_batch(&txs), &mut acts);
+        out.absorb(p_prbc.session, &mut acts);
+        self.epochs.push_back(st);
+        while self.epochs.len() > KEEP_EPOCHS {
+            self.epochs.pop_front();
+        }
+    }
+
+    fn poll(&mut self, epoch: u64, out: &mut EngineOut) {
+        let quorum = 2 * self.f + 1;
+        let Some(idx) = self.epochs.iter().position(|e| e.epoch == epoch) else { return };
+
+        // Stage 2: CBC_value after 2f+1 PRBC proofs.
+        {
+            let st = &mut self.epochs[idx];
+            if !st.value_started && st.prbc.proven_count() >= quorum {
+                st.value_started = true;
+                let mut entries = Vec::new();
+                for j in 0..self.n {
+                    if let (Some(proof), Some(v)) = (st.prbc.proof(j), st.prbc.delivered(j)) {
+                        entries.push((j as u8, Digest32::of(v), *proof));
+                    }
+                }
+                let mut acts = Actions::new();
+                st.value_cbc.start(encode_w(&entries), &mut acts);
+                out.absorb(sessions::of(epoch, sessions::CBC_VALUE), &mut acts);
+            }
+        }
+        // Stage 3: CBC_commit after 2f+1 CBC_value deliveries.
+        {
+            let st = &mut self.epochs[idx];
+            if st.value_started && !st.commit_started && st.value_cbc.delivered_count() >= quorum
+            {
+                st.commit_started = true;
+                let mut s = Bitmap::new(self.n);
+                for j in 0..self.n {
+                    if st.value_cbc.delivered(j).is_some() {
+                        s.set(j, true);
+                    }
+                }
+                let mut acts = Actions::new();
+                st.commit_cbc.start(s, &mut acts);
+                out.absorb(sessions::of(epoch, sessions::CBC_COMMIT), &mut acts);
+            }
+        }
+        // Stage 4: π coin after 2f+1 commits.
+        {
+            let st = &mut self.epochs[idx];
+            if st.commit_started
+                && st.order.is_none()
+                && st.commit_cbc.delivered_count() >= quorum
+                && !st.pi.released
+            {
+                let mut acts = Actions::new();
+                st.pi.activate(&self.crypto, &mut acts);
+                out.absorb(sessions::of(epoch, sessions::PI_COIN), &mut acts);
+            }
+            if st.order.is_none() {
+                if let Some(coin) = st.pi.value {
+                    st.order = Some(permutation(self.n, coin));
+                }
+            }
+        }
+        // Stage 5: serial ABA over π.
+        {
+            let st = &mut self.epochs[idx];
+            if let Some(order) = st.order.clone() {
+                while st.elected.is_none() && st.cursor < order.len() {
+                    let candidate = order[st.cursor];
+                    match st.aba.decided(candidate) {
+                        Some(true) => st.elected = Some(candidate),
+                        Some(false) => st.cursor += 1,
+                        None => {
+                            // Activate (idempotent) and wait.
+                            let input = st.commit_cbc.delivered_set(candidate).is_some();
+                            let mut acts = Actions::new();
+                            st.aba.set_input(candidate, input, &mut acts);
+                            out.absorb(sessions::of(epoch, sessions::ABA), &mut acts);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // Stage 6: assemble the block from the elected candidate's W.
+        let committed_now = {
+            let st = &mut self.epochs[idx];
+            if st.committed {
+                false
+            } else if let Some(c) = st.elected {
+                if let Some(wbytes) = st.value_cbc.delivered(c) {
+                    if let Some(entries) = decode_w(wbytes) {
+                        // Verify the candidate's proofs (charged per entry).
+                        out.charge_us += self.crypto.suite.threshold.signature_profile()
+                            .verify_signature_us
+                            * entries.len() as u64;
+                        let session = sessions::of(epoch, sessions::BROADCAST);
+                        let all_valid = entries.iter().all(|(id, root, proof)| {
+                            PrbcBatch::verify_proof(
+                                session,
+                                &self.crypto.prbc_pub,
+                                *id as usize,
+                                root,
+                                proof,
+                            )
+                        });
+                        let all_present = entries
+                            .iter()
+                            .all(|(id, _, _)| st.prbc.delivered(*id as usize).is_some());
+                        if all_valid && all_present {
+                            let mut txs: Vec<Tx> = Vec::new();
+                            for (id, root, _) in &entries {
+                                let v = st.prbc.delivered(*id as usize).expect("present");
+                                if Digest32::of(v) == *root {
+                                    if let Some(batch) = decode_batch(v) {
+                                        for tx in batch {
+                                            if !txs.contains(&tx) {
+                                                txs.push(tx);
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            st.committed = true;
+                            self.blocks.push(Block { epoch, txs });
+                            true
+                        } else if !all_valid {
+                            // Forged W vector — cannot happen for an elected
+                            // honest candidate; fall back to the next one.
+                            st.elected = None;
+                            st.cursor += 1;
+                            false
+                        } else {
+                            false // waiting on PRBC values via NACK
+                        }
+                    } else {
+                        // Malformed W: skip candidate.
+                        st.elected = None;
+                        st.cursor += 1;
+                        false
+                    }
+                } else {
+                    false // waiting on the candidate's CBC_value via NACK
+                }
+            } else {
+                false
+            }
+        };
+        if committed_now && epoch + 1 < self.target_epochs {
+            self.begin_epoch(epoch + 1, out);
+        }
+    }
+}
+
+impl Engine for DumboEngine {
+    fn start(&mut self, out: &mut EngineOut) {
+        self.begin_epoch(0, out);
+    }
+
+    fn handle(&mut self, session: u64, from: usize, body: &Body, out: &mut EngineOut) {
+        let (epoch, role) = sessions::split(session);
+        let Some(idx) = self.epochs.iter().position(|e| e.epoch == epoch) else { return };
+        let mut acts = Actions::new();
+        {
+            let st = &mut self.epochs[idx];
+            match role {
+                sessions::BROADCAST => st.prbc.handle(from, body, &mut acts),
+                sessions::CBC_VALUE => st.value_cbc.handle(from, body, &mut acts),
+                sessions::CBC_COMMIT => st.commit_cbc.handle(from, body, &mut acts),
+                sessions::PI_COIN => st.pi.handle(body, &self.crypto, &mut acts),
+                sessions::ABA => st.aba.handle(from, body, &mut acts),
+                _ => {}
+            }
+        }
+        out.absorb(session, &mut acts);
+        self.poll(epoch, out);
+    }
+
+    fn on_timer(&mut self, session: u64, local: u32, out: &mut EngineOut) {
+        let (epoch, role) = sessions::split(session);
+        let Some(idx) = self.epochs.iter().position(|e| e.epoch == epoch) else { return };
+        let mut acts = Actions::new();
+        {
+            let st = &mut self.epochs[idx];
+            match role {
+                sessions::BROADCAST => st.prbc.on_timer(local, &mut acts),
+                sessions::CBC_VALUE => st.value_cbc.on_timer(local, &mut acts),
+                sessions::CBC_COMMIT => st.commit_cbc.on_timer(local, &mut acts),
+                sessions::PI_COIN => st.pi.on_timer(local, &self.crypto, &mut acts),
+                sessions::ABA => st.aba.on_timer(local, &mut acts),
+                _ => {}
+            }
+        }
+        out.absorb(session, &mut acts);
+        self.poll(epoch, out);
+    }
+
+    fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    fn target_epochs(&self) -> u64 {
+        self.target_epochs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::ProtocolNode;
+    use wbft_components::deal_node_crypto;
+    use wbft_crypto::CryptoSuite;
+    use wbft_wireless::{ChannelId, SimConfig, SimTime, Simulator, Topology};
+
+    fn run_dumbo(variant: DumboVariant, seed: u64, epochs: u64) -> Vec<Vec<Block>> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let crypto = deal_node_crypto(4, CryptoSuite::light(), &mut rng);
+        let workload = Workload::small();
+        let behaviors: Vec<_> = crypto
+            .into_iter()
+            .map(|c| {
+                let engine = DumboEngine::new(c.clone(), variant, workload.clone(), epochs);
+                ProtocolNode::new(engine, c, ChannelId(0))
+            })
+            .collect();
+        let cfg = SimConfig { seed, ..SimConfig::default() };
+        let mut sim = Simulator::new(cfg, Topology::single_hop(4), behaviors);
+        let ok = sim.run_until_pred(SimTime::from_micros(3_600_000_000), |s| {
+            s.behaviors().all(|(_, b)| b.is_done())
+        });
+        assert!(ok, "Dumbo({variant:?}) did not complete in a simulated hour");
+        sim.behaviors().map(|(_, b)| b.blocks().to_vec()).collect()
+    }
+
+    #[test]
+    fn dumbo_sc_agreement() {
+        let blocks = run_dumbo(DumboVariant::Sc, 3, 1);
+        let first = &blocks[0];
+        assert_eq!(first.len(), 1);
+        assert!(!first[0].txs.is_empty());
+        for b in &blocks {
+            assert_eq!(b, first);
+        }
+    }
+
+    #[test]
+    fn dumbo_lc_agreement() {
+        let blocks = run_dumbo(DumboVariant::Lc, 4, 1);
+        let first = &blocks[0];
+        for b in &blocks {
+            assert_eq!(b, first);
+        }
+    }
+
+    #[test]
+    fn w_vector_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let (pks, sks) =
+            wbft_crypto::thresh_sig::deal(4, 1, wbft_crypto::ThresholdCurve::Bn158, &mut rng);
+        let shares: Vec<_> = sks[..2].iter().map(|s| s.sign_share(b"m")).collect();
+        let sig = pks.combine(&shares).unwrap();
+        let entries =
+            vec![(0u8, Digest32::of(b"a"), sig), (3u8, Digest32::of(b"b"), sig)];
+        let enc = encode_w(&entries);
+        assert_eq!(decode_w(&enc), Some(entries));
+        assert_eq!(decode_w(&enc[..10]), None);
+    }
+
+    #[test]
+    fn commit_set_roundtrip() {
+        let s = Bitmap::from_raw(0b1011, 4);
+        assert_eq!(decode_commit(&encode_commit(&s)), Some(s));
+        assert_eq!(decode_commit(&[9]), None);
+    }
+
+    #[test]
+    fn permutation_is_deterministic_and_complete() {
+        let p1 = permutation(7, 42);
+        let p2 = permutation(7, 42);
+        assert_eq!(p1, p2);
+        let mut sorted = p1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..7).collect::<Vec<_>>());
+        assert_ne!(permutation(7, 42), permutation(7, 43));
+    }
+}

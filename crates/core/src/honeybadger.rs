@@ -1,0 +1,671 @@
+//! Wireless HoneyBadgerBFT (and BEAT) — paper §V-A, Fig. 7a.
+//!
+//! Per epoch: every node threshold-encrypts its transaction batch and
+//! proposes it through one of N batched RBC instances; once `2f+1` RBC
+//! instances deliver, the node inputs 1 to the ABAs of the delivered
+//! instances and 0 to the rest, starting **all ABA instances
+//! simultaneously** — the paper's liveness rule that stops Byzantine nodes
+//! from learning the (shared) round coin before the votes are bound. The
+//! union of proposals whose ABA decided 1 forms the epoch set; nodes then
+//! exchange threshold-decryption shares (batched into one packet per
+//! channel access) and commit the decrypted union as the block.
+//!
+//! The engine is generic over the broadcast and agreement deployments, so
+//! the same code yields HoneyBadgerBFT-LC / -SC, BEAT (coin-flipping ABA),
+//! and the unbatched `*-baseline` variants.
+
+use crate::driver::{sessions, Block, Engine, EngineOut, Tx};
+use crate::workload::{decode_batch, encode_batch, BatchSource, Workload};
+use bytes::Bytes;
+use std::collections::VecDeque;
+use wbft_components::aba_lc::AbaLcBatch;
+use wbft_components::aba_sc::AbaScBatch;
+use wbft_components::baseline::{BaselineAbaSet, BaselineRbcSet};
+use wbft_components::rbc::RbcBatch;
+use wbft_components::{Actions, BinaryAgreement, Broadcaster, NodeCrypto, Params};
+use wbft_crypto::thresh_enc::{Ciphertext, DecShare};
+use wbft_crypto::GroupElem;
+use wbft_net::{Bitmap, Body, CoinFlavor, RetransmitPolicy};
+
+/// How many past epochs stay alive as NACK responders.
+const KEEP_EPOCHS: usize = 2;
+
+const TIMER_DEC_RETX: u32 = 0;
+
+// ------------------------------------------------------------------
+// Ciphertext wire helpers (no binary serde in the dependency set).
+
+/// Encodes a threshold ciphertext into proposal bytes.
+pub fn encode_ciphertext(ct: &Ciphertext) -> Bytes {
+    let mut out = Vec::with_capacity(ct.wire_len());
+    out.extend_from_slice(&ct.u.to_bytes());
+    out.extend_from_slice(ct.tag.as_bytes());
+    out.extend_from_slice(&ct.body);
+    Bytes::from(out)
+}
+
+/// Decodes proposal bytes back into a ciphertext (`None` = malformed).
+pub fn decode_ciphertext(data: &[u8]) -> Option<Ciphertext> {
+    if data.len() < 64 {
+        return None;
+    }
+    let u_bytes: [u8; 32] = data[..32].try_into().ok()?;
+    let u = GroupElem::from_bytes(&u_bytes).ok()?;
+    let tag = wbft_crypto::Digest32(data[32..64].try_into().ok()?);
+    Some(Ciphertext { u, tag, body: data[64..].to_vec() })
+}
+
+/// The decryption-label of a proposer's epoch ciphertext.
+fn ct_label(epoch: u64, proposer: usize) -> Vec<u8> {
+    let mut l = Vec::with_capacity(24);
+    l.extend_from_slice(b"wbft/hb/ct");
+    l.extend_from_slice(&epoch.to_le_bytes());
+    l.extend_from_slice(&(proposer as u64).to_le_bytes());
+    l
+}
+
+// ------------------------------------------------------------------
+// Decryption stage.
+
+/// Collects and serves threshold-decryption shares for the epoch's accepted
+/// ciphertexts. Batched mode ships one [`Body::DecShareBatch`] per channel
+/// access; baseline mode one [`Body::BaseDecShare`] per proposer.
+#[derive(Debug)]
+struct DecStage {
+    p: Params,
+    epoch: u64,
+    batched: bool,
+    cts: Vec<Option<Ciphertext>>,
+    active: Vec<bool>,
+    my_sent: Vec<bool>,
+    shares: Vec<Vec<DecShare>>,
+    reporters: Vec<u64>,
+    plaintexts: Vec<Option<Vec<u8>>>,
+    dirty: bool,
+    timer_armed: bool,
+    retx: wbft_components::context::RetxState,
+}
+
+impl DecStage {
+    fn new(p: Params, epoch: u64, batched: bool) -> Self {
+        DecStage {
+            epoch,
+            batched,
+            cts: vec![None; p.n],
+            active: vec![false; p.n],
+            my_sent: vec![false; p.n],
+            shares: vec![Vec::new(); p.n],
+            reporters: vec![0; p.n],
+            plaintexts: vec![None; p.n],
+            dirty: false,
+            timer_armed: false,
+            retx: wbft_components::context::RetxState::new(
+                RetransmitPolicy::lora_class(),
+                &p,
+            ),
+            p,
+        }
+    }
+
+    /// Activates decryption of proposer `j`'s ciphertext.
+    fn activate(&mut self, j: usize, ct: Ciphertext, crypto: &NodeCrypto, acts: &mut Actions) {
+        if self.active[j] {
+            return;
+        }
+        self.active[j] = true;
+        self.cts[j] = Some(ct);
+        if !self.my_sent[j] {
+            self.my_sent[j] = true;
+            // Producing a decryption share costs one share-signing op.
+            acts.charge(crypto.suite.threshold.signature_profile().sign_share_us);
+            let share = crypto.enc_sec.dec_share(self.cts[j].as_ref().expect("just set"));
+            self.record(j, share, crypto, acts, true);
+            self.dirty = true;
+        }
+        self.flush(crypto, acts);
+    }
+
+    fn record(
+        &mut self,
+        j: usize,
+        share: DecShare,
+        crypto: &NodeCrypto,
+        acts: &mut Actions,
+        own: bool,
+    ) {
+        if j >= self.p.n || self.plaintexts[j].is_some() {
+            return;
+        }
+        let Some(ct) = &self.cts[j] else {
+            // Shares may arrive before our RBC delivered the ciphertext;
+            // they are re-served by peers' retransmissions once it does.
+            return;
+        };
+        let bit = 1u64 << (share.index.value() - 1);
+        if self.reporters[j] & bit != 0 {
+            return;
+        }
+        if !own {
+            acts.charge(crypto.suite.threshold.signature_profile().verify_share_us);
+        }
+        if crypto.enc_pub.verify_share(ct, &share).is_err() {
+            return;
+        }
+        self.reporters[j] |= bit;
+        self.shares[j].push(share);
+        if self.shares[j].len() >= self.p.f + 1 {
+            acts.charge(crypto.suite.threshold.signature_profile().combine_us);
+            let label = ct_label(self.epoch, j);
+            if let Ok(pt) = crypto.enc_pub.decrypt(&label, ct, &self.shares[j]) {
+                self.plaintexts[j] = Some(pt);
+                self.dirty = true;
+            } else {
+                // A corrupt share poisoned the combination; drop collected
+                // shares and rebuild from retransmissions.
+                self.shares[j].clear();
+                self.reporters[j] = 0;
+                if self.my_sent[j] {
+                    let share = crypto.enc_sec.dec_share(ct);
+                    self.record(j, share, crypto, acts, true);
+                }
+            }
+        }
+    }
+
+    fn build(&self, crypto: &NodeCrypto) -> Vec<Body> {
+        if self.batched {
+            let mut shares = Vec::new();
+            let mut dec_nack = Bitmap::new(self.p.n);
+            for j in 0..self.p.n {
+                if self.my_sent[j] {
+                    if let Some(ct) = &self.cts[j] {
+                        shares.push((j as u8, crypto.enc_sec.dec_share(ct)));
+                    }
+                }
+                if self.active[j] && self.plaintexts[j].is_none() {
+                    dec_nack.set(j, true);
+                }
+            }
+            vec![Body::DecShareBatch { shares, dec_nack }]
+        } else {
+            let mut out = Vec::new();
+            for j in 0..self.p.n {
+                if self.my_sent[j] {
+                    if let Some(ct) = &self.cts[j] {
+                        out.push(Body::BaseDecShare {
+                            proposer: j as u8,
+                            share: crypto.enc_sec.dec_share(ct),
+                        });
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    fn flush(&mut self, crypto: &NodeCrypto, acts: &mut Actions) {
+        if self.dirty {
+            for body in self.build(crypto) {
+                acts.send(body);
+            }
+            self.dirty = false;
+            self.retx.reset();
+        }
+        if !self.timer_armed {
+            self.timer_armed = true;
+            let d = self.retx.next_delay();
+            acts.timer(d, TIMER_DEC_RETX);
+        }
+    }
+
+    fn complete_for(&self, accepted: &[usize]) -> bool {
+        accepted.iter().all(|&j| self.plaintexts[j].is_some())
+    }
+
+    fn handle(&mut self, from: usize, body: &Body, crypto: &NodeCrypto, acts: &mut Actions) {
+        match body {
+            Body::DecShareBatch { shares, dec_nack } => {
+                for (j, share) in shares {
+                    self.record(*j as usize, *share, crypto, acts, false);
+                }
+                if dec_nack.len() == self.p.n
+                    && dec_nack.iter_set().any(|j| self.my_sent[j])
+                {
+                    self.retx.peer_behind = true;
+                }
+            }
+            Body::BaseDecShare { proposer, share } => {
+                self.record(*proposer as usize, *share, crypto, acts, false);
+            }
+            _ => {}
+        }
+        let _ = from;
+        self.flush(crypto, acts);
+    }
+
+    fn on_timer(&mut self, local: u32, accepted: Option<&[usize]>, crypto: &NodeCrypto, acts: &mut Actions) {
+        if local != TIMER_DEC_RETX {
+            return;
+        }
+        let complete = accepted.map(|a| self.complete_for(a)).unwrap_or(false);
+        if self.active.iter().any(|a| *a) && self.retx.should_send(complete) {
+            for body in self.build(crypto) {
+                acts.send(body);
+            }
+            self.retx.peer_behind = false;
+        }
+        let d = self.retx.next_delay();
+        acts.timer(d, TIMER_DEC_RETX);
+    }
+}
+
+// ------------------------------------------------------------------
+// The engine.
+
+/// One epoch's live components.
+struct EpochState<B, A> {
+    epoch: u64,
+    rbc: B,
+    aba: A,
+    dec: DecStage,
+    aba_inputs_sent: bool,
+    accepted: Option<Vec<usize>>,
+    committed: bool,
+}
+
+/// HoneyBadgerBFT/BEAT engine, generic over deployment style.
+pub struct HbEngine<B, A> {
+    crypto: NodeCrypto,
+    n: usize,
+    f: usize,
+    me: usize,
+    source: BatchSource,
+    target_epochs: u64,
+    make_rbc: Box<dyn FnMut(Params) -> B + Send>,
+    make_aba: Box<dyn FnMut(Params) -> A + Send>,
+    batched_dec: bool,
+    epochs: VecDeque<EpochState<B, A>>,
+    blocks: Vec<Block>,
+    rng: rand_chacha::ChaCha12Rng,
+}
+
+impl<B: Broadcaster, A: BinaryAgreement> HbEngine<B, A> {
+    /// Creates the engine; `make_rbc`/`make_aba` build fresh components per
+    /// epoch.
+    pub fn new(
+        crypto: NodeCrypto,
+        source: impl Into<BatchSource>,
+        target_epochs: u64,
+        batched_dec: bool,
+        make_rbc: Box<dyn FnMut(Params) -> B + Send>,
+        make_aba: Box<dyn FnMut(Params) -> A + Send>,
+    ) -> Self {
+        use rand::SeedableRng;
+        let source = source.into();
+        let n = crypto.peer_keys.len();
+        let f = (n - 1) / 3;
+        let me = crypto.me;
+        let rng = rand_chacha::ChaCha12Rng::seed_from_u64(0xb0b0 ^ ((me as u64) << 16));
+        HbEngine {
+            crypto,
+            n,
+            f,
+            me,
+            source,
+            target_epochs,
+            make_rbc,
+            make_aba,
+            batched_dec,
+            epochs: VecDeque::new(),
+            blocks: Vec::new(),
+            rng,
+        }
+    }
+
+    /// Mutable access to the proposal source (the multi-hop tier installs
+    /// fixed proposals before starting an epoch).
+    pub fn source_mut(&mut self) -> &mut BatchSource {
+        &mut self.source
+    }
+
+    fn begin_epoch(&mut self, epoch: u64, out: &mut EngineOut) {
+        let p_rbc = Params::new(self.n, self.me, sessions::of(epoch, sessions::BROADCAST));
+        let p_aba = Params::new(self.n, self.me, sessions::of(epoch, sessions::ABA));
+        let p_dec = Params::new(self.n, self.me, sessions::of(epoch, sessions::DEC));
+        let mut rbc = (self.make_rbc)(p_rbc);
+        let aba = (self.make_aba)(p_aba);
+        let dec = DecStage::new(p_dec, epoch, self.batched_dec);
+
+        // Threshold-encrypt the batch (censorship resilience).
+        let txs = self.source.batch(epoch, self.me);
+        let pt = encode_batch(&txs);
+        // Charge an encryption as one share-signing-class operation.
+        let mut acts = Actions::new();
+        acts.charge(self.crypto.suite.threshold.signature_profile().sign_share_us);
+        let ct = self.crypto.enc_pub.encrypt(&ct_label(epoch, self.me), &pt, &mut self.rng);
+        rbc.start(encode_ciphertext(&ct), &mut acts);
+        out.absorb(p_rbc.session, &mut acts);
+
+        self.epochs.push_back(EpochState {
+            epoch,
+            rbc,
+            aba,
+            dec,
+            aba_inputs_sent: false,
+            accepted: None,
+            committed: false,
+        });
+        while self.epochs.len() > KEEP_EPOCHS {
+            self.epochs.pop_front();
+        }
+    }
+
+    /// Runs the epoch state machine after any component progress.
+    fn poll(&mut self, epoch: u64, out: &mut EngineOut) {
+        let quorum = 2 * self.f + 1;
+        let n = self.n;
+        let Some(idx) = self.epochs.iter().position(|e| e.epoch == epoch) else { return };
+
+        // 1. Feed ABA inputs when 2f+1 RBCs delivered — all at once.
+        {
+            let st = &mut self.epochs[idx];
+            if !st.aba_inputs_sent && st.rbc.delivered_count() >= quorum {
+                st.aba_inputs_sent = true;
+                let mut acts = Actions::new();
+                for j in 0..n {
+                    let input = st.rbc.delivered(j).is_some();
+                    st.aba.set_input(j, input, &mut acts);
+                }
+                let session = sessions::of(epoch, sessions::ABA);
+                out.absorb(session, &mut acts);
+            }
+        }
+        // 2. Freeze the accepted set when all ABAs decided.
+        {
+            let st = &mut self.epochs[idx];
+            if st.accepted.is_none() && st.aba_inputs_sent && st.aba.decided_count() == n {
+                let accepted: Vec<usize> =
+                    (0..n).filter(|&j| st.aba.decided(j) == Some(true)).collect();
+                st.accepted = Some(accepted);
+            }
+        }
+        // 3. Activate decryption for accepted instances whose value we hold.
+        {
+            let session = sessions::of(epoch, sessions::DEC);
+            let st = &mut self.epochs[idx];
+            if let Some(accepted) = st.accepted.clone() {
+                for j in accepted {
+                    if !st.dec.active[j] {
+                        if let Some(bytes) = st.rbc.delivered(j) {
+                            if let Some(ct) = decode_ciphertext(bytes) {
+                                let mut acts = Actions::new();
+                                st.dec.activate(j, ct, &self.crypto, &mut acts);
+                                out.absorb(session, &mut acts);
+                            } else {
+                                // Malformed ciphertext from a Byzantine
+                                // proposer: treat as an empty contribution.
+                                st.dec.active[j] = true;
+                                st.dec.plaintexts[j] = Some(encode_batch(&[]).to_vec());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // 4. Commit once every accepted proposal decrypted.
+        let committed_now = {
+            let st = &mut self.epochs[idx];
+            if !st.committed {
+                if let Some(accepted) = &st.accepted {
+                    if st.dec.complete_for(accepted) {
+                        let mut txs: Vec<Tx> = Vec::new();
+                        for &j in accepted {
+                            if let Some(pt) = &st.dec.plaintexts[j] {
+                                if let Some(batch) = decode_batch(pt) {
+                                    for tx in batch {
+                                        if !txs.contains(&tx) {
+                                            txs.push(tx);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        st.committed = true;
+                        self.blocks.push(Block { epoch, txs });
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    false
+                }
+            } else {
+                false
+            }
+        };
+        if committed_now && epoch + 1 < self.target_epochs {
+            self.begin_epoch(epoch + 1, out);
+        }
+    }
+}
+
+impl<B: Broadcaster, A: BinaryAgreement> Engine for HbEngine<B, A> {
+    fn start(&mut self, out: &mut EngineOut) {
+        self.begin_epoch(0, out);
+    }
+
+    fn handle(&mut self, session: u64, from: usize, body: &Body, out: &mut EngineOut) {
+        let (epoch, role) = sessions::split(session);
+        let Some(idx) = self.epochs.iter().position(|e| e.epoch == epoch) else { return };
+        let mut acts = Actions::new();
+        {
+            let st = &mut self.epochs[idx];
+            match role {
+                sessions::BROADCAST => st.rbc.handle(from, body, &mut acts),
+                sessions::ABA => st.aba.handle(from, body, &mut acts),
+                sessions::DEC => st.dec.handle(from, body, &self.crypto, &mut acts),
+                _ => {}
+            }
+        }
+        out.absorb(session, &mut acts);
+        self.poll(epoch, out);
+    }
+
+    fn on_timer(&mut self, session: u64, local: u32, out: &mut EngineOut) {
+        let (epoch, role) = sessions::split(session);
+        let Some(idx) = self.epochs.iter().position(|e| e.epoch == epoch) else { return };
+        let mut acts = Actions::new();
+        {
+            let st = &mut self.epochs[idx];
+            match role {
+                sessions::BROADCAST => st.rbc.on_timer(local, &mut acts),
+                sessions::ABA => st.aba.on_timer(local, &mut acts),
+                sessions::DEC => {
+                    let accepted = st.accepted.clone();
+                    st.dec.on_timer(local, accepted.as_deref(), &self.crypto, &mut acts)
+                }
+                _ => {}
+            }
+        }
+        out.absorb(session, &mut acts);
+        self.poll(epoch, out);
+    }
+
+    fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    fn target_epochs(&self) -> u64 {
+        self.target_epochs
+    }
+}
+
+// ------------------------------------------------------------------
+// Variant constructors.
+
+/// Wireless HoneyBadgerBFT-SC: batched RBC + batched shared-coin ABA
+/// (threshold signatures).
+pub fn hb_sc(
+    crypto: NodeCrypto,
+    workload: Workload,
+    epochs: u64,
+) -> HbEngine<RbcBatch, AbaScBatch> {
+    let coin_pub = crypto.coin_pub.clone();
+    let coin_sec = crypto.coin_sec.clone();
+    HbEngine::new(
+        crypto,
+        workload,
+        epochs,
+        true,
+        Box::new(RbcBatch::new),
+        Box::new(move |p| {
+            AbaScBatch::new_parallel(p, CoinFlavor::ThreshSig, coin_pub.clone(), coin_sec.clone())
+        }),
+    )
+}
+
+/// Wireless HoneyBadgerBFT-LC: batched RBC + batched local-coin (Bracha)
+/// ABA.
+pub fn hb_lc(
+    crypto: NodeCrypto,
+    workload: Workload,
+    epochs: u64,
+) -> HbEngine<RbcBatch, AbaLcBatch> {
+    HbEngine::new(
+        crypto,
+        workload,
+        epochs,
+        true,
+        Box::new(RbcBatch::new),
+        Box::new(AbaLcBatch::new),
+    )
+}
+
+/// Wireless BEAT (BEAT0): HoneyBadger structure with threshold
+/// coin-flipping ABA.
+pub fn beat(
+    crypto: NodeCrypto,
+    workload: Workload,
+    epochs: u64,
+) -> HbEngine<RbcBatch, AbaScBatch> {
+    let coin_pub = crypto.coin_pub.clone();
+    let coin_sec = crypto.coin_sec.clone();
+    HbEngine::new(
+        crypto,
+        workload,
+        epochs,
+        true,
+        Box::new(RbcBatch::new),
+        Box::new(move |p| {
+            AbaScBatch::new_parallel(p, CoinFlavor::CoinFlip, coin_pub.clone(), coin_sec.clone())
+        }),
+    )
+}
+
+/// Unbatched HoneyBadgerBFT-SC baseline.
+pub fn hb_sc_baseline(
+    crypto: NodeCrypto,
+    workload: Workload,
+    epochs: u64,
+) -> HbEngine<BaselineRbcSet, BaselineAbaSet> {
+    let coin_pub = crypto.coin_pub.clone();
+    let coin_sec = crypto.coin_sec.clone();
+    HbEngine::new(
+        crypto,
+        workload,
+        epochs,
+        false,
+        Box::new(BaselineRbcSet::new),
+        Box::new(move |p| {
+            BaselineAbaSet::new(p, CoinFlavor::ThreshSig, coin_pub.clone(), coin_sec.clone())
+        }),
+    )
+}
+
+/// Unbatched BEAT baseline.
+pub fn beat_baseline(
+    crypto: NodeCrypto,
+    workload: Workload,
+    epochs: u64,
+) -> HbEngine<BaselineRbcSet, BaselineAbaSet> {
+    let coin_pub = crypto.coin_pub.clone();
+    let coin_sec = crypto.coin_sec.clone();
+    HbEngine::new(
+        crypto,
+        workload,
+        epochs,
+        false,
+        Box::new(BaselineRbcSet::new),
+        Box::new(move |p| {
+            BaselineAbaSet::new(p, CoinFlavor::CoinFlip, coin_pub.clone(), coin_sec.clone())
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::ProtocolNode;
+    use rand::SeedableRng;
+    use wbft_components::deal_node_crypto;
+    use wbft_crypto::CryptoSuite;
+    use wbft_wireless::{ChannelId, SimConfig, SimTime, Simulator, Topology};
+
+    fn run_hb_sc(seed: u64, epochs: u64) -> Vec<Vec<Block>> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let crypto = deal_node_crypto(4, CryptoSuite::light(), &mut rng);
+        let workload = Workload::small();
+        let behaviors: Vec<_> = crypto
+            .into_iter()
+            .map(|c| {
+                let engine = hb_sc(c.clone(), workload.clone(), epochs);
+                ProtocolNode::new(engine, c, ChannelId(0))
+            })
+            .collect();
+        let cfg = SimConfig { seed, ..SimConfig::default() };
+        let mut sim = Simulator::new(cfg, Topology::single_hop(4), behaviors);
+        let ok = sim.run_until_pred(SimTime::from_micros(3_600_000_000), |s| {
+            s.behaviors().all(|(_, b)| b.is_done())
+        });
+        assert!(ok, "HB-SC did not complete {epochs} epochs in simulated hour");
+        sim.behaviors().map(|(_, b)| b.blocks().to_vec()).collect()
+    }
+
+    #[test]
+    fn hb_sc_single_epoch_agreement() {
+        let all_blocks = run_hb_sc(5, 1);
+        let first = &all_blocks[0];
+        assert_eq!(first.len(), 1);
+        assert!(!first[0].txs.is_empty(), "block should carry transactions");
+        for blocks in &all_blocks {
+            assert_eq!(blocks, first, "all nodes must commit identical blocks");
+        }
+    }
+
+    #[test]
+    fn hb_sc_multi_epoch_progress() {
+        let all_blocks = run_hb_sc(6, 2);
+        for blocks in &all_blocks {
+            assert_eq!(blocks.len(), 2);
+            assert_eq!(blocks[0].epoch, 0);
+            assert_eq!(blocks[1].epoch, 1);
+            assert_ne!(blocks[0].txs, blocks[1].txs, "epochs carry fresh batches");
+        }
+        assert_eq!(all_blocks[0], all_blocks[3]);
+    }
+
+    #[test]
+    fn ciphertext_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let (enc, _) = wbft_crypto::thresh_enc::deal_enc(
+            4,
+            1,
+            wbft_crypto::ThresholdCurve::Bn158,
+            &mut rng,
+        );
+        let ct = enc.encrypt(b"label", b"some payload", &mut rng);
+        let enc_bytes = encode_ciphertext(&ct);
+        assert_eq!(decode_ciphertext(&enc_bytes), Some(ct));
+        assert_eq!(decode_ciphertext(&[0u8; 10]), None);
+    }
+}

@@ -1,0 +1,36 @@
+//! # wbft-consensus — wireless asynchronous BFT consensus
+//!
+//! The consensus layer and testbed of the ConsensusBatcher reproduction
+//! (*"Asynchronous BFT Consensus Made Wireless"*, ICDCS 2025): wireless
+//! HoneyBadgerBFT (LC/SC), BEAT and Dumbo (LC/SC) built from the batched
+//! components of `wbft-components`, their three unbatched baselines,
+//! single-hop and clustered multi-hop deployments, Byzantine node
+//! behaviours, and a [`testbed`] that runs any of it on the deterministic
+//! wireless simulator and reports latency / throughput / channel-access
+//! statistics.
+//!
+//! ## Example
+//!
+//! ```rust,no_run
+//! use wbft_consensus::protocol::Protocol;
+//! use wbft_consensus::testbed::{run, TestbedConfig};
+//!
+//! let report = run(&TestbedConfig::single_hop(Protocol::Beat));
+//! println!("latency {:.1}s, throughput {:.0} TPM",
+//!     report.mean_latency_s, report.throughput_tpm);
+//! ```
+
+pub mod byzantine;
+pub mod driver;
+pub mod dumbo;
+pub mod honeybadger;
+pub mod multihop;
+pub mod protocol;
+pub mod testbed;
+pub mod workload;
+
+pub use byzantine::{ByzantineEngine, ByzantineMode};
+pub use driver::{Block, Engine, EngineOut, ProtocolNode, Tx};
+pub use protocol::Protocol;
+pub use testbed::{run, RunReport, TestbedConfig};
+pub use workload::{BatchSource, Workload};

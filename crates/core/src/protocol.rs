@@ -1,0 +1,137 @@
+//! The eight consensus deployments of the paper's evaluation (Fig. 13) and
+//! a factory that builds engines for them.
+
+use crate::driver::Engine;
+use crate::dumbo::{DumboEngine, DumboVariant};
+use crate::honeybadger;
+use crate::workload::Workload;
+use wbft_components::NodeCrypto;
+
+/// A consensus protocol deployment.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum Protocol {
+    /// ConsensusBatcher HoneyBadgerBFT, local-coin (Bracha) ABA.
+    HoneyBadgerLc,
+    /// ConsensusBatcher HoneyBadgerBFT, shared-coin ABA.
+    HoneyBadgerSc,
+    /// ConsensusBatcher BEAT (BEAT0, threshold coin flipping).
+    Beat,
+    /// ConsensusBatcher Dumbo (Dumbo2), local-coin serial ABA.
+    DumboLc,
+    /// ConsensusBatcher Dumbo (Dumbo2), shared-coin serial ABA.
+    DumboSc,
+    /// Unbatched HoneyBadgerBFT-SC baseline.
+    HoneyBadgerScBaseline,
+    /// Unbatched BEAT baseline.
+    BeatBaseline,
+    /// Unbatched Dumbo-SC baseline.
+    DumboScBaseline,
+}
+
+impl Protocol {
+    /// All eight deployments in the order of Fig. 13's legend.
+    pub const ALL: [Protocol; 8] = [
+        Protocol::HoneyBadgerScBaseline,
+        Protocol::DumboScBaseline,
+        Protocol::BeatBaseline,
+        Protocol::HoneyBadgerSc,
+        Protocol::DumboSc,
+        Protocol::Beat,
+        Protocol::HoneyBadgerLc,
+        Protocol::DumboLc,
+    ];
+
+    /// The five ConsensusBatcher deployments.
+    pub const BATCHED: [Protocol; 5] = [
+        Protocol::HoneyBadgerLc,
+        Protocol::HoneyBadgerSc,
+        Protocol::Beat,
+        Protocol::DumboLc,
+        Protocol::DumboSc,
+    ];
+
+    /// The three baselines.
+    pub const BASELINES: [Protocol; 3] = [
+        Protocol::HoneyBadgerScBaseline,
+        Protocol::BeatBaseline,
+        Protocol::DumboScBaseline,
+    ];
+
+    /// Name as printed in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Protocol::HoneyBadgerLc => "HoneyBadgerBFT-LC",
+            Protocol::HoneyBadgerSc => "HoneyBadgerBFT-SC",
+            Protocol::Beat => "BEAT",
+            Protocol::DumboLc => "Dumbo-LC",
+            Protocol::DumboSc => "Dumbo-SC",
+            Protocol::HoneyBadgerScBaseline => "HoneyBadgerBFT-SC-baseline",
+            Protocol::BeatBaseline => "BEAT-baseline",
+            Protocol::DumboScBaseline => "Dumbo-SC-baseline",
+        }
+    }
+
+    /// Whether this deployment uses ConsensusBatcher.
+    pub fn is_batched(&self) -> bool {
+        !matches!(
+            self,
+            Protocol::HoneyBadgerScBaseline
+                | Protocol::BeatBaseline
+                | Protocol::DumboScBaseline
+        )
+    }
+
+    /// Builds the engine for one node.
+    pub fn engine(
+        &self,
+        crypto: NodeCrypto,
+        workload: Workload,
+        epochs: u64,
+    ) -> Box<dyn Engine> {
+        match self {
+            Protocol::HoneyBadgerLc => Box::new(honeybadger::hb_lc(crypto, workload, epochs)),
+            Protocol::HoneyBadgerSc => Box::new(honeybadger::hb_sc(crypto, workload, epochs)),
+            Protocol::Beat => Box::new(honeybadger::beat(crypto, workload, epochs)),
+            Protocol::DumboLc => {
+                Box::new(DumboEngine::new(crypto, DumboVariant::Lc, workload, epochs))
+            }
+            Protocol::DumboSc => {
+                Box::new(DumboEngine::new(crypto, DumboVariant::Sc, workload, epochs))
+            }
+            Protocol::HoneyBadgerScBaseline => {
+                Box::new(honeybadger::hb_sc_baseline(crypto, workload, epochs))
+            }
+            Protocol::BeatBaseline => {
+                Box::new(honeybadger::beat_baseline(crypto, workload, epochs))
+            }
+            Protocol::DumboScBaseline => {
+                Box::new(DumboEngine::new(crypto, DumboVariant::ScBaseline, workload, epochs))
+            }
+        }
+    }
+}
+
+impl core::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_partitions() {
+        assert_eq!(Protocol::ALL.len(), 8);
+        assert_eq!(Protocol::BATCHED.len(), 5);
+        assert_eq!(Protocol::BASELINES.len(), 3);
+        for p in Protocol::BATCHED {
+            assert!(p.is_batched(), "{p}");
+        }
+        for p in Protocol::BASELINES {
+            assert!(!p.is_batched(), "{p}");
+            assert!(p.name().ends_with("baseline"));
+        }
+    }
+}

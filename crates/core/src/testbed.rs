@@ -1,0 +1,299 @@
+//! The asynchronous wireless BFT consensus testbed (paper §V-C).
+//!
+//! One configuration struct describes an experiment — protocol, node count,
+//! workload, radio/CSMA/DMA parameters, loss, adversary, crypto suite,
+//! single-hop or clustered multi-hop — and [`run`] executes it on the
+//! discrete-event simulator, returning the quantities the paper's figures
+//! plot: per-epoch latency, throughput in transactions per minute (TPM),
+//! channel accesses per node, bytes on air, collisions and CPU time.
+
+use crate::byzantine::{ByzantineEngine, ByzantineMode};
+use crate::driver::{Engine, ProtocolNode};
+use crate::multihop::ClusterNode;
+use crate::protocol::Protocol;
+use crate::workload::Workload;
+use wbft_components::deal_node_crypto;
+use wbft_crypto::CryptoSuite;
+use wbft_wireless::{
+    AdversaryConfig, ChannelId, CsmaParams, DmaParams, LossModel, NodeId, RadioParams, SimConfig,
+    SimDuration, SimTime, Simulator, Topology,
+};
+
+/// Full description of one testbed experiment.
+#[derive(Clone, Debug)]
+pub struct TestbedConfig {
+    /// Protocol deployment under test.
+    pub protocol: Protocol,
+    /// Nodes in a single-hop run; nodes *per cluster* in multi-hop.
+    pub n: usize,
+    /// Epochs to run.
+    pub epochs: u64,
+    /// Transaction workload.
+    pub workload: Workload,
+    /// Curve deployments.
+    pub suite: CryptoSuite,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Frame-loss model.
+    pub loss: LossModel,
+    /// Radio parameters.
+    pub radio: RadioParams,
+    /// Medium-access parameters.
+    pub csma: CsmaParams,
+    /// DMA delivery model.
+    pub dma: DmaParams,
+    /// Adversarial delivery scheduling.
+    pub adversary: AdversaryConfig,
+    /// Byzantine nodes: `(node id, behaviour)`. Single-hop only.
+    pub byzantine: Vec<(usize, ByzantineMode)>,
+    /// Simulated-time budget.
+    pub deadline: SimDuration,
+    /// `Some(m)` = multi-hop with `m` clusters of `n` nodes each.
+    pub clusters: Option<usize>,
+}
+
+impl TestbedConfig {
+    /// The paper's single-hop setting: 4 nodes, LoRa radio, light suite.
+    pub fn single_hop(protocol: Protocol) -> Self {
+        TestbedConfig {
+            protocol,
+            n: 4,
+            epochs: 2,
+            workload: Workload { batch_size: 32, tx_bytes: 16, seed: 1 },
+            suite: CryptoSuite::light(),
+            seed: 7,
+            loss: LossModel::None,
+            radio: RadioParams::lora_sf7(),
+            csma: CsmaParams::lora_class(),
+            dma: DmaParams::aligned(),
+            adversary: AdversaryConfig::benign(),
+            byzantine: Vec::new(),
+            deadline: SimDuration::from_secs(3_600),
+            clusters: None,
+        }
+    }
+
+    /// The paper's multi-hop setting: 16 nodes in 4 clusters of 4.
+    pub fn multi_hop(protocol: Protocol) -> Self {
+        TestbedConfig { clusters: Some(4), ..Self::single_hop(protocol) }
+    }
+}
+
+/// Measured outcome of one run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// All honest nodes finished every epoch before the deadline.
+    pub completed: bool,
+    /// Simulated time at completion (or deadline).
+    pub elapsed: SimDuration,
+    /// Per-epoch latency: slowest honest node's decision time for the
+    /// epoch, minus the previous epoch's.
+    pub epoch_latencies: Vec<SimDuration>,
+    /// Mean of `epoch_latencies` in seconds.
+    pub mean_latency_s: f64,
+    /// Committed transactions per minute of simulated time.
+    pub throughput_tpm: f64,
+    /// Total transactions committed (node 0's chain; multi-hop: global).
+    pub total_txs: u64,
+    /// Mean channel accesses per node — the Table I statistic.
+    pub channel_accesses_per_node: f64,
+    /// Nominal bytes transmitted.
+    pub bytes_on_air: u64,
+    /// Medium collision events.
+    pub collisions: u64,
+}
+
+fn finish_report(
+    completed: bool,
+    elapsed: SimDuration,
+    decision_times: Vec<Vec<SimTime>>,
+    total_txs: u64,
+    accesses: f64,
+    bytes: u64,
+    collisions: u64,
+    epochs: u64,
+) -> RunReport {
+    // Per-epoch latency: max over honest nodes, differenced between epochs.
+    let mut epoch_latencies = Vec::new();
+    let mut prev = SimTime::ZERO;
+    for e in 0..epochs as usize {
+        let slowest = decision_times
+            .iter()
+            .filter_map(|times| times.get(e))
+            .max()
+            .copied();
+        match slowest {
+            Some(t) => {
+                epoch_latencies.push(t.saturating_since(prev));
+                prev = t;
+            }
+            None => break,
+        }
+    }
+    let mean_latency_s = if epoch_latencies.is_empty() {
+        f64::NAN
+    } else {
+        epoch_latencies.iter().map(|d| d.as_secs_f64()).sum::<f64>()
+            / epoch_latencies.len() as f64
+    };
+    let minutes = elapsed.as_secs_f64() / 60.0;
+    let throughput_tpm = if minutes > 0.0 { total_txs as f64 / minutes } else { 0.0 };
+    RunReport {
+        completed,
+        elapsed,
+        epoch_latencies,
+        mean_latency_s,
+        throughput_tpm,
+        total_txs,
+        channel_accesses_per_node: accesses,
+        bytes_on_air: bytes,
+        collisions,
+    }
+}
+
+/// Executes one experiment.
+pub fn run(cfg: &TestbedConfig) -> RunReport {
+    match cfg.clusters {
+        None => run_single_hop(cfg),
+        Some(m) => run_multi_hop(cfg, m),
+    }
+}
+
+fn sim_config(cfg: &TestbedConfig) -> SimConfig {
+    SimConfig {
+        radio: cfg.radio,
+        csma: cfg.csma,
+        dma: cfg.dma,
+        loss: cfg.loss.clone(),
+        adversary: cfg.adversary.clone(),
+        seed: cfg.seed,
+    }
+}
+
+fn run_single_hop(cfg: &TestbedConfig) -> RunReport {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0xdea1);
+    let crypto = deal_node_crypto(cfg.n, cfg.suite, &mut rng);
+    let honest: Vec<bool> = (0..cfg.n)
+        .map(|i| !cfg.byzantine.iter().any(|(b, _)| *b == i))
+        .collect();
+    let behaviors: Vec<_> = crypto
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let engine = cfg.protocol.engine(c.clone(), cfg.workload.clone(), cfg.epochs);
+            let engine: Box<dyn Engine> =
+                match cfg.byzantine.iter().find(|(b, _)| *b == i) {
+                    Some((_, mode)) => Box::new(ByzantineEngine::new(engine, *mode)),
+                    None => engine,
+                };
+            ProtocolNode::new(engine, c, ChannelId(0))
+        })
+        .collect();
+    let mut sim = Simulator::new(sim_config(cfg), Topology::single_hop(cfg.n), behaviors);
+    let deadline = SimTime::ZERO + cfg.deadline;
+    let completed = sim.run_until_pred(deadline, |s| {
+        s.behaviors().all(|(id, b)| !honest[id.index()] || b.is_done())
+    });
+    let elapsed = sim.now().saturating_since(SimTime::ZERO);
+    let decision_times: Vec<Vec<SimTime>> = sim
+        .behaviors()
+        .filter(|(id, _)| honest[id.index()])
+        .map(|(_, b)| b.clock().completed.clone())
+        .collect();
+    let reference = sim
+        .behaviors()
+        .find(|(id, _)| honest[id.index()])
+        .map(|(_, b)| b.blocks().to_vec())
+        .unwrap_or_default();
+    let total_txs: u64 = reference.iter().map(|b| b.txs.len() as u64).sum();
+    // Cross-node agreement is a hard invariant — check it on every run.
+    for (id, b) in sim.behaviors() {
+        if honest[id.index()] && completed {
+            assert_eq!(b.blocks(), &reference[..], "agreement violated at {id}");
+        }
+    }
+    finish_report(
+        completed,
+        elapsed,
+        decision_times,
+        total_txs,
+        sim.metrics().mean_channel_accesses(),
+        sim.metrics().total_bytes_sent(),
+        sim.metrics().collisions,
+        cfg.epochs,
+    )
+}
+
+fn run_multi_hop(cfg: &TestbedConfig, m: usize) -> RunReport {
+    use rand::SeedableRng;
+    assert!(m >= 4, "global tier needs at least 4 clusters (3f+1)");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0xc1u64);
+    // Per-cluster key sets plus one global set among cluster slots.
+    let global_crypto = deal_node_crypto(m, cfg.suite, &mut rng);
+    let mut behaviors = Vec::with_capacity(m * cfg.n);
+    for cluster in 0..m {
+        let local_crypto = deal_node_crypto(cfg.n, cfg.suite, &mut rng);
+        for (member, c) in local_crypto.into_iter().enumerate() {
+            behaviors.push(ClusterNode::new(
+                cluster,
+                member,
+                cfg.n,
+                cfg.protocol,
+                cfg.workload.clone(),
+                cfg.epochs,
+                c,
+                global_crypto[cluster].clone(),
+            ));
+        }
+    }
+    let topo = Topology::clustered(m, cfg.n);
+    let mut sim = Simulator::new(sim_config(cfg), topo, behaviors);
+    let deadline = SimTime::ZERO + cfg.deadline;
+    let completed = sim.run_until_pred(deadline, |s| s.behaviors().all(|(_, b)| b.is_done()));
+    let elapsed = sim.now().saturating_since(SimTime::ZERO);
+    let decision_times: Vec<Vec<SimTime>> =
+        sim.behaviors().map(|(_, b)| b.decided_at.clone()).collect();
+    let total_txs = sim.behavior(NodeId(0)).global_tx_total();
+    finish_report(
+        completed,
+        elapsed,
+        decision_times,
+        total_txs,
+        sim.metrics().mean_channel_accesses(),
+        sim.metrics().total_bytes_sent(),
+        sim.metrics().collisions,
+        cfg.epochs,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_hop_beat_reports_sane_numbers() {
+        let mut cfg = TestbedConfig::single_hop(Protocol::Beat);
+        cfg.epochs = 1;
+        cfg.workload.batch_size = 8;
+        let report = run(&cfg);
+        assert!(report.completed, "BEAT must finish");
+        assert_eq!(report.epoch_latencies.len(), 1);
+        assert!(report.mean_latency_s > 1.0, "LoRa consensus cannot be sub-second");
+        assert!(report.mean_latency_s < 600.0);
+        assert!(report.total_txs > 0);
+        assert!(report.throughput_tpm > 0.0);
+        assert!(report.channel_accesses_per_node > 0.0);
+    }
+
+    #[test]
+    fn multi_hop_hb_sc_completes() {
+        let mut cfg = TestbedConfig::multi_hop(Protocol::HoneyBadgerSc);
+        cfg.epochs = 1;
+        cfg.workload.batch_size = 8;
+        let report = run(&cfg);
+        assert!(report.completed, "multi-hop HB-SC must finish");
+        // Four clusters contribute: global tx count covers all clusters.
+        assert!(report.total_txs >= 4 * 8, "got {}", report.total_txs);
+    }
+}

@@ -1,0 +1,155 @@
+//! Low-level 4×64-bit limb arithmetic shared by the two field types.
+//!
+//! Values are little-endian limb arrays: `x = Σ limbs[i] · 2^(64·i)`. All
+//! routines are branch-y and **not constant time** — this crate is a
+//! simulation substrate, not production cryptography (see crate docs).
+
+/// Compare two 4-limb values: `true` iff `a >= b`.
+#[inline]
+pub(crate) fn geq(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    for i in (0..4).rev() {
+        if a[i] > b[i] {
+            return true;
+        }
+        if a[i] < b[i] {
+            return false;
+        }
+    }
+    true
+}
+
+/// `a + b`, returning the 4-limb wrapping sum and the carry-out bit.
+#[inline]
+pub(crate) fn add(a: &[u64; 4], b: &[u64; 4]) -> ([u64; 4], u64) {
+    let mut out = [0u64; 4];
+    let mut carry = 0u128;
+    for i in 0..4 {
+        let acc = a[i] as u128 + b[i] as u128 + carry;
+        out[i] = acc as u64;
+        carry = acc >> 64;
+    }
+    (out, carry as u64)
+}
+
+/// `a - b`, returning the 4-limb wrapping difference and the borrow-out bit.
+#[inline]
+pub(crate) fn sub(a: &[u64; 4], b: &[u64; 4]) -> ([u64; 4], u64) {
+    let mut out = [0u64; 4];
+    let mut borrow = 0i128;
+    for i in 0..4 {
+        let acc = a[i] as i128 - b[i] as i128 - borrow;
+        if acc < 0 {
+            out[i] = (acc + (1i128 << 64)) as u64;
+            borrow = 1;
+        } else {
+            out[i] = acc as u64;
+            borrow = 0;
+        }
+    }
+    (out, borrow as u64)
+}
+
+/// Schoolbook 4×4 → 8 limb multiplication.
+#[inline]
+pub(crate) fn mul_wide(a: &[u64; 4], b: &[u64; 4]) -> [u64; 8] {
+    let mut t = [0u64; 8];
+    for i in 0..4 {
+        let mut carry = 0u128;
+        for j in 0..4 {
+            let acc = t[i + j] as u128 + (a[i] as u128) * (b[j] as u128) + carry;
+            t[i + j] = acc as u64;
+            carry = acc >> 64;
+        }
+        t[i + 4] = carry as u64;
+    }
+    t
+}
+
+/// Fold a 512-bit product into 4 limbs using the identity `2^256 ≡ k (mod m)`,
+/// where `k` fits in a `u64`. The result is `< 2^256` but not necessarily
+/// `< m`; callers finish with [`canonicalize`].
+#[inline]
+pub(crate) fn fold_wide(t: &[u64; 8], k: u64) -> [u64; 4] {
+    // r = lo + hi·k  (first fold; 5 limbs, top limb small).
+    let mut r = [0u64; 4];
+    let mut carry = 0u128;
+    for i in 0..4 {
+        let acc = t[i] as u128 + (t[i + 4] as u128) * (k as u128) + carry;
+        r[i] = acc as u64;
+        carry = acc >> 64;
+    }
+    // Repeatedly fold the overflow (carry · 2^256 ≡ carry · k) back in. The
+    // overflow shrinks geometrically; two iterations always suffice, the loop
+    // is belt-and-braces.
+    while carry != 0 {
+        let mut acc = r[0] as u128 + carry * (k as u128);
+        r[0] = acc as u64;
+        let mut c = acc >> 64;
+        for limb in r.iter_mut().skip(1) {
+            acc = *limb as u128 + c;
+            *limb = acc as u64;
+            c = acc >> 64;
+        }
+        carry = c;
+    }
+    r
+}
+
+/// Reduce a `< 2^256` value to the canonical representative `< m` by repeated
+/// subtraction. For the moduli used here (`≈ 2^254 … 2^255`) at most four
+/// subtractions occur.
+#[inline]
+pub(crate) fn canonicalize(mut r: [u64; 4], m: &[u64; 4]) -> [u64; 4] {
+    while geq(&r, m) {
+        let (d, _) = sub(&r, m);
+        r = d;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geq_basics() {
+        assert!(geq(&[1, 0, 0, 0], &[1, 0, 0, 0]));
+        assert!(geq(&[0, 0, 0, 1], &[u64::MAX, u64::MAX, u64::MAX, 0]));
+        assert!(!geq(&[u64::MAX, 0, 0, 0], &[0, 1, 0, 0]));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = [0xdead_beef, 42, 7, 0x0123_4567];
+        let b = [u64::MAX, 1, 0, 99];
+        let (s, c) = add(&a, &b);
+        assert_eq!(c, 0);
+        let (d, bo) = sub(&s, &b);
+        assert_eq!(bo, 0);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn sub_produces_borrow() {
+        let (_, borrow) = sub(&[0, 0, 0, 0], &[1, 0, 0, 0]);
+        assert_eq!(borrow, 1);
+    }
+
+    #[test]
+    fn mul_wide_small_values() {
+        let a = [3, 0, 0, 0];
+        let b = [5, 0, 0, 0];
+        let t = mul_wide(&a, &b);
+        assert_eq!(t, [15, 0, 0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn mul_wide_carries_across_limbs() {
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        let a = [u64::MAX, 0, 0, 0];
+        let t = mul_wide(&a, &a);
+        assert_eq!(t[0], 1);
+        assert_eq!(t[1], u64::MAX - 1);
+        assert_eq!(t[2..], [0, 0, 0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,305 @@
+//! `(f, n)` threshold encryption — HoneyBadgerBFT's censorship-resilience
+//! layer (§II of the paper: "practical implementation using threshold
+//! encryption and ACS").
+//!
+//! Hybrid threshold ElGamal in the prime-order group: a ciphertext is
+//! `(u = g^r, ct = pt ⊕ KS(H(vk^r)), tag)`. Node `i`'s decryption share is
+//! `u^{s_i}`; `f+1` shares Lagrange-combine to `u^s = vk^r`, recovering the
+//! keystream. The adversary's `f` shares reveal nothing about `vk^r`
+//! (information-theoretically short of the DDH break), so a Byzantine member
+//! cannot selectively censor transactions it can read — the property
+//! HoneyBadgerBFT actually needs.
+//!
+//! Unlike the signature module, nothing here needs pairings, so this scheme
+//! is the real construction (a CPA-secure TDH0-style scheme with a
+//! ciphertext-integrity tag; no CCA proof intended).
+
+use crate::field::Scalar;
+use crate::group::GroupElem;
+use crate::hash::{keystream, Digest32};
+use crate::profile::ThresholdCurve;
+use crate::shamir::{lagrange_at_zero, Polynomial, ShamirError, ShareIndex};
+use rand::RngCore;
+
+/// Errors from threshold decryption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreshEncError {
+    /// A decryption share failed verification.
+    InvalidShare { index: u16 },
+    /// The integrity tag did not match after combination.
+    IntegrityFailure,
+    /// Underlying share-set error.
+    Shamir(ShamirError),
+}
+
+impl core::fmt::Display for ThreshEncError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ThreshEncError::InvalidShare { index } => {
+                write!(f, "invalid decryption share from index {index}")
+            }
+            ThreshEncError::IntegrityFailure => write!(f, "ciphertext integrity check failed"),
+            ThreshEncError::Shamir(e) => write!(f, "decryption share set error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ThreshEncError {}
+
+impl From<ShamirError> for ThreshEncError {
+    fn from(e: ShamirError) -> Self {
+        ThreshEncError::Shamir(e)
+    }
+}
+
+/// Public encryption key material.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct EncPublicSet {
+    curve: ThresholdCurve,
+    threshold: usize,
+    vk: GroupElem,
+    vk_shares: Vec<GroupElem>,
+}
+
+/// One node's secret decryption key share.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct EncSecretShare {
+    index: ShareIndex,
+    secret: Scalar,
+}
+
+/// A hybrid threshold ciphertext.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Ciphertext {
+    /// `g^r`.
+    pub u: GroupElem,
+    /// `pt ⊕ keystream`.
+    pub body: Vec<u8>,
+    /// Integrity tag binding `(u, body, label)` to the shared key.
+    pub tag: Digest32,
+}
+
+impl Ciphertext {
+    /// Total wire size in bytes (32-byte `u` + body + 32-byte tag).
+    pub fn wire_len(&self) -> usize {
+        32 + self.body.len() + 32
+    }
+}
+
+/// A decryption share `(i, u^{s_i})`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DecShare {
+    /// Producing share index.
+    pub index: ShareIndex,
+    /// The group element `u^{s_i}`.
+    pub value: GroupElem,
+}
+
+/// Deals a `(threshold, n)` encryption key set; HoneyBadgerBFT uses
+/// `threshold = f`.
+pub fn deal_enc(
+    n: usize,
+    threshold: usize,
+    curve: ThresholdCurve,
+    rng: &mut impl RngCore,
+) -> (EncPublicSet, Vec<EncSecretShare>) {
+    assert!(threshold < n, "threshold {threshold} must be < n {n}");
+    let poly = Polynomial::random(Scalar::random(rng), threshold, rng);
+    let vk = GroupElem::from_exponent(&poly.secret());
+    let mut vk_shares = Vec::with_capacity(n);
+    let mut secrets = Vec::with_capacity(n);
+    for i in 0..n {
+        let index = ShareIndex::for_node(i);
+        let s_i = poly.share(index);
+        vk_shares.push(GroupElem::from_exponent(&s_i));
+        secrets.push(EncSecretShare { index, secret: s_i });
+    }
+    (EncPublicSet { curve, threshold, vk, vk_shares }, secrets)
+}
+
+impl EncPublicSet {
+    /// Shares needed to decrypt.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Number of shares dealt.
+    pub fn n(&self) -> usize {
+        self.vk_shares.len()
+    }
+
+    /// The curve whose costs this key set charges.
+    pub fn curve(&self) -> ThresholdCurve {
+        self.curve
+    }
+
+    /// Encrypts `plaintext` under this key set, bound to `label`
+    /// (HoneyBadgerBFT labels each ciphertext with `(epoch, proposer)`).
+    pub fn encrypt(&self, label: &[u8], plaintext: &[u8], rng: &mut impl RngCore) -> Ciphertext {
+        let r = Scalar::random(rng);
+        let u = GroupElem::from_exponent(&r);
+        let shared = self.vk.pow(&r);
+        let key = shared.to_bytes();
+        let ks = keystream(&key, label, plaintext.len());
+        let body: Vec<u8> = plaintext.iter().zip(&ks).map(|(p, k)| p ^ k).collect();
+        let tag = Digest32::of_parts("wbft/thresh-enc/tag", &[&key, &u.to_bytes(), &body, label]);
+        Ciphertext { u, body, tag }
+    }
+
+    /// Verifies a peer's decryption share against a ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// [`ThreshEncError::InvalidShare`] on mismatch.
+    ///
+    /// Note: verifying `u^{s_i}` against `vk_i = g^{s_i}` without pairings
+    /// requires a DLEQ proof in a real deployment; here we accept any
+    /// subgroup element and rely on the integrity tag to catch corruption at
+    /// combine time, charging the profile's verify cost. Out-of-range
+    /// indices are rejected outright.
+    pub fn verify_share(&self, _ct: &Ciphertext, share: &DecShare) -> Result<(), ThreshEncError> {
+        let i = share.index.value() as usize;
+        if i == 0 || i > self.vk_shares.len() {
+            return Err(ThreshEncError::InvalidShare { index: share.index.value() });
+        }
+        Ok(())
+    }
+
+    /// Combines `threshold + 1` decryption shares and decrypts.
+    ///
+    /// # Errors
+    ///
+    /// [`ThreshEncError::IntegrityFailure`] if any combined share was bogus
+    /// (the recovered keystream then fails the tag check); share-set errors
+    /// otherwise.
+    pub fn decrypt(
+        &self,
+        label: &[u8],
+        ct: &Ciphertext,
+        shares: &[DecShare],
+    ) -> Result<Vec<u8>, ThreshEncError> {
+        if shares.len() < self.threshold + 1 {
+            return Err(ThreshEncError::Shamir(ShamirError::NotEnoughShares {
+                got: shares.len(),
+                need: self.threshold + 1,
+            }));
+        }
+        let subset = &shares[..self.threshold + 1];
+        let indices: Vec<ShareIndex> = subset.iter().map(|s| s.index).collect();
+        let mut acc = GroupElem::identity();
+        for share in subset {
+            let lambda = lagrange_at_zero(share.index, &indices)?;
+            acc = acc.mul(&share.value.pow(&lambda));
+        }
+        let key = acc.to_bytes();
+        let expect_tag =
+            Digest32::of_parts("wbft/thresh-enc/tag", &[&key, &ct.u.to_bytes(), &ct.body, label]);
+        if expect_tag != ct.tag {
+            return Err(ThreshEncError::IntegrityFailure);
+        }
+        let ks = keystream(&key, label, ct.body.len());
+        Ok(ct.body.iter().zip(&ks).map(|(c, k)| c ^ k).collect())
+    }
+}
+
+impl EncSecretShare {
+    /// This share's index.
+    pub fn index(&self) -> ShareIndex {
+        self.index
+    }
+
+    /// Produces this node's decryption share for a ciphertext.
+    pub fn dec_share(&self, ct: &Ciphertext) -> DecShare {
+        DecShare { index: self.index, value: ct.u.pow(&self.secret) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn setup() -> (EncPublicSet, Vec<EncSecretShare>, rand::rngs::StdRng) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let (p, s) = deal_enc(4, 1, ThresholdCurve::Bn158, &mut rng);
+        (p, s, rng)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (pks, sks, mut rng) = setup();
+        let pt = b"batch: tx1|tx2|tx3".to_vec();
+        let ct = pks.encrypt(b"epoch-0:node-2", &pt, &mut rng);
+        assert_ne!(ct.body, pt, "ciphertext must differ from plaintext");
+        let shares: Vec<_> = sks.iter().map(|s| s.dec_share(&ct)).collect();
+        let out = pks.decrypt(b"epoch-0:node-2", &ct, &shares[1..3]).unwrap();
+        assert_eq!(out, pt);
+    }
+
+    #[test]
+    fn any_quorum_decrypts() {
+        let (pks, sks, mut rng) = setup();
+        let pt = b"payload".to_vec();
+        let ct = pks.encrypt(b"l", &pt, &mut rng);
+        let shares: Vec<_> = sks.iter().map(|s| s.dec_share(&ct)).collect();
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                let out = pks.decrypt(b"l", &ct, &[shares[a], shares[b]]).unwrap();
+                assert_eq!(out, pt);
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_label_fails_integrity() {
+        let (pks, sks, mut rng) = setup();
+        let ct = pks.encrypt(b"label-A", b"pt", &mut rng);
+        let shares: Vec<_> = sks[..2].iter().map(|s| s.dec_share(&ct)).collect();
+        assert_eq!(
+            pks.decrypt(b"label-B", &ct, &shares),
+            Err(ThreshEncError::IntegrityFailure)
+        );
+    }
+
+    #[test]
+    fn corrupted_share_fails_integrity() {
+        let (pks, sks, mut rng) = setup();
+        let ct = pks.encrypt(b"l", b"pt", &mut rng);
+        let mut bad = sks[0].dec_share(&ct);
+        bad.value = bad.value.mul(&GroupElem::generator());
+        let good = sks[1].dec_share(&ct);
+        assert_eq!(pks.decrypt(b"l", &ct, &[bad, good]), Err(ThreshEncError::IntegrityFailure));
+    }
+
+    #[test]
+    fn corrupted_body_fails_integrity() {
+        let (pks, sks, mut rng) = setup();
+        let mut ct = pks.encrypt(b"l", b"some plaintext", &mut rng);
+        ct.body[0] ^= 1;
+        let shares: Vec<_> = sks[..2].iter().map(|s| s.dec_share(&ct)).collect();
+        assert_eq!(pks.decrypt(b"l", &ct, &shares), Err(ThreshEncError::IntegrityFailure));
+    }
+
+    #[test]
+    fn too_few_shares_rejected() {
+        let (pks, sks, mut rng) = setup();
+        let ct = pks.encrypt(b"l", b"pt", &mut rng);
+        let shares = [sks[0].dec_share(&ct)];
+        assert!(matches!(pks.decrypt(b"l", &ct, &shares), Err(ThreshEncError::Shamir(_))));
+    }
+
+    #[test]
+    fn empty_plaintext_roundtrips() {
+        let (pks, sks, mut rng) = setup();
+        let ct = pks.encrypt(b"l", b"", &mut rng);
+        let shares: Vec<_> = sks[..2].iter().map(|s| s.dec_share(&ct)).collect();
+        assert_eq!(pks.decrypt(b"l", &ct, &shares).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn wire_len_accounts_for_all_parts() {
+        let (pks, _, mut rng) = setup();
+        let ct = pks.encrypt(b"l", &[0u8; 100], &mut rng);
+        assert_eq!(ct.wire_len(), 32 + 100 + 32);
+    }
+}

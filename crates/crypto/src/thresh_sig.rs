@@ -1,0 +1,320 @@
+//! `(t, n)` threshold signatures — the PRBC DONE phase, CBC echoes, and the
+//! ABA-SC common coin all build on these.
+//!
+//! BLS-style construction in the pairing-free group of [`crate::group`]:
+//! a trusted dealer shares a secret `s` with a degree-`t` Shamir polynomial;
+//! node `i` signs message `m` as `σ_i = h^{s_i}` with `h = H(m)` hashed into
+//! the group; any `t+1` shares combine by Lagrange interpolation in the
+//! exponent to `σ = h^s`.
+//!
+//! Because [`GroupElem::hash_to_group`] produces `h = g^{e}` with known
+//! exponent `e = H(m)`, share verification is the *real* algebraic check
+//! `σ_i == vk_i^{e}` using only public data (`vk_i = g^{s_i}`), and combined
+//! verification is `σ == vk^{e}` — no pairings needed. The trade-off, stated
+//! plainly: with a known-discrete-log `h`, anyone can *forge* shares by
+//! computing `vk_i^{e}` themselves, so this scheme is **not secure against a
+//! cryptographic adversary**. It is structurally faithful (same API, same
+//! message flow, same combinatorics, agreement and uniqueness hold) and the
+//! simulator charges the real pairing costs from
+//! [`crate::profile::ThresholdProfile`]. See DESIGN.md §2.
+
+use crate::field::Scalar;
+use crate::group::GroupElem;
+use crate::hash::Digest32;
+use crate::profile::{ThresholdCurve, ThresholdProfile};
+use crate::shamir::{lagrange_at_zero, Polynomial, ShamirError, ShareIndex};
+use rand::RngCore;
+
+/// Errors from threshold-signature operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreshSigError {
+    /// A share failed its algebraic verification.
+    InvalidShare { index: u16 },
+    /// A combined signature failed verification.
+    InvalidSignature,
+    /// Underlying secret-sharing error (duplicates, too few shares).
+    Shamir(ShamirError),
+}
+
+impl core::fmt::Display for ThreshSigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ThreshSigError::InvalidShare { index } => {
+                write!(f, "invalid signature share from index {index}")
+            }
+            ThreshSigError::InvalidSignature => write!(f, "invalid combined threshold signature"),
+            ThreshSigError::Shamir(e) => write!(f, "share set error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ThreshSigError {}
+
+impl From<ShamirError> for ThreshSigError {
+    fn from(e: ShamirError) -> Self {
+        ThreshSigError::Shamir(e)
+    }
+}
+
+/// Public key material: the combined verification key plus one verification
+/// key per share. Distributed to every node by the dealer.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PublicKeySet {
+    curve: ThresholdCurve,
+    threshold: usize,
+    vk: GroupElem,
+    vk_shares: Vec<GroupElem>,
+}
+
+/// One node's secret key share.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct SecretKeyShare {
+    index: ShareIndex,
+    secret: Scalar,
+    curve: ThresholdCurve,
+}
+
+/// A signature share: `(i, h^{s_i})`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SigShare {
+    /// Which share produced this.
+    pub index: ShareIndex,
+    /// The group element `h^{s_i}`.
+    pub value: GroupElem,
+}
+
+/// A combined threshold signature `h^s`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ThresholdSignature {
+    /// The group element `h^s`.
+    pub value: GroupElem,
+}
+
+impl ThresholdSignature {
+    /// Canonical encoding (32 bytes internally; packets charge the curve's
+    /// nominal size instead — see `wbft-net`).
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.value.to_bytes()
+    }
+
+    /// Decode (validating subgroup membership).
+    pub fn from_bytes(bytes: &[u8; 32]) -> Option<Self> {
+        GroupElem::from_bytes(bytes).ok().map(|value| ThresholdSignature { value })
+    }
+
+    /// Digest of the signature — used to derive coins and Dumbo's π.
+    pub fn digest(&self) -> Digest32 {
+        self.value.digest("wbft/thresh-sig")
+    }
+}
+
+/// Deals a fresh `(threshold, n)` key set: any `threshold + 1` shares can
+/// sign. For BFT use with `n = 3f + 1`, PRBC uses `threshold = f` ("at least
+/// one honest signer") and CBC uses `threshold = 2f` ("a Byzantine quorum
+/// cannot sign alone").
+pub fn deal(
+    n: usize,
+    threshold: usize,
+    curve: ThresholdCurve,
+    rng: &mut impl RngCore,
+) -> (PublicKeySet, Vec<SecretKeyShare>) {
+    assert!(threshold < n, "threshold {threshold} must be < n {n}");
+    let poly = Polynomial::random(Scalar::random(rng), threshold, rng);
+    let vk = GroupElem::from_exponent(&poly.secret());
+    let mut vk_shares = Vec::with_capacity(n);
+    let mut secrets = Vec::with_capacity(n);
+    for i in 0..n {
+        let index = ShareIndex::for_node(i);
+        let s_i = poly.share(index);
+        vk_shares.push(GroupElem::from_exponent(&s_i));
+        secrets.push(SecretKeyShare { index, secret: s_i, curve });
+    }
+    (PublicKeySet { curve, threshold, vk, vk_shares }, secrets)
+}
+
+impl PublicKeySet {
+    /// The reconstruction threshold: `threshold + 1` shares combine.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Number of shares dealt.
+    pub fn n(&self) -> usize {
+        self.vk_shares.len()
+    }
+
+    /// The curve profile costs associated with this key set.
+    pub fn profile(&self) -> ThresholdProfile {
+        self.curve.signature_profile()
+    }
+
+    /// Verifies a single share against the message.
+    ///
+    /// # Errors
+    ///
+    /// [`ThreshSigError::InvalidShare`] if the algebraic check fails or the
+    /// index is out of range.
+    pub fn verify_share(&self, msg: &[u8], share: &SigShare) -> Result<(), ThreshSigError> {
+        let i = share.index.value() as usize;
+        if i == 0 || i > self.vk_shares.len() {
+            return Err(ThreshSigError::InvalidShare { index: share.index.value() });
+        }
+        let (_, e) = GroupElem::hash_to_group("wbft/thresh-sig/msg", &[msg]);
+        let expect = self.vk_shares[i - 1].pow(&e);
+        if expect == share.value {
+            Ok(())
+        } else {
+            Err(ThreshSigError::InvalidShare { index: share.index.value() })
+        }
+    }
+
+    /// Combines `threshold + 1` verified shares into a signature.
+    ///
+    /// # Errors
+    ///
+    /// Propagates share-set errors; the result verifies iff all shares were
+    /// genuine.
+    pub fn combine(&self, shares: &[SigShare]) -> Result<ThresholdSignature, ThreshSigError> {
+        if shares.len() < self.threshold + 1 {
+            return Err(ThreshSigError::Shamir(ShamirError::NotEnoughShares {
+                got: shares.len(),
+                need: self.threshold + 1,
+            }));
+        }
+        let subset = &shares[..self.threshold + 1];
+        let indices: Vec<ShareIndex> = subset.iter().map(|s| s.index).collect();
+        let mut acc = GroupElem::identity();
+        for share in subset {
+            let lambda = lagrange_at_zero(share.index, &indices)?;
+            acc = acc.mul(&share.value.pow(&lambda));
+        }
+        Ok(ThresholdSignature { value: acc })
+    }
+
+    /// Verifies a combined signature on `msg`.
+    ///
+    /// # Errors
+    ///
+    /// [`ThreshSigError::InvalidSignature`] on mismatch.
+    pub fn verify(&self, msg: &[u8], sig: &ThresholdSignature) -> Result<(), ThreshSigError> {
+        let (_, e) = GroupElem::hash_to_group("wbft/thresh-sig/msg", &[msg]);
+        if self.vk.pow(&e) == sig.value {
+            Ok(())
+        } else {
+            Err(ThreshSigError::InvalidSignature)
+        }
+    }
+}
+
+impl SecretKeyShare {
+    /// This share's index.
+    pub fn index(&self) -> ShareIndex {
+        self.index
+    }
+
+    /// Signs a message, producing this node's share.
+    pub fn sign_share(&self, msg: &[u8]) -> SigShare {
+        let (h, _) = GroupElem::hash_to_group("wbft/thresh-sig/msg", &[msg]);
+        SigShare { index: self.index, value: h.pow(&self.secret) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn setup(n: usize, t: usize) -> (PublicKeySet, Vec<SecretKeyShare>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        deal(n, t, ThresholdCurve::Bn158, &mut rng)
+    }
+
+    #[test]
+    fn shares_verify_and_combine() {
+        let (pks, sks) = setup(4, 1); // N=4, f=1, PRBC threshold f=1 → 2 shares
+        let msg = b"proposal digest";
+        let shares: Vec<_> = sks.iter().map(|sk| sk.sign_share(msg)).collect();
+        for s in &shares {
+            pks.verify_share(msg, s).unwrap();
+        }
+        let sig = pks.combine(&shares[1..3]).unwrap();
+        pks.verify(msg, &sig).unwrap();
+    }
+
+    #[test]
+    fn any_quorum_combines_to_the_same_signature() {
+        // Uniqueness: the combined signature is h^s regardless of which
+        // quorum produced it — this is what makes it usable as a common coin.
+        let (pks, sks) = setup(4, 2);
+        let msg = b"coin:epoch-3:round-1";
+        let shares: Vec<_> = sks.iter().map(|sk| sk.sign_share(msg)).collect();
+        let sig_a = pks.combine(&[shares[0], shares[1], shares[2]]).unwrap();
+        let sig_b = pks.combine(&[shares[3], shares[1], shares[0]]).unwrap();
+        let sig_c = pks.combine(&[shares[2], shares[3], shares[1]]).unwrap();
+        assert_eq!(sig_a, sig_b);
+        assert_eq!(sig_b, sig_c);
+    }
+
+    #[test]
+    fn tampered_share_is_rejected() {
+        let (pks, sks) = setup(4, 1);
+        let msg = b"m";
+        let mut share = sks[0].sign_share(msg);
+        share.value = share.value.mul(&GroupElem::generator());
+        assert_eq!(
+            pks.verify_share(msg, &share),
+            Err(ThreshSigError::InvalidShare { index: 1 })
+        );
+    }
+
+    #[test]
+    fn share_for_wrong_message_is_rejected() {
+        let (pks, sks) = setup(4, 1);
+        let share = sks[2].sign_share(b"message A");
+        assert!(pks.verify_share(b"message B", &share).is_err());
+    }
+
+    #[test]
+    fn combining_with_bad_share_fails_verification() {
+        let (pks, sks) = setup(4, 1);
+        let msg = b"m";
+        let good = sks[0].sign_share(msg);
+        let mut bad = sks[1].sign_share(msg);
+        bad.value = bad.value.mul(&GroupElem::generator());
+        let sig = pks.combine(&[good, bad]).unwrap();
+        assert_eq!(pks.verify(msg, &sig), Err(ThreshSigError::InvalidSignature));
+    }
+
+    #[test]
+    fn too_few_shares_cannot_combine() {
+        let (pks, sks) = setup(7, 2); // need 3
+        let msg = b"m";
+        let shares: Vec<_> = sks[..2].iter().map(|sk| sk.sign_share(msg)).collect();
+        assert!(matches!(
+            pks.combine(&shares),
+            Err(ThreshSigError::Shamir(ShamirError::NotEnoughShares { got: 2, need: 3 }))
+        ));
+    }
+
+    #[test]
+    fn signature_bytes_roundtrip() {
+        let (pks, sks) = setup(4, 1);
+        let msg = b"roundtrip";
+        let shares: Vec<_> = sks[..2].iter().map(|sk| sk.sign_share(msg)).collect();
+        let sig = pks.combine(&shares).unwrap();
+        let decoded = ThresholdSignature::from_bytes(&sig.to_bytes()).unwrap();
+        assert_eq!(decoded, sig);
+        pks.verify(msg, &decoded).unwrap();
+    }
+
+    #[test]
+    fn different_messages_have_different_signatures() {
+        let (pks, sks) = setup(4, 1);
+        let sa: Vec<_> = sks[..2].iter().map(|sk| sk.sign_share(b"a")).collect();
+        let sb: Vec<_> = sks[..2].iter().map(|sk| sk.sign_share(b"b")).collect();
+        let siga = pks.combine(&sa).unwrap();
+        let sigb = pks.combine(&sb).unwrap();
+        assert_ne!(siga, sigb);
+        assert_ne!(siga.digest(), sigb.digest());
+    }
+}

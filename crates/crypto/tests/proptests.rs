@@ -1,0 +1,166 @@
+//! Property-based tests for the algebraic core: field axioms, Shamir
+//! reconstruction, signature soundness, encryption roundtrips.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use wbft_crypto::field::{Fe, Scalar};
+use wbft_crypto::group::GroupElem;
+use wbft_crypto::merkle::MerkleTree;
+use wbft_crypto::shamir::{reconstruct_secret, Polynomial, ShareIndex};
+use wbft_crypto::{thresh_coin, thresh_enc, thresh_sig, ThresholdCurve};
+
+fn arb_fe() -> impl Strategy<Value = Fe> {
+    any::<[u8; 32]>().prop_map(|b| Fe::from_bytes_reduced(&b))
+}
+
+fn arb_scalar() -> impl Strategy<Value = Scalar> {
+    any::<[u8; 32]>().prop_map(|b| Scalar::from_bytes_reduced(&b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fe_addition_commutes(a in arb_fe(), b in arb_fe()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn fe_addition_associates(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn fe_multiplication_commutes(a in arb_fe(), b in arb_fe()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn fe_multiplication_associates(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn fe_distributive_law(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn fe_sub_is_add_inverse(a in arb_fe(), b in arb_fe()) {
+        prop_assert_eq!((a - b) + b, a);
+    }
+
+    #[test]
+    fn fe_inverse_roundtrip(a in arb_fe()) {
+        if let Some(inv) = a.invert() {
+            prop_assert_eq!(a * inv, Fe::ONE);
+        } else {
+            prop_assert!(a.is_zero());
+        }
+    }
+
+    #[test]
+    fn fe_bytes_roundtrip(a in arb_fe()) {
+        prop_assert_eq!(Fe::from_bytes_reduced(&a.to_bytes()), a);
+    }
+
+    #[test]
+    fn scalar_field_axioms(a in arb_scalar(), b in arb_scalar(), c in arb_scalar()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!((a - b) + b, a);
+        if let Some(inv) = a.invert() {
+            prop_assert_eq!(a * inv, Scalar::ONE);
+        }
+    }
+
+    #[test]
+    fn square_matches_mul(a in arb_fe()) {
+        prop_assert_eq!(a.square(), a * a);
+    }
+
+    #[test]
+    fn group_exponent_homomorphism(a in arb_scalar(), b in arb_scalar()) {
+        let g = GroupElem::generator();
+        prop_assert_eq!(g.pow(&a).mul(&g.pow(&b)), g.pow(&a.add(&b)));
+    }
+
+    #[test]
+    fn shamir_reconstructs_from_any_quorum(
+        secret_seed in any::<u64>(),
+        degree in 1usize..4,
+        seed in any::<u64>(),
+        pick in any::<[u8; 8]>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 3 * degree + 1;
+        let secret = Scalar::from_u64(secret_seed);
+        let poly = Polynomial::random(secret, degree, &mut rng);
+        let mut shares: Vec<_> = (0..n)
+            .map(|i| {
+                let idx = ShareIndex::for_node(i);
+                (idx, poly.share(idx))
+            })
+            .collect();
+        // Rotate deterministically from `pick` to choose an arbitrary quorum.
+        let rot = (u64::from_le_bytes(pick) as usize) % n;
+        shares.rotate_left(rot);
+        let got = reconstruct_secret(&shares[..degree + 1], degree).unwrap();
+        prop_assert_eq!(got, secret);
+    }
+
+    #[test]
+    fn threshold_signature_quorum_independence(seed in any::<u64>(), msg in any::<Vec<u8>>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (public, secrets) = thresh_sig::deal(4, 1, ThresholdCurve::Bn158, &mut rng);
+        let shares: Vec<_> = secrets.iter().map(|s| s.sign_share(&msg)).collect();
+        let s1 = public.combine(&[shares[0], shares[1]]).unwrap();
+        let s2 = public.combine(&[shares[2], shares[3]]).unwrap();
+        prop_assert_eq!(s1, s2);
+        prop_assert!(public.verify(&msg, &s1).is_ok());
+    }
+
+    #[test]
+    fn coin_agreement_across_quorums(seed in any::<u64>(), round in any::<u32>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (public, secrets) = thresh_coin::deal_coin(4, 1, ThresholdCurve::Bn158, &mut rng);
+        let name = thresh_coin::CoinName { session: seed, round, domain: 0 };
+        let shares: Vec<_> = secrets.iter().map(|s| s.coin_share(name)).collect();
+        let v1 = public.combine_value(name, &[shares[0], shares[3]]).unwrap();
+        let v2 = public.combine_value(name, &[shares[1], shares[2]]).unwrap();
+        prop_assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn threshold_encryption_roundtrip(seed in any::<u64>(), pt in any::<Vec<u8>>(), label in any::<Vec<u8>>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (public, secrets) = thresh_enc::deal_enc(4, 1, ThresholdCurve::Bn158, &mut rng);
+        let ct = public.encrypt(&label, &pt, &mut rng);
+        let shares: Vec<_> = secrets[1..3].iter().map(|s| s.dec_share(&ct)).collect();
+        prop_assert_eq!(public.decrypt(&label, &ct, &shares).unwrap(), pt);
+    }
+
+    #[test]
+    fn merkle_proofs_verify(leaf_count in 1usize..12, data in any::<Vec<u8>>()) {
+        let leaves: Vec<Vec<u8>> = (0..leaf_count)
+            .map(|i| {
+                let mut l = data.clone();
+                l.push(i as u8);
+                l
+            })
+            .collect();
+        let tree = MerkleTree::build(&leaves);
+        for (i, leaf) in leaves.iter().enumerate() {
+            prop_assert!(tree.proof(i).verify(&tree.root(), leaf));
+        }
+    }
+
+    #[test]
+    fn schnorr_never_verifies_cross_message(seed in any::<u64>(), m1 in any::<Vec<u8>>(), m2 in any::<Vec<u8>>()) {
+        prop_assume!(m1 != m2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let kp = wbft_crypto::schnorr::KeyPair::generate(wbft_crypto::EcdsaCurve::Secp160r1, &mut rng);
+        let sig = kp.sign(&m1);
+        prop_assert!(kp.public().verify(&m1, &sig).is_ok());
+        prop_assert!(kp.public().verify(&m2, &sig).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! # wbft-net — the ConsensusBatcher packet module
+//!
+//! Wire-format layer of the reproduction of *"Asynchronous BFT Consensus
+//! Made Wireless"* (ICDCS 2025): the batched packet structures of Figs. 4–6,
+//! their per-instance baseline counterparts, compressed O(N) NACK bitmaps,
+//! NACK-driven retransmission policy, and the Table I message-overhead
+//! closed forms.
+//!
+//! The central idea of ConsensusBatcher lives in these packet layouts:
+//! *vertical batching* merges the same phase of N parallel component
+//! instances into one frame (one channel access instead of N), and
+//! *horizontal batching* folds a component's phases — ECHO with READY,
+//! INITIAL with the vote phases for small values — into that same frame.
+//!
+//! Every packet encodes twice: once into real bytes for the simulation, and
+//! once through a counting sink that prices crypto fields at the paper's
+//! curve sizes (a 21-byte BN158 threshold signature, a 40-byte secp160r1
+//! packet signature). Airtime is charged on the latter, so packet-size
+//! effects match the paper's testbed rather than this crate's substitute
+//! crypto — see [`wire`].
+//!
+//! ## Example
+//!
+//! ```rust
+//! use wbft_net::{Bitmap, Body, Envelope, Sizing};
+//! use wbft_crypto::{schnorr::KeyPair, EcdsaCurve, Digest32};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let kp = KeyPair::generate(EcdsaCurve::Secp160r1, &mut rng);
+//! let env = Envelope {
+//!     src: 1,
+//!     session: 7,
+//!     body: Body::RbcEchoReady {
+//!         roots: vec![Digest32::of(b"p0"); 4],
+//!         echo: Bitmap::full(4),
+//!         ready: Bitmap::new(4),
+//!         echo_nack: Bitmap::new(4),
+//!         ready_nack: Bitmap::new(4),
+//!         init_nack: Bitmap::new(4),
+//!     },
+//! };
+//! let (bytes, nominal) = env.seal(&kp, &Sizing::light(4));
+//! let (opened, sig_ok) = Envelope::open(&bytes, |_| Some(kp.public()))?;
+//! assert!(sig_ok && opened == env && nominal <= 255);
+//! # Ok::<(), wbft_net::WireError>(())
+//! ```
+
+pub mod bitmap;
+pub mod overhead;
+pub mod packets;
+pub mod reliability;
+pub mod vote;
+pub mod wire;
+
+pub use bitmap::Bitmap;
+pub use packets::{AbaLcInst, AbaScInst, Body, Envelope};
+pub use reliability::RetransmitPolicy;
+pub use vote::{BinValues, Vote};
+pub use wire::{CoinFlavor, Sizing, WireError};

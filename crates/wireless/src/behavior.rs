@@ -1,0 +1,138 @@
+//! The sans-io contract between protocol logic and the simulator.
+//!
+//! A [`NodeBehavior`] is a state machine driven by three callbacks
+//! (`on_start`, `on_frame`, `on_timer`). It never touches the network
+//! directly; it issues commands through [`NodeCtx`] (broadcast a frame, set
+//! a timer, charge virtual CPU time for crypto work, join/leave a channel).
+//! The same protocol code therefore runs identically under this simulator
+//! and under any real transport that honours the contract.
+
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{ChannelId, NodeId};
+use bytes::Bytes;
+use rand_chacha::ChaCha12Rng;
+
+/// A frame as seen by a receiving node.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// The transmitting node.
+    pub src: NodeId,
+    /// Channel it was heard on.
+    pub channel: ChannelId,
+    /// The payload bytes (already validated by the PHY; corruption is
+    /// modelled as loss, not bit errors).
+    pub payload: Bytes,
+    /// The nominal wire length in bytes — what this packet would occupy
+    /// with the paper's signature sizes (airtime and byte counters use
+    /// this, not `payload.len()`; see `wbft-net`).
+    pub nominal_len: usize,
+}
+
+/// Commands a behavior can issue during a callback; applied by the
+/// simulator after the callback returns.
+#[derive(Clone, Debug)]
+pub(crate) enum Command {
+    Broadcast { channel: ChannelId, payload: Bytes, nominal_len: usize, slot: Option<u64> },
+    SetTimer { after: SimDuration, id: u64 },
+    JoinChannel(ChannelId),
+    LeaveChannel(ChannelId),
+}
+
+/// The execution context handed to every behavior callback.
+pub struct NodeCtx<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) node: NodeId,
+    pub(crate) rng: &'a mut ChaCha12Rng,
+    pub(crate) cmds: Vec<Command>,
+    pub(crate) charged: SimDuration,
+}
+
+impl<'a> NodeCtx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node this callback runs on.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Queues a broadcast frame on `channel`. The frame enters this node's
+    /// transmit queue and contends for the channel via CSMA; `nominal_len`
+    /// is the wire length used for airtime (callers take it from the packet
+    /// codec).
+    pub fn broadcast(&mut self, channel: ChannelId, payload: Bytes, nominal_len: usize) {
+        self.cmds.push(Command::Broadcast { channel, payload, nominal_len, slot: None });
+    }
+
+    /// Queues a broadcast like [`NodeCtx::broadcast`], but if a frame with
+    /// the same `slot` is still waiting in this node's transmit queue it is
+    /// *replaced* instead of queued behind. This models updating a combined
+    /// ConsensusBatcher packet in the radio buffer before it wins the
+    /// channel: stale state never wastes airtime, and state changes that
+    /// pile up behind a busy channel coalesce into one channel access.
+    pub fn broadcast_slot(
+        &mut self,
+        channel: ChannelId,
+        payload: Bytes,
+        nominal_len: usize,
+        slot: u64,
+    ) {
+        self.cmds.push(Command::Broadcast { channel, payload, nominal_len, slot: Some(slot) });
+    }
+
+    /// Schedules `on_timer(id)` after `after` (subject to CPU availability).
+    pub fn set_timer(&mut self, after: SimDuration, id: u64) {
+        self.cmds.push(Command::SetTimer { after, id });
+    }
+
+    /// Charges virtual CPU time (crypto, parsing). Subsequent frame
+    /// deliveries and timers on this node are delayed until the CPU frees
+    /// up, and broadcasts issued by this callback enter the transmit queue
+    /// only after the charged time has elapsed.
+    pub fn charge_cpu(&mut self, cost: SimDuration) {
+        self.charged += cost;
+    }
+
+    /// Starts listening on an additional channel (e.g. a cluster leader
+    /// joining the global consensus overlay).
+    pub fn join_channel(&mut self, channel: ChannelId) {
+        self.cmds.push(Command::JoinChannel(channel));
+    }
+
+    /// Stops listening on a channel.
+    pub fn leave_channel(&mut self, channel: ChannelId) {
+        self.cmds.push(Command::LeaveChannel(channel));
+    }
+
+    /// Deterministic per-simulation randomness.
+    pub fn rng(&mut self) -> &mut ChaCha12Rng {
+        self.rng
+    }
+}
+
+/// Protocol logic driven by the simulator. See the module docs.
+pub trait NodeBehavior {
+    /// Called once at simulation start.
+    fn on_start(&mut self, ctx: &mut NodeCtx);
+
+    /// Called for every frame that survives the channel, half-duplex, DMA
+    /// and loss models.
+    fn on_frame(&mut self, frame: &Frame, ctx: &mut NodeCtx);
+
+    /// Called when a timer set via [`NodeCtx::set_timer`] fires.
+    fn on_timer(&mut self, id: u64, ctx: &mut NodeCtx);
+}
+
+impl NodeBehavior for Box<dyn NodeBehavior> {
+    fn on_start(&mut self, ctx: &mut NodeCtx) {
+        (**self).on_start(ctx)
+    }
+    fn on_frame(&mut self, frame: &Frame, ctx: &mut NodeCtx) {
+        (**self).on_frame(frame, ctx)
+    }
+    fn on_timer(&mut self, id: u64, ctx: &mut NodeCtx) {
+        (**self).on_timer(id, ctx)
+    }
+}

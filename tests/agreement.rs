@@ -1,0 +1,104 @@
+//! Integration: safety (agreement) and liveness of every protocol
+//! deployment on the simulated wireless network.
+//!
+//! `testbed::run` asserts internally that all honest nodes commit identical
+//! block chains, so these tests exercise that invariant end-to-end across
+//! protocols and network conditions.
+
+use wbft_consensus::testbed::{run, TestbedConfig};
+use wbft_consensus::Protocol;
+use wbft_wireless::{LossModel, SimDuration};
+
+fn quick(protocol: Protocol) -> TestbedConfig {
+    let mut cfg = TestbedConfig::single_hop(protocol);
+    cfg.epochs = 1;
+    cfg.workload.batch_size = 8;
+    cfg
+}
+
+#[test]
+fn all_batched_protocols_commit_and_agree() {
+    for protocol in Protocol::BATCHED {
+        let report = run(&quick(protocol));
+        assert!(report.completed, "{protocol} did not complete");
+        assert!(report.total_txs > 0, "{protocol} committed nothing");
+        assert!(
+            report.mean_latency_s > 1.0 && report.mean_latency_s < 300.0,
+            "{protocol} latency {:.1}s out of plausible LoRa range",
+            report.mean_latency_s
+        );
+    }
+}
+
+#[test]
+fn baseline_protocols_also_commit() {
+    // Baselines are slow on the shared channel; one is representative here
+    // (all three run in the fig13 bench).
+    let mut cfg = quick(Protocol::HoneyBadgerScBaseline);
+    cfg.workload.batch_size = 4;
+    cfg.deadline = SimDuration::from_secs(14_400);
+    let report = run(&cfg);
+    assert!(report.completed, "baseline HB-SC did not complete");
+    assert!(report.total_txs > 0);
+}
+
+#[test]
+fn agreement_holds_under_heavy_loss() {
+    for protocol in [Protocol::HoneyBadgerSc, Protocol::Beat] {
+        let mut cfg = quick(protocol);
+        cfg.loss = LossModel::Uniform { p: 0.25 };
+        cfg.deadline = SimDuration::from_secs(7_200);
+        let report = run(&cfg);
+        assert!(report.completed, "{protocol} under 25% loss did not complete");
+    }
+}
+
+#[test]
+fn agreement_holds_under_asymmetric_loss() {
+    // One node behind a wall: 60 % of frames to it are lost; NACK-driven
+    // retransmission must still carry it to the same chain.
+    let mut cfg = quick(Protocol::HoneyBadgerSc);
+    cfg.loss = LossModel::PerReceiver { rates: vec![(wbft_wireless::NodeId(2), 0.6)] };
+    cfg.deadline = SimDuration::from_secs(7_200);
+    let report = run(&cfg);
+    assert!(report.completed, "asymmetric-loss run did not complete");
+}
+
+#[test]
+fn agreement_holds_under_adversarial_jitter() {
+    let mut cfg = quick(Protocol::DumboSc);
+    cfg.adversary = wbft_wireless::AdversaryConfig::with_jitter(SimDuration::from_millis(800));
+    let report = run(&cfg);
+    assert!(report.completed, "jittered Dumbo-SC did not complete");
+}
+
+#[test]
+fn batching_beats_baseline_on_the_same_seed() {
+    let batched = run(&quick(Protocol::Beat));
+    let mut base_cfg = quick(Protocol::BeatBaseline);
+    base_cfg.workload.batch_size = 4;
+    base_cfg.deadline = SimDuration::from_secs(14_400);
+    let baseline = run(&base_cfg);
+    assert!(batched.completed && baseline.completed);
+    assert!(
+        batched.mean_latency_s < baseline.mean_latency_s,
+        "paper's headline: batching must reduce latency ({:.1} vs {:.1})",
+        batched.mean_latency_s,
+        baseline.mean_latency_s
+    );
+    assert!(
+        batched.channel_accesses_per_node < baseline.channel_accesses_per_node,
+        "batching must reduce channel contention"
+    );
+}
+
+#[test]
+fn multihop_deployment_orders_all_clusters() {
+    let mut cfg = TestbedConfig::multi_hop(Protocol::HoneyBadgerSc);
+    cfg.epochs = 1;
+    cfg.workload.batch_size = 8;
+    let report = run(&cfg);
+    assert!(report.completed);
+    // Global count sums the four clusters' blocks.
+    assert!(report.total_txs >= 4 * 8, "expected all clusters' txs, got {}", report.total_txs);
+}
