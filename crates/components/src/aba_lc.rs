@@ -125,7 +125,7 @@ impl AbaLcBatch {
     /// Creates the batch; the local coin is an independent deterministic
     /// stream per node and session.
     pub fn new(p: Params) -> Self {
-        let seed = 0x5eed_ab_a1c ^ ((p.me as u64) << 40) ^ p.session;
+        let seed = 0x5_eeda_ba1c ^ ((p.me as u64) << 40) ^ p.session;
         AbaLcBatch {
             insts: (0..p.n).map(|_| Inst::new(p.n)).collect(),
             rng: ChaCha12Rng::seed_from_u64(seed),
@@ -445,7 +445,7 @@ mod tests {
         (0..4).map(|i| AbaLcBatch::new(Params::new(4, i, 13))).collect()
     }
 
-    fn run(nodes: &mut Vec<AbaLcBatch>, inputs: Vec<Vec<bool>>) -> Vec<Vec<bool>> {
+    fn run(nodes: &mut [AbaLcBatch], inputs: Vec<Vec<bool>>) -> Vec<Vec<bool>> {
         let n_inst = inputs[0].len();
         let mut inbox: Vec<(usize, Body)> = Vec::new();
         for (i, node) in nodes.iter_mut().enumerate() {
@@ -461,12 +461,12 @@ mod tests {
         while let Some((src, body)) = inbox.pop() {
             steps += 1;
             assert!(steps < 400_000, "ABA-LC did not converge");
-            for i in 0..nodes.len() {
+            for (i, node) in nodes.iter_mut().enumerate() {
                 if i == src {
                     continue;
                 }
                 let mut acts = Actions::new();
-                nodes[i].handle(src, &body, &mut acts);
+                node.handle(src, &body, &mut acts);
                 for b in acts.drain().0 {
                     inbox.push((i, b));
                 }

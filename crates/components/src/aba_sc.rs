@@ -271,7 +271,7 @@ impl AbaScBatch {
         }
         state.reporters |= bit;
         state.shares.push(*share);
-        if state.shares.len() >= self.coin_pub.threshold() + 1 {
+        if state.shares.len() > self.coin_pub.threshold() {
             acts.charge(combine_us);
             if let Ok(v) = self.coin_pub.combine_value(name, &state.shares) {
                 state.value = Some(v);
@@ -353,7 +353,7 @@ impl AbaScBatch {
                     let seen = &inst.seen[round as usize];
                     (seen.bval_count(v), inst.my_rounds[round as usize].bval.contains(v))
                 };
-                if count >= f + 1 && !has_cast {
+                if count > f && !has_cast {
                     self.cast_bval(instance, round, v);
                     progressed = true;
                 }
@@ -414,11 +414,11 @@ impl AbaScBatch {
                         _ => coin,
                     };
                     let inst = &mut self.insts[instance];
-                    if inst.decided.is_none() {
-                        inst.est = next_est;
-                    } else {
+                    if let Some(decided) = inst.decided {
                         // decided nodes keep voting their decision
-                        inst.est = inst.decided.expect("decided");
+                        inst.est = decided;
+                    } else {
+                        inst.est = next_est;
                     }
                     inst.round = round + 1;
                     let est = inst.est;
@@ -654,7 +654,7 @@ mod tests {
     }
 
     /// Synchronous mesh exchange until all nodes decide all instances.
-    fn run_to_decision(nodes: &mut Vec<AbaScBatch>, inputs: Vec<Vec<bool>>) -> Vec<Vec<bool>> {
+    fn run_to_decision(nodes: &mut [AbaScBatch], inputs: Vec<Vec<bool>>) -> Vec<Vec<bool>> {
         let n_inst = inputs[0].len();
         let mut inbox: Vec<(usize, Body)> = Vec::new();
         for (i, node) in nodes.iter_mut().enumerate() {
@@ -670,12 +670,12 @@ mod tests {
         while let Some((src, body)) = inbox.pop() {
             steps += 1;
             assert!(steps < 200_000, "ABA did not converge");
-            for i in 0..nodes.len() {
+            for (i, node) in nodes.iter_mut().enumerate() {
                 if i == src {
                     continue;
                 }
                 let mut acts = Actions::new();
-                nodes[i].handle(src, &body, &mut acts);
+                node.handle(src, &body, &mut acts);
                 for b in acts.drain().0 {
                     inbox.push((i, b));
                 }
@@ -706,10 +706,10 @@ mod tests {
                     nodes[i].handle(src, &body, &mut acts);
                     for b in acts.drain().0 {
                         // deliver immediately
-                        for k in 0..nodes.len() {
+                        for (k, nk) in nodes.iter_mut().enumerate() {
                             if k != i {
                                 let mut a2 = Actions::new();
-                                nodes[k].handle(i, &b, &mut a2);
+                                nk.handle(i, &b, &mut a2);
                                 // second-order sends dropped; ticks repeat
                             }
                         }
@@ -728,7 +728,7 @@ mod tests {
         let mut nodes = make_nodes(CoinFlavor::ThreshSig, true);
         let decisions = run_to_decision(&mut nodes, vec![vec![true]; 4]);
         for d in &decisions {
-            assert_eq!(d[0], true, "validity: unanimous 1 must decide 1");
+            assert!(d[0], "validity: unanimous 1 must decide 1");
         }
     }
 
@@ -737,7 +737,7 @@ mod tests {
         let mut nodes = make_nodes(CoinFlavor::ThreshSig, true);
         let decisions = run_to_decision(&mut nodes, vec![vec![false]; 4]);
         for d in &decisions {
-            assert_eq!(d[0], false);
+            assert!(!d[0]);
         }
     }
 
@@ -762,7 +762,7 @@ mod tests {
         let decisions = run_to_decision(&mut nodes, inputs);
         for d in &decisions {
             assert_eq!(d[..3], [true, true, true]);
-            assert_eq!(d[3], false);
+            assert!(!d[3]);
         }
     }
 

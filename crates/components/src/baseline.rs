@@ -629,7 +629,7 @@ impl BaselinePrbcSet {
         }
         self.reporters[instance] |= bit;
         self.shares[instance].push(share);
-        if self.shares[instance].len() >= self.p().f + 1 {
+        if self.shares[instance].len() > self.p().f {
             acts.charge(self.keys.profile().combine_us);
             if let Ok(sig) = self.keys.combine(&self.shares[instance]) {
                 self.proofs[instance] = Some(sig);
@@ -932,8 +932,8 @@ mod tests {
             |n| n.delivered_count() == 4,
         );
         for node in &nodes {
-            for j in 0..4 {
-                assert_eq!(node.delivered(j), Some(&vals[j]));
+            for (j, val) in vals.iter().enumerate() {
+                assert_eq!(node.delivered(j), Some(val));
             }
         }
         // Channel-access comparison against batched RBC lives at the
@@ -963,8 +963,8 @@ mod tests {
             |n| n.delivered_count() == 4,
         );
         for node in &nodes {
-            for j in 0..4 {
-                assert_eq!(node.delivered(j), Some(&vals[j]));
+            for (j, val) in vals.iter().enumerate() {
+                assert_eq!(node.delivered(j), Some(val));
                 assert!(node.proof(j).is_some());
             }
         }
@@ -1021,12 +1021,12 @@ mod tests {
         while let Some((src, body)) = inbox.pop() {
             steps += 1;
             assert!(steps < 200_000, "baseline ABA did not converge");
-            for i in 0..4 {
+            for (i, node) in nodes.iter_mut().enumerate() {
                 if i == src {
                     continue;
                 }
                 let mut acts = Actions::new();
-                nodes[i].handle(src, &body, &mut acts);
+                node.handle(src, &body, &mut acts);
                 for b in acts.drain().0 {
                     inbox.push((i, b));
                 }

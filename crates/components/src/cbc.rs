@@ -658,8 +658,8 @@ mod tests {
             |n| n.delivered_count() == 4,
         );
         for node in &nodes {
-            for j in 0..4 {
-                assert_eq!(node.delivered(j), Some(&vals[j]));
+            for (j, val) in vals.iter().enumerate() {
+                assert_eq!(node.delivered(j), Some(val));
                 assert!(node.proof(j).is_some(), "missing certificate for {j}");
             }
         }
@@ -704,10 +704,10 @@ mod tests {
             if steps > 50_000 {
                 break;
             }
-            for i in 0..4 {
+            for (i, node) in nodes.iter_mut().enumerate() {
                 if i != src {
                     let mut acts = Actions::new();
-                    nodes[i].handle(src, &body, &mut acts);
+                    node.handle(src, &body, &mut acts);
                     for b in acts.drain().0 {
                         inbox.push((i, b));
                     }
@@ -740,8 +740,8 @@ mod tests {
             |n| n.delivered_count() == 4,
         );
         for node in &nodes {
-            for j in 0..4 {
-                assert_eq!(node.delivered_value(j), Some(vals[j]));
+            for (j, &val) in vals.iter().enumerate() {
+                assert_eq!(node.delivered_value(j), Some(val));
             }
         }
     }

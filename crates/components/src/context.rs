@@ -32,7 +32,7 @@ impl Params {
     ///
     /// Panics if the BFT bound or the id range is violated.
     pub fn new(n: usize, me: usize, session: u64) -> Self {
-        assert!(n >= 4 && (n - 1) % 3 == 0, "need n = 3f+1 >= 4, got {n}");
+        assert!(n >= 4 && (n - 1).is_multiple_of(3), "need n = 3f+1 >= 4, got {n}");
         assert!(me < n, "node id {me} out of range for n = {n}");
         Params { n, f: (n - 1) / 3, me, session }
     }
@@ -124,7 +124,7 @@ pub struct NodeCrypto {
 /// Deals a full set of [`NodeCrypto`] for an `n`-node deployment (the
 /// trusted-dealer setup the paper also assumes).
 pub fn deal_node_crypto(n: usize, suite: CryptoSuite, rng: &mut impl RngCore) -> Vec<NodeCrypto> {
-    assert!(n >= 4 && (n - 1) % 3 == 0, "need n = 3f+1 >= 4, got {n}");
+    assert!(n >= 4 && (n - 1).is_multiple_of(3), "need n = 3f+1 >= 4, got {n}");
     let f = (n - 1) / 3;
     let keypairs: Vec<KeyPair> = (0..n).map(|_| KeyPair::generate(suite.ecdsa, rng)).collect();
     let peer_keys: Vec<PublicKey> = keypairs.iter().map(|k| k.public()).collect();

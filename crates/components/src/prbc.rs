@@ -155,9 +155,9 @@ impl PrbcBatch {
         let mut shares = Vec::new();
         let mut proofs = Vec::new();
         let mut sig_nack = Bitmap::new(n);
-        for j in 0..n {
+        for (j, root_slot) in roots.iter_mut().enumerate() {
             if let Some(root) = self.rbc.delivered_root(j) {
-                roots[j] = root;
+                *root_slot = root;
                 if self.done[j].my_share_sent {
                     let share = self.secret.sign_share(&done_msg(self.p().session, j, &root));
                     shares.push((j as u8, share));
@@ -271,10 +271,10 @@ mod tests {
             |n| n.delivered_count() == 4 && n.proven_count() == 4,
         );
         for node in &nodes {
-            for j in 0..4 {
-                assert_eq!(node.delivered(j), Some(&vals[j]));
+            for (j, val) in vals.iter().enumerate() {
+                assert_eq!(node.delivered(j), Some(val));
                 let proof = node.proof(j).unwrap();
-                let root = Digest32::of(&vals[j]);
+                let root = Digest32::of(val);
                 assert!(PrbcBatch::verify_proof(8, &node.keys, j, &root, proof));
                 assert!(!PrbcBatch::verify_proof(8, &node.keys, (j + 1) % 4, &root, proof));
             }

@@ -202,7 +202,7 @@ impl RbcBatch {
         }
         if inst.my_ready.is_none() {
             if let Some((root, c)) = inst.ready_quorum() {
-                if c >= p.f + 1 {
+                if c > p.f {
                     inst.my_ready = Some(root);
                     inst.ready_roots[p.me] = Some(root);
                     self.dirty = true;
@@ -274,6 +274,9 @@ impl RbcBatch {
         self.advance(instance);
     }
 
+    // One parameter per field of the combined ER packet; bundling them
+    // into a struct would just duplicate `Body::RbcEchoReady`.
+    #[allow(clippy::too_many_arguments)]
     fn handle_er(
         &mut self,
         from: usize,
@@ -287,8 +290,7 @@ impl RbcBatch {
         if roots.len() != self.p.n || echo.len() != self.p.n {
             return;
         }
-        for j in 0..self.p.n {
-            let root = roots[j];
+        for (j, &root) in roots.iter().enumerate() {
             if !root.is_zero() {
                 if echo.get(j) && self.insts[j].echo_roots[from].is_none() {
                     self.insts[j].echo_roots[from] = Some(root);
@@ -445,11 +447,11 @@ pub(crate) mod tests {
                     inbox.push((i, b));
                 }
             }
-            if nodes.iter().all(|n| done(n)) {
+            if nodes.iter().all(&mut done) {
                 break;
             }
         }
-        assert!(nodes.iter().all(|n| done(n)), "not all nodes completed");
+        assert!(nodes.iter().all(done), "not all nodes completed");
         sends
     }
 
@@ -519,12 +521,12 @@ pub(crate) mod tests {
             if steps > 50_000 {
                 break;
             }
-            for i in 0..4 {
+            for (i, node) in nodes.iter_mut().enumerate() {
                 if i == src {
                     continue;
                 }
                 let mut acts = Actions::new();
-                nodes[i].handle(src, &body, &mut acts);
+                node.handle(src, &body, &mut acts);
                 for b in acts.drain().0 {
                     inbox.push((i, b));
                 }

@@ -36,12 +36,7 @@ impl Inst {
 }
 
 fn quorum_vote(votes: &[Vote], need: usize) -> Option<Vote> {
-    for v in [Vote::Zero, Vote::One, Vote::Bot] {
-        if votes.iter().filter(|x| **x == v).count() >= need {
-            return Some(v);
-        }
-    }
-    None
+    [Vote::Zero, Vote::One, Vote::Bot].into_iter().find(|&v| votes.iter().filter(|x| **x == v).count() >= need)
 }
 
 /// N parallel small-value RBC instances under ConsensusBatcher.
@@ -180,8 +175,7 @@ impl RbcSmallBatch {
         if values.len() != self.p.n || echo.len() != self.p.n {
             return;
         }
-        for j in 0..self.p.n {
-            let v = values[j];
+        for (j, &v) in values.iter().enumerate() {
             if v.is_cast() {
                 // Learn the proposal: directly from its proposer, or by
                 // adoption from any vote (the value is self-identifying).
@@ -300,10 +294,10 @@ mod tests {
             if steps > 20_000 {
                 break;
             }
-            for i in 0..4 {
+            for (i, node) in nodes.iter_mut().enumerate() {
                 if i != src {
                     let mut acts = Actions::new();
-                    nodes[i].handle(src, &body, &mut acts);
+                    node.handle(src, &body, &mut acts);
                     for b in acts.drain().0 {
                         inbox.push((i, b));
                     }

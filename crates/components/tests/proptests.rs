@@ -48,15 +48,15 @@ fn chaos_mesh<C>(
         pool.shuffle(&mut rng);
         let (src, body) = pool.pop().expect("non-empty");
         use rand::Rng as _;
-        if rng.random_range(0..100) < drop_percent {
+        if rng.random_range(0..100) < i32::from(drop_percent) {
             continue; // adversary drops the broadcast entirely
         }
-        for i in 0..nodes.len() {
+        for (i, node) in nodes.iter_mut().enumerate() {
             if i == src {
                 continue;
             }
             let mut acts = Actions::new();
-            handle(&mut nodes[i], src, &body, &mut acts);
+            handle(node, src, &body, &mut acts);
             for b in acts.drain().0 {
                 pool.push((i, b));
             }

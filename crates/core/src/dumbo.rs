@@ -266,7 +266,7 @@ impl PiCoin {
         }
         self.reporters |= bit;
         self.shares.push(share);
-        if self.shares.len() >= crypto.coin_pub.threshold() + 1 {
+        if self.shares.len() > crypto.coin_pub.threshold() {
             acts.charge(crypto.suite.threshold.coin_profile().combine_us);
             if let Ok(v) = crypto.coin_pub.combine_value(self.name(), &self.shares) {
                 self.value = Some(v);

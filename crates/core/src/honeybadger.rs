@@ -153,7 +153,7 @@ impl DecStage {
         }
         self.reporters[j] |= bit;
         self.shares[j].push(share);
-        if self.shares[j].len() >= self.p.f + 1 {
+        if self.shares[j].len() > self.p.f {
             acts.charge(crypto.suite.threshold.signature_profile().combine_us);
             let label = ct_label(self.epoch, j);
             if let Ok(pt) = crypto.enc_pub.decrypt(&label, ct, &self.shares[j]) {

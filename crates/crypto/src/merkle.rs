@@ -76,7 +76,7 @@ impl MerkleTree {
         let mut path = Vec::new();
         let mut i = index;
         for level in &self.levels[..self.levels.len() - 1] {
-            let sibling = if i % 2 == 0 {
+            let sibling = if i.is_multiple_of(2) {
                 *level.get(i + 1).unwrap_or(&level[i])
             } else {
                 level[i - 1]
@@ -94,7 +94,7 @@ impl MerkleProof {
         let mut acc = hash_leaf(leaf_data);
         let mut i = self.index;
         for sibling in &self.path {
-            acc = if i % 2 == 0 { hash_node(&acc, sibling) } else { hash_node(sibling, &acc) };
+            acc = if i.is_multiple_of(2) { hash_node(&acc, sibling) } else { hash_node(sibling, &acc) };
             i /= 2;
         }
         acc == *root

@@ -212,6 +212,12 @@ impl SecretKeyShare {
         self.index
     }
 
+    /// The curve deployment this share was dealt for (determines the
+    /// virtual costs the simulator charges for its operations).
+    pub fn curve(&self) -> ThresholdCurve {
+        self.curve
+    }
+
     /// Signs a message, producing this node's share.
     pub fn sign_share(&self, msg: &[u8]) -> SigShare {
         let (h, _) = GroupElem::hash_to_group("wbft/thresh-sig/msg", &[msg]);

@@ -15,8 +15,10 @@ use rand::Rng;
 
 /// Stochastic frame-loss model applied per (sender, receiver) delivery.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Default)]
 pub enum LossModel {
     /// No losses beyond collisions.
+    #[default]
     None,
     /// Every delivery independently lost with probability `p`.
     Uniform {
@@ -45,11 +47,6 @@ impl LossModel {
     }
 }
 
-impl Default for LossModel {
-    fn default() -> Self {
-        LossModel::None
-    }
-}
 
 /// Adversarial scheduling of honest-to-honest deliveries: extra receive
 /// delays, bounded so that eventual delivery holds.

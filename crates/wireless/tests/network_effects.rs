@@ -4,7 +4,7 @@
 
 use bytes::Bytes;
 use wbft_wireless::{
-    ChannelId, DmaParams, Frame, NodeBehavior, NodeCtx, NodeId, RadioParams, SimConfig,
+    ChannelId, DmaParams, Frame, NodeBehavior, NodeCtx, NodeId, SimConfig,
     SimDuration, SimTime, Simulator, Topology,
 };
 
@@ -52,9 +52,7 @@ fn run_dma(dma: DmaParams) -> Vec<SimTime> {
     let cfg = SimConfig { dma, seed: 9, ..SimConfig::default() };
     let mut sim = Simulator::new(cfg, topo, behaviors);
     sim.run_until(SimTime::from_micros(60_000_000));
-    match sim.behavior(NodeId(1)) {
-        b => b.received_at.clone(),
-    }
+    sim.behavior(NodeId(1)).received_at.clone()
 }
 
 #[test]

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! See the `serde_derive` shim for rationale: the derives are no-ops and
+//! these traits are blanket-implemented markers, so `#[derive(Serialize)]`
+//! annotations compile and express intent without pulling in real serde.
+//! Replace this shim with the real crate when the build environment has
+//! registry access and serialization is actually needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, mirroring `serde::de::DeserializeOwned`.
+pub mod de {
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T {}
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace annotates wire/config types with
+//! `#[derive(serde::Serialize, serde::Deserialize)]` so a future PR can turn
+//! on real serialization, but nothing currently serializes through serde (the
+//! wire format is hand-rolled in `wbft-net::wire`). These derives therefore
+//! expand to nothing; the marker traits live in the `serde` shim and are
+//! blanket-implemented.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
