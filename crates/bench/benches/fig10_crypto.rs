@@ -10,7 +10,8 @@
 
 use std::time::Instant;
 use wbft_bench::{banner, row};
-use wbft_consensus::testbed::{run, TestbedConfig};
+use wbft_consensus::report::{read_report, report_root, write_reports};
+use wbft_consensus::sweep::{run_sweep, sweep_threads, SweepSpec};
 use wbft_consensus::Protocol;
 use wbft_crypto::{thresh_coin, thresh_sig, CryptoSuite, EcdsaCurve, ThresholdCurve};
 
@@ -166,26 +167,32 @@ fn fig10d() {
         "Fig. 10d — HoneyBadgerBFT-SC latency/throughput vs crypto suite",
         "secp160r1+BN158 (light) against secp192r1+BN254 (medium); 4 nodes, 1 epoch",
     );
+    // A two-point sweep along the crypto-suite axis; the table renders from
+    // the decoded JSON reports in target/reports/fig10d/.
+    let spec = SweepSpec {
+        protocols: vec![Protocol::HoneyBadgerSc],
+        suites: vec![CryptoSuite::light(), CryptoSuite::medium()],
+        batch_size: 24,
+        ..SweepSpec::new("fig10d")
+    };
+    let runs = run_sweep(&spec, sweep_threads());
+    let dir = report_root().join(&spec.name);
+    let paths = write_reports(&dir, &runs).expect("writing reports must succeed");
     let widths = [22usize, 12, 14];
     println!(
         "{}",
         row(&["suite".into(), "latency (s)".into(), "TPM".into()], &widths)
     );
     let mut results = Vec::new();
-    for (label, suite) in
-        [("secp160r1+BN158", CryptoSuite::light()), ("secp192r1+BN254", CryptoSuite::medium())]
-    {
-        let mut cfg = TestbedConfig::single_hop(Protocol::HoneyBadgerSc);
-        cfg.suite = suite;
-        cfg.epochs = 1;
-        cfg.workload.batch_size = 24;
-        let report = run(&cfg);
+    for path in &paths {
+        let (_, cfg, report) = read_report(path).expect("report file must decode");
+        let label = format!("{}+{}", cfg.suite.ecdsa.name(), cfg.suite.threshold.name());
         assert!(report.completed, "{label} run must finish");
         println!(
             "{}",
             row(
                 &[
-                    label.into(),
+                    label,
                     format!("{:.1}", report.mean_latency_s),
                     format!("{:.1}", report.throughput_tpm)
                 ],

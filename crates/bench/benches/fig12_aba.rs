@@ -1,32 +1,65 @@
 //! Fig. 12 — ABA latency vs number of parallel instances (a) and serial
 //! instances (b), on a 4-node single-hop LoRa network.
 //!
+//! The measurement grids fan across worker threads with `parallel_map` and
+//! land in `target/reports/fig12/fig12{a,b}.json`; tables render from the
+//! decoded files.
+//!
 //! Expected shapes (paper): with growing parallelism the ABA-LC/ABA-SC gap
 //! shrinks (ABA-LC's extra messages batch away while ABA-SC keeps paying
 //! threshold crypto per round); ABA-CP sits below ABA-SC (cheaper coin);
 //! serially, ABA-SC stays below ABA-LC.
 
-use wbft_bench::{aba_sc_comp, aba_sc_serial_comp, banner, row, run_component, Comp, CompInput};
+use std::path::Path;
+use wbft_bench::{
+    aba_sc_comp, aba_sc_serial_comp, banner, read_json, report_dir, row, run_component,
+    write_json, Comp, CompInput,
+};
 use wbft_components::aba_lc::AbaLcBatch;
+use wbft_consensus::sweep::{parallel_map, sweep_threads};
 use wbft_net::CoinFlavor;
+use wbft_report::Json;
 
-/// Averaged over five seeds: shared-coin rounds are coin-luck dependent.
-fn measure_parallel(which: &str, parallelism: usize, seed: u64) -> f64 {
-    (0..5).map(|k| measure_parallel_once(which, parallelism, seed + 100 * k)).sum::<f64>() / 5.0
+/// One grid point: an ABA deployment at one instance count.
+#[derive(Clone, Copy)]
+struct Point {
+    which: &'static str,
+    count: usize,
+    serial: bool,
+    seed: u64,
 }
 
-fn measure_parallel_once(which: &str, parallelism: usize, seed: u64) -> f64 {
-    let inputs = move |_: usize| CompInput::AbaParallel { parallelism, value: true };
-    let result = match which {
-        "ABA-LC" => run_component(4, seed, |_, _, p| Comp::AbaLc(AbaLcBatch::new(p)), inputs, 0),
-        "ABA-SC" => run_component(
+/// Averaged over five seeds: shared-coin rounds are coin-luck dependent.
+fn measure(pt: &Point) -> f64 {
+    (0..5).map(|k| measure_once(pt, pt.seed + 100 * k)).sum::<f64>() / 5.0
+}
+
+fn measure_once(pt: &Point, seed: u64) -> f64 {
+    let (count, serial) = (pt.count, pt.serial);
+    let inputs = move |_: usize| {
+        if serial {
+            CompInput::AbaSerial { count, value: true }
+        } else {
+            CompInput::AbaParallel { parallelism: count, value: true }
+        }
+    };
+    let result = match (pt.which, serial) {
+        ("ABA-LC", _) => run_component(4, seed, |_, _, p| Comp::AbaLc(AbaLcBatch::new(p)), inputs, 0),
+        ("ABA-SC", false) => run_component(
             4,
             seed,
             |_, c, p| aba_sc_comp(c, p, CoinFlavor::ThreshSig),
             inputs,
             0,
         ),
-        "ABA-CP" => run_component(
+        ("ABA-SC", true) => run_component(
+            4,
+            seed,
+            |_, c, p| aba_sc_serial_comp(c, p, CoinFlavor::ThreshSig),
+            inputs,
+            0,
+        ),
+        ("ABA-CP", false) => run_component(
             4,
             seed,
             |_, c, p| aba_sc_comp(c, p, CoinFlavor::CoinFlip),
@@ -35,59 +68,83 @@ fn measure_parallel_once(which: &str, parallelism: usize, seed: u64) -> f64 {
         ),
         _ => unreachable!(),
     };
-    assert!(result.completed, "{which} p={parallelism} did not complete");
+    assert!(result.completed, "{} count={count} did not complete", pt.which);
     result.latency.as_secs_f64()
 }
 
-fn measure_serial(which: &str, count: usize, seed: u64) -> f64 {
-    (0..5).map(|k| measure_serial_once(which, count, seed + 100 * k)).sum::<f64>() / 5.0
+/// Runs a grid in parallel, writes its JSON file, and returns the decoded
+/// per-deployment latency curves in `deployments` order.
+fn sweep_grid(points: &[Point], file: &Path, deployments: &[&str]) -> Vec<(String, Vec<f64>)> {
+    let latencies = parallel_map(points, sweep_threads(), |_, pt| measure(pt));
+    let records: Vec<Json> = points
+        .iter()
+        .zip(&latencies)
+        .map(|(pt, lat)| {
+            Json::obj([
+                ("aba", Json::str(pt.which)),
+                ("count", Json::u64(pt.count as u64)),
+                ("serial", Json::Bool(pt.serial)),
+                ("latency_s", Json::f64(*lat)),
+            ])
+        })
+        .collect();
+    write_json(file, &Json::obj([("points", Json::arr(records))]));
+
+    let decoded = read_json(file);
+    let rows = decoded.get("points").and_then(Json::as_arr).expect("points");
+    deployments
+        .iter()
+        .map(|&which| {
+            let lats: Vec<f64> = (1..=4)
+                .map(|count| {
+                    rows.iter()
+                        .find(|r| {
+                            r.get("aba").and_then(Json::as_str) == Some(which)
+                                && r.get("count").and_then(Json::as_u64) == Some(count)
+                        })
+                        .and_then(|r| r.get("latency_s").and_then(Json::as_f64))
+                        .unwrap_or_else(|| panic!("missing point {which}/{count}"))
+                })
+                .collect();
+            (which.to_string(), lats)
+        })
+        .collect()
 }
 
-fn measure_serial_once(which: &str, count: usize, seed: u64) -> f64 {
-    let inputs = move |_: usize| CompInput::AbaSerial { count, value: true };
-    let result = match which {
-        "ABA-LC" => run_component(4, seed, |_, _, p| Comp::AbaLc(AbaLcBatch::new(p)), inputs, 0),
-        "ABA-SC" => run_component(
-            4,
-            seed,
-            |_, c, p| aba_sc_serial_comp(c, p, CoinFlavor::ThreshSig),
-            inputs,
-            0,
-        ),
-        _ => unreachable!(),
-    };
-    assert!(result.completed, "{which} serial={count} did not complete");
-    result.latency.as_secs_f64()
+fn print_curves(table: &[(String, Vec<f64>)], x_label: &str) {
+    let widths = [8usize, 8, 8, 8, 8];
+    let mut header = vec!["ABA".to_string()];
+    header.extend((1..=4).map(|x| format!("{x_label}{x}")));
+    println!("{}", row(&header, &widths));
+    for (which, lats) in table {
+        let mut cells = vec![which.clone()];
+        cells.extend(lats.iter().map(|lat| format!("{lat:.1}")));
+        println!("{}", row(&cells, &widths));
+    }
 }
 
 fn main() {
-    fig12a();
-    fig12b();
+    let dir = report_dir("fig12");
+    fig12a(&dir);
+    fig12b(&dir);
     println!("\n[fig12_aba] OK");
 }
 
-fn fig12a() {
+fn fig12a(dir: &Path) {
     banner(
         "Fig. 12a — ABA latency (s) vs number of parallel instances",
         "4 nodes; unanimous inputs; ABA-LC = Bracha, ABA-SC = Cachin, ABA-CP = BEAT coin",
     );
-    let widths = [8usize, 8, 8, 8, 8];
-    let mut header = vec!["ABA".to_string()];
-    header.extend((1..=4).map(|p| format!("p={p}")));
-    println!("{}", row(&header, &widths));
-    let mut results = Vec::new();
-    for which in ["ABA-LC", "ABA-SC", "ABA-CP"] {
-        let mut cells = vec![which.to_string()];
-        let mut lats = Vec::new();
-        for p in 1..=4 {
-            let lat = measure_parallel(which, p, 41 + p as u64);
-            lats.push(lat);
-            cells.push(format!("{lat:.1}"));
-        }
-        println!("{}", row(&cells, &widths));
-        results.push((which, lats));
-    }
-    let get = |name: &str, idx: usize| results.iter().find(|(w, _)| *w == name).unwrap().1[idx];
+    let deployments = ["ABA-LC", "ABA-SC", "ABA-CP"];
+    let points: Vec<Point> = deployments
+        .iter()
+        .flat_map(|&which| {
+            (1..=4).map(move |count| Point { which, count, serial: false, seed: 41 + count as u64 })
+        })
+        .collect();
+    let table = sweep_grid(&points, &dir.join("fig12a.json"), &deployments);
+    print_curves(&table, "p=");
+    let get = |name: &str, idx: usize| table.iter().find(|(w, _)| w == name).unwrap().1[idx];
     // Shapes: CP below SC everywhere (cheaper coin ops).
     for p in 0..4 {
         assert!(
@@ -106,29 +163,22 @@ fn fig12a() {
     );
 }
 
-fn fig12b() {
+fn fig12b(dir: &Path) {
     banner(
         "Fig. 12b — ABA latency (s) vs number of serial instances",
         "4 nodes; instances activated one after another (Dumbo's pattern)",
     );
-    let widths = [8usize, 8, 8, 8, 8];
-    let mut header = vec!["ABA".to_string()];
-    header.extend((1..=4).map(|p| format!("s={p}")));
-    println!("{}", row(&header, &widths));
-    let mut results = Vec::new();
-    for which in ["ABA-SC", "ABA-LC"] {
-        let mut cells = vec![which.to_string()];
-        let mut lats = Vec::new();
-        for count in 1..=4 {
-            let lat = measure_serial(which, count, 51 + count as u64);
-            lats.push(lat);
-            cells.push(format!("{lat:.1}"));
-        }
-        println!("{}", row(&cells, &widths));
-        results.push((which, lats));
-    }
-    let sc = &results[0].1;
-    let lc = &results[1].1;
+    let deployments = ["ABA-SC", "ABA-LC"];
+    let points: Vec<Point> = deployments
+        .iter()
+        .flat_map(|&which| {
+            (1..=4).map(move |count| Point { which, count, serial: true, seed: 51 + count as u64 })
+        })
+        .collect();
+    let table = sweep_grid(&points, &dir.join("fig12b.json"), &deployments);
+    print_curves(&table, "s=");
+    let sc = &table[0].1;
+    let lc = &table[1].1;
     assert!(sc[3] > sc[0], "serial latency must grow with instance count");
     println!(
         "at s=4: ABA-SC {:.1}s vs ABA-LC {:.1}s (paper: serial ABA-SC below ABA-LC)",

@@ -1,6 +1,11 @@
 //! Fig. 13 — latency and throughput of the eight consensus deployments,
 //! single-hop (a: 4 nodes) and multi-hop (b: 16 nodes in 4 clusters).
 //!
+//! Runs as a declarative [`SweepSpec`] through the parallel executor; the
+//! per-scenario JSON reports land in `target/reports/fig13{a,b}/` and the
+//! tables below are rendered from the *decoded files*, not the in-memory
+//! results — regenerating a figure never requires re-simulation.
+//!
 //! Expected shapes (paper): every ConsensusBatcher protocol beats its
 //! baseline by roughly half the latency and 1.5–1.7× the throughput
 //! (52–69 % / 50–70 % single-hop; 48–59 % / 48–62 % multi-hop); BEAT leads;
@@ -8,30 +13,20 @@
 //! shared-coin variants edge local-coin ones.
 
 use wbft_bench::{banner, row};
-use wbft_consensus::testbed::{run, RunReport, TestbedConfig};
+use wbft_consensus::report::{read_report, report_root, write_reports};
+use wbft_consensus::sweep::{run_sweep, sweep_threads, SweepSpec};
+use wbft_consensus::testbed::RunReport;
 use wbft_consensus::Protocol;
 
-fn run_one(protocol: Protocol, multihop: bool, seed: u64) -> RunReport {
-    let mut cfg = if multihop {
-        TestbedConfig::multi_hop(protocol)
-    } else {
-        TestbedConfig::single_hop(protocol)
-    };
-    cfg.epochs = if multihop { 1 } else { 2 };
-    // Multi-hop batch kept smaller: the *unbatched* baselines collapse the
-    // shared channel at larger proposals (which is the paper's congestion
-    // argument, but we need the baseline rows to finish).
-    cfg.workload.batch_size = if multihop { 16 } else { 24 };
-    cfg.seed = seed;
-    // Collisions make unbatched deployments crawl; give them headroom.
-    cfg.deadline = wbft_wireless::SimDuration::from_secs(14_400);
-    let report = run(&cfg);
-    assert!(report.completed, "{protocol} (multihop={multihop}) did not complete");
-    report
-}
-
-fn print_scenario(title: &str, note: &str, multihop: bool, seed: u64) -> Vec<(Protocol, RunReport)> {
+fn sweep_scenario(title: &str, note: &str, multihop: bool, seed: u64) -> Vec<(Protocol, RunReport)> {
     banner(title, note);
+    let spec = SweepSpec::fig13(if multihop { "fig13b" } else { "fig13a" }, multihop, seed);
+    let threads = sweep_threads();
+    let runs = run_sweep(&spec, threads);
+    let dir = report_root().join(&spec.name);
+    let paths = write_reports(&dir, &runs).expect("writing reports must succeed");
+
+    // Render from the decoded JSON files (the files are the interface).
     let widths = [28usize, 12, 12, 14];
     println!(
         "{}",
@@ -41,13 +36,14 @@ fn print_scenario(title: &str, note: &str, multihop: bool, seed: u64) -> Vec<(Pr
         )
     );
     let mut results = Vec::new();
-    for protocol in Protocol::ALL {
-        let report = run_one(protocol, multihop, seed);
+    for path in &paths {
+        let (_, cfg, report) = read_report(path).expect("report file must decode");
+        assert!(report.completed, "{} (multihop={multihop}) did not complete", cfg.protocol);
         println!(
             "{}",
             row(
                 &[
-                    protocol.name().into(),
+                    cfg.protocol.name().into(),
                     format!("{:.1}", report.mean_latency_s),
                     format!("{:.1}", report.throughput_tpm),
                     format!("{:.1}", report.channel_accesses_per_node),
@@ -55,8 +51,9 @@ fn print_scenario(title: &str, note: &str, multihop: bool, seed: u64) -> Vec<(Pr
                 &widths
             )
         );
-        results.push((protocol, report));
+        results.push((cfg.protocol, report));
     }
+    println!("({} reports in {}, {} worker threads)", paths.len(), dir.display(), threads);
     results
 }
 
@@ -110,7 +107,7 @@ fn check_improvements(results: &[(Protocol, RunReport)], scenario: &str) {
 }
 
 fn main() {
-    let single = print_scenario(
+    let single = sweep_scenario(
         "Fig. 13a — 8 protocols, single-hop (4 nodes, LoRa, 2 epochs)",
         "paper: batching cuts latency 52-69% and lifts throughput 50-70%",
         false,
@@ -118,7 +115,7 @@ fn main() {
     );
     check_improvements(&single, "single-hop");
 
-    let multi = print_scenario(
+    let multi = sweep_scenario(
         "Fig. 13b — 8 protocols, multi-hop (16 nodes, 4 clusters, 1 epoch)",
         "paper: batching cuts latency 48-59% and lifts throughput 48-62%",
         true,

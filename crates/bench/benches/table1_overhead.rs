@@ -4,13 +4,60 @@
 //! ConsensusBatcher) and then *measures* channel accesses per node in the
 //! simulator for the components we can run end-to-end, checking that the
 //! batched deployment's measured accesses sit far below the baseline's.
+//! The four measurement runs fan across worker threads; closed forms and
+//! measurements are written to `target/reports/table1/table1.json`.
 
-use wbft_bench::{banner, row, run_component, Comp, CompInput};
+use wbft_bench::{banner, read_json, report_dir, row, run_component, write_json, Comp, CompInput};
 use wbft_components::aba_sc::AbaScBatch;
 use wbft_components::baseline::{BaselineAbaSet, BaselineRbcSet};
 use wbft_components::rbc::RbcBatch;
+use wbft_consensus::sweep::{parallel_map, sweep_threads};
 use wbft_net::overhead::Component;
 use wbft_net::CoinFlavor;
+use wbft_report::{Json, ToJson};
+
+/// The four end-to-end measurement runs, identified by label.
+const RUNS: [&str; 4] = ["rbc-batched", "rbc-baseline", "aba-batched", "aba-baseline"];
+
+fn run_labelled(label: &str) -> wbft_bench::CompResult {
+    let value = |i: usize| CompInput::Value(Some(wbft_bench::proposal_of_packets(1, i)));
+    let aba_in = |_: usize| CompInput::AbaParallel { parallelism: 4, value: true };
+    match label {
+        "rbc-batched" => run_component(4, 11, |_, _, p| Comp::Rbc(RbcBatch::new(p)), value, 4),
+        "rbc-baseline" => {
+            run_component(4, 11, |_, _, p| Comp::BaseRbc(BaselineRbcSet::new(p)), value, 4)
+        }
+        "aba-batched" => run_component(
+            4,
+            13,
+            |_, c, p| {
+                Comp::AbaSc(AbaScBatch::new_parallel(
+                    p,
+                    CoinFlavor::ThreshSig,
+                    c.coin_pub.clone(),
+                    c.coin_sec.clone(),
+                ))
+            },
+            aba_in,
+            4,
+        ),
+        "aba-baseline" => run_component(
+            4,
+            13,
+            |_, c, p| {
+                Comp::BaseAba(BaselineAbaSet::new(
+                    p,
+                    CoinFlavor::ThreshSig,
+                    c.coin_pub.clone(),
+                    c.coin_sec.clone(),
+                ))
+            },
+            aba_in,
+            4,
+        ),
+        _ => unreachable!(),
+    }
+}
 
 fn main() {
     banner(
@@ -30,6 +77,7 @@ fn main() {
             &widths
         )
     );
+    let mut closed_forms = Vec::new();
     for c in Component::ALL {
         println!(
             "{}",
@@ -43,8 +91,51 @@ fn main() {
                 &widths
             )
         );
+        closed_forms.push(Json::obj([
+            ("component", Json::str(c.name())),
+            ("wired", Json::u64(c.wired(4))),
+            ("wireless_baseline", Json::u64(c.wireless_baseline(4))),
+            ("consensus_batcher", Json::u64(c.consensus_batcher(4))),
+        ]));
     }
 
+    // The four simulator runs, fanned across worker threads.
+    let results = parallel_map(&RUNS, sweep_threads(), |_, label| run_labelled(label));
+    let measured: Vec<Json> = RUNS
+        .iter()
+        .zip(&results)
+        .map(|(label, r)| {
+            let mut obj = vec![("run".to_string(), Json::str(*label))];
+            if let Json::Obj(members) = r.to_json() {
+                obj.extend(members);
+            }
+            Json::Obj(obj)
+        })
+        .collect();
+    let file = report_dir("table1").join("table1.json");
+    write_json(
+        &file,
+        &Json::obj([
+            ("closed_forms_n4", Json::arr(closed_forms)),
+            ("measured", Json::arr(measured)),
+        ]),
+    );
+
+    // Render the measured table from the decoded report file.
+    let decoded = read_json(&file);
+    let get = |label: &str| -> (f64, bool) {
+        let rec = decoded
+            .get("measured")
+            .and_then(Json::as_arr)
+            .expect("measured array")
+            .iter()
+            .find(|r| r.get("run").and_then(Json::as_str) == Some(label))
+            .unwrap_or_else(|| panic!("missing run {label}"));
+        (
+            rec.get("accesses_per_node").and_then(Json::as_f64).expect("accesses"),
+            rec.get("completed").and_then(Json::as_bool).expect("completed"),
+        )
+    };
     println!("\nMeasured channel accesses per node (N = 4, includes NACK retransmissions):");
     let widths = [14usize, 20, 18, 8];
     println!(
@@ -59,77 +150,31 @@ fn main() {
             &widths
         )
     );
-
-    // RBC: batched vs baseline, all four instances proposing.
-    let value = |i: usize| CompInput::Value(Some(wbft_bench::proposal_of_packets(1, i)));
-    let batched_rbc = run_component(4, 11, |_, _, p| Comp::Rbc(RbcBatch::new(p)), value, 4);
-    let baseline_rbc =
-        run_component(4, 11, |_, _, p| Comp::BaseRbc(BaselineRbcSet::new(p)), value, 4);
-    print_measured("RBC", baseline_rbc, batched_rbc, &widths);
-
-    // ABA (shared coin): batched (shared round coin) vs baseline.
-    let aba_in = |_: usize| CompInput::AbaParallel { parallelism: 4, value: true };
-    let batched_aba = run_component(
-        4,
-        13,
-        |_, c, p| {
-            Comp::AbaSc(AbaScBatch::new_parallel(
-                p,
-                CoinFlavor::ThreshSig,
-                c.coin_pub.clone(),
-                c.coin_sec.clone(),
-            ))
-        },
-        aba_in,
-        4,
-    );
-    let baseline_aba = run_component(
-        4,
-        13,
-        |_, c, p| {
-            Comp::BaseAba(BaselineAbaSet::new(
-                p,
-                CoinFlavor::ThreshSig,
-                c.coin_pub.clone(),
-                c.coin_sec.clone(),
-            ))
-        },
-        aba_in,
-        4,
-    );
-    print_measured("Cachin's ABA", baseline_aba, batched_aba, &widths);
+    for (name, baseline, batched) in
+        [("RBC", "rbc-baseline", "rbc-batched"), ("Cachin's ABA", "aba-baseline", "aba-batched")]
+    {
+        let (base_acc, base_done) = get(baseline);
+        let (batch_acc, batch_done) = get(batched);
+        assert!(base_done && batch_done, "{name} runs must complete");
+        println!(
+            "{}",
+            row(
+                &[
+                    name.into(),
+                    format!("{base_acc:.1}"),
+                    format!("{batch_acc:.1}"),
+                    format!("{:.1}x", base_acc / batch_acc),
+                ],
+                &widths
+            )
+        );
+        assert!(
+            base_acc > batch_acc,
+            "{name} batching must reduce channel accesses"
+        );
+    }
 
     println!("\npaper's claim: batching reduces per-node overhead of N parallel components");
     println!("from O(N)-O(N^3) to O(1); the measured ratios above demonstrate the gap.");
-    assert!(batched_rbc.completed && baseline_rbc.completed);
-    assert!(batched_aba.completed && baseline_aba.completed);
-    assert!(
-        baseline_rbc.accesses_per_node > batched_rbc.accesses_per_node,
-        "RBC batching must reduce channel accesses"
-    );
-    assert!(
-        baseline_aba.accesses_per_node > batched_aba.accesses_per_node,
-        "ABA batching must reduce channel accesses"
-    );
     println!("\n[table1_overhead] OK");
-}
-
-fn print_measured(
-    name: &str,
-    baseline: wbft_bench::CompResult,
-    batched: wbft_bench::CompResult,
-    widths: &[usize],
-) {
-    println!(
-        "{}",
-        row(
-            &[
-                name.into(),
-                format!("{:.1}", baseline.accesses_per_node),
-                format!("{:.1}", batched.accesses_per_node),
-                format!("{:.1}x", baseline.accesses_per_node / batched.accesses_per_node),
-            ],
-            widths
-        )
-    );
 }

@@ -342,6 +342,38 @@ pub fn run_component(
     }
 }
 
+/// Reports directory for one figure: `target/reports/<name>/`, created.
+pub fn report_dir(name: &str) -> std::path::PathBuf {
+    let dir = wbft_consensus::report::report_root().join(name);
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+    dir
+}
+
+/// Writes a JSON document in the canonical file encoding
+/// ([`wbft_report::write_file`]); panics with the path on failure, which is
+/// the right behaviour for a bench binary.
+pub fn write_json(path: &std::path::Path, json: &wbft_report::Json) {
+    wbft_report::write_file(path, json)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+}
+
+/// Reads a JSON document back; panics with the path on failure.
+pub fn read_json(path: &std::path::Path) -> wbft_report::Json {
+    wbft_report::read_file(path).unwrap_or_else(|e| panic!("cannot read report: {e}"))
+}
+
+impl wbft_report::ToJson for CompResult {
+    fn to_json(&self) -> wbft_report::Json {
+        use wbft_report::Json;
+        Json::obj([
+            ("latency_us", Json::u64(self.latency.as_micros())),
+            ("accesses_per_node", Json::f64(self.accesses_per_node)),
+            ("completed", Json::Bool(self.completed)),
+        ])
+    }
+}
+
 /// Formats a fixed-width table row.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
     cells

@@ -29,6 +29,28 @@ pub enum ByzantineMode {
     CorruptProposals,
 }
 
+impl ByzantineMode {
+    /// One representative of every corruption mode, for test matrices.
+    /// `Crash` crashes after the first decided block, so runs exercising it
+    /// need at least two epochs for the crash to bite mid-run.
+    pub const ALL: [ByzantineMode; 4] = [
+        ByzantineMode::Silent,
+        ByzantineMode::Crash { after_epoch: 1 },
+        ByzantineMode::FlipVotes,
+        ByzantineMode::CorruptProposals,
+    ];
+
+    /// Short identifier for labels and report file names.
+    pub fn slug(&self) -> String {
+        match self {
+            ByzantineMode::Silent => "silent".into(),
+            ByzantineMode::Crash { after_epoch } => format!("crash{after_epoch}"),
+            ByzantineMode::FlipVotes => "flip".into(),
+            ByzantineMode::CorruptProposals => "corrupt".into(),
+        }
+    }
+}
+
 /// An engine under Byzantine control.
 pub struct ByzantineEngine<E> {
     inner: E,

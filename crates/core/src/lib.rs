@@ -26,11 +26,14 @@ pub mod dumbo;
 pub mod honeybadger;
 pub mod multihop;
 pub mod protocol;
+pub mod report;
+pub mod sweep;
 pub mod testbed;
 pub mod workload;
 
 pub use byzantine::{ByzantineEngine, ByzantineMode};
 pub use driver::{Block, Engine, EngineOut, ProtocolNode, Tx};
 pub use protocol::Protocol;
+pub use sweep::{parallel_map, run_scenarios, run_sweep, sweep_threads, Scenario, SweepRun, SweepSpec};
 pub use testbed::{run, RunReport, TestbedConfig};
 pub use workload::{BatchSource, Workload};

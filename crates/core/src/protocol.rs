@@ -71,6 +71,26 @@ impl Protocol {
         }
     }
 
+    /// Short filesystem- and CLI-safe identifier (used in report file
+    /// names, sweep labels and the command-line front-ends).
+    pub fn slug(&self) -> &'static str {
+        match self {
+            Protocol::HoneyBadgerLc => "hb-lc",
+            Protocol::HoneyBadgerSc => "hb-sc",
+            Protocol::Beat => "beat",
+            Protocol::DumboLc => "dumbo-lc",
+            Protocol::DumboSc => "dumbo-sc",
+            Protocol::HoneyBadgerScBaseline => "hb-sc-baseline",
+            Protocol::BeatBaseline => "beat-baseline",
+            Protocol::DumboScBaseline => "dumbo-sc-baseline",
+        }
+    }
+
+    /// Inverse of [`Protocol::slug`].
+    pub fn from_slug(slug: &str) -> Option<Protocol> {
+        Protocol::ALL.into_iter().find(|p| p.slug() == slug)
+    }
+
     /// Whether this deployment uses ConsensusBatcher.
     pub fn is_batched(&self) -> bool {
         !matches!(
@@ -133,5 +153,14 @@ mod tests {
             assert!(!p.is_batched(), "{p}");
             assert!(p.name().ends_with("baseline"));
         }
+    }
+
+    #[test]
+    fn slugs_are_unique_and_invertible() {
+        for p in Protocol::ALL {
+            assert_eq!(Protocol::from_slug(p.slug()), Some(p));
+            assert!(p.slug().chars().all(|c| c.is_ascii_alphanumeric() || c == '-'));
+        }
+        assert_eq!(Protocol::from_slug("pbft"), None);
     }
 }

@@ -1,0 +1,277 @@
+//! JSON serialization of testbed configs and run reports, and the
+//! `target/reports/` file layout.
+//!
+//! Every sweep scenario serializes to one self-contained document —
+//! `{"label", "config", "report"}` — so a figure script (or a later
+//! session) can regenerate tables without re-running simulations, and the
+//! determinism battery can compare serial and parallel executions
+//! byte-for-byte. Encoding is deterministic: member order is fixed by the
+//! `ToJson` impls and numbers are written exactly (see `wbft_report::json`).
+
+use crate::byzantine::ByzantineMode;
+use crate::protocol::Protocol;
+use crate::sweep::SweepRun;
+use crate::testbed::{RunReport, TestbedConfig};
+use crate::workload::Workload;
+use std::io;
+use std::path::{Path, PathBuf};
+use wbft_report::{field, member, FromJson, Json, JsonError, ToJson};
+
+impl ToJson for Protocol {
+    fn to_json(&self) -> Json {
+        Json::str(self.slug())
+    }
+}
+
+impl FromJson for Protocol {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let slug = j.as_str().ok_or_else(|| JsonError("expected protocol slug".into()))?;
+        Protocol::from_slug(slug)
+            .ok_or_else(|| JsonError(format!("unknown protocol \"{slug}\"")))
+    }
+}
+
+impl ToJson for ByzantineMode {
+    fn to_json(&self) -> Json {
+        match self {
+            ByzantineMode::Silent => Json::obj([("mode", Json::str("silent"))]),
+            ByzantineMode::Crash { after_epoch } => Json::obj([
+                ("mode", Json::str("crash")),
+                ("after_epoch", Json::u64(*after_epoch)),
+            ]),
+            ByzantineMode::FlipVotes => Json::obj([("mode", Json::str("flip-votes"))]),
+            ByzantineMode::CorruptProposals => {
+                Json::obj([("mode", Json::str("corrupt-proposals"))])
+            }
+        }
+    }
+}
+
+impl FromJson for ByzantineMode {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match member(j, "mode")?.as_str() {
+            Some("silent") => Ok(ByzantineMode::Silent),
+            Some("crash") => Ok(ByzantineMode::Crash { after_epoch: field(j, "after_epoch")? }),
+            Some("flip-votes") => Ok(ByzantineMode::FlipVotes),
+            Some("corrupt-proposals") => Ok(ByzantineMode::CorruptProposals),
+            _ => Err(JsonError("unknown byzantine mode".into())),
+        }
+    }
+}
+
+impl ToJson for Workload {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("batch_size", self.batch_size.to_json()),
+            ("tx_bytes", self.tx_bytes.to_json()),
+            ("seed", Json::u64(self.seed)),
+        ])
+    }
+}
+
+impl FromJson for Workload {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Workload {
+            batch_size: field(j, "batch_size")?,
+            tx_bytes: field(j, "tx_bytes")?,
+            seed: field(j, "seed")?,
+        })
+    }
+}
+
+impl ToJson for TestbedConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("protocol", self.protocol.to_json()),
+            ("n", self.n.to_json()),
+            ("epochs", Json::u64(self.epochs)),
+            ("workload", self.workload.to_json()),
+            ("suite", self.suite.to_json()),
+            ("seed", Json::u64(self.seed)),
+            ("loss", self.loss.to_json()),
+            ("radio", self.radio.to_json()),
+            ("csma", self.csma.to_json()),
+            ("dma", self.dma.to_json()),
+            ("adversary", self.adversary.to_json()),
+            ("byzantine", self.byzantine.to_json()),
+            ("deadline_us", self.deadline.to_json()),
+            ("clusters", self.clusters.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TestbedConfig {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(TestbedConfig {
+            protocol: field(j, "protocol")?,
+            n: field(j, "n")?,
+            epochs: field(j, "epochs")?,
+            workload: field(j, "workload")?,
+            suite: field(j, "suite")?,
+            seed: field(j, "seed")?,
+            loss: field(j, "loss")?,
+            radio: field(j, "radio")?,
+            csma: field(j, "csma")?,
+            dma: field(j, "dma")?,
+            adversary: field(j, "adversary")?,
+            byzantine: field(j, "byzantine")?,
+            deadline: field(j, "deadline_us")?,
+            clusters: field(j, "clusters")?,
+        })
+    }
+}
+
+impl ToJson for RunReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("completed", Json::Bool(self.completed)),
+            ("elapsed_us", self.elapsed.to_json()),
+            ("epoch_latencies_us", self.epoch_latencies.to_json()),
+            ("mean_latency_s", Json::f64(self.mean_latency_s)),
+            ("throughput_tpm", Json::f64(self.throughput_tpm)),
+            ("total_txs", Json::u64(self.total_txs)),
+            ("channel_accesses_per_node", Json::f64(self.channel_accesses_per_node)),
+            ("bytes_on_air", Json::u64(self.bytes_on_air)),
+            ("collisions", Json::u64(self.collisions)),
+            ("metrics", self.metrics.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RunReport {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(RunReport {
+            completed: field(j, "completed")?,
+            elapsed: field(j, "elapsed_us")?,
+            epoch_latencies: field(j, "epoch_latencies_us")?,
+            mean_latency_s: field(j, "mean_latency_s")?,
+            throughput_tpm: field(j, "throughput_tpm")?,
+            total_txs: field(j, "total_txs")?,
+            channel_accesses_per_node: field(j, "channel_accesses_per_node")?,
+            bytes_on_air: field(j, "bytes_on_air")?,
+            collisions: field(j, "collisions")?,
+            metrics: field(j, "metrics")?,
+        })
+    }
+}
+
+/// The self-contained document for one sweep scenario.
+pub fn scenario_json(label: &str, cfg: &TestbedConfig, report: &RunReport) -> Json {
+    Json::obj([
+        ("label", Json::str(label)),
+        ("config", cfg.to_json()),
+        ("report", report.to_json()),
+    ])
+}
+
+/// Canonical on-disk encoding of one scenario document (see
+/// [`wbft_report::to_file_string`]). Byte-identity of two runs is defined
+/// on this string.
+pub fn scenario_string(label: &str, cfg: &TestbedConfig, report: &RunReport) -> String {
+    wbft_report::to_file_string(&scenario_json(label, cfg, report))
+}
+
+/// Inverse of [`scenario_string`]/[`scenario_json`].
+pub fn decode_scenario(text: &str) -> Result<(String, TestbedConfig, RunReport), JsonError> {
+    let j = wbft_report::parse(text)?;
+    Ok((field(&j, "label")?, field(&j, "config")?, field(&j, "report")?))
+}
+
+/// The report root: `<target dir>/reports`.
+///
+/// `$CARGO_TARGET_DIR` wins when set; otherwise the workspace `target/` is
+/// found by walking up from the current directory to the nearest
+/// `Cargo.lock` (bench and test binaries run with the *package* directory
+/// as cwd — which has no lock file of its own — so a plain relative
+/// `target` would scatter reports per crate; the nearest lock file above
+/// is the workspace root).
+pub fn report_root() -> PathBuf {
+    if let Some(target) = std::env::var_os("CARGO_TARGET_DIR") {
+        return Path::new(&target).join("reports");
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let workspace = cwd
+        .ancestors()
+        .find(|dir| dir.join("Cargo.lock").is_file())
+        .map(Path::to_path_buf)
+        .unwrap_or(cwd);
+    workspace.join("target").join("reports")
+}
+
+/// Writes one `<label>.json` per run under `dir`, creating it as needed.
+/// Returns the written paths in run order.
+pub fn write_reports(dir: &Path, runs: &[SweepRun]) -> io::Result<Vec<PathBuf>> {
+    let mut paths = Vec::with_capacity(runs.len());
+    for run in runs {
+        let path = dir.join(format!("{}.json", run.scenario.label));
+        let doc = scenario_json(&run.scenario.label, &run.scenario.cfg, &run.report);
+        wbft_report::write_file(&path, &doc)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// Reads and decodes one scenario report file.
+pub fn read_report(path: &Path) -> io::Result<(String, TestbedConfig, RunReport)> {
+    let j = wbft_report::read_file(path)?;
+    (|| Ok((field(&j, "label")?, field(&j, "config")?, field(&j, "report")?)))().map_err(
+        |e: JsonError| io::Error::new(io::ErrorKind::InvalidData, format!("{}: {e}", path.display())),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbft_wireless::SimDuration;
+
+    #[test]
+    fn config_encoding_is_a_fixpoint() {
+        let mut cfg = TestbedConfig::multi_hop(Protocol::DumboSc);
+        cfg.byzantine = vec![(1, ByzantineMode::Crash { after_epoch: 2 })];
+        cfg.loss = wbft_wireless::LossModel::Uniform { p: 0.05 };
+        let once = cfg.to_json().pretty();
+        let decoded = TestbedConfig::from_json(&wbft_report::parse(&once).unwrap()).unwrap();
+        assert_eq!(decoded.to_json().pretty(), once);
+    }
+
+    #[test]
+    fn report_with_nan_mean_survives() {
+        let report = RunReport {
+            completed: false,
+            elapsed: SimDuration::from_secs(10),
+            epoch_latencies: vec![],
+            mean_latency_s: f64::NAN,
+            throughput_tpm: 0.0,
+            total_txs: 0,
+            channel_accesses_per_node: 1.5,
+            bytes_on_air: 7,
+            collisions: 0,
+            metrics: wbft_wireless::Metrics::new(4),
+        };
+        let text = report.to_json().pretty();
+        let decoded = RunReport::from_json(&wbft_report::parse(&text).unwrap()).unwrap();
+        assert!(decoded.mean_latency_s.is_nan());
+        assert_eq!(decoded.to_json().pretty(), text);
+    }
+
+    #[test]
+    fn scenario_document_round_trips() {
+        let cfg = TestbedConfig::single_hop(Protocol::Beat);
+        let report = RunReport {
+            completed: true,
+            elapsed: SimDuration::from_secs(60),
+            epoch_latencies: vec![SimDuration::from_secs(30)],
+            mean_latency_s: 30.0,
+            throughput_tpm: 32.0,
+            total_txs: 32,
+            channel_accesses_per_node: 10.0,
+            bytes_on_air: 4_096,
+            collisions: 2,
+            metrics: wbft_wireless::Metrics::new(4),
+        };
+        let text = scenario_string("beat.sh.seed7", &cfg, &report);
+        let (label, cfg2, report2) = decode_scenario(&text).unwrap();
+        assert_eq!(label, "beat.sh.seed7");
+        assert_eq!(scenario_string(&label, &cfg2, &report2), text);
+    }
+}

@@ -1,0 +1,327 @@
+//! Scenario sweeps: declarative experiment grids and a parallel executor.
+//!
+//! The paper's evaluation (§V, Figs. 10–13) is a grid of scenarios — eight
+//! protocol deployments × {single-hop, multi-hop} × loss/adversary settings
+//! × seeds. A [`SweepSpec`] describes such a grid declaratively and
+//! [`SweepSpec::expand`] turns it into concrete labelled [`Scenario`]s (one
+//! [`TestbedConfig`] each, in a fixed deterministic order). Independent
+//! scenarios then fan out across OS threads with [`run_scenarios`] /
+//! [`parallel_map`] — a work-stealing executor on std threads only — while
+//! each simulation stays single-threaded and seed-deterministic, so a
+//! parallel sweep produces *byte-identical* reports to a serial one (the
+//! `tests/sweep.rs` battery enforces this).
+//!
+//! Thread count resolution: explicit argument > `WBFT_SWEEP_THREADS` env
+//! var > `std::thread::available_parallelism()`.
+
+use crate::byzantine::ByzantineMode;
+use crate::protocol::Protocol;
+use crate::testbed::{run, RunReport, TestbedConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use wbft_crypto::CryptoSuite;
+use wbft_wireless::{LossModel, SimDuration};
+
+/// A cartesian grid of testbed experiments.
+///
+/// Every axis is a list; [`SweepSpec::expand`] emits one scenario per
+/// element of the cross product, ordered with `protocols` as the outermost
+/// axis and `seeds` as the innermost. Scalar settings (`epochs`,
+/// `batch_size`, …) apply to every scenario.
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// Sweep name; reports land in `target/reports/<name>/`.
+    pub name: String,
+    /// Protocol deployments to run.
+    pub protocols: Vec<Protocol>,
+    /// Topologies: `None` = single-hop, `Some(m)` = `m` clusters (multi-hop).
+    pub topologies: Vec<Option<usize>>,
+    /// Crypto suites.
+    pub suites: Vec<CryptoSuite>,
+    /// Frame-loss models.
+    pub losses: Vec<LossModel>,
+    /// Byzantine placements; the empty placement is an all-honest run.
+    pub placements: Vec<Vec<(usize, ByzantineMode)>>,
+    /// Simulation seeds.
+    pub seeds: Vec<u64>,
+    /// Epochs per run.
+    pub epochs: u64,
+    /// Transactions per proposal batch.
+    pub batch_size: usize,
+    /// Nodes per hop / per cluster.
+    pub n: usize,
+    /// Simulated-time budget per run.
+    pub deadline: SimDuration,
+}
+
+impl SweepSpec {
+    /// A one-axis default: single-hop, light suite, lossless, honest,
+    /// seed 7, 1 epoch × 8-tx batches of 4 nodes. Callers override axes.
+    pub fn new(name: impl Into<String>) -> Self {
+        SweepSpec {
+            name: name.into(),
+            protocols: vec![Protocol::Beat],
+            topologies: vec![None],
+            suites: vec![CryptoSuite::light()],
+            losses: vec![LossModel::None],
+            placements: vec![Vec::new()],
+            seeds: vec![7],
+            epochs: 1,
+            batch_size: 8,
+            n: 4,
+            deadline: SimDuration::from_secs(14_400),
+        }
+    }
+
+    /// The paper's Fig. 13 grid: all eight deployments on one topology.
+    pub fn fig13(name: impl Into<String>, multihop: bool, seed: u64) -> Self {
+        SweepSpec {
+            protocols: Protocol::ALL.to_vec(),
+            topologies: vec![multihop.then_some(4)],
+            seeds: vec![seed],
+            // Multi-hop batch kept smaller: the *unbatched* baselines
+            // collapse the shared channel at larger proposals (the paper's
+            // congestion argument, but the baseline rows must finish).
+            epochs: if multihop { 1 } else { 2 },
+            batch_size: if multihop { 16 } else { 24 },
+            ..SweepSpec::new(name)
+        }
+    }
+
+    /// Number of scenarios the grid expands to.
+    pub fn len(&self) -> usize {
+        self.protocols.len()
+            * self.topologies.len()
+            * self.suites.len()
+            * self.losses.len()
+            * self.placements.len()
+            * self.seeds.len()
+    }
+
+    /// `true` when some axis is empty and the grid expands to nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the grid into labelled scenarios, in deterministic order.
+    ///
+    /// Labels are unique, filesystem-safe and self-describing, e.g.
+    /// `beat.mh4.secp160r1+bn158.loss-none.honest.seed7`.
+    pub fn expand(&self) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(self.len());
+        for &protocol in &self.protocols {
+            for &topology in &self.topologies {
+                for &suite in &self.suites {
+                    for (li, loss) in self.losses.iter().enumerate() {
+                        for placement in &self.placements {
+                            for &seed in &self.seeds {
+                                let mut cfg = TestbedConfig::single_hop(protocol);
+                                cfg.n = self.n;
+                                cfg.clusters = topology;
+                                cfg.suite = suite;
+                                cfg.loss = loss.clone();
+                                cfg.byzantine = placement.clone();
+                                cfg.seed = seed;
+                                cfg.epochs = self.epochs;
+                                cfg.workload.batch_size = self.batch_size;
+                                cfg.deadline = self.deadline;
+                                let label = format!(
+                                    "{}.{}.{}.{}.{}.seed{}",
+                                    protocol.slug(),
+                                    topology.map_or("sh".into(), |m| format!("mh{m}")),
+                                    suite_label(&suite),
+                                    loss_label(loss, li),
+                                    placement_label(placement),
+                                    seed,
+                                );
+                                out.push(Scenario { label, cfg });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Hard check, not a debug_assert: duplicate axis values (e.g.
+        // `--seeds 7,7`) would otherwise silently overwrite each other's
+        // report files in release builds.
+        let unique: std::collections::HashSet<_> =
+            out.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            unique.len(),
+            out.len(),
+            "sweep \"{}\" expands to duplicate scenario labels — remove repeated axis values",
+            self.name
+        );
+        out
+    }
+}
+
+fn suite_label(suite: &CryptoSuite) -> String {
+    format!("{}+{}", suite.ecdsa.name(), suite.threshold.name().to_lowercase())
+}
+
+fn loss_label(loss: &LossModel, index: usize) -> String {
+    match loss {
+        LossModel::None => "loss-none".into(),
+        LossModel::Uniform { p } => format!("loss-u{p}"),
+        LossModel::PerReceiver { .. } => format!("loss-pr{index}"),
+    }
+}
+
+fn placement_label(placement: &[(usize, ByzantineMode)]) -> String {
+    if placement.is_empty() {
+        return "honest".into();
+    }
+    placement
+        .iter()
+        .map(|(node, mode)| format!("byz-{}@{node}", mode.slug()))
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
+/// One expanded grid point: a label and the full experiment config.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Unique, filesystem-safe identifier within the sweep.
+    pub label: String,
+    /// The experiment.
+    pub cfg: TestbedConfig,
+}
+
+/// Outcome of one scenario.
+#[derive(Clone, Debug)]
+pub struct SweepRun {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// Its measured report.
+    pub report: RunReport,
+}
+
+/// Resolves the sweep's worker-thread count: `WBFT_SWEEP_THREADS` if set
+/// and positive, otherwise the machine's available parallelism.
+pub fn sweep_threads() -> usize {
+    if let Ok(v) = std::env::var("WBFT_SWEEP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Work-stealing parallel map: applies `f` to every item, fanning work
+/// across `threads` OS threads, and returns results in item order.
+///
+/// Workers pull the next unclaimed index from a shared atomic counter, so
+/// long and short jobs mix without static partitioning. With `threads <= 1`
+/// (or one item) this degrades to a plain serial loop. The output is
+/// independent of scheduling: slot `i` always holds `f(i, &items[i])`.
+///
+/// A panic inside `f` propagates to the caller once all workers stop.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(i, item);
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("worker filled every claimed slot"))
+        .collect()
+}
+
+/// Runs pre-expanded scenarios on `threads` workers (see [`parallel_map`]).
+pub fn run_scenarios(scenarios: &[Scenario], threads: usize) -> Vec<SweepRun> {
+    parallel_map(scenarios, threads, |_, s| SweepRun {
+        scenario: s.clone(),
+        report: run(&s.cfg),
+    })
+}
+
+/// Expands and runs a full sweep.
+pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Vec<SweepRun> {
+    run_scenarios(&spec.expand(), threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_covers_the_cross_product() {
+        let mut spec = SweepSpec::new("unit");
+        spec.protocols = vec![Protocol::Beat, Protocol::HoneyBadgerSc];
+        spec.topologies = vec![None, Some(4)];
+        spec.losses = vec![LossModel::None, LossModel::Uniform { p: 0.1 }];
+        spec.placements = vec![Vec::new(), vec![(1, ByzantineMode::Silent)]];
+        spec.seeds = vec![1, 2, 3];
+        assert_eq!(spec.len(), 2 * 2 * 2 * 2 * 3);
+        let scenarios = spec.expand();
+        assert_eq!(scenarios.len(), spec.len());
+        let labels: std::collections::HashSet<_> =
+            scenarios.iter().map(|s| s.label.clone()).collect();
+        assert_eq!(labels.len(), scenarios.len(), "labels must be unique");
+        // Innermost axis varies fastest.
+        assert!(scenarios[0].label.ends_with("seed1"));
+        assert!(scenarios[1].label.ends_with("seed2"));
+        // Scenario configs carry the axis values.
+        assert!(scenarios.iter().any(|s| s.cfg.clusters == Some(4)));
+        assert!(scenarios.iter().any(|s| !s.cfg.byzantine.is_empty()));
+    }
+
+    #[test]
+    fn fig13_spec_matches_the_paper_grid() {
+        let spec = SweepSpec::fig13("fig13a", false, 61);
+        assert_eq!(spec.len(), 8);
+        assert!(spec.expand().iter().all(|s| s.cfg.clusters.is_none()));
+        let multi = SweepSpec::fig13("fig13b", true, 62);
+        assert!(multi.expand().iter().all(|s| s.cfg.clusters == Some(4)));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_under_contention() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 7, 200] {
+            let out = parallel_map(&items, threads, |i, &v| {
+                assert_eq!(i, v);
+                v * 2
+            });
+            assert_eq!(out, (0..100).map(|v| v * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_on_empty_input() {
+        let out: Vec<u32> = parallel_map(&[] as &[u32], 4, |_, v| *v);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_env_override_wins() {
+        // Serialized via the env var name being unique to this test binary
+        // invocation; std::env is process-global, so set and restore.
+        std::env::set_var("WBFT_SWEEP_THREADS", "3");
+        assert_eq!(sweep_threads(), 3);
+        std::env::set_var("WBFT_SWEEP_THREADS", "0");
+        assert!(sweep_threads() >= 1);
+        std::env::remove_var("WBFT_SWEEP_THREADS");
+        assert!(sweep_threads() >= 1);
+    }
+}

@@ -15,8 +15,8 @@ use crate::workload::Workload;
 use wbft_components::deal_node_crypto;
 use wbft_crypto::CryptoSuite;
 use wbft_wireless::{
-    AdversaryConfig, ChannelId, CsmaParams, DmaParams, LossModel, NodeId, RadioParams, SimConfig,
-    SimDuration, SimTime, Simulator, Topology,
+    AdversaryConfig, ChannelId, CsmaParams, DmaParams, LossModel, Metrics, NodeId, RadioParams,
+    SimConfig, SimDuration, SimTime, Simulator, Topology,
 };
 
 /// Full description of one testbed experiment.
@@ -101,19 +101,18 @@ pub struct RunReport {
     pub bytes_on_air: u64,
     /// Medium collision events.
     pub collisions: u64,
+    /// Full per-node simulator counters (airtime, losses, CPU time) for
+    /// scriptable figure regeneration from the JSON reports.
+    pub metrics: Metrics,
 }
 
-// One parameter per measured statistic; a builder would obscure that this
-// is a pure aggregation step shared by the single- and multi-hop paths.
-#[allow(clippy::too_many_arguments)]
+// Pure aggregation step shared by the single- and multi-hop paths.
 fn finish_report(
     completed: bool,
     elapsed: SimDuration,
     decision_times: Vec<Vec<SimTime>>,
     total_txs: u64,
-    accesses: f64,
-    bytes: u64,
-    collisions: u64,
+    metrics: Metrics,
     epochs: u64,
 ) -> RunReport {
     // Per-epoch latency: max over honest nodes, differenced between epochs.
@@ -148,9 +147,10 @@ fn finish_report(
         mean_latency_s,
         throughput_tpm,
         total_txs,
-        channel_accesses_per_node: accesses,
-        bytes_on_air: bytes,
-        collisions,
+        channel_accesses_per_node: metrics.mean_channel_accesses(),
+        bytes_on_air: metrics.total_bytes_sent(),
+        collisions: metrics.collisions,
+        metrics,
     }
 }
 
@@ -216,16 +216,7 @@ fn run_single_hop(cfg: &TestbedConfig) -> RunReport {
             assert_eq!(b.blocks(), &reference[..], "agreement violated at {id}");
         }
     }
-    finish_report(
-        completed,
-        elapsed,
-        decision_times,
-        total_txs,
-        sim.metrics().mean_channel_accesses(),
-        sim.metrics().total_bytes_sent(),
-        sim.metrics().collisions,
-        cfg.epochs,
-    )
+    finish_report(completed, elapsed, decision_times, total_txs, sim.metrics().clone(), cfg.epochs)
 }
 
 fn run_multi_hop(cfg: &TestbedConfig, m: usize) -> RunReport {
@@ -258,16 +249,7 @@ fn run_multi_hop(cfg: &TestbedConfig, m: usize) -> RunReport {
     let decision_times: Vec<Vec<SimTime>> =
         sim.behaviors().map(|(_, b)| b.decided_at.clone()).collect();
     let total_txs = sim.behavior(NodeId(0)).global_tx_total();
-    finish_report(
-        completed,
-        elapsed,
-        decision_times,
-        total_txs,
-        sim.metrics().mean_channel_accesses(),
-        sim.metrics().total_bytes_sent(),
-        sim.metrics().collisions,
-        cfg.epochs,
-    )
+    finish_report(completed, elapsed, decision_times, total_txs, sim.metrics().clone(), cfg.epochs)
 }
 
 #[cfg(test)]

@@ -1,0 +1,458 @@
+//! Typed conversions between domain values and [`Json`].
+//!
+//! `ToJson`/`FromJson` play the role the serde traits would if the shim's
+//! derives were real: every type that appears in a sweep report implements
+//! them by hand, with stable field names that double as the report schema
+//! (documented in the README's "Running sweeps" section). Conversions for
+//! the wireless and crypto configuration types live here; the testbed types
+//! (`TestbedConfig`, `RunReport`, …) implement the traits in
+//! `wbft_consensus::report`.
+//!
+//! Conventions: durations and instants are microsecond integers with an
+//! `_us` key suffix; enums are tagged objects (`{"kind": …}`) or name
+//! strings; non-finite floats encode as `null` and decode as NaN.
+
+use crate::json::{Json, JsonError};
+use wbft_crypto::{CryptoSuite, EcdsaCurve, ThresholdCurve};
+use wbft_wireless::{
+    AdversaryConfig, CsmaParams, DmaParams, LossModel, Metrics, NodeId, NodeMetrics, RadioParams,
+    SimDuration, SimTime,
+};
+
+/// Encoding into a [`Json`] value.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Decoding from a [`Json`] value.
+pub trait FromJson: Sized {
+    /// Reconstructs a value, with a descriptive error on schema mismatch.
+    fn from_json(j: &Json) -> Result<Self, JsonError>;
+}
+
+/// Looks up a required object member.
+pub fn member<'a>(j: &'a Json, key: &str) -> Result<&'a Json, JsonError> {
+    j.get(key).ok_or_else(|| JsonError::msg(format!("missing member \"{key}\"")))
+}
+
+/// Looks up and decodes a required object member.
+pub fn field<T: FromJson>(j: &Json, key: &str) -> Result<T, JsonError> {
+    T::from_json(member(j, key)?)
+        .map_err(|e| JsonError::msg(format!("in member \"{key}\": {e}")))
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        j.as_bool().ok_or_else(|| JsonError::msg("expected bool"))
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::u64(*self)
+    }
+}
+
+impl FromJson for u64 {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        j.as_u64().ok_or_else(|| JsonError::msg("expected unsigned integer"))
+    }
+}
+
+impl ToJson for u32 {
+    fn to_json(&self) -> Json {
+        Json::u64(*self as u64)
+    }
+}
+
+impl FromJson for u32 {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        u64::from_json(j)?.try_into().map_err(|_| JsonError::msg("u32 out of range"))
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::u64(*self as u64)
+    }
+}
+
+impl FromJson for usize {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        u64::from_json(j)?.try_into().map_err(|_| JsonError::msg("usize out of range"))
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::f64(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        if j.is_null() {
+            return Ok(f64::NAN); // non-finite floats encode as null
+        }
+        j.as_f64().ok_or_else(|| JsonError::msg("expected number or null"))
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        j.as_str().map(str::to_string).ok_or_else(|| JsonError::msg("expected string"))
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::arr(self.iter().map(ToJson::to_json))
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        j.as_arr()
+            .ok_or_else(|| JsonError::msg("expected array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        if j.is_null() { Ok(None) } else { T::from_json(j).map(Some) }
+    }
+}
+
+/// Pairs encode as two-element arrays.
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::arr([self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match j.as_arr() {
+            Some([a, b]) => Ok((A::from_json(a)?, B::from_json(b)?)),
+            _ => Err(JsonError::msg("expected two-element array")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- wireless
+
+impl ToJson for SimDuration {
+    fn to_json(&self) -> Json {
+        Json::u64(self.as_micros())
+    }
+}
+
+impl FromJson for SimDuration {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(SimDuration::from_micros(u64::from_json(j)?))
+    }
+}
+
+impl ToJson for SimTime {
+    fn to_json(&self) -> Json {
+        Json::u64(self.as_micros())
+    }
+}
+
+impl FromJson for SimTime {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(SimTime::from_micros(u64::from_json(j)?))
+    }
+}
+
+impl ToJson for NodeId {
+    fn to_json(&self) -> Json {
+        Json::u64(self.0 as u64)
+    }
+}
+
+impl FromJson for NodeId {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let raw: u64 = u64::from_json(j)?;
+        Ok(NodeId(raw.try_into().map_err(|_| JsonError::msg("node id out of range"))?))
+    }
+}
+
+impl ToJson for LossModel {
+    fn to_json(&self) -> Json {
+        match self {
+            LossModel::None => Json::obj([("kind", Json::str("none"))]),
+            LossModel::Uniform { p } => {
+                Json::obj([("kind", Json::str("uniform")), ("p", Json::f64(*p))])
+            }
+            LossModel::PerReceiver { rates } => {
+                Json::obj([("kind", Json::str("per_receiver")), ("rates", rates.to_json())])
+            }
+        }
+    }
+}
+
+impl FromJson for LossModel {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match member(j, "kind")?.as_str() {
+            Some("none") => Ok(LossModel::None),
+            Some("uniform") => Ok(LossModel::Uniform { p: field(j, "p")? }),
+            Some("per_receiver") => Ok(LossModel::PerReceiver { rates: field(j, "rates")? }),
+            _ => Err(JsonError::msg("unknown loss model kind")),
+        }
+    }
+}
+
+impl ToJson for AdversaryConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([("jitter_us", self.jitter.to_json()), ("targeted", self.targeted.to_json())])
+    }
+}
+
+impl FromJson for AdversaryConfig {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(AdversaryConfig { jitter: field(j, "jitter_us")?, targeted: field(j, "targeted")? })
+    }
+}
+
+impl ToJson for RadioParams {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("bitrate_bps", Json::u64(self.bitrate_bps)),
+            ("preamble_us", Json::u64(self.preamble_us)),
+            ("max_frame_bytes", self.max_frame_bytes.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RadioParams {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(RadioParams {
+            bitrate_bps: field(j, "bitrate_bps")?,
+            preamble_us: field(j, "preamble_us")?,
+            max_frame_bytes: field(j, "max_frame_bytes")?,
+        })
+    }
+}
+
+impl ToJson for CsmaParams {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("difs_us", Json::u64(self.difs_us)),
+            ("slot_us", Json::u64(self.slot_us)),
+            ("cw_slots", self.cw_slots.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CsmaParams {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(CsmaParams {
+            difs_us: field(j, "difs_us")?,
+            slot_us: field(j, "slot_us")?,
+            cw_slots: field(j, "cw_slots")?,
+        })
+    }
+}
+
+impl ToJson for DmaParams {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("half_buffer_bytes", self.half_buffer_bytes.to_json()),
+            ("alignment", Json::Bool(self.alignment)),
+            ("interrupt_us", Json::u64(self.interrupt_us)),
+            ("flush_timeout_us", Json::u64(self.flush_timeout_us)),
+        ])
+    }
+}
+
+impl FromJson for DmaParams {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(DmaParams {
+            half_buffer_bytes: field(j, "half_buffer_bytes")?,
+            alignment: field(j, "alignment")?,
+            interrupt_us: field(j, "interrupt_us")?,
+            flush_timeout_us: field(j, "flush_timeout_us")?,
+        })
+    }
+}
+
+impl ToJson for NodeMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("channel_accesses", Json::u64(self.channel_accesses)),
+            ("bytes_sent", Json::u64(self.bytes_sent)),
+            ("airtime_us", self.airtime.to_json()),
+            ("frames_received", Json::u64(self.frames_received)),
+            ("lost_collision", Json::u64(self.lost_collision)),
+            ("lost_noise", Json::u64(self.lost_noise)),
+            ("lost_half_duplex", Json::u64(self.lost_half_duplex)),
+            ("cpu_time_us", self.cpu_time.to_json()),
+        ])
+    }
+}
+
+impl FromJson for NodeMetrics {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(NodeMetrics {
+            channel_accesses: field(j, "channel_accesses")?,
+            bytes_sent: field(j, "bytes_sent")?,
+            airtime: field(j, "airtime_us")?,
+            frames_received: field(j, "frames_received")?,
+            lost_collision: field(j, "lost_collision")?,
+            lost_noise: field(j, "lost_noise")?,
+            lost_half_duplex: field(j, "lost_half_duplex")?,
+            cpu_time: field(j, "cpu_time_us")?,
+        })
+    }
+}
+
+impl ToJson for Metrics {
+    fn to_json(&self) -> Json {
+        let per_node: Vec<Json> = self.iter().map(|(_, m)| m.to_json()).collect();
+        Json::obj([("collisions", Json::u64(self.collisions)), ("per_node", Json::arr(per_node))])
+    }
+}
+
+impl FromJson for Metrics {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Metrics::from_parts(field(j, "per_node")?, field(j, "collisions")?))
+    }
+}
+
+// ------------------------------------------------------------------ crypto
+
+impl ToJson for EcdsaCurve {
+    fn to_json(&self) -> Json {
+        Json::str(self.name())
+    }
+}
+
+impl FromJson for EcdsaCurve {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let name = j.as_str().ok_or_else(|| JsonError::msg("expected curve name"))?;
+        EcdsaCurve::ALL
+            .into_iter()
+            .find(|c| c.name() == name)
+            .ok_or_else(|| JsonError::msg(format!("unknown ECDSA curve \"{name}\"")))
+    }
+}
+
+impl ToJson for ThresholdCurve {
+    fn to_json(&self) -> Json {
+        Json::str(self.name())
+    }
+}
+
+impl FromJson for ThresholdCurve {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let name = j.as_str().ok_or_else(|| JsonError::msg("expected curve name"))?;
+        ThresholdCurve::ALL
+            .into_iter()
+            .find(|c| c.name() == name)
+            .ok_or_else(|| JsonError::msg(format!("unknown threshold curve \"{name}\"")))
+    }
+}
+
+impl ToJson for CryptoSuite {
+    fn to_json(&self) -> Json {
+        Json::obj([("ecdsa", self.ecdsa.to_json()), ("threshold", self.threshold.to_json())])
+    }
+}
+
+impl FromJson for CryptoSuite {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(CryptoSuite { ecdsa: field(j, "ecdsa")?, threshold: field(j, "threshold")? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn round_trip<T: ToJson + FromJson>(v: &T) -> T {
+        let text = v.to_json().pretty();
+        T::from_json(&parse(&text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn loss_models_round_trip() {
+        for m in [
+            LossModel::None,
+            LossModel::Uniform { p: 0.125 },
+            LossModel::PerReceiver { rates: vec![(NodeId(2), 0.5), (NodeId(0), 0.25)] },
+        ] {
+            let back = round_trip(&m);
+            assert_eq!(back.to_json(), m.to_json());
+        }
+    }
+
+    #[test]
+    fn adversary_and_params_round_trip() {
+        let a = AdversaryConfig {
+            jitter: Some(SimDuration::from_millis(10)),
+            targeted: vec![(NodeId(3), SimDuration::from_secs(1))],
+        };
+        assert_eq!(round_trip(&a).to_json(), a.to_json());
+        let r = RadioParams::lora_sf7();
+        assert_eq!(round_trip(&r), r);
+        let c = CsmaParams::lora_class();
+        assert_eq!(round_trip(&c), c);
+        let d = DmaParams::unaligned();
+        assert_eq!(round_trip(&d), d);
+        let s = CryptoSuite::medium();
+        assert_eq!(round_trip(&s), s);
+    }
+
+    #[test]
+    fn metrics_round_trip() {
+        let mut m = Metrics::new(2);
+        m.collisions = 3;
+        m.node_mut(NodeId(0)).channel_accesses = 7;
+        m.node_mut(NodeId(1)).airtime = SimDuration::from_millis(42);
+        let back = round_trip(&m);
+        assert_eq!(back.collisions, 3);
+        assert_eq!(back.node(NodeId(0)).channel_accesses, 7);
+        assert_eq!(back.node(NodeId(1)).airtime, SimDuration::from_millis(42));
+    }
+
+    #[test]
+    fn nan_round_trips_through_null() {
+        assert_eq!(f64::NAN.to_json(), Json::Null);
+        assert!(f64::from_json(&Json::Null).unwrap().is_nan());
+    }
+
+    #[test]
+    fn schema_mismatches_are_errors() {
+        assert!(LossModel::from_json(&parse(r#"{"kind":"gaussian"}"#).unwrap()).is_err());
+        assert!(EcdsaCurve::from_json(&Json::str("secp999r9")).is_err());
+        assert!(u64::from_json(&Json::str("7")).is_err());
+        assert!(NodeId::from_json(&Json::u64(1 << 40)).is_err());
+    }
+}

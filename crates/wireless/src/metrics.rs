@@ -44,6 +44,16 @@ impl Metrics {
         Metrics { per_node: vec![NodeMetrics::default(); n], collisions: 0 }
     }
 
+    /// Reassembles counters from per-node parts (report deserialization).
+    pub fn from_parts(per_node: Vec<NodeMetrics>, collisions: u64) -> Self {
+        Metrics { per_node, collisions }
+    }
+
+    /// Number of nodes tracked.
+    pub fn node_count(&self) -> usize {
+        self.per_node.len()
+    }
+
     /// Counters of one node.
     pub fn node(&self, id: NodeId) -> &NodeMetrics {
         &self.per_node[id.index()]

@@ -1,0 +1,221 @@
+//! `wbft sweep` — the user-facing scenario-sweep front-end.
+//!
+//! Expands a cartesian grid of testbed experiments, fans it across worker
+//! threads, writes one JSON report per scenario, and prints a results
+//! table. With `--verify-serial` it re-runs the whole grid on one thread
+//! and byte-compares every report against the parallel run — the CI
+//! `sweep-smoke` step drives exactly that.
+//!
+//! ```text
+//! cargo run --release --example sweep -- --protocols beat,hb-sc --seeds 7,8
+//! cargo run --release --example sweep -- --protocols all --both --threads 4
+//! cargo run --release --example sweep -- --loss 0.0,0.1 --byz silent@1 --verify-serial
+//! ```
+
+use std::time::Instant;
+use wbft_consensus::report::{report_root, scenario_string, write_reports};
+use wbft_consensus::sweep::{run_scenarios, sweep_threads, SweepSpec};
+use wbft_consensus::{ByzantineMode, Protocol};
+use wbft_wireless::LossModel;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep [--protocols LIST|all|batched|baselines] [--multihop | --both]\n\
+         \x20            [--seeds S1,S2,...] [--epochs E] [--batch B] [--n N]\n\
+         \x20            [--loss P1,P2,...] [--byz MODE@NODE,...] [--suites light,medium]\n\
+         \x20            [--threads T] [--out DIR] [--verify-serial]\n\
+         \n\
+         protocols: hb-lc hb-sc beat dumbo-lc dumbo-sc hb-sc-baseline beat-baseline\n\
+         \x20          dumbo-sc-baseline\n\
+         byz modes: silent flip corrupt crashN (e.g. crash1@2 = node 2 crashes after\n\
+         \x20          1 decided block); each --byz entry is a separate sweep axis value\n\
+         reports:   one <label>.json per scenario under --out\n\
+         \x20          (default target/reports/sweep); WBFT_SWEEP_THREADS sets the\n\
+         \x20          default worker count"
+    );
+    std::process::exit(2);
+}
+
+fn parse_protocols(arg: &str) -> Vec<Protocol> {
+    match arg {
+        "all" => Protocol::ALL.to_vec(),
+        "batched" => Protocol::BATCHED.to_vec(),
+        "baselines" => Protocol::BASELINES.to_vec(),
+        list => list
+            .split(',')
+            .map(|slug| Protocol::from_slug(slug).unwrap_or_else(|| usage()))
+            .collect(),
+    }
+}
+
+fn parse_byz(entry: &str) -> (usize, ByzantineMode) {
+    let (mode, node) = entry.split_once('@').unwrap_or_else(|| usage());
+    let node: usize = node.parse().unwrap_or_else(|_| usage());
+    let mode = match mode {
+        "silent" => ByzantineMode::Silent,
+        "flip" => ByzantineMode::FlipVotes,
+        "corrupt" => ByzantineMode::CorruptProposals,
+        m => match m.strip_prefix("crash").and_then(|e| e.parse().ok()) {
+            Some(after_epoch) => ByzantineMode::Crash { after_epoch },
+            None => usage(),
+        },
+    };
+    (node, mode)
+}
+
+fn parse_list<T: std::str::FromStr>(arg: &str) -> Vec<T> {
+    arg.split(',').map(|v| v.parse().unwrap_or_else(|_| usage())).collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut spec = SweepSpec::new("sweep");
+    spec.protocols = Protocol::ALL.to_vec();
+    let mut threads = sweep_threads();
+    let mut out = report_root().join("sweep");
+    let mut verify_serial = false;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().map(String::as_str).unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--protocols" => spec.protocols = parse_protocols(value()),
+            "--multihop" => spec.topologies = vec![Some(4)],
+            "--both" => spec.topologies = vec![None, Some(4)],
+            "--seeds" => spec.seeds = parse_list(value()),
+            "--epochs" => spec.epochs = value().parse().unwrap_or_else(|_| usage()),
+            "--batch" => spec.batch_size = value().parse().unwrap_or_else(|_| usage()),
+            "--n" => spec.n = value().parse().unwrap_or_else(|_| usage()),
+            "--loss" => {
+                spec.losses = parse_list::<f64>(value())
+                    .into_iter()
+                    .map(|p| if p == 0.0 { LossModel::None } else { LossModel::Uniform { p } })
+                    .collect()
+            }
+            "--byz" => {
+                // Each entry is one placement (one sweep-axis value), next
+                // to the all-honest placement.
+                let mut placements = vec![Vec::new()];
+                placements.extend(value().split(',').map(|e| vec![parse_byz(e)]));
+                spec.placements = placements;
+            }
+            "--suites" => {
+                spec.suites = value()
+                    .split(',')
+                    .map(|s| match s {
+                        "light" => wbft_crypto::CryptoSuite::light(),
+                        "medium" => wbft_crypto::CryptoSuite::medium(),
+                        _ => usage(),
+                    })
+                    .collect()
+            }
+            "--threads" => threads = value().parse().unwrap_or_else(|_| usage()),
+            "--out" => out = value().into(),
+            "--verify-serial" => verify_serial = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if spec.is_empty() {
+        usage();
+    }
+
+    let scenarios = spec.expand();
+    println!(
+        "sweep: {} scenarios ({} protocols x {} topologies x {} suites x {} loss x {} placements x {} seeds), {} threads",
+        scenarios.len(),
+        spec.protocols.len(),
+        spec.topologies.len(),
+        spec.suites.len(),
+        spec.losses.len(),
+        spec.placements.len(),
+        spec.seeds.len(),
+        threads,
+    );
+
+    let t0 = Instant::now();
+    let runs = run_scenarios(&scenarios, threads);
+    let parallel_wall = t0.elapsed();
+    let paths = write_reports(&out, &runs).unwrap_or_else(|e| {
+        eprintln!("cannot write reports to {}: {e}", out.display());
+        std::process::exit(1);
+    });
+
+    let widths = [46usize, 6, 12, 10, 12];
+    println!(
+        "\n{}",
+        fmt_row(
+            &["scenario".into(), "done".into(), "latency (s)".into(), "TPM".into(), "txs".into()],
+            &widths
+        )
+    );
+    for run in &runs {
+        println!(
+            "{}",
+            fmt_row(
+                &[
+                    run.scenario.label.clone(),
+                    if run.report.completed { "yes".into() } else { "NO".into() },
+                    format!("{:.1}", run.report.mean_latency_s),
+                    format!("{:.1}", run.report.throughput_tpm),
+                    run.report.total_txs.to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+    println!(
+        "\n{} reports written to {} in {:.2}s wall-clock",
+        paths.len(),
+        out.display(),
+        parallel_wall.as_secs_f64()
+    );
+
+    if verify_serial {
+        println!("verify-serial: re-running all {} scenarios on 1 thread…", scenarios.len());
+        let t1 = Instant::now();
+        let serial = run_scenarios(&scenarios, 1);
+        let serial_wall = t1.elapsed();
+        let mut mismatches = 0;
+        for (p, s) in runs.iter().zip(&serial) {
+            let parallel_text =
+                scenario_string(&p.scenario.label, &p.scenario.cfg, &p.report);
+            let serial_text = scenario_string(&s.scenario.label, &s.scenario.cfg, &s.report);
+            // Also re-read the file: the on-disk bytes must match too.
+            let disk = std::fs::read_to_string(out.join(format!("{}.json", p.scenario.label)))
+                .unwrap_or_default();
+            if parallel_text != serial_text || disk != serial_text {
+                eprintln!("MISMATCH: {}", p.scenario.label);
+                mismatches += 1;
+            } else if wbft_consensus::report::decode_scenario(&disk).is_err() {
+                eprintln!("UNPARSEABLE: {}", p.scenario.label);
+                mismatches += 1;
+            }
+        }
+        println!(
+            "verify-serial: {}/{} reports byte-identical; serial {:.2}s vs parallel {:.2}s ({:.2}x)",
+            runs.len() - mismatches,
+            runs.len(),
+            serial_wall.as_secs_f64(),
+            parallel_wall.as_secs_f64(),
+            serial_wall.as_secs_f64() / parallel_wall.as_secs_f64().max(1e-9),
+        );
+        if mismatches > 0 {
+            eprintln!("verify-serial FAILED: parallel and serial runs diverged");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Left-align the first column, right-align the rest.
+fn fmt_row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .enumerate()
+        .map(|(i, (c, w))| {
+            if i == 0 { format!("{c:<w$}", w = w) } else { format!("{c:>w$}", w = w) }
+        })
+        .collect::<Vec<_>>()
+        .join("  ")
+}

@@ -26,17 +26,7 @@ fn main() {
     if args.is_empty() {
         usage();
     }
-    let protocol = match args[0].as_str() {
-        "hb-lc" => Protocol::HoneyBadgerLc,
-        "hb-sc" => Protocol::HoneyBadgerSc,
-        "beat" => Protocol::Beat,
-        "dumbo-lc" => Protocol::DumboLc,
-        "dumbo-sc" => Protocol::DumboSc,
-        "hb-sc-baseline" => Protocol::HoneyBadgerScBaseline,
-        "beat-baseline" => Protocol::BeatBaseline,
-        "dumbo-sc-baseline" => Protocol::DumboScBaseline,
-        _ => usage(),
-    };
+    let protocol = Protocol::from_slug(&args[0]).unwrap_or_else(|| usage());
     let mut cfg = TestbedConfig::single_hop(protocol);
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {

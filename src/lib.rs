@@ -11,7 +11,10 @@
 //! * [`components`] — batched RBC / CBC / PRBC / ABA and their
 //!   per-instance baselines;
 //! * [`consensus`] — HoneyBadger / BEAT / Dumbo deployments, Byzantine
-//!   behaviours, multi-hop clustering, and the [`consensus::testbed`].
+//!   behaviours, multi-hop clustering, the [`consensus::testbed`], and the
+//!   parallel scenario-sweep harness ([`consensus::sweep`]);
+//! * [`report`] — minimal JSON codec behind the machine-readable
+//!   `target/reports/*.json` sweep reports.
 //!
 //! The repository-level integration tests and examples are built against
 //! this crate; see the individual crates for the real API surface.
@@ -20,4 +23,5 @@ pub use wbft_components as components;
 pub use wbft_consensus as consensus;
 pub use wbft_crypto as crypto;
 pub use wbft_net as net;
+pub use wbft_report as report;
 pub use wbft_wireless as wireless;

@@ -66,6 +66,48 @@ fn crash_after_first_epoch_does_not_block_progress() {
     assert_eq!(report.epoch_latencies.len(), 2);
 }
 
+/// The full corruption matrix: every `ByzantineMode` × {HoneyBadger, Dumbo}
+/// with f = 1 of n = 4 still commits non-empty quorum blocks within the
+/// deadline. `Crash { after_epoch: 1 }` needs two epochs so the crash lands
+/// mid-run; the other modes are active from epoch one.
+#[test]
+fn byzantine_matrix_every_mode_hb_and_dumbo() {
+    let batch = 8;
+    for protocol in [Protocol::HoneyBadgerSc, Protocol::DumboSc] {
+        for mode in ByzantineMode::ALL {
+            let mut cfg = cfg_with(protocol, 1, mode);
+            if let ByzantineMode::Crash { after_epoch } = mode {
+                cfg.epochs = after_epoch + 1;
+            }
+            let report = run(&cfg);
+            assert!(
+                report.completed,
+                "{protocol} with byzantine mode {mode:?} must commit within deadline"
+            );
+            assert_eq!(
+                report.epoch_latencies.len() as u64,
+                cfg.epochs,
+                "{protocol}/{mode:?}: every epoch must decide"
+            );
+            // Fail-silent modes can only suppress the faulty node's own
+            // proposal: at least n-2f honest proposals land per epoch. The
+            // active corruptions can additionally get honest proposals
+            // excluded by the ACS, but never starve an epoch entirely.
+            let floor = match mode {
+                ByzantineMode::Silent | ByzantineMode::Crash { .. } => {
+                    2 * batch as u64 * cfg.epochs
+                }
+                ByzantineMode::FlipVotes | ByzantineMode::CorruptProposals => 1,
+            };
+            assert!(
+                report.total_txs >= floor,
+                "{protocol}/{mode:?}: committed {} txs, need >= {floor}",
+                report.total_txs
+            );
+        }
+    }
+}
+
 #[test]
 fn local_coin_variant_survives_byzantine_node() {
     let report = run(&cfg_with(Protocol::HoneyBadgerLc, 1, ByzantineMode::FlipVotes));

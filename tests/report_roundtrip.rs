@@ -1,0 +1,208 @@
+//! Property tests for the serialization layer: batch encoding and the JSON
+//! report codec.
+//!
+//! * `encode_batch`/`decode_batch` round-trip on arbitrary transaction
+//!   vectors (including empty and max-size transactions), and `decode_batch`
+//!   returns `None` — never panics — on truncated or garbage input.
+//! * JSON: `encode → decode → encode` is a fixpoint for `RunReport` and
+//!   `TestbedConfig`, and the parser never panics on arbitrary input.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use wbft_consensus::testbed::{RunReport, TestbedConfig};
+use wbft_consensus::workload::{decode_batch, encode_batch};
+use wbft_consensus::{ByzantineMode, Protocol};
+use wbft_report::{parse, FromJson, Json, ToJson};
+use wbft_wireless::{LossModel, Metrics, NodeId, NodeMetrics, SimDuration};
+
+fn arb_txs() -> impl Strategy<Value = Vec<Bytes>> {
+    proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..200).prop_map(Bytes::from),
+        0..20,
+    )
+}
+
+fn arb_protocol() -> impl Strategy<Value = Protocol> {
+    (0usize..Protocol::ALL.len()).prop_map(|i| Protocol::ALL[i])
+}
+
+fn arb_byzantine() -> impl Strategy<Value = Vec<(usize, ByzantineMode)>> {
+    proptest::collection::vec(
+        (0usize..4, 0usize..4, any::<u64>()).prop_map(|(node, mode, epoch)| {
+            let mode = match mode {
+                0 => ByzantineMode::Silent,
+                1 => ByzantineMode::Crash { after_epoch: epoch % 8 },
+                2 => ByzantineMode::FlipVotes,
+                _ => ByzantineMode::CorruptProposals,
+            };
+            (node, mode)
+        }),
+        0..3,
+    )
+}
+
+fn arb_config() -> impl Strategy<Value = TestbedConfig> {
+    (arb_protocol(), any::<u64>(), 0u64..1_000, arb_byzantine(), any::<f64>(), any::<bool>())
+        .prop_map(|(protocol, seed, epochs, byzantine, p, multihop)| {
+            let mut cfg = if multihop {
+                TestbedConfig::multi_hop(protocol)
+            } else {
+                TestbedConfig::single_hop(protocol)
+            };
+            cfg.seed = seed;
+            cfg.epochs = epochs;
+            cfg.byzantine = byzantine;
+            cfg.loss = if p < 0.5 { LossModel::None } else { LossModel::Uniform { p } };
+            cfg
+        })
+}
+
+fn arb_metrics() -> impl Strategy<Value = Metrics> {
+    proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..8).prop_map(|rows| {
+        let n = rows.len();
+        let mut m = Metrics::new(n);
+        for (i, (accesses, bytes, airtime)) in rows.into_iter().enumerate() {
+            let node = m.node_mut(NodeId(i as u16));
+            *node = NodeMetrics {
+                channel_accesses: accesses,
+                bytes_sent: bytes,
+                airtime: SimDuration::from_micros(airtime),
+                frames_received: accesses ^ bytes,
+                lost_collision: accesses % 7,
+                lost_noise: bytes % 5,
+                lost_half_duplex: airtime % 3,
+                cpu_time: SimDuration::from_micros(bytes.wrapping_mul(3)),
+            };
+        }
+        m.collisions = n as u64 * 2;
+        m
+    })
+}
+
+fn arb_report() -> impl Strategy<Value = RunReport> {
+    (
+        any::<bool>(),
+        any::<u64>(),
+        proptest::collection::vec(any::<u64>(), 0..6),
+        any::<f64>(),
+        any::<f64>(),
+        any::<u64>(),
+        arb_metrics(),
+    )
+        .prop_map(|(completed, elapsed, lats, mean, tpm, txs, metrics)| RunReport {
+            completed,
+            elapsed: SimDuration::from_micros(elapsed),
+            epoch_latencies: lats.into_iter().map(SimDuration::from_micros).collect(),
+            // Exercise the NaN-as-null path on a slice of cases.
+            mean_latency_s: if mean < 0.1 { f64::NAN } else { mean },
+            throughput_tpm: tpm,
+            total_txs: txs,
+            channel_accesses_per_node: tpm * 3.0,
+            bytes_on_air: txs.wrapping_mul(17),
+            collisions: txs % 11,
+            metrics,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn batch_roundtrip(txs in arb_txs()) {
+        let enc = encode_batch(&txs);
+        prop_assert_eq!(decode_batch(&enc), Some(txs));
+    }
+
+    #[test]
+    fn batch_decode_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = decode_batch(&data); // must return, never panic
+    }
+
+    #[test]
+    fn batch_decode_rejects_any_truncation(txs in arb_txs()) {
+        prop_assume!(!txs.is_empty());
+        let enc = encode_batch(&txs);
+        // Every strict prefix is malformed: the count header promises more
+        // bytes than remain, so decode must refuse (never panic).
+        for cut in 0..enc.len() {
+            prop_assert_eq!(decode_batch(&enc[..cut]), None, "prefix of {} bytes", cut);
+        }
+    }
+
+    #[test]
+    fn batch_decode_rejects_trailing_garbage(txs in arb_txs(), extra in 1usize..8) {
+        let mut enc = encode_batch(&txs).to_vec();
+        enc.extend(std::iter::repeat_n(0xAB, extra));
+        prop_assert_eq!(decode_batch(&enc), None);
+    }
+
+    #[test]
+    fn run_report_json_is_a_fixpoint(report in arb_report()) {
+        let once = report.to_json().pretty();
+        let decoded = RunReport::from_json(&parse(&once).unwrap()).unwrap();
+        prop_assert_eq!(decoded.to_json().pretty(), once);
+    }
+
+    #[test]
+    fn testbed_config_json_is_a_fixpoint(cfg in arb_config()) {
+        let once = cfg.to_json().pretty();
+        let decoded = TestbedConfig::from_json(&parse(&once).unwrap()).unwrap();
+        prop_assert_eq!(decoded.to_json().pretty(), once);
+    }
+
+    #[test]
+    fn json_parser_never_panics(text in any::<String>()) {
+        let _ = parse(&text); // must return, never panic
+    }
+
+    #[test]
+    fn json_parser_never_panics_on_bytes(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        if let Ok(text) = std::str::from_utf8(&data) {
+            let _ = parse(text);
+        }
+    }
+
+    #[test]
+    fn json_scalars_round_trip(u in any::<u64>(), f in any::<f64>(), s in any::<String>()) {
+        let doc = Json::obj([
+            ("u", Json::u64(u)),
+            ("f", Json::f64(f)),
+            ("s", Json::str(s.clone())),
+        ]);
+        let back = parse(&doc.pretty()).unwrap();
+        prop_assert_eq!(back.get("u").and_then(Json::as_u64), Some(u));
+        prop_assert_eq!(back.get("f").and_then(Json::as_f64), Some(f));
+        prop_assert_eq!(back.get("s").and_then(Json::as_str), Some(s.as_str()));
+    }
+}
+
+/// The format's largest transaction: a u16 length prefix caps one tx at
+/// 65535 bytes; such a batch must round-trip exactly.
+#[test]
+fn max_size_transaction_roundtrip() {
+    let txs = vec![Bytes::from(vec![0x5A; u16::MAX as usize]), Bytes::new()];
+    let enc = encode_batch(&txs);
+    assert_eq!(decode_batch(&enc), Some(txs));
+}
+
+/// NaN means "no epochs decided"; it crosses JSON as null and comes back
+/// as NaN, and the encoding stays a fixpoint.
+#[test]
+fn nan_mean_latency_crosses_json() {
+    let report = RunReport {
+        completed: false,
+        elapsed: SimDuration::ZERO,
+        epoch_latencies: vec![],
+        mean_latency_s: f64::NAN,
+        throughput_tpm: 0.0,
+        total_txs: 0,
+        channel_accesses_per_node: 0.0,
+        bytes_on_air: 0,
+        collisions: 0,
+        metrics: Metrics::new(0),
+    };
+    let text = report.to_json().pretty();
+    let decoded = RunReport::from_json(&parse(&text).unwrap()).unwrap();
+    assert!(decoded.mean_latency_s.is_nan());
+    assert_eq!(decoded.to_json().pretty(), text);
+}
