@@ -1,0 +1,208 @@
+//! Hotpath crypto microbench — the repo's first perf-trajectory baseline.
+//!
+//! Times the exponentiation fast paths that dominate every simulated
+//! deployment (fixed-base windowed pow, simultaneous multi-exponentiation,
+//! batched share verification at the quorum sizes the protocols actually
+//! collect: `f+1`/`2f+1` for n = 4, 13, 25) against their naive
+//! counterparts, prints the table, and writes a JSON report to
+//! `target/reports/hotpath/` so CI can track the numbers across PRs.
+//!
+//! Acceptance gate: quorum-9 batched share verification must be ≥ 3× faster
+//! than per-share verification.
+
+use rand::SeedableRng;
+use std::time::Instant;
+use wbft_bench::{banner, report_dir, row, write_json};
+use wbft_crypto::{thresh_sig, GroupElem, PrecomputedBase, Scalar, ThresholdCurve};
+use wbft_report::Json;
+
+/// Quorum sizes under test: the `f+1` and `2f+1` thresholds of small and
+/// mid-size deployments.
+const QUORUMS: [usize; 4] = [2, 5, 9, 17];
+
+/// Mean microseconds per call over `reps` calls (one warmup call first).
+fn time_us<R>(reps: u32, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    t0.elapsed().as_secs_f64() * 1e6 / reps as f64
+}
+
+fn rand_scalars(rng: &mut impl rand::RngCore, k: usize) -> Vec<Scalar> {
+    (0..k).map(|_| Scalar::random(rng)).collect()
+}
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xfa57);
+    let reps: u32 = std::env::var("WBFT_HOTPATH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+
+    // ---------------------------------------------------------- single pow
+    banner(
+        "Hotpath 1 — fixed-base exponentiation (µs/op)",
+        "square-and-multiply vs 4-bit-window table (the generator's table)",
+    );
+    let exps = rand_scalars(&mut rng, 32);
+    let g = GroupElem::generator();
+    let mut i = 0usize;
+    let naive_pow_us = time_us(reps, || {
+        i += 1;
+        g.pow(&exps[i % exps.len()])
+    });
+    let mut i = 0usize;
+    let windowed_pow_us = time_us(reps, || {
+        i += 1;
+        GroupElem::from_exponent(&exps[i % exps.len()])
+    });
+    let base = GroupElem::from_exponent(&exps[0]);
+    let table_build_us = time_us(reps.min(16), || PrecomputedBase::new(&base));
+    println!("  naive pow        {naive_pow_us:9.1}");
+    println!("  windowed pow     {windowed_pow_us:9.1}");
+    println!("  table build      {table_build_us:9.1} (one-time per base)");
+    assert!(
+        windowed_pow_us < naive_pow_us,
+        "windowed pow ({windowed_pow_us:.1}µs) must beat naive ({naive_pow_us:.1}µs)"
+    );
+
+    // ------------------------------------------------------ multi_pow
+    banner(
+        "Hotpath 2 — simultaneous multi-exponentiation (µs/op)",
+        "Π bᵢ^eᵢ: naive per-base pows vs Straus/Pippenger multi_pow",
+    );
+    let widths = [6usize, 12, 12, 9];
+    println!(
+        "{}",
+        row(&["k".into(), "naive".into(), "multi_pow".into(), "speedup".into()], &widths)
+    );
+    let mut multi_rows = Vec::new();
+    for k in QUORUMS {
+        let pairs: Vec<(GroupElem, Scalar)> = rand_scalars(&mut rng, k)
+            .into_iter()
+            .map(|e| (GroupElem::from_exponent(&e), Scalar::random(&mut rng)))
+            .collect();
+        let naive = pairs.iter().fold(GroupElem::identity(), |acc, (b, e)| acc.mul(&b.pow(e)));
+        assert_eq!(GroupElem::multi_pow(&pairs), naive, "multi_pow disagrees at k={k}");
+        let naive_us = time_us(reps, || {
+            pairs.iter().fold(GroupElem::identity(), |acc, (b, e)| acc.mul(&b.pow(e)))
+        });
+        let multi_us = time_us(reps, || GroupElem::multi_pow(&pairs));
+        let speedup = naive_us / multi_us;
+        println!(
+            "{}",
+            row(
+                &[
+                    k.to_string(),
+                    format!("{naive_us:.1}"),
+                    format!("{multi_us:.1}"),
+                    format!("{speedup:.2}x"),
+                ],
+                &widths
+            )
+        );
+        multi_rows.push(Json::obj([
+            ("k", Json::u64(k as u64)),
+            ("naive_us", Json::f64(naive_us)),
+            ("multi_pow_us", Json::f64(multi_us)),
+            ("speedup", Json::f64(speedup)),
+        ]));
+    }
+
+    // -------------------------------------------------- batch verification
+    banner(
+        "Hotpath 3 — share verification at quorum size (µs/quorum)",
+        "per-share checks vs one random-linear-combination batch",
+    );
+    let widths = [8usize, 12, 12, 14, 9];
+    println!(
+        "{}",
+        row(
+            &[
+                "quorum".into(),
+                "per-share".into(),
+                "batch".into(),
+                "batch+table".into(),
+                "speedup".into()
+            ],
+            &widths
+        )
+    );
+    let msg = b"hotpath: batched share verification";
+    let mut batch_rows = Vec::new();
+    let mut speedup_q9 = 0.0f64;
+    for q in QUORUMS {
+        // A (q-1, q) deal: exactly q shares form the quorum under test.
+        let (pks, sks) = thresh_sig::deal(q, q - 1, ThresholdCurve::Bn158, &mut rng);
+        let shares: Vec<_> = sks.iter().map(|sk| sk.sign_share(msg)).collect();
+        pks.verify_shares(msg, &shares).expect("honest batch must verify");
+        let per_share_us = time_us(reps, || {
+            for s in &shares {
+                pks.verify_share(msg, s).unwrap();
+            }
+        });
+        let batch_us = time_us(reps, || pks.verify_shares(msg, &shares).unwrap());
+        // Same keys with the opt-in window tables built.
+        let pks_tables = pks.clone();
+        pks_tables.precompute();
+        let batch_precomp_us =
+            time_us(reps, || pks_tables.verify_shares(msg, &shares).unwrap());
+        let speedup = per_share_us / batch_us;
+        if q == 9 {
+            speedup_q9 = speedup;
+        }
+        println!(
+            "{}",
+            row(
+                &[
+                    q.to_string(),
+                    format!("{per_share_us:.1}"),
+                    format!("{batch_us:.1}"),
+                    format!("{batch_precomp_us:.1}"),
+                    format!("{speedup:.2}x"),
+                ],
+                &widths
+            )
+        );
+        batch_rows.push(Json::obj([
+            ("quorum", Json::u64(q as u64)),
+            ("per_share_us", Json::f64(per_share_us)),
+            ("batch_us", Json::f64(batch_us)),
+            ("batch_precomp_us", Json::f64(batch_precomp_us)),
+            ("speedup", Json::f64(speedup)),
+        ]));
+    }
+
+    // ----------------------------------------------------------- report
+    let report = Json::obj([
+        ("kind", Json::str("hotpath-crypto")),
+        ("reps", Json::u64(reps as u64)),
+        (
+            "pow",
+            Json::obj([
+                ("naive_us", Json::f64(naive_pow_us)),
+                ("windowed_us", Json::f64(windowed_pow_us)),
+                ("table_build_us", Json::f64(table_build_us)),
+            ]),
+        ),
+        ("multi_pow", Json::arr(multi_rows)),
+        ("batch_verify", Json::arr(batch_rows)),
+    ]);
+    let path = report_dir("hotpath").join("hotpath_crypto.json");
+    write_json(&path, &report);
+    println!("\nreport: {}", path.display());
+
+    // Acceptance floor, overridable for noisy shared runners (CI passes a
+    // lower floor and tracks the real number through the JSON report).
+    let floor: f64 = std::env::var("WBFT_HOTPATH_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+    assert!(
+        speedup_q9 >= floor,
+        "quorum-9 batch verification speedup {speedup_q9:.2}x below the {floor}x floor"
+    );
+    println!("[hotpath_crypto] OK (quorum-9 batch speedup {speedup_q9:.2}x >= {floor}x)");
+}

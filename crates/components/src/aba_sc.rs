@@ -25,6 +25,7 @@
 //! claims are adopted (at least one is honest).
 
 use crate::context::{Actions, BinaryAgreement, Params, RetxState};
+use crate::share_buf::CoinShareBuf;
 use std::collections::BTreeMap;
 use wbft_crypto::thresh_coin::{CoinName, CoinPublicSet, CoinSecretShare, CoinShare};
 use wbft_net::packets::AbaScInst;
@@ -127,8 +128,8 @@ impl Inst {
 /// State of one common coin (per domain and round).
 #[derive(Debug, Default)]
 struct CoinState {
-    shares: Vec<CoinShare>,
-    reporters: u64,
+    /// Buffered coin shares, batch-verified at quorum (see `share_buf`).
+    shares: CoinShareBuf,
     /// This node has released its own share.
     released: bool,
     value: Option<u64>,
@@ -189,6 +190,7 @@ impl AbaScBatch {
         coin_pub: CoinPublicSet,
         coin_sec: CoinSecretShare,
     ) -> Self {
+        coin_pub.precompute();
         let insts = (0..p.n).map(|_| Inst::new(p.n)).collect();
         AbaScBatch {
             p,
@@ -250,7 +252,8 @@ impl AbaScBatch {
         }
     }
 
-    /// Charges and verifies a peer's coin share, recording it.
+    /// Charges and buffers a peer's coin share; the buffered quorum is
+    /// batch-verified and combined in one pass.
     fn record_coin_share(
         &mut self,
         domain: u8,
@@ -260,20 +263,16 @@ impl AbaScBatch {
     ) {
         let (_, verify_us, combine_us) = self.coin_costs();
         let name = self.coin_name(domain, round);
+        let need = self.coin_pub.threshold() + 1;
+        let n = self.p.n;
         let state = self.coins.entry((domain, round)).or_default();
-        let bit = 1u64 << (share.index.value() - 1);
-        if state.reporters & bit != 0 || state.value.is_some() {
+        if state.value.is_some() || !state.shares.insert(*share, n) {
             return;
         }
         acts.charge(verify_us);
-        if self.coin_pub.verify_share(name, share).is_err() {
-            return;
-        }
-        state.reporters |= bit;
-        state.shares.push(*share);
-        if state.shares.len() > self.coin_pub.threshold() {
+        if state.shares.settle(&self.coin_pub, name, need) {
             acts.charge(combine_us);
-            if let Ok(v) = self.coin_pub.combine_value(name, &state.shares) {
+            if let Ok(v) = self.coin_pub.combine_value(name, state.shares.shares()) {
                 state.value = Some(v);
             }
         }
@@ -493,7 +492,7 @@ impl AbaScBatch {
         for ((_, _), state) in self.coins.iter() {
             if state.released && state.value.is_none() {
                 for node in 0..self.p.n {
-                    if state.reporters & (1 << node) == 0 {
+                    if state.shares.reporters() & (1 << node) == 0 {
                         share_nack.set(node, true);
                     }
                 }

@@ -10,6 +10,7 @@
 
 use crate::aba_sc::AbaScBatch;
 use crate::context::{Actions, BinaryAgreement, Broadcaster, Params, RetxState};
+use crate::share_buf::SigShareBuf;
 use bytes::Bytes;
 use std::collections::HashSet;
 use wbft_crypto::hash::Digest32;
@@ -300,8 +301,8 @@ struct BCbcInst {
     frags: Vec<Option<Bytes>>,
     value: Option<Bytes>,
     my_share_sent: bool,
-    shares: Vec<SigShare>,
-    reporters: u64,
+    /// Buffered echo shares, batch-verified at quorum (see `share_buf`).
+    shares: SigShareBuf,
     finish: Option<ThresholdSignature>,
     delivered: bool,
 }
@@ -318,6 +319,7 @@ fn cbc_echo_msg(session: u64, instance: usize, root: &Digest32) -> Vec<u8> {
 impl BaselineCbcSet {
     /// Creates the set over the `(2f, n)` CBC key set.
     pub fn new(p: Params, keys: PublicKeySet, secret: SecretKeyShare) -> Self {
+        keys.precompute();
         BaselineCbcSet {
             insts: (0..p.n).map(|_| BCbcInst::default()).collect(),
             retx: RetxState::new(RetransmitPolicy::lora_class(), &p),
@@ -372,25 +374,19 @@ impl BaselineCbcSet {
             return;
         }
         let Some(root) = self.insts[instance].claimed_root else { return };
-        let bit = 1u64 << (share.index.value() - 1);
-        if self.insts[instance].reporters & bit != 0 {
+        if !self.insts[instance].shares.insert(share, self.p.n) {
             return;
         }
         if !own {
             acts.charge(self.keys.profile().verify_share_us);
         }
-        let msg = cbc_echo_msg(self.p.session, instance, &root);
-        if self.keys.verify_share(&msg, &share).is_err() {
-            return;
-        }
         let quorum = self.p.quorum();
         let combine_cost = self.keys.profile().combine_us;
-        let inst = &mut self.insts[instance];
-        inst.reporters |= bit;
-        inst.shares.push(share);
-        if inst.shares.len() >= quorum {
+        let msg = cbc_echo_msg(self.p.session, instance, &root);
+        if self.insts[instance].shares.settle(&self.keys, &msg, quorum) {
             acts.charge(combine_cost);
-            if let Ok(sig) = self.keys.combine(&inst.shares) {
+            if let Ok(sig) = self.keys.combine(self.insts[instance].shares.shares()) {
+                let inst = &mut self.insts[instance];
                 inst.finish = Some(sig);
                 inst.delivered = true;
                 acts.send(Body::BaseCbcFinish { instance: instance as u8, root, sig });
@@ -555,8 +551,8 @@ pub struct BaselinePrbcSet {
     keys: PublicKeySet,
     secret: SecretKeyShare,
     my_done: Vec<bool>,
-    shares: Vec<Vec<SigShare>>,
-    reporters: Vec<u64>,
+    /// Buffered DONE shares per instance, batch-verified at quorum.
+    shares: Vec<SigShareBuf>,
     proofs: Vec<Option<ThresholdSignature>>,
 }
 
@@ -572,11 +568,11 @@ fn prbc_done_msg(session: u64, instance: usize, root: &Digest32) -> Vec<u8> {
 impl BaselinePrbcSet {
     /// Creates the set over the `(f, n)` proof key set.
     pub fn new(p: Params, keys: PublicKeySet, secret: SecretKeyShare) -> Self {
+        keys.precompute();
         BaselinePrbcSet {
             rbc: BaselineRbcSet::new(p),
             my_done: vec![false; p.n],
-            shares: vec![Vec::new(); p.n],
-            reporters: vec![0; p.n],
+            shares: vec![SigShareBuf::default(); p.n],
             proofs: vec![None; p.n],
             keys,
             secret,
@@ -616,22 +612,18 @@ impl BaselinePrbcSet {
             return;
         }
         let Some(root) = self.rbc.delivered_root(instance) else { return };
-        let bit = 1u64 << (share.index.value() - 1);
-        if self.reporters[instance] & bit != 0 {
+        let n = self.p().n;
+        if !self.shares[instance].insert(share, n) {
             return;
         }
         if !own {
             acts.charge(self.keys.profile().verify_share_us);
         }
+        let need = self.p().f + 1;
         let msg = prbc_done_msg(self.p().session, instance, &root);
-        if self.keys.verify_share(&msg, &share).is_err() {
-            return;
-        }
-        self.reporters[instance] |= bit;
-        self.shares[instance].push(share);
-        if self.shares[instance].len() > self.p().f {
+        if self.shares[instance].settle(&self.keys, &msg, need) {
             acts.charge(self.keys.profile().combine_us);
-            if let Ok(sig) = self.keys.combine(&self.shares[instance]) {
+            if let Ok(sig) = self.keys.combine(self.shares[instance].shares()) {
                 self.proofs[instance] = Some(sig);
             }
         }

@@ -13,6 +13,7 @@
 //! certificates ride in one combined `CBC_EF` packet per channel access.
 
 use crate::context::{Actions, Broadcaster, Params, RetxState};
+use crate::share_buf::SigShareBuf;
 use bytes::Bytes;
 use wbft_crypto::hash::Digest32;
 use wbft_crypto::thresh_sig::{PublicKeySet, SecretKeyShare, SigShare, ThresholdSignature};
@@ -39,9 +40,8 @@ struct Inst {
     frags: Vec<Option<Bytes>>,
     value: Option<Bytes>,
     my_share_sent: bool,
-    /// Leader only: collected echo shares.
-    shares: Vec<SigShare>,
-    share_reporters: u64,
+    /// Leader only: buffered echo shares, batch-verified at quorum.
+    shares: SigShareBuf,
     finish: Option<ThresholdSignature>,
     delivered: bool,
     peers_need_init: bool,
@@ -62,6 +62,7 @@ pub struct CbcBatch {
 impl CbcBatch {
     /// Creates the batch over the `(2f, n)` CBC key set.
     pub fn new(p: Params, keys: PublicKeySet, secret: SecretKeyShare) -> Self {
+        keys.precompute();
         let insts = (0..p.n).map(|_| Inst::default()).collect();
         CbcBatch {
             p,
@@ -133,7 +134,8 @@ impl CbcBatch {
                 finish_nack.set(j, true);
             }
             if self.p.me == j && inst.finish.is_none() {
-                echo_nack.set(j, (inst.share_reporters.count_ones() as usize) < self.p.quorum());
+                echo_nack
+                    .set(j, (inst.shares.reporters().count_ones() as usize) < self.p.quorum());
             }
         }
         Body::CbcEchoFinish {
@@ -198,7 +200,7 @@ impl CbcBatch {
         }
     }
 
-    /// Leader-side share collection.
+    /// Leader-side share collection: buffer now, batch-verify at quorum.
     fn record_share(&mut self, instance: usize, share: SigShare, acts: &mut Actions) {
         if instance != self.p.me {
             return; // only the leader combines
@@ -207,24 +209,21 @@ impl CbcBatch {
             Some(r) => r,
             None => return,
         };
-        let bit = 1u64 << (share.index.value() - 1);
-        if self.insts[instance].share_reporters & bit != 0 || self.insts[instance].finish.is_some()
-        {
+        if self.insts[instance].finish.is_some() {
             return;
         }
-        let msg = echo_msg(self.p.session, instance, &root);
-        if share.index.value() as usize != self.p.me + 1 {
+        let own = share.index.value() as usize == self.p.me + 1;
+        if !self.insts[instance].shares.insert(share, self.p.n) {
+            return;
+        }
+        if !own {
             acts.charge(self.keys.profile().verify_share_us);
         }
-        if self.keys.verify_share(&msg, &share).is_err() {
-            return;
-        }
-        let inst = &mut self.insts[instance];
-        inst.share_reporters |= bit;
-        inst.shares.push(share);
-        if inst.shares.len() >= self.p.quorum() {
+        let msg = echo_msg(self.p.session, instance, &root);
+        if self.insts[instance].shares.settle(&self.keys, &msg, self.p.quorum()) {
             acts.charge(self.keys.profile().combine_us);
-            if let Ok(sig) = self.keys.combine(&inst.shares) {
+            if let Ok(sig) = self.keys.combine(self.insts[instance].shares.shares()) {
+                let inst = &mut self.insts[instance];
                 inst.finish = Some(sig);
                 inst.delivered = true;
                 self.dirty = true;
@@ -409,8 +408,7 @@ pub struct CbcSmallBatch {
     secret: SecretKeyShare,
     values: Vec<Option<Bitmap>>,
     my_share_sent: Vec<bool>,
-    shares: Vec<Vec<SigShare>>,
-    share_reporters: Vec<u64>,
+    shares: Vec<SigShareBuf>,
     finish: Vec<Option<ThresholdSignature>>,
     dirty: bool,
     timer_armed: bool,
@@ -425,13 +423,13 @@ fn small_root(v: &Bitmap) -> Digest32 {
 impl CbcSmallBatch {
     /// Creates the batch over the `(2f, n)` CBC key set.
     pub fn new(p: Params, keys: PublicKeySet, secret: SecretKeyShare) -> Self {
+        keys.precompute();
         CbcSmallBatch {
             keys,
             secret,
             values: vec![None; p.n],
             my_share_sent: vec![false; p.n],
-            shares: vec![Vec::new(); p.n],
-            share_reporters: vec![0; p.n],
+            shares: vec![SigShareBuf::default(); p.n],
             finish: vec![None; p.n],
             dirty: false,
             timer_armed: false,
@@ -487,22 +485,17 @@ impl CbcSmallBatch {
             return;
         }
         let Some(value) = self.values[instance] else { return };
-        let bit = 1u64 << (share.index.value() - 1);
-        if self.share_reporters[instance] & bit != 0 {
+        let own = share.index.value() as usize == self.p.me + 1;
+        if !self.shares[instance].insert(share, self.p.n) {
             return;
         }
-        let msg = echo_msg(self.p.session, instance, &small_root(&value));
-        if share.index.value() as usize != self.p.me + 1 {
+        if !own {
             acts.charge(self.keys.profile().verify_share_us);
         }
-        if self.keys.verify_share(&msg, &share).is_err() {
-            return;
-        }
-        self.share_reporters[instance] |= bit;
-        self.shares[instance].push(share);
-        if self.shares[instance].len() >= self.p.quorum() {
+        let msg = echo_msg(self.p.session, instance, &small_root(&value));
+        if self.shares[instance].settle(&self.keys, &msg, self.p.quorum()) {
             acts.charge(self.keys.profile().combine_us);
-            if let Ok(sig) = self.keys.combine(&self.shares[instance]) {
+            if let Ok(sig) = self.keys.combine(self.shares[instance].shares()) {
                 self.finish[instance] = Some(sig);
                 self.dirty = true;
             }
@@ -552,7 +545,8 @@ impl CbcSmallBatch {
                 None => finish_nack.set(j, true),
             }
             if j == self.p.me && self.finish[j].is_none() {
-                echo_nack.set(j, (self.share_reporters[j].count_ones() as usize) < self.p.quorum());
+                echo_nack
+                    .set(j, (self.shares[j].reporters().count_ones() as usize) < self.p.quorum());
             }
         }
         Body::CbcSmall { values, echo_shares, finish_sigs, init_nack, echo_nack, finish_nack }

@@ -57,5 +57,7 @@ pub mod context;
 pub mod prbc;
 pub mod rbc;
 pub mod rbc_small;
+pub mod share_buf;
 
 pub use context::{deal_node_crypto, Actions, BinaryAgreement, Broadcaster, NodeCrypto, Params};
+pub use share_buf::{CoinShareBuf, SigShareBuf};

@@ -11,6 +11,7 @@
 
 use crate::context::{Actions, Broadcaster, Params, RetxState};
 use crate::rbc::RbcBatch;
+use crate::share_buf::SigShareBuf;
 use bytes::Bytes;
 use wbft_crypto::hash::Digest32;
 use wbft_crypto::thresh_sig::{PublicKeySet, SecretKeyShare, SigShare, ThresholdSignature};
@@ -32,8 +33,8 @@ fn done_msg(session: u64, instance: usize, root: &Digest32) -> Vec<u8> {
 #[derive(Debug, Default)]
 struct DoneInst {
     my_share_sent: bool,
-    shares: Vec<SigShare>,
-    reporters: u64,
+    /// Buffered DONE shares, batch-verified at quorum (see `share_buf`).
+    shares: SigShareBuf,
     proof: Option<ThresholdSignature>,
 }
 
@@ -52,6 +53,9 @@ pub struct PrbcBatch {
 impl PrbcBatch {
     /// Creates the batch over the `(f, n)` PRBC proof key set.
     pub fn new(p: Params, keys: PublicKeySet, secret: SecretKeyShare) -> Self {
+        // Window tables are shared by every clone of the dealt key set, so
+        // this builds them once per deployment, not once per node.
+        keys.precompute();
         PrbcBatch {
             rbc: RbcBatch::new(p),
             done: (0..p.n).map(|_| DoneInst::default()).collect(),
@@ -112,26 +116,22 @@ impl PrbcBatch {
             // NACK machinery will fetch the value first.
             return;
         };
-        let bit = 1u64 << (share.index.value() - 1);
-        if self.done[instance].reporters & bit != 0 {
+        // Buffer now, batch-verify at quorum; the virtual verify cost is
+        // still charged per accepted share, as before.
+        let n = self.p().n;
+        if !self.done[instance].shares.insert(share, n) {
             return;
         }
         if !own {
             acts.charge(self.keys.profile().verify_share_us);
         }
-        let msg = done_msg(self.p().session, instance, &root);
-        if self.keys.verify_share(&msg, &share).is_err() {
-            return;
-        }
         let need = self.p().f + 1;
         let combine_cost = self.keys.profile().combine_us;
-        let d = &mut self.done[instance];
-        d.reporters |= bit;
-        d.shares.push(share);
-        if d.shares.len() >= need {
+        let msg = done_msg(self.p().session, instance, &root);
+        if self.done[instance].shares.settle(&self.keys, &msg, need) {
             acts.charge(combine_cost);
-            if let Ok(sig) = self.keys.combine(&d.shares) {
-                d.proof = Some(sig);
+            if let Ok(sig) = self.keys.combine(self.done[instance].shares.shares()) {
+                self.done[instance].proof = Some(sig);
                 self.dirty = true;
             }
         }

@@ -1,0 +1,205 @@
+//! Buffered batch verification of threshold shares — the component-side
+//! half of the crypto fast path.
+//!
+//! Every quorum-collecting component used to verify each arriving share
+//! with its own group exponentiation. The buffers here change the *real*
+//! work, not the protocol: shares are accepted into a per-instance buffer
+//! (deduplicated by reporter bit, index-range checked) and only verified
+//! once a quorum's worth has accumulated — with one random-linear-
+//! combination batch check ([`wbft_crypto::thresh_sig::PublicKeySet::
+//! verify_shares`]) instead of per-share exponentiations. When the batch
+//! check fails, the per-share fallback localizes the Byzantine shares,
+//! which are evicted (and their reporter bits freed, so a corrected
+//! retransmission can take the slot).
+//!
+//! The simulator's *charged virtual costs* are unchanged: components still
+//! charge `verify_share_us` per accepted share at arrival and `combine_us`
+//! per combination, exactly as before — only wall-clock CPU drops.
+
+use wbft_crypto::thresh_coin::{CoinName, CoinPublicSet, CoinShare};
+use wbft_crypto::thresh_sig::{PublicKeySet, SigShare};
+use wbft_crypto::ShareIndex;
+
+/// The shared buffer core, generic over the share type. The two public
+/// wrappers only differ in how a batch is verified.
+#[derive(Debug, Clone)]
+struct RawBuf<S> {
+    shares: Vec<S>,
+    /// `shares[..verified]` have passed verification.
+    verified: usize,
+    reporters: u64,
+}
+
+impl<S> Default for RawBuf<S> {
+    fn default() -> Self {
+        RawBuf { shares: Vec::new(), verified: 0, reporters: 0 }
+    }
+}
+
+impl<S: Copy> RawBuf<S> {
+    fn insert(&mut self, share: S, index: ShareIndex, n: usize) -> bool {
+        // The reporter bitmask (like every bitmap in the wire layer) caps
+        // deployments at 64 nodes; make an oversized deployment fail loudly
+        // in debug builds instead of silently never settling a quorum.
+        debug_assert!(n <= 64, "share buffers support at most 64 nodes, got n = {n}");
+        let i = index.value() as usize;
+        if i == 0 || i > n || i > 64 {
+            return false;
+        }
+        let bit = 1u64 << (i - 1);
+        if self.reporters & bit != 0 {
+            return false;
+        }
+        self.reporters |= bit;
+        self.shares.push(share);
+        true
+    }
+
+    /// Once at least `need` shares are buffered, runs `invalid_positions`
+    /// over the unverified suffix, evicting the reported shares (freeing
+    /// their reporter bits via `index_of`). Returns `true` when `need`
+    /// *verified* shares are available.
+    fn settle(
+        &mut self,
+        need: usize,
+        index_of: impl Fn(&S) -> ShareIndex,
+        invalid_positions: impl FnOnce(&[S]) -> Vec<usize>,
+    ) -> bool {
+        if self.shares.len() < need {
+            return false;
+        }
+        if self.verified < self.shares.len() {
+            let bad = invalid_positions(&self.shares[self.verified..]);
+            for &p in bad.iter().rev() {
+                let evicted = self.shares.remove(self.verified + p);
+                self.reporters &= !(1u64 << (index_of(&evicted).value() - 1));
+            }
+            self.verified = self.shares.len();
+        }
+        self.shares.len() >= need
+    }
+}
+
+/// A buffer of unverified signature shares for one instance/message.
+#[derive(Debug, Default, Clone)]
+pub struct SigShareBuf(RawBuf<SigShare>);
+
+impl SigShareBuf {
+    /// Accepts a share into the buffer unless its index is out of range for
+    /// an `n`-node deployment or the index already reported. Returns `true`
+    /// when the share was newly buffered (callers charge the virtual verify
+    /// cost exactly then).
+    pub fn insert(&mut self, share: SigShare, n: usize) -> bool {
+        self.0.insert(share, share.index, n)
+    }
+
+    /// Bitmask of indices currently buffered (verified or pending).
+    pub fn reporters(&self) -> u64 {
+        self.0.reporters
+    }
+
+    /// The buffered shares, verified prefix first.
+    pub fn shares(&self) -> &[SigShare] {
+        &self.0.shares
+    }
+
+    /// Once at least `need` shares are buffered, batch-verifies the
+    /// unverified suffix against `msg`, evicting invalid shares (freeing
+    /// their reporter bits). Returns `true` when `need` *verified* shares
+    /// are available — the signal to charge the combine cost and combine.
+    pub fn settle(&mut self, keys: &PublicKeySet, msg: &[u8], need: usize) -> bool {
+        self.0.settle(
+            need,
+            |s| s.index,
+            |pending| keys.invalid_share_positions(&keys.prepare(msg), pending),
+        )
+    }
+}
+
+/// A buffer of unverified coin shares for one `(domain, round)` coin.
+#[derive(Debug, Default, Clone)]
+pub struct CoinShareBuf(RawBuf<CoinShare>);
+
+impl CoinShareBuf {
+    /// Accepts a coin share; same contract as [`SigShareBuf::insert`].
+    pub fn insert(&mut self, share: CoinShare, n: usize) -> bool {
+        self.0.insert(share, share.index, n)
+    }
+
+    /// Bitmask of indices currently buffered (verified or pending).
+    pub fn reporters(&self) -> u64 {
+        self.0.reporters
+    }
+
+    /// The buffered shares, verified prefix first.
+    pub fn shares(&self) -> &[CoinShare] {
+        &self.0.shares
+    }
+
+    /// Coin mirror of [`SigShareBuf::settle`].
+    pub fn settle(&mut self, keys: &CoinPublicSet, name: CoinName, need: usize) -> bool {
+        self.0.settle(
+            need,
+            |s| s.index,
+            |pending| keys.invalid_share_positions(&keys.prepare(name), pending),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use wbft_crypto::{thresh_coin, thresh_sig, GroupElem, ShareIndex, ThresholdCurve};
+
+    #[test]
+    fn buffers_batch_and_evict_byzantine_shares() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(61);
+        let (pks, sks) = thresh_sig::deal(4, 1, ThresholdCurve::Bn158, &mut rng);
+        let msg = b"buffered";
+        let mut buf = SigShareBuf::default();
+        let mut bad = sks[0].sign_share(msg);
+        bad.value = bad.value.mul(&GroupElem::generator());
+        assert!(buf.insert(bad, 4));
+        // Duplicate index rejected while the bad share occupies the slot.
+        assert!(!buf.insert(sks[0].sign_share(msg), 4));
+        // Below quorum: nothing verified yet.
+        assert!(!buf.settle(&pks, msg, 2));
+        assert!(buf.insert(sks[1].sign_share(msg), 4));
+        // Quorum reached, but the bad share is evicted → still short.
+        assert!(!buf.settle(&pks, msg, 2));
+        assert_eq!(buf.shares().len(), 1);
+        // The freed slot admits the corrected share; quorum settles.
+        assert!(buf.insert(sks[0].sign_share(msg), 4));
+        assert!(buf.settle(&pks, msg, 2));
+        let sig = pks.combine(buf.shares()).unwrap();
+        pks.verify(msg, &sig).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_indices_never_buffer() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(67);
+        let (_, sks) = thresh_sig::deal(4, 1, ThresholdCurve::Bn158, &mut rng);
+        let mut share = sks[0].sign_share(b"m");
+        share.index = ShareIndex::new(9).unwrap();
+        let mut buf = SigShareBuf::default();
+        assert!(!buf.insert(share, 4));
+        // A forged giant index must not panic the reporter-bit shift.
+        share.index = ShareIndex::new(u16::MAX).unwrap();
+        assert!(!buf.insert(share, 4));
+        assert_eq!(buf.reporters(), 0);
+    }
+
+    #[test]
+    fn coin_buffer_settles_quorum() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+        let (cpub, csec) = thresh_coin::deal_coin(4, 1, ThresholdCurve::Bn158, &mut rng);
+        let name = CoinName { session: 1, round: 0, domain: 0 };
+        let mut buf = CoinShareBuf::default();
+        assert!(buf.insert(csec[2].coin_share(name), 4));
+        assert!(!buf.settle(&cpub, name, 2));
+        assert!(buf.insert(csec[0].coin_share(name), 4));
+        assert!(buf.settle(&cpub, name, 2));
+        cpub.combine_value(name, buf.shares()).unwrap();
+    }
+}

@@ -210,8 +210,9 @@ impl CommitCbc {
 struct PiCoin {
     p: Params,
     released: bool,
-    shares: Vec<CoinShare>,
-    reporters: u64,
+    /// Buffered coin shares, batch-verified at quorum (see
+    /// `wbft_components::share_buf`).
+    shares: wbft_components::CoinShareBuf,
     value: Option<u64>,
     timer_armed: bool,
     retx: wbft_components::context::RetxState,
@@ -221,8 +222,7 @@ impl PiCoin {
     fn new(p: Params) -> Self {
         PiCoin {
             released: false,
-            shares: Vec::new(),
-            reporters: 0,
+            shares: wbft_components::CoinShareBuf::default(),
             value: None,
             timer_armed: false,
             retx: wbft_components::context::RetxState::new(RetransmitPolicy::lora_class(), &p),
@@ -254,21 +254,16 @@ impl PiCoin {
         if self.value.is_some() {
             return;
         }
-        let bit = 1u64 << (share.index.value() - 1);
-        if self.reporters & bit != 0 {
+        if !self.shares.insert(share, self.p.n) {
             return;
         }
         if !own {
             acts.charge(crypto.suite.threshold.coin_profile().verify_share_us);
         }
-        if crypto.coin_pub.verify_share(self.name(), &share).is_err() {
-            return;
-        }
-        self.reporters |= bit;
-        self.shares.push(share);
-        if self.shares.len() > crypto.coin_pub.threshold() {
+        let need = crypto.coin_pub.threshold() + 1;
+        if self.shares.settle(&crypto.coin_pub, self.name(), need) {
             acts.charge(crypto.suite.threshold.coin_profile().combine_us);
-            if let Ok(v) = crypto.coin_pub.combine_value(self.name(), &self.shares) {
+            if let Ok(v) = crypto.coin_pub.combine_value(self.name(), self.shares.shares()) {
                 self.value = Some(v);
             }
         }
@@ -282,7 +277,7 @@ impl PiCoin {
         let mut share_nack = Bitmap::new(self.p.n);
         if self.value.is_none() {
             for node in 0..self.p.n {
-                if self.reporters & (1 << node) == 0 {
+                if self.shares.reporters() & (1 << node) == 0 {
                     share_nack.set(node, true);
                 }
             }

@@ -78,6 +78,9 @@ struct DecStage {
     cts: Vec<Option<Ciphertext>>,
     active: Vec<bool>,
     my_sent: Vec<bool>,
+    /// This node's own share per proposer, cached so retransmission-heavy
+    /// flushes don't recompute the DLEQ proof every packet build.
+    my_shares: Vec<Option<DecShare>>,
     shares: Vec<Vec<DecShare>>,
     reporters: Vec<u64>,
     plaintexts: Vec<Option<Vec<u8>>>,
@@ -94,6 +97,7 @@ impl DecStage {
             cts: vec![None; p.n],
             active: vec![false; p.n],
             my_sent: vec![false; p.n],
+            my_shares: vec![None; p.n],
             shares: vec![Vec::new(); p.n],
             reporters: vec![0; p.n],
             plaintexts: vec![None; p.n],
@@ -119,10 +123,11 @@ impl DecStage {
             // Producing a decryption share costs one share-signing op.
             acts.charge(crypto.suite.threshold.signature_profile().sign_share_us);
             let share = crypto.enc_sec.dec_share(self.cts[j].as_ref().expect("just set"));
+            self.my_shares[j] = Some(share);
             self.record(j, share, crypto, acts, true);
             self.dirty = true;
         }
-        self.flush(crypto, acts);
+        self.flush(acts);
     }
 
     fn record(
@@ -165,21 +170,22 @@ impl DecStage {
                 self.shares[j].clear();
                 self.reporters[j] = 0;
                 if self.my_sent[j] {
-                    let share = crypto.enc_sec.dec_share(ct);
-                    self.record(j, share, crypto, acts, true);
+                    if let Some(share) = self.my_shares[j] {
+                        self.record(j, share, crypto, acts, true);
+                    }
                 }
             }
         }
     }
 
-    fn build(&self, crypto: &NodeCrypto) -> Vec<Body> {
+    fn build(&self) -> Vec<Body> {
         if self.batched {
             let mut shares = Vec::new();
             let mut dec_nack = Bitmap::new(self.p.n);
             for j in 0..self.p.n {
                 if self.my_sent[j] {
-                    if let Some(ct) = &self.cts[j] {
-                        shares.push((j as u8, crypto.enc_sec.dec_share(ct)));
+                    if let Some(share) = self.my_shares[j] {
+                        shares.push((j as u8, share));
                     }
                 }
                 if self.active[j] && self.plaintexts[j].is_none() {
@@ -191,11 +197,8 @@ impl DecStage {
             let mut out = Vec::new();
             for j in 0..self.p.n {
                 if self.my_sent[j] {
-                    if let Some(ct) = &self.cts[j] {
-                        out.push(Body::BaseDecShare {
-                            proposer: j as u8,
-                            share: crypto.enc_sec.dec_share(ct),
-                        });
+                    if let Some(share) = self.my_shares[j] {
+                        out.push(Body::BaseDecShare { proposer: j as u8, share });
                     }
                 }
             }
@@ -203,9 +206,9 @@ impl DecStage {
         }
     }
 
-    fn flush(&mut self, crypto: &NodeCrypto, acts: &mut Actions) {
+    fn flush(&mut self, acts: &mut Actions) {
         if self.dirty {
-            for body in self.build(crypto) {
+            for body in self.build() {
                 acts.send(body);
             }
             self.dirty = false;
@@ -240,16 +243,16 @@ impl DecStage {
             _ => {}
         }
         let _ = from;
-        self.flush(crypto, acts);
+        self.flush(acts);
     }
 
-    fn on_timer(&mut self, local: u32, accepted: Option<&[usize]>, crypto: &NodeCrypto, acts: &mut Actions) {
+    fn on_timer(&mut self, local: u32, accepted: Option<&[usize]>, acts: &mut Actions) {
         if local != TIMER_DEC_RETX {
             return;
         }
         let complete = accepted.map(|a| self.complete_for(a)).unwrap_or(false);
         if self.active.iter().any(|a| *a) && self.retx.should_send(complete) {
-            for body in self.build(crypto) {
+            for body in self.build() {
                 acts.send(body);
             }
             self.retx.peer_behind = false;
@@ -482,7 +485,7 @@ impl<B: Broadcaster, A: BinaryAgreement> Engine for HbEngine<B, A> {
                 sessions::ABA => st.aba.on_timer(local, &mut acts),
                 sessions::DEC => {
                     let accepted = st.accepted.clone();
-                    st.dec.on_timer(local, accepted.as_deref(), &self.crypto, &mut acts)
+                    st.dec.on_timer(local, accepted.as_deref(), &mut acts)
                 }
                 _ => {}
             }

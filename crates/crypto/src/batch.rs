@@ -1,0 +1,104 @@
+//! Shared core of batched share verification.
+//!
+//! `thresh_sig` and `thresh_coin` verify shares with the same algebra —
+//! `σ_i == vk_i^e` per share, `Π σ_i^{r_i} == (Π vk_i^{r_i})^e` in batch —
+//! differing only in domain tag and error type. Both route through this
+//! module so the soundness-relevant pieces (coefficient transcript, batch
+//! equation, per-share fallback ordering) have exactly one implementation.
+
+use crate::field::Scalar;
+use crate::group::{GroupElem, PrecomputedBase};
+use crate::hash::batch_coefficients;
+
+/// One share as the batch core sees it: `(one-based index, value)`.
+pub(crate) type Item = (u16, GroupElem);
+
+/// The single-share check: `value == vk_shares[i-1]^e`, through the window
+/// table when built. Callers guarantee `index` is in range.
+fn share_valid(
+    vk_shares: &[GroupElem],
+    tables: Option<&[PrecomputedBase]>,
+    e: &Scalar,
+    (index, value): &Item,
+) -> bool {
+    let i = *index as usize - 1;
+    let expect = match tables {
+        Some(t) => t[i].pow(e),
+        None => vk_shares[i].pow(e),
+    };
+    expect == *value
+}
+
+/// The positions (into `shares`) of every share failing verification —
+/// empty when the whole batch is valid, which the batch fast path decides
+/// with two multi-exponentiations over deterministic non-zero 64-bit
+/// coefficients (see [`batch_coefficients`] for the transcript argument).
+/// On batch failure, per-share checks localize exactly the bad shares.
+pub(crate) fn invalid_share_positions(
+    vk_shares: &[GroupElem],
+    tables: Option<&[PrecomputedBase]>,
+    e: &Scalar,
+    domain: &str,
+    shares: &[Item],
+) -> Vec<usize> {
+    // Out-of-range indices can't take part in the algebraic batch.
+    let mut bad: Vec<usize> = Vec::new();
+    let mut candidates: Vec<usize> = Vec::with_capacity(shares.len());
+    for (p, (index, _)) in shares.iter().enumerate() {
+        let i = *index as usize;
+        if i == 0 || i > vk_shares.len() {
+            bad.push(p);
+        } else {
+            candidates.push(p);
+        }
+    }
+    match candidates.len() {
+        0 => return bad,
+        1 => {
+            // A singleton batch is just a per-share check.
+            let p = candidates[0];
+            if !share_valid(vk_shares, tables, e, &shares[p]) {
+                bad.push(p);
+                bad.sort_unstable();
+            }
+            return bad;
+        }
+        _ => {}
+    }
+    let coeffs = batch_coefficients(
+        domain,
+        &e.to_bytes(),
+        candidates.iter().map(|&p| (shares[p].0, shares[p].1.to_bytes())),
+    );
+    let lhs = GroupElem::multi_pow(
+        &candidates.iter().zip(&coeffs).map(|(&p, r)| (shares[p].1, *r)).collect::<Vec<_>>(),
+    );
+    // Π vk_i^{e·r_i} = (Π vk_i^{r_i})^e; the short-coefficient inner
+    // product goes through the window tables when built.
+    let inner = match tables {
+        Some(t) => candidates
+            .iter()
+            .zip(&coeffs)
+            .fold(GroupElem::identity(), |acc, (&p, r)| {
+                acc.mul(&t[shares[p].0 as usize - 1].pow(r))
+            }),
+        None => GroupElem::multi_pow(
+            &candidates
+                .iter()
+                .zip(&coeffs)
+                .map(|(&p, r)| (vk_shares[shares[p].0 as usize - 1], *r))
+                .collect::<Vec<_>>(),
+        ),
+    };
+    if lhs == inner.pow(e) {
+        return bad; // whole batch valid (minus range rejects)
+    }
+    // Batch failed: localize the Byzantine shares per-share.
+    for &p in &candidates {
+        if !share_valid(vk_shares, tables, e, &shares[p]) {
+            bad.push(p);
+        }
+    }
+    bad.sort_unstable();
+    bad
+}

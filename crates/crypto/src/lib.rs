@@ -42,7 +42,24 @@
 //! Computation *cost* is decoupled from this implementation: the simulator
 //! charges the per-operation virtual CPU times of the MIRACL / micro-ecc
 //! deployments measured in the paper (see [`profile`]).
+//!
+//! ## Fast paths
+//!
+//! Real wall-clock (as opposed to the charged virtual cost) is dominated by
+//! group exponentiation, so the crate ships a fast-path engine — fixed-base
+//! window tables ([`group::PrecomputedBase`], plus a process-wide generator
+//! table behind [`GroupElem::from_exponent`]), simultaneous
+//! multi-exponentiation ([`GroupElem::multi_pow`]), batched share
+//! verification (`verify_shares` on [`thresh_sig::PublicKeySet`] and
+//! [`thresh_coin::CoinPublicSet`], random linear combination with
+//! deterministic 64-bit coefficients and a per-share fallback), memoized
+//! batch-inverted Lagrange coefficients
+//! ([`shamir::lagrange_coeffs_at_zero`]), and a subgroup-membership decode
+//! memo. None of it perturbs determinism: every cache is keyed purely by
+//! its inputs. See the workspace README ("Crypto fast paths") for measured
+//! numbers.
 
+mod batch;
 pub mod field;
 pub mod group;
 pub mod hash;
@@ -56,7 +73,7 @@ pub mod thresh_enc;
 pub mod thresh_sig;
 
 pub use field::{Fe, Scalar};
-pub use group::GroupElem;
+pub use group::{GroupElem, PrecomputedBase};
 pub use hash::Digest32;
 pub use profile::{
     CoinProfile, CryptoSuite, EcdsaCurve, EcdsaProfile, ThresholdCurve, ThresholdProfile,

@@ -113,6 +113,85 @@ impl Polynomial {
     }
 }
 
+/// Inverts every element of a slice of non-zero scalars with a single field
+/// inversion (Montgomery's batch-inversion trick): one 254-bit pow plus
+/// `3(k−1)` multiplies instead of `k` pows.
+fn batch_invert(vals: &[Scalar]) -> Vec<Scalar> {
+    let mut prefix = Vec::with_capacity(vals.len());
+    let mut acc = Scalar::ONE;
+    for v in vals {
+        prefix.push(acc);
+        acc = acc.mul(v);
+    }
+    let mut inv = acc.invert().expect("batch_invert inputs are nonzero");
+    let mut out = vec![Scalar::ZERO; vals.len()];
+    for i in (0..vals.len()).rev() {
+        out[i] = inv.mul(&prefix[i]);
+        inv = inv.mul(&vals[i]);
+    }
+    out
+}
+
+thread_local! {
+    /// Bounded memo for Lagrange coefficient vectors, keyed by the exact
+    /// index sequence. Quorums repeat heavily inside a run (the same
+    /// `f+1`/`2f+1` index sets combine over and over), and the coefficients
+    /// are a pure function of the indices, so per-thread maps stay mutually
+    /// consistent; thread-local storage keeps parallel sweep workers off a
+    /// shared lock. Cleared wholesale when full.
+    static LAGRANGE_MEMO: std::cell::RefCell<std::collections::HashMap<Vec<u16>, Vec<Scalar>>> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
+/// Max index sets held by the Lagrange memo before it is cleared.
+const LAGRANGE_MEMO_CAP: usize = 1024;
+
+/// All Lagrange coefficients `λ_i(0)` for the given index set at once, in
+/// index order: `coeffs[k]` belongs to `indices[k]`.
+///
+/// The shared denominators are inverted with one batched inversion, and the
+/// whole vector is memoized per index sequence — repeated combinations over
+/// the same quorum (the common case in every component) are a map lookup.
+///
+/// # Errors
+///
+/// Returns [`ShamirError::DuplicateIndex`] on repeated indices.
+pub fn lagrange_coeffs_at_zero(indices: &[ShareIndex]) -> Result<Vec<Scalar>, ShamirError> {
+    check_distinct(indices)?;
+    let key: Vec<u16> = indices.iter().map(|i| i.value()).collect();
+    if let Some(hit) = LAGRANGE_MEMO.with(|m| m.borrow().get(&key).cloned()) {
+        return Ok(hit);
+    }
+    // num_i = Π_{j≠i} (0 − x_j),  den_i = Π_{j≠i} (x_i − x_j).
+    let xs: Vec<Scalar> = indices.iter().map(|i| i.to_scalar()).collect();
+    let mut nums = Vec::with_capacity(xs.len());
+    let mut dens = Vec::with_capacity(xs.len());
+    for (k, xi) in xs.iter().enumerate() {
+        let mut num = Scalar::ONE;
+        let mut den = Scalar::ONE;
+        for (j, xj) in xs.iter().enumerate() {
+            if j == k {
+                continue;
+            }
+            num = num.mul(&xj.neg());
+            den = den.mul(&xi.sub(xj));
+        }
+        nums.push(num);
+        dens.push(den);
+    }
+    let inv_dens = batch_invert(&dens);
+    let coeffs: Vec<Scalar> =
+        nums.iter().zip(&inv_dens).map(|(n, d)| n.mul(d)).collect();
+    LAGRANGE_MEMO.with(|m| {
+        let mut memo = m.borrow_mut();
+        if memo.len() >= LAGRANGE_MEMO_CAP {
+            memo.clear();
+        }
+        memo.insert(key, coeffs.clone());
+    });
+    Ok(coeffs)
+}
+
 /// Lagrange coefficient `λ_i(0)` for interpolating at zero from the given
 /// index set. `indices` must be distinct and contain `at`.
 ///
@@ -262,6 +341,23 @@ mod tests {
         )
         .unwrap();
         assert_ne!(bad, secret);
+    }
+
+    #[test]
+    fn coeff_vector_matches_per_index_lagrange() {
+        let indices =
+            [ShareIndex::for_node(0), ShareIndex::for_node(3), ShareIndex::for_node(5)];
+        let coeffs = lagrange_coeffs_at_zero(&indices).unwrap();
+        for (k, &i) in indices.iter().enumerate() {
+            assert_eq!(coeffs[k], lagrange_at_zero(i, &indices).unwrap());
+        }
+        // Memoized second call returns the identical vector.
+        assert_eq!(lagrange_coeffs_at_zero(&indices).unwrap(), coeffs);
+        // Duplicates still rejected through the batched path.
+        assert_eq!(
+            lagrange_coeffs_at_zero(&[indices[0], indices[0]]),
+            Err(ShamirError::DuplicateIndex(1))
+        );
     }
 
     #[test]

@@ -17,9 +17,10 @@
 //! needs for termination.
 
 use crate::field::Scalar;
-use crate::group::GroupElem;
+use crate::group::{GroupElem, PrecompCache, PrecomputedBase};
+use crate::hash::hash_to_scalar;
 use crate::profile::{CoinProfile, ThresholdCurve};
-use crate::shamir::{lagrange_at_zero, Polynomial, ShamirError, ShareIndex};
+use crate::shamir::{lagrange_coeffs_at_zero, Polynomial, ShamirError, ShareIndex};
 use rand::RngCore;
 
 /// Errors from coin operations.
@@ -73,12 +74,27 @@ impl CoinName {
     }
 }
 
+/// A coin name pre-hashed for share operations: caches the exponent `e`
+/// with `h_Γ = g^e`, so `n` shares of one coin hash once.
+#[derive(Clone, Copy, Debug)]
+pub struct PreparedCoin {
+    e: Scalar,
+}
+
+impl PreparedCoin {
+    /// Prepares a coin name for repeated share verification.
+    pub fn new(name: CoinName) -> Self {
+        PreparedCoin { e: coin_exponent(name) }
+    }
+}
+
 /// Public coin-verification material.
 #[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CoinPublicSet {
     curve: ThresholdCurve,
     threshold: usize,
     vk_shares: Vec<GroupElem>,
+    precomp: PrecompCache<Vec<PrecomputedBase>>,
 }
 
 /// One node's secret coin key share.
@@ -115,11 +131,12 @@ pub fn deal_coin(
         vk_shares.push(GroupElem::from_exponent(&s_i));
         secrets.push(CoinSecretShare { index, secret: s_i });
     }
-    (CoinPublicSet { curve, threshold, vk_shares }, secrets)
+    (CoinPublicSet { curve, threshold, vk_shares, precomp: PrecompCache::default() }, secrets)
 }
 
-fn coin_point(name: CoinName) -> (GroupElem, Scalar) {
-    GroupElem::hash_to_group("wbft/coin", &[&name.to_bytes()])
+/// The known discrete log of the coin point `h_Γ = g^e`.
+fn coin_exponent(name: CoinName) -> Scalar {
+    hash_to_scalar("wbft/coin", &[&name.to_bytes()])
 }
 
 impl CoinPublicSet {
@@ -138,22 +155,104 @@ impl CoinPublicSet {
         self.curve.coin_profile()
     }
 
+    /// Builds the fixed-base window tables for every coin verification key
+    /// (opt-in; shared by all clones of this key set).
+    pub fn precompute(&self) {
+        self.precomp.0.get_or_init(|| self.vk_shares.iter().map(PrecomputedBase::new).collect());
+    }
+
+    fn tables(&self) -> Option<&Vec<PrecomputedBase>> {
+        self.precomp.0.get()
+    }
+
+    /// `vk_shares[i]^e`, through the window table when built.
+    fn vk_share_pow(&self, i: usize, e: &Scalar) -> GroupElem {
+        match self.tables() {
+            Some(t) => t[i].pow(e),
+            None => self.vk_shares[i].pow(e),
+        }
+    }
+
+    /// Pre-hashes a coin name for repeated share operations.
+    pub fn prepare(&self, name: CoinName) -> PreparedCoin {
+        PreparedCoin::new(name)
+    }
+
     /// Verifies one coin share for `name`.
     ///
     /// # Errors
     ///
     /// [`CoinError::InvalidShare`] if the check fails.
     pub fn verify_share(&self, name: CoinName, share: &CoinShare) -> Result<(), CoinError> {
+        self.verify_share_prepared(&PreparedCoin::new(name), share)
+    }
+
+    /// [`Self::verify_share`] against a pre-hashed coin name.
+    ///
+    /// # Errors
+    ///
+    /// [`CoinError::InvalidShare`] if the check fails.
+    pub fn verify_share_prepared(
+        &self,
+        coin: &PreparedCoin,
+        share: &CoinShare,
+    ) -> Result<(), CoinError> {
         let i = share.index.value() as usize;
         if i == 0 || i > self.vk_shares.len() {
             return Err(CoinError::InvalidShare { index: share.index.value() });
         }
-        let (_, e) = coin_point(name);
-        if self.vk_shares[i - 1].pow(&e) == share.value {
+        if self.vk_share_pow(i - 1, &coin.e) == share.value {
             Ok(())
         } else {
             Err(CoinError::InvalidShare { index: share.index.value() })
         }
+    }
+
+    /// Verifies a batch of shares of the *same* coin with one random linear
+    /// combination — the coin mirror of
+    /// [`crate::thresh_sig::PublicKeySet::verify_shares`] (same soundness
+    /// argument, same per-share fallback on batch failure).
+    ///
+    /// # Errors
+    ///
+    /// [`CoinError::InvalidShare`] naming the first invalid share.
+    pub fn verify_shares(&self, name: CoinName, shares: &[CoinShare]) -> Result<(), CoinError> {
+        self.verify_shares_prepared(&PreparedCoin::new(name), shares)
+    }
+
+    /// [`Self::verify_shares`] against a pre-hashed coin name.
+    ///
+    /// # Errors
+    ///
+    /// [`CoinError::InvalidShare`] naming the first invalid share.
+    pub fn verify_shares_prepared(
+        &self,
+        coin: &PreparedCoin,
+        shares: &[CoinShare],
+    ) -> Result<(), CoinError> {
+        match self.invalid_share_positions(coin, shares).first() {
+            None => Ok(()),
+            Some(&p) => Err(CoinError::InvalidShare { index: shares[p].index.value() }),
+        }
+    }
+
+    /// The positions (into `shares`) of every share failing verification;
+    /// empty when the whole batch is valid (decided by the batch fast path
+    /// shared with `thresh_sig`, [`crate::batch`]).
+    pub fn invalid_share_positions(
+        &self,
+        coin: &PreparedCoin,
+        shares: &[CoinShare],
+    ) -> Vec<usize> {
+        let items: Vec<crate::batch::Item> =
+            shares.iter().map(|s| (s.index.value(), s.value)).collect();
+        crate::batch::invalid_share_positions(
+            &self.vk_shares,
+            self.tables().map(|t| t.as_slice()),
+            &coin.e,
+            "wbft/coin/batch",
+            &items,
+        )
     }
 
     /// Combines `threshold + 1` shares into the coin's boolean value.
@@ -182,12 +281,10 @@ impl CoinPublicSet {
         }
         let subset = &shares[..self.threshold + 1];
         let indices: Vec<ShareIndex> = subset.iter().map(|s| s.index).collect();
-        let mut acc = GroupElem::identity();
-        for share in subset {
-            let lambda = lagrange_at_zero(share.index, &indices)?;
-            acc = acc.mul(&share.value.pow(&lambda));
-        }
-        let digest = acc.digest("wbft/coin/value");
+        let lambdas = lagrange_coeffs_at_zero(&indices)?;
+        let pairs: Vec<(GroupElem, Scalar)> =
+            subset.iter().zip(&lambdas).map(|(s, l)| (s.value, *l)).collect();
+        let digest = GroupElem::multi_pow(&pairs).digest("wbft/coin/value");
         let _ = name; // the name is already bound through the share values
         Ok(digest.to_u64())
     }
@@ -199,10 +296,11 @@ impl CoinSecretShare {
         self.index
     }
 
-    /// Produces this node's share of the coin `name`.
+    /// Produces this node's share of the coin `name` (`h_Γ^{s_i} =
+    /// g^{e·s_i}`: one scalar multiply plus a fixed-base table pow).
     pub fn coin_share(&self, name: CoinName) -> CoinShare {
-        let (h, _) = coin_point(name);
-        CoinShare { index: self.index, value: h.pow(&self.secret) }
+        let e = coin_exponent(name);
+        CoinShare { index: self.index, value: GroupElem::from_exponent(&e.mul(&self.secret)) }
     }
 }
 
@@ -283,6 +381,31 @@ mod tests {
         let mut share = secrets[1].coin_share(n);
         share.value = share.value.mul(&GroupElem::generator());
         assert_eq!(pub_set.verify_share(n, &share), Err(CoinError::InvalidShare { index: 2 }));
+    }
+
+    #[test]
+    fn batch_share_verification_mirrors_per_share() {
+        let (pub_set, secrets) = setup();
+        let n = name(8);
+        let shares: Vec<_> = secrets.iter().map(|s| s.coin_share(n)).collect();
+        pub_set.verify_shares(n, &shares).unwrap();
+        let mut mixed = shares.clone();
+        mixed[1].value = mixed[1].value.mul(&GroupElem::generator());
+        assert_eq!(
+            pub_set.verify_shares(n, &mixed),
+            Err(CoinError::InvalidShare { index: 2 })
+        );
+        let pc = pub_set.prepare(n);
+        assert_eq!(pub_set.invalid_share_positions(&pc, &mixed), vec![1]);
+        // Tables change nothing.
+        pub_set.precompute();
+        pub_set.verify_shares(n, &shares).unwrap();
+        assert_eq!(pub_set.invalid_share_positions(&pc, &mixed), vec![1]);
+        for s in &shares {
+            pub_set.verify_share(n, s).unwrap();
+        }
+        // Wrong-name shares fail in batch as they do per-share.
+        assert!(pub_set.verify_shares(name(9), &shares).is_err());
     }
 
     #[test]

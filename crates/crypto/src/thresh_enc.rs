@@ -16,9 +16,9 @@
 
 use crate::field::Scalar;
 use crate::group::GroupElem;
-use crate::hash::{keystream, Digest32};
+use crate::hash::{hash_to_scalar, keystream, Digest32};
 use crate::profile::ThresholdCurve;
-use crate::shamir::{lagrange_at_zero, Polynomial, ShamirError, ShareIndex};
+use crate::shamir::{lagrange_coeffs_at_zero, Polynomial, ShamirError, ShareIndex};
 use rand::RngCore;
 
 /// Errors from threshold decryption.
@@ -86,13 +86,51 @@ impl Ciphertext {
     }
 }
 
-/// A decryption share `(i, u^{s_i})`.
+/// A Chaum–Pedersen DLEQ proof that a decryption share was computed with
+/// the same secret exponent as the prover's verification key: knowledge of
+/// `s` with `vk_i = g^s` **and** `d = u^s` for the *specific* ciphertext
+/// point `u`. This is what binds a share to its ciphertext — a share for
+/// ciphertext A replays a proof over A's `u`, which cannot verify against
+/// ciphertext B's.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DleqProof {
+    /// Fiat–Shamir challenge `c = H(i, u, vk_i, d, g^k, u^k)`.
+    pub c: Scalar,
+    /// Response `z = k − c·s`.
+    pub z: Scalar,
+}
+
+/// A decryption share `(i, u^{s_i}, π)` with its DLEQ proof.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct DecShare {
     /// Producing share index.
     pub index: ShareIndex,
     /// The group element `u^{s_i}`.
     pub value: GroupElem,
+    /// Proof that `value` is `u^{s_i}` for this ciphertext's `u`.
+    pub proof: DleqProof,
+}
+
+/// The DLEQ Fiat–Shamir challenge.
+fn dleq_challenge(
+    index: ShareIndex,
+    u: &GroupElem,
+    vk_i: &GroupElem,
+    d: &GroupElem,
+    a1: &GroupElem,
+    a2: &GroupElem,
+) -> Scalar {
+    hash_to_scalar(
+        "wbft/thresh-enc/dleq",
+        &[
+            &index.value().to_le_bytes(),
+            &u.to_bytes(),
+            &vk_i.to_bytes(),
+            &d.to_bytes(),
+            &a1.to_bytes(),
+            &a2.to_bytes(),
+        ],
+    )
 }
 
 /// Deals a `(threshold, n)` encryption key set; HoneyBadgerBFT uses
@@ -146,23 +184,33 @@ impl EncPublicSet {
         Ciphertext { u, body, tag }
     }
 
-    /// Verifies a peer's decryption share against a ciphertext.
+    /// Verifies a peer's decryption share against a ciphertext by checking
+    /// its Chaum–Pedersen DLEQ proof: recompute `A₁ = g^z·vk_i^c` and
+    /// `A₂ = u^z·d^c` and require `c = H(i, u, vk_i, d, A₁, A₂)`. The
+    /// ciphertext's `u` enters both the equation and the challenge hash, so
+    /// a share produced for a different ciphertext cannot verify — and a
+    /// bogus `d` is rejected *before* it can poison a combination.
     ///
     /// # Errors
     ///
-    /// [`ThreshEncError::InvalidShare`] on mismatch.
-    ///
-    /// Note: verifying `u^{s_i}` against `vk_i = g^{s_i}` without pairings
-    /// requires a DLEQ proof in a real deployment; here we accept any
-    /// subgroup element and rely on the integrity tag to catch corruption at
-    /// combine time, charging the profile's verify cost. Out-of-range
-    /// indices are rejected outright.
-    pub fn verify_share(&self, _ct: &Ciphertext, share: &DecShare) -> Result<(), ThreshEncError> {
+    /// [`ThreshEncError::InvalidShare`] on a bad proof or an out-of-range
+    /// index.
+    pub fn verify_share(&self, ct: &Ciphertext, share: &DecShare) -> Result<(), ThreshEncError> {
         let i = share.index.value() as usize;
         if i == 0 || i > self.vk_shares.len() {
             return Err(ThreshEncError::InvalidShare { index: share.index.value() });
         }
-        Ok(())
+        let vk_i = self.vk_shares[i - 1];
+        let a1 = GroupElem::multi_pow(&[
+            (GroupElem::generator(), share.proof.z),
+            (vk_i, share.proof.c),
+        ]);
+        let a2 = GroupElem::multi_pow(&[(ct.u, share.proof.z), (share.value, share.proof.c)]);
+        if dleq_challenge(share.index, &ct.u, &vk_i, &share.value, &a1, &a2) == share.proof.c {
+            Ok(())
+        } else {
+            Err(ThreshEncError::InvalidShare { index: share.index.value() })
+        }
     }
 
     /// Combines `threshold + 1` decryption shares and decrypts.
@@ -186,12 +234,10 @@ impl EncPublicSet {
         }
         let subset = &shares[..self.threshold + 1];
         let indices: Vec<ShareIndex> = subset.iter().map(|s| s.index).collect();
-        let mut acc = GroupElem::identity();
-        for share in subset {
-            let lambda = lagrange_at_zero(share.index, &indices)?;
-            acc = acc.mul(&share.value.pow(&lambda));
-        }
-        let key = acc.to_bytes();
+        let lambdas = lagrange_coeffs_at_zero(&indices)?;
+        let pairs: Vec<(GroupElem, Scalar)> =
+            subset.iter().zip(&lambdas).map(|(s, l)| (s.value, *l)).collect();
+        let key = GroupElem::multi_pow(&pairs).to_bytes();
         let expect_tag =
             Digest32::of_parts("wbft/thresh-enc/tag", &[&key, &ct.u.to_bytes(), &ct.body, label]);
         if expect_tag != ct.tag {
@@ -208,9 +254,22 @@ impl EncSecretShare {
         self.index
     }
 
-    /// Produces this node's decryption share for a ciphertext.
+    /// Produces this node's decryption share for a ciphertext, with its
+    /// DLEQ proof. The proof nonce is derived deterministically from the
+    /// secret and the statement (RFC 6979 style), so signing needs no RNG
+    /// and re-producing the share for retransmission is reproducible.
     pub fn dec_share(&self, ct: &Ciphertext) -> DecShare {
-        DecShare { index: self.index, value: ct.u.pow(&self.secret) }
+        let d = ct.u.pow(&self.secret);
+        let vk_i = GroupElem::from_exponent(&self.secret);
+        let k = hash_to_scalar(
+            "wbft/thresh-enc/dleq-nonce",
+            &[&self.secret.to_bytes(), &ct.u.to_bytes(), &d.to_bytes()],
+        );
+        let a1 = GroupElem::from_exponent(&k);
+        let a2 = ct.u.pow(&k);
+        let c = dleq_challenge(self.index, &ct.u, &vk_i, &d, &a1, &a2);
+        let z = k.sub(&c.mul(&self.secret));
+        DecShare { index: self.index, value: d, proof: DleqProof { c, z } }
     }
 }
 
@@ -278,6 +337,46 @@ mod tests {
         ct.body[0] ^= 1;
         let shares: Vec<_> = sks[..2].iter().map(|s| s.dec_share(&ct)).collect();
         assert_eq!(pks.decrypt(b"l", &ct, &shares), Err(ThreshEncError::IntegrityFailure));
+    }
+
+    #[test]
+    fn honest_shares_carry_valid_dleq_proofs() {
+        let (pks, sks, mut rng) = setup();
+        let ct = pks.encrypt(b"l", b"pt", &mut rng);
+        for sk in &sks {
+            pks.verify_share(&ct, &sk.dec_share(&ct)).unwrap();
+        }
+    }
+
+    #[test]
+    fn share_for_other_ciphertext_is_rejected() {
+        // Regression: verify_share used to ignore its ciphertext argument,
+        // so a share for ciphertext A verified against ciphertext B.
+        let (pks, sks, mut rng) = setup();
+        let ct_a = pks.encrypt(b"label-A", b"plaintext A", &mut rng);
+        let ct_b = pks.encrypt(b"label-B", b"plaintext B", &mut rng);
+        let share_for_a = sks[0].dec_share(&ct_a);
+        pks.verify_share(&ct_a, &share_for_a).unwrap();
+        assert_eq!(
+            pks.verify_share(&ct_b, &share_for_a),
+            Err(ThreshEncError::InvalidShare { index: 1 })
+        );
+    }
+
+    #[test]
+    fn tampered_share_value_fails_dleq() {
+        let (pks, sks, mut rng) = setup();
+        let ct = pks.encrypt(b"l", b"pt", &mut rng);
+        let mut bad = sks[2].dec_share(&ct);
+        bad.value = bad.value.mul(&GroupElem::generator());
+        assert_eq!(
+            pks.verify_share(&ct, &bad),
+            Err(ThreshEncError::InvalidShare { index: 3 })
+        );
+        // A proof transplanted onto another index fails too.
+        let mut wrong_index = sks[0].dec_share(&ct);
+        wrong_index.index = sks[1].index();
+        assert!(pks.verify_share(&ct, &wrong_index).is_err());
     }
 
     #[test]

@@ -19,11 +19,41 @@
 //! [`crate::profile::ThresholdProfile`]. See DESIGN.md §2.
 
 use crate::field::Scalar;
-use crate::group::GroupElem;
-use crate::hash::Digest32;
+use crate::group::{GroupElem, PrecompCache, PrecomputedBase};
+use crate::hash::{hash_to_scalar, Digest32};
 use crate::profile::{ThresholdCurve, ThresholdProfile};
-use crate::shamir::{lagrange_at_zero, Polynomial, ShamirError, ShareIndex};
+use crate::shamir::{lagrange_coeffs_at_zero, Polynomial, ShamirError, ShareIndex};
 use rand::RngCore;
+
+/// Domain tag binding message hashes to this scheme.
+const MSG_DOMAIN: &str = "wbft/thresh-sig/msg";
+
+/// The known discrete log of `H(msg)` — see [`GroupElem::hash_to_group`].
+fn msg_exponent(msg: &[u8]) -> Scalar {
+    hash_to_scalar(MSG_DOMAIN, &[msg])
+}
+
+/// A message pre-hashed for share operations: caches the exponent `e` with
+/// `H(msg) = g^e`, so verifying `n` shares of one message hashes once
+/// instead of `n` times.
+#[derive(Clone, Copy, Debug)]
+pub struct PreparedMessage {
+    e: Scalar,
+}
+
+impl PreparedMessage {
+    /// Prepares a message for repeated share verification.
+    pub fn new(msg: &[u8]) -> Self {
+        PreparedMessage { e: msg_exponent(msg) }
+    }
+}
+
+/// Opt-in fixed-base window tables for a key set's verification keys
+/// (cached via the clone-shared [`PrecompCache`]).
+struct KeyTables {
+    vk: PrecomputedBase,
+    shares: Vec<PrecomputedBase>,
+}
 
 /// Errors from threshold-signature operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +94,7 @@ pub struct PublicKeySet {
     threshold: usize,
     vk: GroupElem,
     vk_shares: Vec<GroupElem>,
+    precomp: PrecompCache<KeyTables>,
 }
 
 /// One node's secret key share.
@@ -129,7 +160,7 @@ pub fn deal(
         vk_shares.push(GroupElem::from_exponent(&s_i));
         secrets.push(SecretKeyShare { index, secret: s_i, curve });
     }
-    (PublicKeySet { curve, threshold, vk, vk_shares }, secrets)
+    (PublicKeySet { curve, threshold, vk, vk_shares, precomp: PrecompCache::default() }, secrets)
 }
 
 impl PublicKeySet {
@@ -148,6 +179,35 @@ impl PublicKeySet {
         self.curve.signature_profile()
     }
 
+    /// Builds the fixed-base window tables for `vk` and every `vk_shares[i]`
+    /// (opt-in: ~3 plain exponentiations of build cost per base, amortized
+    /// across every verification afterwards). The tables are shared by all
+    /// clones of this key set, so calling this from every node of a
+    /// deployment still builds them once.
+    pub fn precompute(&self) {
+        self.precomp.0.get_or_init(|| KeyTables {
+            vk: PrecomputedBase::new(&self.vk),
+            shares: self.vk_shares.iter().map(PrecomputedBase::new).collect(),
+        });
+    }
+
+    fn tables(&self) -> Option<&KeyTables> {
+        self.precomp.0.get()
+    }
+
+    /// `vk_shares[i]^e`, through the window table when built.
+    fn vk_share_pow(&self, i: usize, e: &Scalar) -> GroupElem {
+        match self.tables() {
+            Some(t) => t.shares[i].pow(e),
+            None => self.vk_shares[i].pow(e),
+        }
+    }
+
+    /// Pre-hashes a message for repeated share operations against this set.
+    pub fn prepare(&self, msg: &[u8]) -> PreparedMessage {
+        PreparedMessage::new(msg)
+    }
+
     /// Verifies a single share against the message.
     ///
     /// # Errors
@@ -155,20 +215,88 @@ impl PublicKeySet {
     /// [`ThreshSigError::InvalidShare`] if the algebraic check fails or the
     /// index is out of range.
     pub fn verify_share(&self, msg: &[u8], share: &SigShare) -> Result<(), ThreshSigError> {
+        self.verify_share_prepared(&PreparedMessage::new(msg), share)
+    }
+
+    /// [`Self::verify_share`] against a pre-hashed message.
+    ///
+    /// # Errors
+    ///
+    /// [`ThreshSigError::InvalidShare`] as for `verify_share`.
+    pub fn verify_share_prepared(
+        &self,
+        msg: &PreparedMessage,
+        share: &SigShare,
+    ) -> Result<(), ThreshSigError> {
         let i = share.index.value() as usize;
         if i == 0 || i > self.vk_shares.len() {
             return Err(ThreshSigError::InvalidShare { index: share.index.value() });
         }
-        let (_, e) = GroupElem::hash_to_group("wbft/thresh-sig/msg", &[msg]);
-        let expect = self.vk_shares[i - 1].pow(&e);
-        if expect == share.value {
+        if self.vk_share_pow(i - 1, &msg.e) == share.value {
             Ok(())
         } else {
             Err(ThreshSigError::InvalidShare { index: share.index.value() })
         }
     }
 
-    /// Combines `threshold + 1` verified shares into a signature.
+    /// Verifies a batch of shares of the *same* message with one random
+    /// linear combination: accepts iff `Π σ_i^{r_i} == (Π vk_i^{r_i})^e`
+    /// for deterministic non-zero 64-bit coefficients `r_i` derived from
+    /// the whole batch (see [`batch_coefficients`]). Sound up to a `2^-64`
+    /// false-accept probability; on batch failure it falls back to
+    /// per-share checks, so the reported error still names a Byzantine
+    /// share. Accepts exactly the batches in which every share passes
+    /// [`Self::verify_share`] (duplicates included).
+    ///
+    /// # Errors
+    ///
+    /// [`ThreshSigError::InvalidShare`] naming the first invalid share.
+    pub fn verify_shares(&self, msg: &[u8], shares: &[SigShare]) -> Result<(), ThreshSigError> {
+        self.verify_shares_prepared(&PreparedMessage::new(msg), shares)
+    }
+
+    /// [`Self::verify_shares`] against a pre-hashed message.
+    ///
+    /// # Errors
+    ///
+    /// [`ThreshSigError::InvalidShare`] naming the first invalid share.
+    pub fn verify_shares_prepared(
+        &self,
+        msg: &PreparedMessage,
+        shares: &[SigShare],
+    ) -> Result<(), ThreshSigError> {
+        match self.invalid_share_positions(msg, shares).first() {
+            None => Ok(()),
+            Some(&p) => {
+                Err(ThreshSigError::InvalidShare { index: shares[p].index.value() })
+            }
+        }
+    }
+
+    /// The positions (into `shares`) of every share that fails
+    /// verification — empty when the whole batch is valid, which the batch
+    /// fast path decides with two multi-exponentiations (see
+    /// [`crate::batch`]). Components use this to evict exactly the
+    /// Byzantine shares from a buffered quorum.
+    pub fn invalid_share_positions(
+        &self,
+        msg: &PreparedMessage,
+        shares: &[SigShare],
+    ) -> Vec<usize> {
+        let items: Vec<crate::batch::Item> =
+            shares.iter().map(|s| (s.index.value(), s.value)).collect();
+        crate::batch::invalid_share_positions(
+            &self.vk_shares,
+            self.tables().map(|t| t.shares.as_slice()),
+            &msg.e,
+            "wbft/thresh-sig/batch",
+            &items,
+        )
+    }
+
+    /// Combines `threshold + 1` verified shares into a signature: one
+    /// simultaneous multi-exponentiation over the (memoized, batch-inverted)
+    /// Lagrange coefficients of the quorum's index set.
     ///
     /// # Errors
     ///
@@ -183,12 +311,10 @@ impl PublicKeySet {
         }
         let subset = &shares[..self.threshold + 1];
         let indices: Vec<ShareIndex> = subset.iter().map(|s| s.index).collect();
-        let mut acc = GroupElem::identity();
-        for share in subset {
-            let lambda = lagrange_at_zero(share.index, &indices)?;
-            acc = acc.mul(&share.value.pow(&lambda));
-        }
-        Ok(ThresholdSignature { value: acc })
+        let lambdas = lagrange_coeffs_at_zero(&indices)?;
+        let pairs: Vec<(GroupElem, Scalar)> =
+            subset.iter().zip(&lambdas).map(|(s, l)| (s.value, *l)).collect();
+        Ok(ThresholdSignature { value: GroupElem::multi_pow(&pairs) })
     }
 
     /// Verifies a combined signature on `msg`.
@@ -197,8 +323,12 @@ impl PublicKeySet {
     ///
     /// [`ThreshSigError::InvalidSignature`] on mismatch.
     pub fn verify(&self, msg: &[u8], sig: &ThresholdSignature) -> Result<(), ThreshSigError> {
-        let (_, e) = GroupElem::hash_to_group("wbft/thresh-sig/msg", &[msg]);
-        if self.vk.pow(&e) == sig.value {
+        let e = msg_exponent(msg);
+        let expect = match self.tables() {
+            Some(t) => t.vk.pow(&e),
+            None => self.vk.pow(&e),
+        };
+        if expect == sig.value {
             Ok(())
         } else {
             Err(ThreshSigError::InvalidSignature)
@@ -219,9 +349,13 @@ impl SecretKeyShare {
     }
 
     /// Signs a message, producing this node's share.
+    ///
+    /// With `H(msg) = g^e`, the share `H(msg)^{s_i} = g^{e·s_i}` is one
+    /// scalar multiplication plus a fixed-base table exponentiation —
+    /// roughly 6× cheaper than exponentiating the fresh hash point.
     pub fn sign_share(&self, msg: &[u8]) -> SigShare {
-        let (h, _) = GroupElem::hash_to_group("wbft/thresh-sig/msg", &[msg]);
-        SigShare { index: self.index, value: h.pow(&self.secret) }
+        let e = msg_exponent(msg);
+        SigShare { index: self.index, value: GroupElem::from_exponent(&e.mul(&self.secret)) }
     }
 }
 
@@ -300,6 +434,66 @@ mod tests {
             pks.combine(&shares),
             Err(ThreshSigError::Shamir(ShamirError::NotEnoughShares { got: 2, need: 3 }))
         ));
+    }
+
+    #[test]
+    fn batch_verification_accepts_iff_all_shares_valid() {
+        let (pks, sks) = setup(7, 2);
+        let msg = b"batched";
+        let shares: Vec<_> = sks.iter().map(|sk| sk.sign_share(msg)).collect();
+        pks.verify_shares(msg, &shares).unwrap();
+        pks.verify_shares(msg, &[]).unwrap();
+        // A single tampered share is localized by index.
+        let mut mixed = shares.clone();
+        mixed[3].value = mixed[3].value.mul(&GroupElem::generator());
+        assert_eq!(
+            pks.verify_shares(msg, &mixed),
+            Err(ThreshSigError::InvalidShare { index: 4 })
+        );
+        // The good shares around it are still reported as valid.
+        let pm = pks.prepare(msg);
+        assert_eq!(pks.invalid_share_positions(&pm, &mixed), vec![3]);
+        // Duplicate valid shares are accepted, matching per-share semantics.
+        let dup = vec![shares[0], shares[0], shares[1]];
+        pks.verify_shares(msg, &dup).unwrap();
+        // Wrong-message shares fail.
+        let wrong: Vec<_> = sks[..3].iter().map(|sk| sk.sign_share(b"other")).collect();
+        assert!(pks.verify_shares(msg, &wrong).is_err());
+        // Out-of-range index fails even alongside valid shares.
+        let mut oor = shares.clone();
+        oor[0].index = crate::shamir::ShareIndex::new(9).unwrap();
+        assert_eq!(pks.invalid_share_positions(&pm, &oor), vec![0]);
+    }
+
+    #[test]
+    fn precomputed_tables_do_not_change_results() {
+        let (pks, sks) = setup(4, 1);
+        let msg = b"tables";
+        let shares: Vec<_> = sks.iter().map(|sk| sk.sign_share(msg)).collect();
+        let plain_sig = pks.combine(&shares[..2]).unwrap();
+        pks.precompute();
+        for s in &shares {
+            pks.verify_share(msg, s).unwrap();
+        }
+        pks.verify_shares(msg, &shares).unwrap();
+        pks.verify(msg, &plain_sig).unwrap();
+        assert_eq!(pks.combine(&shares[..2]).unwrap(), plain_sig);
+        // A tampered share still fails through the table path.
+        let mut bad = shares[0];
+        bad.value = bad.value.mul(&GroupElem::generator());
+        assert!(pks.verify_share(msg, &bad).is_err());
+        assert!(pks.verify_shares(msg, &[shares[1], bad]).is_err());
+    }
+
+    #[test]
+    fn prepared_message_matches_direct_calls() {
+        let (pks, sks) = setup(4, 1);
+        let msg = b"prepared";
+        let pm = pks.prepare(msg);
+        for sk in &sks {
+            let s = sk.sign_share(msg);
+            assert_eq!(pks.verify_share_prepared(&pm, &s), pks.verify_share(msg, &s));
+        }
     }
 
     #[test]

@@ -163,4 +163,122 @@ proptest! {
         prop_assert!(kp.public().verify(&m1, &sig).is_ok());
         prop_assert!(kp.public().verify(&m2, &sig).is_err());
     }
+
+    // ---------------------------------------------------------- fast paths
+
+    #[test]
+    fn multi_pow_equals_naive_product(seed in any::<u64>(), k in 1usize..=32) {
+        // Covers both the Straus (< 16 bases) and Pippenger (>= 16) paths.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let pairs: Vec<(GroupElem, Scalar)> = (0..k)
+            .map(|_| {
+                (GroupElem::from_exponent(&Scalar::random(&mut rng)), Scalar::random(&mut rng))
+            })
+            .collect();
+        let naive = pairs
+            .iter()
+            .fold(GroupElem::identity(), |acc, (b, e)| acc.mul(&b.pow(e)));
+        prop_assert_eq!(GroupElem::multi_pow(&pairs), naive);
+    }
+
+    #[test]
+    fn multi_pow_equals_naive_with_small_exponents(seed in any::<u64>(), k in 1usize..=20, exps in prop::collection::vec(any::<u64>(), 20)) {
+        // Short exponents exercise the leading-zero-window skip.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let pairs: Vec<(GroupElem, Scalar)> = exps[..k]
+            .iter()
+            .map(|e| {
+                (GroupElem::from_exponent(&Scalar::random(&mut rng)), Scalar::from_u64(*e))
+            })
+            .collect();
+        let naive = pairs
+            .iter()
+            .fold(GroupElem::identity(), |acc, (b, e)| acc.mul(&b.pow(e)));
+        prop_assert_eq!(GroupElem::multi_pow(&pairs), naive);
+    }
+
+    #[test]
+    fn batch_verify_accepts_iff_every_share_verifies(
+        seed in any::<u64>(),
+        // For each of the 7 dealt shares: keep / tamper / wrong message /
+        // drop, plus optional duplication of the first kept share.
+        ops in prop::collection::vec(0u8..4, 7),
+        dup in any::<bool>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (pks, sks) = thresh_sig::deal(7, 2, ThresholdCurve::Bn158, &mut rng);
+        let msg = b"prop-batch";
+        let mut batch = Vec::new();
+        for (sk, op) in sks.iter().zip(&ops) {
+            let mut share = sk.sign_share(msg);
+            match op {
+                0 => {}
+                1 => share.value = share.value.mul(&GroupElem::generator()),
+                2 => share = sk.sign_share(b"prop-batch-other"),
+                _ => continue, // dropped from the batch
+            }
+            batch.push(share);
+        }
+        if dup {
+            if let Some(first) = batch.first().copied() {
+                batch.push(first); // duplicate index, same value
+            }
+        }
+        let per_share_ok = batch.iter().all(|s| pks.verify_share(msg, s).is_ok());
+        prop_assert_eq!(pks.verify_shares(msg, &batch).is_ok(), per_share_ok);
+        // The positions reported invalid are exactly the per-share failures.
+        let pm = pks.prepare(msg);
+        let expected: Vec<usize> = batch
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| pks.verify_share(msg, s).is_err())
+            .map(|(p, _)| p)
+            .collect();
+        prop_assert_eq!(pks.invalid_share_positions(&pm, &batch), expected);
+    }
+
+    #[test]
+    fn coin_batch_verify_matches_per_share(seed in any::<u64>(), tamper in prop::collection::vec(any::<bool>(), 4)) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (cpub, csec) = thresh_coin::deal_coin(4, 1, ThresholdCurve::Bn158, &mut rng);
+        let name = thresh_coin::CoinName { session: seed, round: 1, domain: 0 };
+        let batch: Vec<_> = csec
+            .iter()
+            .zip(&tamper)
+            .map(|(s, t)| {
+                let mut share = s.coin_share(name);
+                if *t {
+                    share.value = share.value.mul(&GroupElem::generator());
+                }
+                share
+            })
+            .collect();
+        let per_share_ok = batch.iter().all(|s| cpub.verify_share(name, s).is_ok());
+        prop_assert_eq!(cpub.verify_shares(name, &batch).is_ok(), per_share_ok);
+    }
+
+    #[test]
+    fn memoized_decode_agrees_with_direct(bytes in any::<[u8; 32]>()) {
+        prop_assert_eq!(GroupElem::from_bytes(&bytes), GroupElem::from_bytes_uncached(&bytes));
+    }
+
+    #[test]
+    fn memoized_decode_agrees_on_valid_encodings(e in arb_scalar()) {
+        let x = GroupElem::from_exponent(&e);
+        let b = x.to_bytes();
+        // First call may populate the memo, second reads it back.
+        prop_assert_eq!(GroupElem::from_bytes(&b), GroupElem::from_bytes_uncached(&b));
+        prop_assert_eq!(GroupElem::from_bytes(&b), Ok(x));
+    }
+
+    #[test]
+    fn dec_share_binds_to_its_ciphertext(seed in any::<u64>(), pt in any::<Vec<u8>>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (public, secrets) = thresh_enc::deal_enc(4, 1, ThresholdCurve::Bn158, &mut rng);
+        let ct_a = public.encrypt(b"A", &pt, &mut rng);
+        let ct_b = public.encrypt(b"B", &pt, &mut rng);
+        let share = secrets[0].dec_share(&ct_a);
+        prop_assert!(public.verify_share(&ct_a, &share).is_ok());
+        prop_assert!(public.verify_share(&ct_b, &share).is_err());
+    }
 }

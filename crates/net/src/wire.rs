@@ -19,9 +19,9 @@ use wbft_crypto::hash::Digest32;
 use wbft_crypto::profile::CryptoSuite;
 use wbft_crypto::shamir::ShareIndex;
 use wbft_crypto::thresh_coin::CoinShare;
-use wbft_crypto::thresh_enc::DecShare;
+use wbft_crypto::thresh_enc::{DecShare, DleqProof};
 use wbft_crypto::thresh_sig::{SigShare, ThresholdSignature};
-use wbft_crypto::GroupElem;
+use wbft_crypto::{GroupElem, Scalar};
 
 /// Which coin deployment a coin share belongs to — threshold signatures
 /// (ABA-SC) or threshold coin flipping (ABA-CP / BEAT). Decides the nominal
@@ -144,6 +144,8 @@ impl Sink for ByteSink {
     fn dec_share(&mut self, v: &DecShare) {
         self.buf.put_u16_le(v.index.value());
         self.buf.put_slice(&v.value.to_bytes());
+        self.buf.put_slice(&v.proof.c.to_bytes());
+        self.buf.put_slice(&v.proof.z.to_bytes());
     }
 }
 
@@ -203,6 +205,10 @@ impl Sink for CountSink {
             };
     }
     fn dec_share(&mut self, _v: &DecShare) {
+        // Nominal size stays the pairing-deployment share size: the paper's
+        // MIRACL curves verify decryption shares with a pairing and carry no
+        // DLEQ bytes — the proof is a substitute-crypto artifact, so
+        // charging it would distort the airtime model.
         self.total += 2 + self.sizing.suite.threshold.signature_profile().share_bytes;
     }
 }
@@ -342,11 +348,20 @@ impl<'a> WireReader<'a> {
         Ok(CoinShare { index, value })
     }
 
-    /// Reads a decryption share.
+    fn scalar(&mut self) -> Result<Scalar, WireError> {
+        let b = self.take(32)?;
+        let mut a = [0u8; 32];
+        a.copy_from_slice(b);
+        Ok(Scalar::from_bytes_reduced(&a))
+    }
+
+    /// Reads a decryption share (value plus its DLEQ proof scalars).
     pub fn dec_share(&mut self) -> Result<DecShare, WireError> {
         let index = self.share_index()?;
         let value = self.group_elem()?;
-        Ok(DecShare { index, value })
+        let c = self.scalar()?;
+        let z = self.scalar()?;
+        Ok(DecShare { index, value, proof: DleqProof { c, z } })
     }
 }
 
