@@ -229,7 +229,8 @@ impl CompNode {
         for body in sends {
             let env = Envelope { src: self.crypto.me as u16, session: self.session, body };
             ctx.charge_cpu(SimDuration::from_micros(sign_cost));
-            let (bytes, nominal) = env.seal(&self.crypto.keypair, &self.sizing);
+            let (bytes, nominal) =
+                env.seal(&self.crypto.keypair, &self.sizing).expect("bench bodies encode");
             let slot = self
                 .session
                 .wrapping_mul(0x9e37_79b9_7f4a_7c15)

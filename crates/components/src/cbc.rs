@@ -757,9 +757,9 @@ mod tests {
         let kp = &crypto[0].keypair;
         let sizing = Sizing::light(4);
         let (_, small_len) =
-            wbft_net::Envelope { src: 0, session: 1, body: small_body }.seal(kp, &sizing);
+            wbft_net::Envelope { src: 0, session: 1, body: small_body }.seal(kp, &sizing).unwrap();
         let (_, full_len) =
-            wbft_net::Envelope { src: 0, session: 2, body: full_body }.seal(kp, &sizing);
+            wbft_net::Envelope { src: 0, session: 2, body: full_body }.seal(kp, &sizing).unwrap();
         assert!(
             small_len < full_len,
             "CBC-small packet ({small_len}) should undercut CBC ({full_len})"

@@ -269,9 +269,9 @@ mod tests {
         use rand::SeedableRng;
         let sizing = Sizing::light(4);
         let (_, small_len) =
-            wbft_net::Envelope { src: 0, session: 1, body: small_body }.seal(&kp, &sizing);
+            wbft_net::Envelope { src: 0, session: 1, body: small_body }.seal(&kp, &sizing).unwrap();
         let (_, full_len) =
-            wbft_net::Envelope { src: 0, session: 2, body: full_body }.seal(&kp, &sizing);
+            wbft_net::Envelope { src: 0, session: 2, body: full_body }.seal(&kp, &sizing).unwrap();
         assert!(small_len < full_len, "small {small_len} vs full {full_len}");
         // And a full RBC additionally needs INIT packets; RBC-small does not.
     }

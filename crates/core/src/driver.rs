@@ -196,7 +196,11 @@ impl<E: Engine> ProtocolNode<E> {
         for (session, body) in out.sends.drain(..) {
             let env = Envelope { src: self.crypto.me as u16, session, body };
             ctx.charge_cpu(SimDuration::from_micros(sign_cost));
-            let (bytes, nominal) = env.seal(&self.crypto.keypair, &self.sizing);
+            // An unencodable (oversized) body is dropped, never a panic: a
+            // hostile or runaway message must not abort the node.
+            let Ok((bytes, nominal)) = env.seal(&self.crypto.keypair, &self.sizing) else {
+                continue;
+            };
             // Slot: combined packets supersede stale queued versions; the
             // session disambiguates components.
             let slot = session

@@ -25,6 +25,7 @@ pub mod driver;
 pub mod dumbo;
 pub mod honeybadger;
 pub mod multihop;
+pub mod netrun;
 pub mod protocol;
 pub mod report;
 pub mod sweep;
@@ -33,7 +34,11 @@ pub mod workload;
 
 pub use byzantine::{ByzantineEngine, ByzantineMode};
 pub use driver::{Block, Engine, EngineOut, ProtocolNode, Tx};
+pub use netrun::{run_udp_node, UdpNodeOutcome};
 pub use protocol::Protocol;
-pub use sweep::{parallel_map, run_scenarios, run_sweep, sweep_threads, Scenario, SweepRun, SweepSpec};
+pub use sweep::{
+    parallel_map, resolve_threads, run_scenarios, run_sweep, sweep_threads, Scenario, SweepRun,
+    SweepSpec,
+};
 pub use testbed::{run, RunReport, TestbedConfig};
 pub use workload::{BatchSource, Workload};

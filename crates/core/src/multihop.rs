@@ -182,7 +182,9 @@ impl ClusterNode {
             let session = *session + offset;
             let env = Envelope { src: crypto.me as u16, session, body: body.clone() };
             ctx.charge_cpu(SimDuration::from_micros(sign_cost));
-            let (bytes, nominal) = env.seal(&crypto.keypair, sizing);
+            let Ok((bytes, nominal)) = env.seal(&crypto.keypair, sizing) else {
+                continue;
+            };
             let slot =
                 session.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(env.body.slot_key());
             ctx.broadcast_slot(channel, bytes, nominal, slot);
@@ -274,7 +276,10 @@ impl ClusterNode {
         ctx.charge_cpu(SimDuration::from_micros(
             self.local_crypto.suite.ecdsa.profile().sign_us,
         ));
-        let (bytes, nominal) = env.seal(&self.local_crypto.keypair, &self.local_sizing);
+        let Ok((bytes, nominal)) = env.seal(&self.local_crypto.keypair, &self.local_sizing)
+        else {
+            return;
+        };
         let slot = 0xeeee_0000u64 | epoch;
         ctx.broadcast_slot(self.local_channel, bytes, nominal, slot);
     }

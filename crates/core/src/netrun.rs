@@ -1,0 +1,178 @@
+//! Running one testbed node over real UDP (`wbft-transport`).
+//!
+//! [`run_udp_node`] is the socket counterpart of
+//! [`testbed::run`](crate::testbed::run)'s single-hop path: it deals the
+//! same deterministic key material from the config seed (so `n` separate
+//! processes sharing a [`TestbedConfig`] agree on every key without any
+//! exchange), wraps the protocol engine in the *same unmodified*
+//! [`ProtocolNode`] driver the simulator uses, and drives it with a
+//! [`UdpRuntime`] until the engine decides all its epochs or the wall
+//! deadline passes. The outcome is folded through the same aggregation as
+//! simulator runs, so real-network results land in the identical
+//! [`RunReport`] JSON schema — only this process's row of the per-node
+//! metrics is populated (each process owns one node).
+//!
+//! Fidelity caveat: UDP (and especially loopback) has no CSMA contention,
+//! collisions, airtime, or modelled loss, and wall-clock time replaces
+//! virtual time, so latency numbers are *not* comparable with simulator
+//! reports; channel accesses, bytes on air (nominal) and commit counts are.
+
+use crate::driver::{Engine, ProtocolNode};
+use crate::testbed::{finish_report, RunReport, TestbedConfig};
+use std::io;
+use std::time::Duration;
+use wbft_components::deal_node_crypto;
+use wbft_transport::{PeerTable, TransportStats, UdpRuntime};
+use wbft_wireless::{ChannelId, SimTime};
+
+/// Outcome of one UDP node run: the standard report plus transport counters.
+#[derive(Clone, Debug)]
+pub struct UdpNodeOutcome {
+    /// The run report, in the same schema as simulator runs.
+    pub report: RunReport,
+    /// Datagram-level drop/send counters.
+    pub stats: TransportStats,
+}
+
+/// Runs node `me` of a single-hop `cfg` deployment over UDP.
+///
+/// `linger` keeps the node answering peers' NACK retransmissions after its
+/// own epochs decide (exiting immediately would crash-fault the node for
+/// its slower peers — tolerable for `f` nodes, fatal beyond).
+///
+/// # Errors
+///
+/// * `InvalidInput` — multi-hop configs (clustered deployments still need
+///   the simulator), Byzantine placements (UDP runs are honest-only for
+///   now), a peer table whose size disagrees with `cfg.n`, or an invalid
+///   table;
+/// * socket errors from bind/receive.
+pub fn run_udp_node(
+    cfg: &TestbedConfig,
+    peers: PeerTable,
+    me: usize,
+    wall_deadline: Duration,
+    linger: Duration,
+) -> io::Result<UdpNodeOutcome> {
+    if cfg.clusters.is_some() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "multi-hop deployments run on the simulator only",
+        ));
+    }
+    if !cfg.byzantine.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "UDP runs are honest-only; drop the byzantine placement",
+        ));
+    }
+    if peers.len() != cfg.n || me >= cfg.n {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("peer table has {} nodes, config wants n={}, me={me}", peers.len(), cfg.n),
+        ));
+    }
+    // Same seed derivation as the simulator's single-hop path: every
+    // process deals the identical key vectors and takes its own slot.
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0xdea1);
+    let crypto = deal_node_crypto(cfg.n, cfg.suite, &mut rng)
+        .into_iter()
+        .nth(me)
+        .expect("me < n checked above");
+    let engine: Box<dyn Engine> = cfg.protocol.engine(crypto.clone(), cfg.workload.clone(), cfg.epochs);
+    let node = ProtocolNode::new(engine, crypto, ChannelId(0));
+    // Per-node rng stream: the ctx rng is not part of consensus state, but
+    // distinct streams avoid accidental cross-node correlation.
+    let rng_seed = cfg.seed ^ ((me as u64) << 32) ^ 0x11d9;
+    let mut runtime = UdpRuntime::new(peers, me as u16, node, rng_seed)?;
+    let completed = runtime.run_until(wall_deadline, linger, |node| node.is_done())?;
+    // Elapsed measures up to the decision, not the post-completion linger
+    // spent answering stragglers' NACKs (which would deflate throughput).
+    let elapsed = runtime
+        .completed_at()
+        .unwrap_or_else(|| runtime.now())
+        .saturating_since(SimTime::ZERO);
+    let node = runtime.behavior();
+    let decision_times = vec![node.clock().completed.clone()];
+    let total_txs: u64 = node.blocks().iter().map(|b| b.txs.len() as u64).sum();
+    let mut report = finish_report(
+        completed,
+        elapsed,
+        decision_times,
+        total_txs,
+        runtime.metrics().clone(),
+        cfg.epochs,
+    );
+    // Only this process's metrics row is populated, so the cluster mean
+    // would understate by n×; "per node" in a UDP report means *this* node.
+    report.channel_accesses_per_node =
+        report.metrics.node(wbft_wireless::NodeId(me as u16)).channel_accesses as f64;
+    Ok(UdpNodeOutcome { report, stats: runtime.stats().clone() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Protocol;
+
+    fn small_cfg() -> TestbedConfig {
+        let mut cfg = TestbedConfig::single_hop(Protocol::HoneyBadgerSc);
+        cfg.epochs = 1;
+        cfg.workload.batch_size = 4;
+        cfg
+    }
+
+    #[test]
+    fn rejects_multihop_byzantine_and_size_mismatch() {
+        let table = PeerTable::loopback(&[47101, 47102, 47103, 47104]);
+        let mut cfg = small_cfg();
+        cfg.clusters = Some(4);
+        assert!(run_udp_node(&cfg, table.clone(), 0, Duration::ZERO, Duration::ZERO).is_err());
+        let mut cfg = small_cfg();
+        cfg.byzantine = vec![(1, crate::ByzantineMode::Silent)];
+        assert!(run_udp_node(&cfg, table.clone(), 0, Duration::ZERO, Duration::ZERO).is_err());
+        let cfg = small_cfg();
+        assert!(run_udp_node(&cfg, PeerTable::loopback(&[1, 2]), 0, Duration::ZERO, Duration::ZERO)
+            .is_err());
+        assert!(run_udp_node(&cfg, table, 9, Duration::ZERO, Duration::ZERO).is_err());
+    }
+
+    /// Full in-process integration: four UDP runtimes on loopback threads
+    /// commit a HoneyBadger epoch with unmodified protocol code.
+    #[test]
+    fn four_threads_commit_an_epoch_over_loopback() {
+        let cfg = small_cfg();
+        let sockets: Vec<std::net::UdpSocket> =
+            (0..4).map(|_| std::net::UdpSocket::bind("127.0.0.1:0").unwrap()).collect();
+        let ports: Vec<u16> =
+            sockets.iter().map(|s| s.local_addr().unwrap().port()).collect();
+        drop(sockets);
+        let table = PeerTable::loopback(&ports);
+        let handles: Vec<_> = (0..4)
+            .map(|me| {
+                let cfg = cfg.clone();
+                let table = table.clone();
+                std::thread::spawn(move || {
+                    run_udp_node(
+                        &cfg,
+                        table,
+                        me,
+                        Duration::from_secs(120),
+                        Duration::from_secs(3),
+                    )
+                    .unwrap()
+                })
+            })
+            .collect();
+        let outcomes: Vec<UdpNodeOutcome> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (me, out) in outcomes.iter().enumerate() {
+            assert!(out.report.completed, "node {me} did not complete");
+            assert!(out.report.total_txs > 0, "node {me} committed nothing");
+        }
+        // Agreement: every node committed the same transaction count.
+        let txs: Vec<u64> = outcomes.iter().map(|o| o.report.total_txs).collect();
+        assert!(txs.windows(2).all(|w| w[0] == w[1]), "disagreement: {txs:?}");
+    }
+}

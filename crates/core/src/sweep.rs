@@ -197,10 +197,24 @@ pub struct SweepRun {
     pub report: RunReport,
 }
 
-/// Resolves the sweep's worker-thread count: `WBFT_SWEEP_THREADS` if set
-/// and positive, otherwise the machine's available parallelism.
-pub fn sweep_threads() -> usize {
-    if let Ok(v) = std::env::var("WBFT_SWEEP_THREADS") {
+/// Resolves the sweep's worker-thread count from an explicit argument, an
+/// injected environment lookup, and the machine's available parallelism —
+/// in that precedence order. Zero or unparsable values at any level fall
+/// through to the next.
+///
+/// The lookup is injected (rather than read from `std::env` here) so tests
+/// can exercise every branch without mutating process-global environment
+/// state, which is racy under the parallel test harness.
+pub fn resolve_threads(
+    explicit: Option<usize>,
+    env: impl Fn(&str) -> Option<String>,
+) -> usize {
+    if let Some(n) = explicit {
+        if n > 0 {
+            return n;
+        }
+    }
+    if let Some(v) = env("WBFT_SWEEP_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n > 0 {
                 return n;
@@ -208,6 +222,12 @@ pub fn sweep_threads() -> usize {
         }
     }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Resolves the sweep's worker-thread count: `WBFT_SWEEP_THREADS` if set
+/// and positive, otherwise the machine's available parallelism.
+pub fn sweep_threads() -> usize {
+    resolve_threads(None, |key| std::env::var(key).ok())
 }
 
 /// Work-stealing parallel map: applies `f` to every item, fanning work
@@ -314,14 +334,26 @@ mod tests {
     }
 
     #[test]
-    fn thread_env_override_wins() {
-        // Serialized via the env var name being unique to this test binary
-        // invocation; std::env is process-global, so set and restore.
-        std::env::set_var("WBFT_SWEEP_THREADS", "3");
-        assert_eq!(sweep_threads(), 3);
-        std::env::set_var("WBFT_SWEEP_THREADS", "0");
-        assert!(sweep_threads() >= 1);
-        std::env::remove_var("WBFT_SWEEP_THREADS");
-        assert!(sweep_threads() >= 1);
+    fn thread_resolution_precedence() {
+        // Injected lookup: no process-global env mutation (set_var under
+        // the parallel test harness would race concurrent tests).
+        let env3 = |key: &str| (key == "WBFT_SWEEP_THREADS").then(|| "3".to_string());
+        let env0 = |key: &str| (key == "WBFT_SWEEP_THREADS").then(|| "0".to_string());
+        let garbage = |key: &str| (key == "WBFT_SWEEP_THREADS").then(|| "lots".to_string());
+        let unset = |_: &str| None;
+        // Explicit argument wins over everything.
+        assert_eq!(resolve_threads(Some(5), env3), 5);
+        // Zero explicit falls through to the env var.
+        assert_eq!(resolve_threads(Some(0), env3), 3);
+        // Env var wins when no explicit argument is given.
+        assert_eq!(resolve_threads(None, env3), 3);
+        // Whitespace is tolerated.
+        assert_eq!(resolve_threads(None, |_| Some(" 7 ".into())), 7);
+        // Zero, garbage or unset env falls through to available parallelism.
+        assert!(resolve_threads(None, env0) >= 1);
+        assert!(resolve_threads(None, garbage) >= 1);
+        assert!(resolve_threads(None, unset) >= 1);
+        // The env-reading wrapper agrees with the injected form.
+        assert_eq!(sweep_threads(), resolve_threads(None, |k| std::env::var(k).ok()));
     }
 }

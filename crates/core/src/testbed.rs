@@ -106,8 +106,9 @@ pub struct RunReport {
     pub metrics: Metrics,
 }
 
-// Pure aggregation step shared by the single- and multi-hop paths.
-fn finish_report(
+// Pure aggregation step shared by the single- and multi-hop simulator
+// paths and the UDP runner (`netrun`).
+pub(crate) fn finish_report(
     completed: bool,
     elapsed: SimDuration,
     decision_times: Vec<Vec<SimTime>>,

@@ -1,0 +1,170 @@
+//! Versioned datagram framing for real-network transports.
+//!
+//! The simulator hands `Frame`s between behaviors in-process; a socket
+//! transport needs the same information to survive a trip through one UDP
+//! datagram: who sent it, which logical radio channel
+//! it belongs to, and the *nominal* wire length (the paper-sized byte count
+//! airtime and byte counters charge — the real payload uses this crate's
+//! substitute crypto sizes, so the two differ).
+//!
+//! Layout (little-endian, fixed 12-byte header + length-prefixed payload):
+//!
+//! ```text
+//! magic     u32   0x57424654 ("WBFT")
+//! version   u8    1
+//! src       u16   sending NodeId
+//! channel   u8    logical ChannelId
+//! nominal   u32   nominal wire length in bytes
+//! payload   u16-length-prefixed bytes (the sealed Envelope)
+//! ```
+//!
+//! Decoding is length-checked and never panics: short, truncated, garbage
+//! or version-skewed input yields a [`WireError`] the transport counts as a
+//! drop — exactly how the simulator models a corrupt frame as loss.
+
+use crate::wire::{ByteSink, Sink, WireError, WireReader};
+use bytes::Bytes;
+
+/// Frame marker: `"WBFT"` as a big-endian u32, written little-endian.
+pub const MAGIC: u32 = 0x5742_4654;
+
+/// Current framing version; bumped on layout changes.
+pub const VERSION: u8 = 1;
+
+/// Fixed header bytes before the length-prefixed payload.
+pub const HEADER_BYTES: usize = 4 + 1 + 2 + 1 + 4;
+
+/// Largest payload a frame may carry: the UDP/IPv4 maximum datagram payload
+/// (65_507 bytes) minus this header and the u16 payload-length prefix.
+pub const MAX_DATAGRAM_PAYLOAD: usize = 65_507 - HEADER_BYTES - 2;
+
+/// One transport frame: the on-the-wire form of a broadcast command.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Datagram {
+    /// Sending node id.
+    pub src: u16,
+    /// Logical radio channel the frame was broadcast on.
+    pub channel: u8,
+    /// Nominal (paper-sized) wire length; the receiver's metrics and the
+    /// delivered `Frame::nominal_len` use this, not `payload.len()`.
+    pub nominal_len: u32,
+    /// The sealed envelope bytes.
+    pub payload: Bytes,
+}
+
+impl Datagram {
+    /// Encodes into one UDP-sized datagram.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversize`] when the payload exceeds
+    /// [`MAX_DATAGRAM_PAYLOAD`] (it could never be carried in one UDP
+    /// datagram, so the send must be refused rather than truncated).
+    pub fn encode(&self) -> Result<Bytes, WireError> {
+        if self.payload.len() > MAX_DATAGRAM_PAYLOAD {
+            return Err(WireError::Oversize("datagram payload"));
+        }
+        let mut sink = ByteSink::new();
+        sink.u32(MAGIC);
+        sink.u8(VERSION);
+        sink.u16(self.src);
+        sink.u8(self.channel);
+        sink.u32(self.nominal_len);
+        sink.bytes(&self.payload)?;
+        Ok(sink.into_bytes())
+    }
+
+    /// Decodes one received datagram. Never panics.
+    ///
+    /// # Errors
+    ///
+    /// * [`WireError::Truncated`] — too short for the header or the
+    ///   declared payload length;
+    /// * [`WireError::Malformed`] — wrong magic, unsupported version, or
+    ///   trailing bytes after the payload (a frame is exactly one
+    ///   datagram).
+    pub fn decode(bytes: &[u8]) -> Result<Datagram, WireError> {
+        let mut r = WireReader::new(bytes);
+        if r.u32()? != MAGIC {
+            return Err(WireError::Malformed("datagram magic"));
+        }
+        if r.u8()? != VERSION {
+            return Err(WireError::Malformed("datagram version"));
+        }
+        let src = r.u16()?;
+        let channel = r.u8()?;
+        let nominal_len = r.u32()?;
+        let payload = r.bytes()?;
+        if r.remaining() != 0 {
+            return Err(WireError::Malformed("datagram trailing bytes"));
+        }
+        Ok(Datagram { src, channel, nominal_len, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Datagram {
+        Datagram {
+            src: 3,
+            channel: 1,
+            nominal_len: 217,
+            payload: Bytes::from_static(b"sealed-envelope"),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let d = sample();
+        let bytes = d.encode().unwrap();
+        assert_eq!(bytes.len(), HEADER_BYTES + 2 + d.payload.len());
+        assert_eq!(Datagram::decode(&bytes).unwrap(), d);
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let d = Datagram { payload: Bytes::new(), ..sample() };
+        assert_eq!(Datagram::decode(&d.encode().unwrap()).unwrap(), d);
+    }
+
+    #[test]
+    fn max_payload_encodes_one_over_errors() {
+        let d = Datagram { payload: Bytes::from(vec![0; MAX_DATAGRAM_PAYLOAD]), ..sample() };
+        let bytes = d.encode().unwrap();
+        assert_eq!(bytes.len(), 65_507);
+        assert_eq!(Datagram::decode(&bytes).unwrap().payload.len(), MAX_DATAGRAM_PAYLOAD);
+        let over =
+            Datagram { payload: Bytes::from(vec![0; MAX_DATAGRAM_PAYLOAD + 1]), ..sample() };
+        assert_eq!(over.encode(), Err(WireError::Oversize("datagram payload")));
+    }
+
+    #[test]
+    fn wrong_magic_and_version_rejected() {
+        let mut bytes = sample().encode().unwrap().to_vec();
+        bytes[0] ^= 0xff;
+        assert_eq!(Datagram::decode(&bytes), Err(WireError::Malformed("datagram magic")));
+        let mut bytes = sample().encode().unwrap().to_vec();
+        bytes[4] = VERSION + 1;
+        assert_eq!(Datagram::decode(&bytes), Err(WireError::Malformed("datagram version")));
+    }
+
+    #[test]
+    fn truncation_at_every_length_errors_without_panicking() {
+        let bytes = sample().encode().unwrap();
+        for cut in 0..bytes.len() {
+            assert!(Datagram::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = sample().encode().unwrap().to_vec();
+        bytes.push(0);
+        assert_eq!(
+            Datagram::decode(&bytes),
+            Err(WireError::Malformed("datagram trailing bytes"))
+        );
+    }
+}

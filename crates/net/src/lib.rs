@@ -40,13 +40,14 @@
 //!         init_nack: Bitmap::new(4),
 //!     },
 //! };
-//! let (bytes, nominal) = env.seal(&kp, &Sizing::light(4));
+//! let (bytes, nominal) = env.seal(&kp, &Sizing::light(4))?;
 //! let (opened, sig_ok) = Envelope::open(&bytes, |_| Some(kp.public()))?;
 //! assert!(sig_ok && opened == env && nominal <= 255);
 //! # Ok::<(), wbft_net::WireError>(())
 //! ```
 
 pub mod bitmap;
+pub mod datagram;
 pub mod overhead;
 pub mod packets;
 pub mod reliability;
@@ -54,6 +55,7 @@ pub mod vote;
 pub mod wire;
 
 pub use bitmap::Bitmap;
+pub use datagram::{Datagram, MAX_DATAGRAM_PAYLOAD};
 pub use packets::{AbaLcInst, AbaScInst, Body, Envelope};
 pub use reliability::RetransmitPolicy;
 pub use vote::{BinValues, Vote};

@@ -420,7 +420,13 @@ impl Body {
     }
 
     /// Encodes the body (without header or signature) into a sink.
-    pub fn encode_into(&self, s: &mut impl Sink) {
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversize`] when a variable-length field (fragment data,
+    /// bitmap, list count) does not fit its wire-format length prefix — the
+    /// caller drops the message instead of aborting the node.
+    pub fn encode_into(&self, s: &mut impl Sink) -> Result<(), WireError> {
         s.u8(self.kind());
         match self {
             Body::RbcInit { instance, frag, frag_total, root, data, init_nack }
@@ -429,16 +435,16 @@ impl Body {
                 s.u8(*frag);
                 s.u8(*frag_total);
                 s.digest(root);
-                s.bytes(data);
-                s.bitmap(init_nack);
+                s.bytes(data)?;
+                s.bitmap(init_nack)?;
             }
             Body::RbcEchoReady { roots, echo, ready, echo_nack, ready_nack, init_nack } => {
-                encode_roots(s, roots);
-                s.bitmap(echo);
-                s.bitmap(ready);
-                s.bitmap(echo_nack);
-                s.bitmap(ready_nack);
-                s.bitmap(init_nack);
+                encode_roots(s, roots)?;
+                s.bitmap(echo)?;
+                s.bitmap(ready)?;
+                s.bitmap(echo_nack)?;
+                s.bitmap(ready_nack)?;
+                s.bitmap(init_nack)?;
             }
             Body::CbcEchoFinish {
                 roots,
@@ -448,42 +454,42 @@ impl Body {
                 finish_nack,
                 init_nack,
             } => {
-                encode_roots(s, roots);
-                s.u8(echo_shares.len() as u8);
+                encode_roots(s, roots)?;
+                s.count8(echo_shares.len())?;
                 for (i, share) in echo_shares {
                     s.u8(*i);
                     s.sig_share(share);
                 }
-                s.u8(finish_sigs.len() as u8);
+                s.count8(finish_sigs.len())?;
                 for (i, sig) in finish_sigs {
                     s.u8(*i);
                     s.thresh_sig(sig);
                 }
-                s.bitmap(echo_nack);
-                s.bitmap(finish_nack);
-                s.bitmap(init_nack);
+                s.bitmap(echo_nack)?;
+                s.bitmap(finish_nack)?;
+                s.bitmap(init_nack)?;
             }
             Body::PrbcDone { roots, shares, proofs, sig_nack } => {
-                encode_roots(s, roots);
-                s.u8(shares.len() as u8);
+                encode_roots(s, roots)?;
+                s.count8(shares.len())?;
                 for (i, share) in shares {
                     s.u8(*i);
                     s.sig_share(share);
                 }
-                s.u8(proofs.len() as u8);
+                s.count8(proofs.len())?;
                 for (i, sig) in proofs {
                     s.u8(*i);
                     s.thresh_sig(sig);
                 }
-                s.bitmap(sig_nack);
+                s.bitmap(sig_nack)?;
             }
             Body::RbcSmall { values, echo, ready, init_nack, echo_nack, ready_nack } => {
-                encode_votes(s, values);
-                s.bitmap(echo);
-                s.bitmap(ready);
-                s.bitmap(init_nack);
-                s.bitmap(echo_nack);
-                s.bitmap(ready_nack);
+                encode_votes(s, values)?;
+                s.bitmap(echo)?;
+                s.bitmap(ready)?;
+                s.bitmap(init_nack)?;
+                s.bitmap(echo_nack)?;
+                s.bitmap(ready_nack)?;
             }
             Body::CbcSmall {
                 values,
@@ -493,32 +499,32 @@ impl Body {
                 echo_nack,
                 finish_nack,
             } => {
-                s.u8(values.len() as u8);
+                s.count8(values.len())?;
                 for v in values {
-                    s.bitmap(v);
+                    s.bitmap(v)?;
                 }
-                s.u8(echo_shares.len() as u8);
+                s.count8(echo_shares.len())?;
                 for (i, share) in echo_shares {
                     s.u8(*i);
                     s.sig_share(share);
                 }
-                s.u8(finish_sigs.len() as u8);
+                s.count8(finish_sigs.len())?;
                 for (i, sig) in finish_sigs {
                     s.u8(*i);
                     s.thresh_sig(sig);
                 }
-                s.bitmap(init_nack);
-                s.bitmap(echo_nack);
-                s.bitmap(finish_nack);
+                s.bitmap(init_nack)?;
+                s.bitmap(echo_nack)?;
+                s.bitmap(finish_nack)?;
             }
             Body::AbaLc { insts } => {
-                s.u8(insts.len() as u8);
+                s.count8(insts.len())?;
                 for inst in insts {
                     s.u8(inst.instance);
                     s.u16(inst.round);
                     s.u8(inst.decided.code());
                     for phase in &inst.reports {
-                        encode_votes(s, phase);
+                        encode_votes(s, phase)?;
                     }
                 }
             }
@@ -527,25 +533,25 @@ impl Body {
                     CoinFlavor::ThreshSig => 0,
                     CoinFlavor::CoinFlip => 1,
                 });
-                s.u8(insts.len() as u8);
+                s.count8(insts.len())?;
                 for inst in insts {
                     s.u8(inst.instance);
                     s.u16(inst.round);
                     s.u8(inst.bval.code() | (inst.aux.code() << 2) | (inst.decided.code() << 4));
                 }
-                s.u8(coin_shares.len() as u8);
+                s.count8(coin_shares.len())?;
                 for (round, share) in coin_shares {
                     s.u16(*round);
                     s.coin_share(share, *flavor);
                 }
-                s.bitmap(share_nack);
+                s.bitmap(share_nack)?;
             }
             Body::BaseRbcInit { instance, frag, frag_total, root, data } => {
                 s.u8(*instance);
                 s.u8(*frag);
                 s.u8(*frag_total);
                 s.digest(root);
-                s.bytes(data);
+                s.bytes(data)?;
             }
             Body::BaseRbcEcho { instance, root } | Body::BaseRbcReady { instance, root } => {
                 s.u8(*instance);
@@ -593,12 +599,12 @@ impl Body {
                 s.u8(value.code());
             }
             Body::DecShareBatch { shares, dec_nack } => {
-                s.u8(shares.len() as u8);
+                s.count8(shares.len())?;
                 for (i, share) in shares {
                     s.u8(*i);
                     s.dec_share(share);
                 }
-                s.bitmap(dec_nack);
+                s.bitmap(dec_nack)?;
             }
             Body::BaseDecShare { proposer, share } => {
                 s.u8(*proposer);
@@ -615,6 +621,7 @@ impl Body {
                 s.u32(*tx_count);
             }
         }
+        Ok(())
     }
 
     /// Decodes a body.
@@ -781,11 +788,12 @@ impl Body {
     }
 }
 
-fn encode_roots(s: &mut impl Sink, roots: &[Digest32]) {
-    s.u8(roots.len() as u8);
+fn encode_roots(s: &mut impl Sink, roots: &[Digest32]) -> Result<(), WireError> {
+    s.count8(roots.len())?;
     for root in roots {
         s.digest(root);
     }
+    Ok(())
 }
 
 fn decode_roots(r: &mut WireReader<'_>) -> Result<Vec<Digest32>, WireError> {
@@ -799,8 +807,8 @@ fn decode_roots(r: &mut WireReader<'_>) -> Result<Vec<Digest32>, WireError> {
 
 /// Votes are packed four per byte (2 bits each), matching the paper's
 /// "2N bits" accounting.
-fn encode_votes(s: &mut impl Sink, votes: &[Vote]) {
-    s.u8(votes.len() as u8);
+fn encode_votes(s: &mut impl Sink, votes: &[Vote]) -> Result<(), WireError> {
+    s.count8(votes.len())?;
     for chunk in votes.chunks(4) {
         let mut b = 0u8;
         for (i, v) in chunk.iter().enumerate() {
@@ -808,6 +816,7 @@ fn encode_votes(s: &mut impl Sink, votes: &[Vote]) {
         }
         s.u8(b);
     }
+    Ok(())
 }
 
 fn decode_votes(r: &mut WireReader<'_>) -> Result<Vec<Vote>, WireError> {
@@ -860,26 +869,36 @@ impl Envelope {
     /// The signature is a real Schnorr signature over the encoded header and
     /// body; the nominal length charges the micro-ecc curve's signature
     /// size from the sizing profile.
-    pub fn seal(&self, keypair: &KeyPair, sizing: &Sizing) -> (Bytes, usize) {
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversize`] when the body does not fit the wire format's
+    /// length prefixes; callers drop the send instead of aborting.
+    pub fn seal(&self, keypair: &KeyPair, sizing: &Sizing) -> Result<(Bytes, usize), WireError> {
+        let nominal = self.nominal_len(sizing)?;
         let mut sink = ByteSink::new();
         sink.u16(self.src);
         sink.u64(self.session);
-        self.body.encode_into(&mut sink);
+        self.body.encode_into(&mut sink)?;
         let sig = keypair.sign(sink.as_slice());
         sink.raw(&sig.r.to_bytes());
         sink.raw(&sig.z.to_bytes());
-        (sink.into_bytes(), self.nominal_len(sizing))
+        Ok((sink.into_bytes(), nominal))
     }
 
     /// Nominal wire length under the paper's packet layout.
-    pub fn nominal_len(&self, sizing: &Sizing) -> usize {
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversize`] under the same conditions as [`Envelope::seal`].
+    pub fn nominal_len(&self, sizing: &Sizing) -> Result<usize, WireError> {
         let mut count = CountSink::new(*sizing);
-        self.body.encode_into(&mut count);
+        self.body.encode_into(&mut count)?;
         // The count included the real header fields through encode; replace
         // with the paper's header charge plus the packet signature.
-        HEADER_NOMINAL
+        Ok(HEADER_NOMINAL
             + count.total()
-            + sizing.suite.ecdsa.profile().signature_bytes
+            + sizing.suite.ecdsa.profile().signature_bytes)
     }
 
     /// Decodes and verifies a sealed packet.
@@ -1050,7 +1069,7 @@ mod tests {
     fn all_bodies_roundtrip() {
         for body in sample_bodies() {
             let mut sink = ByteSink::new();
-            body.encode_into(&mut sink);
+            body.encode_into(&mut sink).unwrap();
             let bytes = sink.into_bytes();
             let mut r = WireReader::new(&bytes);
             let decoded = Body::decode(&mut r).unwrap_or_else(|e| panic!("{body:?}: {e}"));
@@ -1065,7 +1084,7 @@ mod tests {
         let pk = kp.public();
         for body in sample_bodies() {
             let env = Envelope { src: 3, session: 42, body };
-            let (bytes, nominal) = env.seal(&kp, &Sizing::light(4));
+            let (bytes, nominal) = env.seal(&kp, &Sizing::light(4)).unwrap();
             assert!(nominal > 0);
             let (opened, sig_ok) = Envelope::open(&bytes, |_| Some(pk)).unwrap();
             assert_eq!(opened, env);
@@ -1081,7 +1100,7 @@ mod tests {
             session: 1,
             body: Body::BaseAbaDecided { instance: 0, value: true },
         };
-        let (bytes, _) = env.seal(&kp, &Sizing::light(4));
+        let (bytes, _) = env.seal(&kp, &Sizing::light(4)).unwrap();
         let mut tampered = bytes.to_vec();
         // Flip the decided value inside the body.
         let idx = tampered.len() - 65;
@@ -1101,7 +1120,7 @@ mod tests {
             session: 1,
             body: Body::BaseAbaDecided { instance: 0, value: false },
         };
-        let (bytes, _) = env.seal(&kp, &Sizing::light(4));
+        let (bytes, _) = env.seal(&kp, &Sizing::light(4)).unwrap();
         let (_, sig_ok) = Envelope::open(&bytes, |_| Some(other.public())).unwrap();
         assert!(!sig_ok);
     }
@@ -1122,7 +1141,7 @@ mod tests {
                 init_nack: Bitmap::new(4),
             },
         };
-        let nominal = env.nominal_len(&Sizing::light(4));
+        let nominal = env.nominal_len(&Sizing::light(4)).unwrap();
         assert_eq!(nominal, 8 + 1 + (1 + 128) + 5 * 2 + 40);
     }
 
@@ -1142,11 +1161,75 @@ mod tests {
                 init_nack: Bitmap::full(4),
             },
         };
-        assert!(env.nominal_len(&Sizing::light(4)) <= 255);
+        assert!(env.nominal_len(&Sizing::light(4)).unwrap() <= 255);
     }
 
     #[test]
     fn truncated_envelope_errors() {
         assert_eq!(Envelope::open(&[0u8; 10], |_| None), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn oversized_fragment_data_errors_instead_of_panicking() {
+        // 65535 bytes of fragment data seals; 65536 is an Oversize error.
+        let kp = keypair();
+        let at_limit = Envelope {
+            src: 0,
+            session: 0,
+            body: Body::BaseRbcInit {
+                instance: 0,
+                frag: 0,
+                frag_total: 1,
+                root: Digest32::of(b"big"),
+                data: Bytes::from(vec![7u8; u16::MAX as usize]),
+            },
+        };
+        assert!(at_limit.seal(&kp, &Sizing::light(4)).is_ok());
+        let over = Envelope {
+            src: 0,
+            session: 0,
+            body: Body::BaseRbcInit {
+                instance: 0,
+                frag: 0,
+                frag_total: 1,
+                root: Digest32::of(b"big"),
+                data: Bytes::from(vec![7u8; u16::MAX as usize + 1]),
+            },
+        };
+        assert_eq!(
+            over.seal(&kp, &Sizing::light(4)),
+            Err(WireError::Oversize("byte string"))
+        );
+        assert_eq!(
+            over.nominal_len(&Sizing::light(4)),
+            Err(WireError::Oversize("byte string"))
+        );
+    }
+
+    #[test]
+    fn oversized_list_count_errors_instead_of_truncating() {
+        // 256 echo shares would truncate to a 0 count prefix under the old
+        // `len() as u8` encoding; now it is a hard error on both sinks.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let (_, sks) = thresh_sig::deal(4, 1, ThresholdCurve::Bn158, &mut rng);
+        let share = sks[0].sign_share(b"m");
+        let body = Body::CbcEchoFinish {
+            roots: vec![Digest32::zero(); 4],
+            echo_shares: vec![(0, share); 256],
+            finish_sigs: Vec::new(),
+            echo_nack: Bitmap::new(4),
+            finish_nack: Bitmap::new(4),
+            init_nack: Bitmap::new(4),
+        };
+        let mut sink = ByteSink::new();
+        assert_eq!(
+            body.encode_into(&mut sink),
+            Err(WireError::Oversize("list count"))
+        );
+        let mut count = CountSink::new(Sizing::light(4));
+        assert_eq!(
+            body.encode_into(&mut count),
+            Err(WireError::Oversize("list count"))
+        );
     }
 }

@@ -50,7 +50,33 @@ impl Sizing {
     }
 }
 
+/// Checks a length-prefixed byte string's length against its u16 prefix.
+///
+/// # Errors
+///
+/// [`WireError::Oversize`] for inputs longer than 65535 bytes.
+pub fn checked_bytes_len(len: usize) -> Result<u16, WireError> {
+    u16::try_from(len).map_err(|_| WireError::Oversize("byte string"))
+}
+
+/// Checks a bitmap's logical length against its u8 wire prefix.
+///
+/// (Today's [`Bitmap`] caps at 64 bits, but the wire prefix is what bounds
+/// the format — a wider future bitmap must still fit the u8.)
+///
+/// # Errors
+///
+/// [`WireError::Oversize`] for lengths above 255.
+pub fn checked_bitmap_len(len: usize) -> Result<u8, WireError> {
+    u8::try_from(len).map_err(|_| WireError::Oversize("bitmap"))
+}
+
 /// Encoding destination; see module docs.
+///
+/// Variable-length fields (`bytes`, `bitmap`, `count8`) are fallible: a
+/// value that does not fit its wire-format length prefix yields
+/// [`WireError::Oversize`] instead of panicking or silently truncating, so
+/// an oversized message can never abort a node mid-encode.
 pub trait Sink {
     /// Raw byte.
     fn u8(&mut self, v: u8);
@@ -61,11 +87,29 @@ pub trait Sink {
     /// Little-endian u64.
     fn u64(&mut self, v: u64);
     /// Length-prefixed byte string (u16 prefix).
-    fn bytes(&mut self, v: &[u8]);
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversize`] for inputs longer than 65535 bytes.
+    fn bytes(&mut self, v: &[u8]) -> Result<(), WireError>;
     /// A 32-byte digest.
     fn digest(&mut self, v: &Digest32);
     /// A bitmap (length known from context).
-    fn bitmap(&mut self, v: &Bitmap);
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversize`] if the logical length exceeds the u8 prefix.
+    fn bitmap(&mut self, v: &Bitmap) -> Result<(), WireError>;
+    /// A u8 element-count prefix for a variable-length list.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversize`] for counts above 255.
+    fn count8(&mut self, n: usize) -> Result<(), WireError> {
+        let b = u8::try_from(n).map_err(|_| WireError::Oversize("list count"))?;
+        self.u8(b);
+        Ok(())
+    }
     /// A threshold signature share.
     fn sig_share(&mut self, v: &SigShare);
     /// A combined threshold signature.
@@ -117,18 +161,19 @@ impl Sink for ByteSink {
     fn u64(&mut self, v: u64) {
         self.buf.put_u64_le(v);
     }
-    fn bytes(&mut self, v: &[u8]) {
-        assert!(v.len() <= u16::MAX as usize, "byte string too long");
-        self.buf.put_u16_le(v.len() as u16);
+    fn bytes(&mut self, v: &[u8]) -> Result<(), WireError> {
+        self.buf.put_u16_le(checked_bytes_len(v.len())?);
         self.buf.put_slice(v);
+        Ok(())
     }
     fn digest(&mut self, v: &Digest32) {
         self.buf.put_slice(v.as_bytes());
     }
-    fn bitmap(&mut self, v: &Bitmap) {
-        self.buf.put_u8(v.len() as u8);
+    fn bitmap(&mut self, v: &Bitmap) -> Result<(), WireError> {
+        self.buf.put_u8(checked_bitmap_len(v.len())?);
         let raw = v.to_raw().to_le_bytes();
         self.buf.put_slice(&raw[..v.wire_len()]);
+        Ok(())
     }
     fn sig_share(&mut self, v: &SigShare) {
         self.buf.put_u16_le(v.index.value());
@@ -180,14 +225,20 @@ impl Sink for CountSink {
     fn u64(&mut self, _v: u64) {
         self.total += 8;
     }
-    fn bytes(&mut self, v: &[u8]) {
+    fn bytes(&mut self, v: &[u8]) -> Result<(), WireError> {
+        // Same bound as ByteSink, so the nominal and real paths agree on
+        // which messages are encodable.
+        checked_bytes_len(v.len())?;
         self.total += 2 + v.len();
+        Ok(())
     }
     fn digest(&mut self, _v: &Digest32) {
         self.total += 32;
     }
-    fn bitmap(&mut self, v: &Bitmap) {
+    fn bitmap(&mut self, v: &Bitmap) -> Result<(), WireError> {
+        checked_bitmap_len(v.len())?;
         self.total += 1 + v.wire_len();
+        Ok(())
     }
     fn sig_share(&mut self, _v: &SigShare) {
         self.total += 2 + self.sizing.suite.threshold.signature_profile().share_bytes;
@@ -224,6 +275,8 @@ pub enum WireError {
     UnknownKind(u8),
     /// A structurally invalid field (bad bitmap length, vote code, …).
     Malformed(&'static str),
+    /// A value too large for its wire-format length prefix (encode side).
+    Oversize(&'static str),
 }
 
 impl core::fmt::Display for WireError {
@@ -233,6 +286,9 @@ impl core::fmt::Display for WireError {
             WireError::BadGroupElement => write!(f, "invalid group element"),
             WireError::UnknownKind(k) => write!(f, "unknown packet kind {k}"),
             WireError::Malformed(what) => write!(f, "malformed field: {what}"),
+            WireError::Oversize(what) => {
+                write!(f, "{what} too large for its wire length prefix")
+            }
         }
     }
 }
@@ -378,10 +434,10 @@ mod tests {
         w.u16(300);
         w.u32(1 << 20);
         w.u64(1 << 40);
-        w.bytes(b"hello");
+        w.bytes(b"hello").unwrap();
         let mut bm = Bitmap::new(10);
         bm.set(9, true);
-        w.bitmap(&bm);
+        w.bitmap(&bm).unwrap();
         w.digest(&Digest32::of(b"d"));
         let bytes = w.into_bytes();
         let mut r = WireReader::new(&bytes);
@@ -443,6 +499,60 @@ mod tests {
         b.coin_share(&share, CoinFlavor::CoinFlip);
         // Coin-flipping shares carry extra verification data (paper §V-A).
         assert!(b.total() > a.total());
+    }
+
+    #[test]
+    fn byte_string_boundary_65535_ok_65536_errors() {
+        // Exactly the u16 prefix: the maximum encodes on both sinks …
+        let max = vec![0u8; u16::MAX as usize];
+        let mut w = ByteSink::new();
+        assert_eq!(w.bytes(&max), Ok(()));
+        assert_eq!(w.as_slice().len(), 2 + 65_535);
+        let mut c = CountSink::new(Sizing::light(4));
+        assert_eq!(c.bytes(&max), Ok(()));
+        assert_eq!(c.total(), 2 + 65_535);
+        // … and one byte more is an error, not a panic, on both.
+        let over = vec![0u8; u16::MAX as usize + 1];
+        let mut w = ByteSink::new();
+        assert_eq!(w.bytes(&over), Err(WireError::Oversize("byte string")));
+        let mut c = CountSink::new(Sizing::light(4));
+        assert_eq!(c.bytes(&over), Err(WireError::Oversize("byte string")));
+        // A failed write leaves nothing behind the caller must undo.
+        let r = WireReader::new(w.as_slice());
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn length_prefix_checks_at_exact_boundaries() {
+        assert_eq!(checked_bytes_len(u16::MAX as usize), Ok(u16::MAX));
+        assert_eq!(
+            checked_bytes_len(u16::MAX as usize + 1),
+            Err(WireError::Oversize("byte string"))
+        );
+        assert_eq!(checked_bitmap_len(255), Ok(255));
+        assert_eq!(checked_bitmap_len(256), Err(WireError::Oversize("bitmap")));
+    }
+
+    #[test]
+    fn count8_boundary_255_ok_256_errors() {
+        let mut w = ByteSink::new();
+        assert_eq!(w.count8(255), Ok(()));
+        assert_eq!(w.as_slice(), &[255]);
+        assert_eq!(w.count8(256), Err(WireError::Oversize("list count")));
+        let mut c = CountSink::new(Sizing::light(4));
+        assert_eq!(c.count8(255), Ok(()));
+        assert_eq!(c.count8(256), Err(WireError::Oversize("list count")));
+    }
+
+    #[test]
+    fn max_constructible_bitmap_still_encodes() {
+        // Bitmap caps at 64 bits today; the sink bound (255) is the wire
+        // format's, so the largest constructible bitmap must round-trip.
+        let bm = Bitmap::full(64);
+        let mut w = ByteSink::new();
+        w.bitmap(&bm).unwrap();
+        let mut r = WireReader::new(w.as_slice());
+        assert_eq!(r.bitmap().unwrap(), bm);
     }
 
     #[test]

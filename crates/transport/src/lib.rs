@@ -1,0 +1,53 @@
+//! # wbft-transport — real-network transport for sans-io protocol code
+//!
+//! The paper's testbed runs consensus over real radios; this crate is the
+//! reproduction's first real transport: a UDP datagram carrier plus a
+//! single-threaded poll/timer runtime ([`UdpRuntime`]) that drives any
+//! [`NodeBehavior`](wbft_wireless::NodeBehavior) — the *same unmodified
+//! protocol state machines the simulator runs* — over a
+//! `std::net::UdpSocket`.
+//!
+//! Pieces:
+//!
+//! * [`PeerTable`] — the deployment map (node id → socket address →
+//!   channel set), JSON-serialized through `wbft-report` so one launcher
+//!   can hand it to every process. Logical radio channels become
+//!   peer-address multicast sets.
+//! * [`UdpRuntime`] — the event loop: real monotonic clocks mapped onto
+//!   `SimTime`, a timer wheel for `SetTimer`, datagram framing via
+//!   [`wbft_net::datagram`], length-checked non-panicking decode, and
+//!   counters in the simulator's `Metrics` schema so real runs feed the
+//!   same `RunReport` JSON the figures read.
+//!
+//! What this transport deliberately does **not** model: CSMA contention,
+//! collisions, half-duplex radios, airtime, or stochastic loss — loopback
+//! and Ethernet links have none of those. The simulator remains the
+//! deterministic CI path and the fidelity reference; this crate is the
+//! deployment path (and the stepping stone to serial/LoRa bridges).
+
+pub mod config;
+pub mod runtime;
+
+pub use config::{PeerEntry, PeerTable};
+pub use runtime::UdpRuntime;
+
+/// Datagram-level counters a transport keeps alongside the protocol
+/// [`Metrics`](wbft_wireless::Metrics).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Datagrams received, before any validation.
+    pub datagrams_received: u64,
+    /// Datagrams dropped because they failed to decode (truncated, bad
+    /// magic/version, garbage).
+    pub drops_malformed: u64,
+    /// Well-formed datagrams dropped by the receive filter (unknown or
+    /// self source, channel not joined, sender not on the channel).
+    pub drops_foreign: u64,
+    /// Valid protocol frames dropped because the startup-barrier buffer
+    /// was full (NACK retransmission recovers them).
+    pub drops_overflow: u64,
+    /// Broadcasts refused because the payload exceeds one UDP datagram.
+    pub sends_rejected: u64,
+    /// Individual `send_to` failures (UDP is lossy; never fatal).
+    pub sends_failed: u64,
+}

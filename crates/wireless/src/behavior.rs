@@ -28,13 +28,39 @@ pub struct Frame {
     pub nominal_len: usize,
 }
 
-/// Commands a behavior can issue during a callback; applied by the
-/// simulator after the callback returns.
+/// Commands a behavior can issue during a callback; applied by the driving
+/// runtime (the simulator, or a real transport) after the callback returns.
+///
+/// This enum is the full sans-io contract surface: any runtime that honours
+/// these four commands plus the three [`NodeBehavior`] callbacks runs the
+/// same protocol code the simulator does. External runtimes obtain them via
+/// [`NodeCtx::external`] / [`NodeCtx::finish`].
 #[derive(Clone, Debug)]
-pub(crate) enum Command {
-    Broadcast { channel: ChannelId, payload: Bytes, nominal_len: usize, slot: Option<u64> },
-    SetTimer { after: SimDuration, id: u64 },
+pub enum Command {
+    /// Broadcast `payload` on `channel`; `nominal_len` is the paper-sized
+    /// byte count for airtime/byte accounting, and frames sharing a `slot`
+    /// may supersede queued older versions (transports without a transmit
+    /// queue may ignore `slot`).
+    Broadcast {
+        /// Target channel.
+        channel: ChannelId,
+        /// Frame payload.
+        payload: Bytes,
+        /// Nominal wire length in bytes.
+        nominal_len: usize,
+        /// Transmit-queue coalescing slot, if any.
+        slot: Option<u64>,
+    },
+    /// Deliver `on_timer(id)` after `after`.
+    SetTimer {
+        /// Delay from now.
+        after: SimDuration,
+        /// Timer id handed back to the behavior.
+        id: u64,
+    },
+    /// Start listening on a channel.
     JoinChannel(ChannelId),
+    /// Stop listening on a channel.
     LeaveChannel(ChannelId),
 }
 
@@ -48,6 +74,24 @@ pub struct NodeCtx<'a> {
 }
 
 impl<'a> NodeCtx<'a> {
+    /// Builds a context for an *external* runtime (a real transport driving
+    /// a [`NodeBehavior`] outside the simulator).
+    ///
+    /// `now` is whatever clock the runtime maps onto [`SimTime`] — a real
+    /// transport uses monotonic micros since process start. After the
+    /// callback returns, the runtime applies the issued [`Command`]s from
+    /// [`NodeCtx::finish`]. The simulator constructs its contexts
+    /// internally; this constructor exists solely for other runtimes.
+    pub fn external(now: SimTime, node: NodeId, rng: &'a mut ChaCha12Rng) -> NodeCtx<'a> {
+        NodeCtx { now, node, rng, cmds: Vec::new(), charged: SimDuration::ZERO }
+    }
+
+    /// Consumes the context, returning the commands the callback issued (in
+    /// issue order) and the virtual CPU time it charged.
+    pub fn finish(self) -> (Vec<Command>, SimDuration) {
+        (self.cmds, self.charged)
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now

@@ -60,7 +60,7 @@ pub mod time;
 pub mod topology;
 
 pub use adversary::{AdversaryConfig, LossModel};
-pub use behavior::{Frame, NodeBehavior, NodeCtx};
+pub use behavior::{Command, Frame, NodeBehavior, NodeCtx};
 pub use csma::CsmaParams;
 pub use dma::DmaParams;
 pub use metrics::{Metrics, NodeMetrics};

@@ -14,7 +14,7 @@
 
 use std::time::Instant;
 use wbft_consensus::report::{report_root, scenario_string, write_reports};
-use wbft_consensus::sweep::{run_scenarios, sweep_threads, SweepSpec};
+use wbft_consensus::sweep::{resolve_threads, run_scenarios, SweepSpec};
 use wbft_consensus::{ByzantineMode, Protocol};
 use wbft_wireless::LossModel;
 
@@ -71,7 +71,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut spec = SweepSpec::new("sweep");
     spec.protocols = Protocol::ALL.to_vec();
-    let mut threads = sweep_threads();
+    let mut threads: Option<usize> = None;
     let mut out = report_root().join("sweep");
     let mut verify_serial = false;
 
@@ -109,7 +109,7 @@ fn main() {
                     })
                     .collect()
             }
-            "--threads" => threads = value().parse().unwrap_or_else(|_| usage()),
+            "--threads" => threads = Some(value().parse().unwrap_or_else(|_| usage())),
             "--out" => out = value().into(),
             "--verify-serial" => verify_serial = true,
             "--help" | "-h" => usage(),
@@ -120,6 +120,9 @@ fn main() {
         usage();
     }
 
+    // Precedence: --threads > WBFT_SWEEP_THREADS > available parallelism
+    // (a zero at either level falls through to the next).
+    let threads = resolve_threads(threads, |key| std::env::var(key).ok());
     let scenarios = spec.expand();
     println!(
         "sweep: {} scenarios ({} protocols x {} topologies x {} suites x {} loss x {} placements x {} seeds), {} threads",
