@@ -165,10 +165,6 @@ impl<E: Engine> Engine for ByzantineEngine<E> {
         self.inner.blocks()
     }
 
-    fn target_epochs(&self) -> u64 {
-        self.inner.target_epochs()
-    }
-
     fn is_done(&self) -> bool {
         // A Byzantine node never gates experiment completion.
         true
@@ -193,8 +189,8 @@ mod tests {
         fn blocks(&self) -> &[Block] {
             &self.blocks
         }
-        fn target_epochs(&self) -> u64 {
-            1
+        fn is_done(&self) -> bool {
+            !self.blocks.is_empty()
         }
     }
 

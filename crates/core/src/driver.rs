@@ -71,13 +71,10 @@ pub trait Engine {
     /// Blocks decided so far, in epoch order.
     fn blocks(&self) -> &[Block];
 
-    /// Epochs this engine intends to run (completion criterion).
-    fn target_epochs(&self) -> u64;
-
-    /// `true` once all target epochs have decided.
-    fn is_done(&self) -> bool {
-        self.blocks().len() as u64 >= self.target_epochs()
-    }
+    /// `true` once the engine's [`StopCondition`](crate::service::StopCondition)
+    /// is satisfied: every opened epoch decided and no further epoch will
+    /// open (all target epochs ran, or a requested service stop landed).
+    fn is_done(&self) -> bool;
 }
 
 impl Engine for Box<dyn Engine> {
@@ -93,8 +90,8 @@ impl Engine for Box<dyn Engine> {
     fn blocks(&self) -> &[Block] {
         (**self).blocks()
     }
-    fn target_epochs(&self) -> u64 {
-        (**self).target_epochs()
+    fn is_done(&self) -> bool {
+        (**self).is_done()
     }
 }
 
@@ -138,6 +135,16 @@ pub struct EpochClock {
     pub completed: Vec<SimTime>,
 }
 
+/// The service-side attachments of one node: the shared handle that
+/// receives committed blocks (with commit timestamps for latency
+/// accounting) and the deterministic client-arrival schedule injected via
+/// driver-level timers.
+struct ServiceBinding {
+    handle: crate::service::ConsensusHandle,
+    /// `(delay from start, transaction)` in schedule order.
+    arrivals: Vec<(SimDuration, Tx)>,
+}
+
 /// Adapts an [`Engine`] to the simulator's [`NodeBehavior`].
 pub struct ProtocolNode<E: Engine> {
     engine: E,
@@ -145,6 +152,7 @@ pub struct ProtocolNode<E: Engine> {
     sizing: Sizing,
     channel: ChannelId,
     clock: EpochClock,
+    service: Option<ServiceBinding>,
     /// Timer-id translation: global id = session * 2^10 + local.
     _private: (),
 }
@@ -152,11 +160,37 @@ pub struct ProtocolNode<E: Engine> {
 /// Timer-id packing: 10 bits of component-local id.
 const TIMER_LOCAL_BITS: u64 = 10;
 
+/// Driver-level timer lane for client arrivals (sessions stay far below
+/// bit 53, so `session << TIMER_LOCAL_BITS` never reaches this bit).
+const ARRIVAL_TIMER_BIT: u64 = 1 << 63;
+
 impl<E: Engine> ProtocolNode<E> {
     /// Binds an engine to a node's crypto identity and radio channel.
     pub fn new(engine: E, crypto: NodeCrypto, channel: ChannelId) -> Self {
         let sizing = Sizing { n: crypto.peer_keys.len(), suite: crypto.suite };
-        ProtocolNode { engine, crypto, sizing, channel, clock: EpochClock::default(), _private: () }
+        ProtocolNode {
+            engine,
+            crypto,
+            sizing,
+            channel,
+            clock: EpochClock::default(),
+            service: None,
+            _private: (),
+        }
+    }
+
+    /// Attaches a consensus service: committed blocks are recorded into
+    /// `handle` (with commit times, feeding the block stream and latency
+    /// percentiles) and `arrivals` are submitted at their scheduled delays
+    /// from start. Pass an empty schedule when submissions arrive some
+    /// other way (e.g. the UDP client gateway).
+    pub fn with_service(
+        mut self,
+        handle: crate::service::ConsensusHandle,
+        arrivals: Vec<(SimDuration, Tx)>,
+    ) -> Self {
+        self.service = Some(ServiceBinding { handle, arrivals });
+        self
     }
 
     /// The wrapped engine.
@@ -185,8 +219,12 @@ impl<E: Engine> ProtocolNode<E> {
     }
 
     fn apply(&mut self, mut out: EngineOut, ctx: &mut NodeCtx) {
-        // Record newly completed epochs.
+        // Record newly completed epochs (and stream them to the service).
         while self.clock.completed.len() < self.engine.blocks().len() {
+            let idx = self.clock.completed.len();
+            if let Some(svc) = &self.service {
+                svc.handle.record_commit(&self.engine.blocks()[idx], ctx.now());
+            }
             self.clock.completed.push(ctx.now());
         }
         if out.charge_us > 0 {
@@ -216,6 +254,14 @@ impl<E: Engine> ProtocolNode<E> {
 
 impl<E: Engine> NodeBehavior for ProtocolNode<E> {
     fn on_start(&mut self, ctx: &mut NodeCtx) {
+        // Arm one timer per scheduled client arrival; delays are relative
+        // to start, so the same schedule means the same thing under the
+        // simulator's virtual clock and a transport's wall clock.
+        if let Some(svc) = &self.service {
+            for (i, (delay, _)) in svc.arrivals.iter().enumerate() {
+                ctx.set_timer(*delay, ARRIVAL_TIMER_BIT | i as u64);
+            }
+        }
         let mut out = EngineOut::new();
         self.engine.start(&mut out);
         self.apply(out, ctx);
@@ -239,6 +285,17 @@ impl<E: Engine> NodeBehavior for ProtocolNode<E> {
     }
 
     fn on_timer(&mut self, id: u64, ctx: &mut NodeCtx) {
+        if id & ARRIVAL_TIMER_BIT != 0 {
+            // A scheduled client arrival: submit into the mempool; the
+            // engine pulls it when it opens its next epoch.
+            if let Some(svc) = &self.service {
+                let idx = (id & !ARRIVAL_TIMER_BIT) as usize;
+                if let Some((_, tx)) = svc.arrivals.get(idx) {
+                    svc.handle.submit(tx.clone(), ctx.now());
+                }
+            }
+            return;
+        }
         let session = id >> TIMER_LOCAL_BITS;
         let local = (id & ((1 << TIMER_LOCAL_BITS) - 1)) as u32;
         let mut out = EngineOut::new();

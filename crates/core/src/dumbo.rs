@@ -13,6 +13,7 @@
 //! for later instances (§V-A).
 
 use crate::driver::{sessions, Block, Engine, EngineOut, Tx};
+use crate::service::StopCondition;
 use crate::workload::{decode_batch, encode_batch, BatchSource};
 #[cfg(test)]
 use crate::workload::Workload;
@@ -363,7 +364,9 @@ pub struct DumboEngine {
     f: usize,
     me: usize,
     source: BatchSource,
-    target_epochs: u64,
+    stop: StopCondition,
+    /// Epochs opened so far (`is_done` compares against committed blocks).
+    started: u64,
     epochs: VecDeque<EpochState>,
     blocks: Vec<Block>,
 }
@@ -374,7 +377,7 @@ impl DumboEngine {
         crypto: NodeCrypto,
         variant: DumboVariant,
         source: impl Into<BatchSource>,
-        target_epochs: u64,
+        stop: StopCondition,
     ) -> Self {
         let n = crypto.peer_keys.len();
         let f = (n - 1) / 3;
@@ -386,7 +389,8 @@ impl DumboEngine {
             f,
             me,
             source: source.into(),
-            target_epochs,
+            stop,
+            started: 0,
             epochs: VecDeque::new(),
             blocks: Vec::new(),
         }
@@ -398,6 +402,7 @@ impl DumboEngine {
     }
 
     fn begin_epoch(&mut self, epoch: u64, out: &mut EngineOut) {
+        self.started = self.started.max(epoch + 1);
         let p_prbc = Params::new(self.n, self.me, sessions::of(epoch, sessions::BROADCAST));
         let p_val = Params::new(self.n, self.me, sessions::of(epoch, sessions::CBC_VALUE));
         let p_com = Params::new(self.n, self.me, sessions::of(epoch, sessions::CBC_COMMIT));
@@ -591,7 +596,13 @@ impl DumboEngine {
                                 }
                             }
                             st.committed = true;
-                            self.blocks.push(Block { epoch, txs });
+                            let block = Block { epoch, txs };
+                            // Service mode: resolve before the next epoch
+                            // pulls its batch (see honeybadger.rs).
+                            if let BatchSource::Service { handle, .. } = &self.source {
+                                handle.resolve_commit(&block);
+                            }
+                            self.blocks.push(block);
                             true
                         } else if !all_valid {
                             // Forged W vector — cannot happen for an elected
@@ -615,7 +626,7 @@ impl DumboEngine {
                 false
             }
         };
-        if committed_now && epoch + 1 < self.target_epochs {
+        if committed_now && self.stop.allows(epoch + 1) {
             self.begin_epoch(epoch + 1, out);
         }
     }
@@ -623,7 +634,9 @@ impl DumboEngine {
 
 impl Engine for DumboEngine {
     fn start(&mut self, out: &mut EngineOut) {
-        self.begin_epoch(0, out);
+        if self.stop.allows(0) {
+            self.begin_epoch(0, out);
+        }
     }
 
     fn handle(&mut self, session: u64, from: usize, body: &Body, out: &mut EngineOut) {
@@ -668,8 +681,8 @@ impl Engine for DumboEngine {
         &self.blocks
     }
 
-    fn target_epochs(&self) -> u64 {
-        self.target_epochs
+    fn is_done(&self) -> bool {
+        self.stop.is_done(self.started, self.blocks.len() as u64)
     }
 }
 
@@ -688,7 +701,8 @@ mod tests {
         let behaviors: Vec<_> = crypto
             .into_iter()
             .map(|c| {
-                let engine = DumboEngine::new(c.clone(), variant, workload.clone(), epochs);
+                let engine =
+                    DumboEngine::new(c.clone(), variant, workload.clone(), StopCondition::Epochs(epochs));
                 ProtocolNode::new(engine, c, ChannelId(0))
             })
             .collect();

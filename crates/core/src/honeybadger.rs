@@ -15,7 +15,10 @@
 //! and the unbatched `*-baseline` variants.
 
 use crate::driver::{sessions, Block, Engine, EngineOut, Tx};
-use crate::workload::{decode_batch, encode_batch, BatchSource, Workload};
+use crate::service::StopCondition;
+use crate::workload::{decode_batch, encode_batch, BatchSource};
+#[cfg(test)]
+use crate::workload::Workload;
 use bytes::Bytes;
 use std::collections::VecDeque;
 use wbft_components::aba_lc::AbaLcBatch;
@@ -283,7 +286,9 @@ pub struct HbEngine<B, A> {
     f: usize,
     me: usize,
     source: BatchSource,
-    target_epochs: u64,
+    stop: StopCondition,
+    /// Epochs opened so far (`is_done` compares against committed blocks).
+    started: u64,
     make_rbc: Box<dyn FnMut(Params) -> B + Send>,
     make_aba: Box<dyn FnMut(Params) -> A + Send>,
     batched_dec: bool,
@@ -298,7 +303,7 @@ impl<B: Broadcaster, A: BinaryAgreement> HbEngine<B, A> {
     pub fn new(
         crypto: NodeCrypto,
         source: impl Into<BatchSource>,
-        target_epochs: u64,
+        stop: StopCondition,
         batched_dec: bool,
         make_rbc: Box<dyn FnMut(Params) -> B + Send>,
         make_aba: Box<dyn FnMut(Params) -> A + Send>,
@@ -315,7 +320,8 @@ impl<B: Broadcaster, A: BinaryAgreement> HbEngine<B, A> {
             f,
             me,
             source,
-            target_epochs,
+            stop,
+            started: 0,
             make_rbc,
             make_aba,
             batched_dec,
@@ -332,6 +338,7 @@ impl<B: Broadcaster, A: BinaryAgreement> HbEngine<B, A> {
     }
 
     fn begin_epoch(&mut self, epoch: u64, out: &mut EngineOut) {
+        self.started = self.started.max(epoch + 1);
         let p_rbc = Params::new(self.n, self.me, sessions::of(epoch, sessions::BROADCAST));
         let p_aba = Params::new(self.n, self.me, sessions::of(epoch, sessions::ABA));
         let p_dec = Params::new(self.n, self.me, sessions::of(epoch, sessions::DEC));
@@ -434,7 +441,14 @@ impl<B: Broadcaster, A: BinaryAgreement> HbEngine<B, A> {
                             }
                         }
                         st.committed = true;
-                        self.blocks.push(Block { epoch, txs });
+                        let block = Block { epoch, txs };
+                        // Service mode: resolve the commit in the mempool
+                        // *before* the next epoch pulls its batch, so a
+                        // peer-committed transaction cannot ride again.
+                        if let BatchSource::Service { handle, .. } = &self.source {
+                            handle.resolve_commit(&block);
+                        }
+                        self.blocks.push(block);
                         true
                     } else {
                         false
@@ -446,7 +460,7 @@ impl<B: Broadcaster, A: BinaryAgreement> HbEngine<B, A> {
                 false
             }
         };
-        if committed_now && epoch + 1 < self.target_epochs {
+        if committed_now && self.stop.allows(epoch + 1) {
             self.begin_epoch(epoch + 1, out);
         }
     }
@@ -454,7 +468,9 @@ impl<B: Broadcaster, A: BinaryAgreement> HbEngine<B, A> {
 
 impl<B: Broadcaster, A: BinaryAgreement> Engine for HbEngine<B, A> {
     fn start(&mut self, out: &mut EngineOut) {
-        self.begin_epoch(0, out);
+        if self.stop.allows(0) {
+            self.begin_epoch(0, out);
+        }
     }
 
     fn handle(&mut self, session: u64, from: usize, body: &Body, out: &mut EngineOut) {
@@ -498,8 +514,8 @@ impl<B: Broadcaster, A: BinaryAgreement> Engine for HbEngine<B, A> {
         &self.blocks
     }
 
-    fn target_epochs(&self) -> u64 {
-        self.target_epochs
+    fn is_done(&self) -> bool {
+        self.stop.is_done(self.started, self.blocks.len() as u64)
     }
 }
 
@@ -510,15 +526,15 @@ impl<B: Broadcaster, A: BinaryAgreement> Engine for HbEngine<B, A> {
 /// (threshold signatures).
 pub fn hb_sc(
     crypto: NodeCrypto,
-    workload: Workload,
-    epochs: u64,
+    source: impl Into<BatchSource>,
+    stop: StopCondition,
 ) -> HbEngine<RbcBatch, AbaScBatch> {
     let coin_pub = crypto.coin_pub.clone();
     let coin_sec = crypto.coin_sec.clone();
     HbEngine::new(
         crypto,
-        workload,
-        epochs,
+        source,
+        stop,
         true,
         Box::new(RbcBatch::new),
         Box::new(move |p| {
@@ -531,13 +547,13 @@ pub fn hb_sc(
 /// ABA.
 pub fn hb_lc(
     crypto: NodeCrypto,
-    workload: Workload,
-    epochs: u64,
+    source: impl Into<BatchSource>,
+    stop: StopCondition,
 ) -> HbEngine<RbcBatch, AbaLcBatch> {
     HbEngine::new(
         crypto,
-        workload,
-        epochs,
+        source,
+        stop,
         true,
         Box::new(RbcBatch::new),
         Box::new(AbaLcBatch::new),
@@ -548,15 +564,15 @@ pub fn hb_lc(
 /// coin-flipping ABA.
 pub fn beat(
     crypto: NodeCrypto,
-    workload: Workload,
-    epochs: u64,
+    source: impl Into<BatchSource>,
+    stop: StopCondition,
 ) -> HbEngine<RbcBatch, AbaScBatch> {
     let coin_pub = crypto.coin_pub.clone();
     let coin_sec = crypto.coin_sec.clone();
     HbEngine::new(
         crypto,
-        workload,
-        epochs,
+        source,
+        stop,
         true,
         Box::new(RbcBatch::new),
         Box::new(move |p| {
@@ -568,15 +584,15 @@ pub fn beat(
 /// Unbatched HoneyBadgerBFT-SC baseline.
 pub fn hb_sc_baseline(
     crypto: NodeCrypto,
-    workload: Workload,
-    epochs: u64,
+    source: impl Into<BatchSource>,
+    stop: StopCondition,
 ) -> HbEngine<BaselineRbcSet, BaselineAbaSet> {
     let coin_pub = crypto.coin_pub.clone();
     let coin_sec = crypto.coin_sec.clone();
     HbEngine::new(
         crypto,
-        workload,
-        epochs,
+        source,
+        stop,
         false,
         Box::new(BaselineRbcSet::new),
         Box::new(move |p| {
@@ -588,15 +604,15 @@ pub fn hb_sc_baseline(
 /// Unbatched BEAT baseline.
 pub fn beat_baseline(
     crypto: NodeCrypto,
-    workload: Workload,
-    epochs: u64,
+    source: impl Into<BatchSource>,
+    stop: StopCondition,
 ) -> HbEngine<BaselineRbcSet, BaselineAbaSet> {
     let coin_pub = crypto.coin_pub.clone();
     let coin_sec = crypto.coin_sec.clone();
     HbEngine::new(
         crypto,
-        workload,
-        epochs,
+        source,
+        stop,
         false,
         Box::new(BaselineRbcSet::new),
         Box::new(move |p| {
@@ -621,7 +637,7 @@ mod tests {
         let behaviors: Vec<_> = crypto
             .into_iter()
             .map(|c| {
-                let engine = hb_sc(c.clone(), workload.clone(), epochs);
+                let engine = hb_sc(c.clone(), workload.clone(), StopCondition::Epochs(epochs));
                 ProtocolNode::new(engine, c, ChannelId(0))
             })
             .collect();

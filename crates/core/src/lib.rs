@@ -28,14 +28,19 @@ pub mod multihop;
 pub mod netrun;
 pub mod protocol;
 pub mod report;
+pub mod service;
 pub mod sweep;
 pub mod testbed;
 pub mod workload;
 
 pub use byzantine::{ByzantineEngine, ByzantineMode};
 pub use driver::{Block, Engine, EngineOut, ProtocolNode, Tx};
-pub use netrun::{run_udp_node, UdpNodeOutcome};
+pub use netrun::{run_udp_node, run_udp_service_node, ServiceNodeOpts, UdpNodeOutcome};
 pub use protocol::Protocol;
+pub use service::{
+    AdmitOutcome, ArrivalSpec, ConsensusHandle, LatencySummary, Mempool, ServiceConfig,
+    ServiceReport, ServiceStats, StopCondition,
+};
 pub use sweep::{
     parallel_map, resolve_threads, run_scenarios, run_sweep, sweep_threads, Scenario, SweepRun,
     SweepSpec,

@@ -13,6 +13,7 @@
 use crate::driver::{sessions, Block, Engine, EngineOut};
 use crate::honeybadger::{hb_sc, HbEngine};
 use crate::protocol::Protocol;
+use crate::service::StopCondition;
 use crate::workload::{BatchSource, Workload};
 use bytes::Bytes;
 use wbft_components::aba_sc::AbaScBatch;
@@ -225,8 +226,8 @@ impl ClusterNode {
                 // The global instance runs one epoch; sessions are offset by
                 // GLOBAL_BASE via the session ids the engine derives — we
                 // remap through the lane instead (see `emit`).
-                let mut engine = hb_sc(self.global_crypto.clone(), Workload::small(), 1);
-                *engine.source_mut() = source;
+                let mut engine =
+                    hb_sc(self.global_crypto.clone(), source, StopCondition::Epochs(1));
                 let mut out = EngineOut::new();
                 engine.start(&mut out);
                 self.global = Some(engine);

@@ -18,11 +18,16 @@
 //! reports; channel accesses, bytes on air (nominal) and commit counts are.
 
 use crate::driver::{Engine, ProtocolNode};
+use crate::service::{block_digests, AdmitOutcome, ConsensusHandle, ServiceReport};
 use crate::testbed::{finish_report, RunReport, TestbedConfig};
 use std::io;
+use std::net::SocketAddr;
 use std::time::Duration;
 use wbft_components::deal_node_crypto;
-use wbft_transport::{PeerTable, TransportStats, UdpRuntime};
+use wbft_crypto::hash::Digest32;
+use wbft_transport::{
+    ClientGateway, ClientMsg, PeerTable, SubmitVerdict, TransportStats, UdpRuntime,
+};
 use wbft_wireless::{ChannelId, SimTime};
 
 /// Outcome of one UDP node run: the standard report plus transport counters.
@@ -32,6 +37,10 @@ pub struct UdpNodeOutcome {
     pub report: RunReport,
     /// Datagram-level drop/send counters.
     pub stats: TransportStats,
+    /// Per-block content digests of this node's committed chain, for
+    /// cross-process agreement checks on block *contents* (equal tx counts
+    /// alone would accept divergent commits).
+    pub block_digests: Vec<Digest32>,
 }
 
 /// Runs node `me` of a single-hop `cfg` deployment over UDP.
@@ -108,7 +117,205 @@ pub fn run_udp_node(
     // would understate by n×; "per node" in a UDP report means *this* node.
     report.channel_accesses_per_node =
         report.metrics.node(wbft_wireless::NodeId(me as u16)).channel_accesses as f64;
-    Ok(UdpNodeOutcome { report, stats: runtime.stats().clone() })
+    let digests = block_digests(node.blocks());
+    Ok(UdpNodeOutcome { report, stats: runtime.stats().clone(), block_digests: digests })
+}
+
+// ------------------------------------------------------------------
+// Live-service node: client submissions over UDP, streaming commits.
+
+/// The UDP gateway between external clients and one node's
+/// [`ConsensusHandle`]: submissions are admitted into the mempool (with an
+/// explicit verdict reply), subscribers receive every committed block as a
+/// digest summary, and a `Stop` message requests the graceful shutdown.
+///
+/// Client traffic is unauthenticated UDP, so the gateway bounds what a
+/// spoofed source can cost: the subscriber list is capped, and the
+/// from-the-start catch-up replay runs only when an address is *newly*
+/// subscribed — repeated `Subscribe` datagrams are acks, not replays.
+pub struct ServiceGateway {
+    handle: ConsensusHandle,
+    subscribers: Vec<SocketAddr>,
+    /// How many committed blocks have been pushed to subscribers.
+    cursor: usize,
+}
+
+/// Most subscriber addresses one gateway serves (excess `Subscribe`s are
+/// dropped — an unauthenticated spoofing flood must not grow node memory
+/// or turn the commit stream into an amplification vector).
+pub const MAX_SUBSCRIBERS: usize = 64;
+
+impl ServiceGateway {
+    /// Wraps a handle.
+    pub fn new(handle: ConsensusHandle) -> Self {
+        ServiceGateway { handle, subscribers: Vec::new(), cursor: 0 }
+    }
+
+    /// Encodes one block summary as chunked `Block` messages (a block with
+    /// more digests than one datagram carries is split, same epoch).
+    fn block_msgs(summary: &crate::service::BlockSummary) -> Vec<bytes::Bytes> {
+        let digests: Vec<[u8; 32]> = summary.digests.iter().map(|d| d.0).collect();
+        let chunks: Vec<&[[u8; 32]]> = if digests.is_empty() {
+            vec![&digests[..]]
+        } else {
+            digests.chunks(wbft_transport::client::MAX_BLOCK_DIGESTS).collect()
+        };
+        chunks
+            .into_iter()
+            .filter_map(|chunk| {
+                ClientMsg::Block { epoch: summary.epoch, digests: chunk.to_vec() }
+                    .encode()
+                    .ok()
+            })
+            .collect()
+    }
+}
+
+impl ClientGateway for ServiceGateway {
+    fn on_datagram(
+        &mut self,
+        from: SocketAddr,
+        payload: &bytes::Bytes,
+        now: SimTime,
+        out: &mut Vec<(SocketAddr, bytes::Bytes)>,
+    ) {
+        // Malformed client payloads are dropped silently — clients are
+        // untrusted and UDP is lossy by contract.
+        let Some(msg) = ClientMsg::decode(payload) else { return };
+        match msg {
+            ClientMsg::Submit { tx } => {
+                let digest = crate::service::tx_digest(&tx);
+                let verdict = match self.handle.submit(tx, now) {
+                    AdmitOutcome::Admitted => SubmitVerdict::Admitted,
+                    AdmitOutcome::Duplicate => SubmitVerdict::Duplicate,
+                    AdmitOutcome::Full => SubmitVerdict::Full,
+                };
+                let reply = ClientMsg::SubmitReply { verdict, digest: digest.0 };
+                if let Ok(bytes) = reply.encode() {
+                    out.push((from, bytes));
+                }
+            }
+            ClientMsg::Subscribe => {
+                if self.subscribers.contains(&from) {
+                    // Already subscribed: the stream is flowing; treating a
+                    // repeat as a fresh catch-up would let one spoofed
+                    // address request O(chain) datagrams per probe.
+                    return;
+                }
+                if self.subscribers.len() >= MAX_SUBSCRIBERS {
+                    return;
+                }
+                self.subscribers.push(from);
+                // A late subscriber catches up from the stream start.
+                for summary in self.handle.block_summaries(0) {
+                    for bytes in Self::block_msgs(&summary) {
+                        out.push((from, bytes));
+                    }
+                }
+            }
+            ClientMsg::Stop => self.handle.stop(),
+            // Node→client messages arriving here are client bugs; ignore.
+            ClientMsg::SubmitReply { .. } | ClientMsg::Block { .. } => {}
+        }
+    }
+
+    fn on_tick(&mut self, _now: SimTime, out: &mut Vec<(SocketAddr, bytes::Bytes)>) {
+        let fresh = self.handle.block_summaries(self.cursor);
+        self.cursor += fresh.len();
+        for summary in fresh {
+            for bytes in Self::block_msgs(&summary) {
+                for &addr in &self.subscribers {
+                    out.push((addr, bytes.clone()));
+                }
+            }
+        }
+    }
+}
+
+/// Bounds and sizing of one UDP service node.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceNodeOpts {
+    /// Wall-clock budget — the hard duration guard: the node exits when it
+    /// passes even if the mempool never drains or the stop never arrives.
+    pub wall: Duration,
+    /// Post-completion linger serving peers' NACKs and late subscribers.
+    pub linger: Duration,
+    /// Hard epoch bound (the other half of the CI guard).
+    pub max_epochs: u64,
+    /// Mempool capacity.
+    pub mempool_capacity: usize,
+}
+
+/// Runs node `me` of a single-hop `cfg` deployment as a live consensus
+/// service over UDP: proposals pull from a client-fed mempool (submissions
+/// arrive on the reserved client channel), committed blocks stream to
+/// subscribers, and the run ends on a client `Stop`, `opts.max_epochs`, or
+/// `opts.wall` — whichever comes first. The report carries a
+/// [`ServiceReport`] with this node's commit-latency percentiles and
+/// backpressure counters.
+///
+/// # Errors
+///
+/// As [`run_udp_node`], plus socket errors.
+pub fn run_udp_service_node(
+    cfg: &TestbedConfig,
+    peers: PeerTable,
+    me: usize,
+    opts: &ServiceNodeOpts,
+) -> io::Result<UdpNodeOutcome> {
+    if cfg.clusters.is_some() || !cfg.byzantine.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "UDP service nodes are single-hop and honest-only",
+        ));
+    }
+    if peers.len() != cfg.n || me >= cfg.n {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("peer table has {} nodes, config wants n={}, me={me}", peers.len(), cfg.n),
+        ));
+    }
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0xdea1);
+    let crypto = deal_node_crypto(cfg.n, cfg.suite, &mut rng)
+        .into_iter()
+        .nth(me)
+        .expect("me < n checked above");
+    let handle = ConsensusHandle::new(opts.mempool_capacity);
+    let engine: Box<dyn Engine> = cfg.protocol.service_engine(
+        crypto.clone(),
+        handle.clone(),
+        cfg.workload.batch_size,
+        opts.max_epochs,
+    );
+    // No local arrival schedule: submissions come over the client channel.
+    let node = ProtocolNode::new(engine, crypto, ChannelId(0))
+        .with_service(handle.clone(), Vec::new());
+    let rng_seed = cfg.seed ^ ((me as u64) << 32) ^ 0x11d9;
+    let mut runtime = UdpRuntime::new(peers, me as u16, node, rng_seed)?;
+    runtime.set_client_gateway(Box::new(ServiceGateway::new(handle.clone())));
+    let completed = runtime.run_until(opts.wall, opts.linger, |node| node.is_done())?;
+    let elapsed = runtime
+        .completed_at()
+        .unwrap_or_else(|| runtime.now())
+        .saturating_since(SimTime::ZERO);
+    let node = runtime.behavior();
+    let decision_times = vec![node.clock().completed.clone()];
+    let total_txs: u64 = node.blocks().iter().map(|b| b.txs.len() as u64).sum();
+    let epochs_run = node.blocks().len() as u64;
+    let mut report = finish_report(
+        completed,
+        elapsed,
+        decision_times,
+        total_txs,
+        runtime.metrics().clone(),
+        epochs_run,
+    );
+    report.channel_accesses_per_node =
+        report.metrics.node(wbft_wireless::NodeId(me as u16)).channel_accesses as f64;
+    report.service = Some(ServiceReport::aggregate(&[handle.stats()]));
+    let digests = block_digests(node.blocks());
+    Ok(UdpNodeOutcome { report, stats: runtime.stats().clone(), block_digests: digests })
 }
 
 #[cfg(test)]

@@ -4,7 +4,8 @@
 use crate::driver::Engine;
 use crate::dumbo::{DumboEngine, DumboVariant};
 use crate::honeybadger;
-use crate::workload::Workload;
+use crate::service::{ConsensusHandle, StopCondition};
+use crate::workload::{BatchSource, Workload};
 use wbft_components::NodeCrypto;
 
 /// A consensus protocol deployment.
@@ -101,31 +102,61 @@ impl Protocol {
         )
     }
 
-    /// Builds the engine for one node.
+    /// Builds the fixed-epoch engine for one node (the pre-redesign
+    /// benchmark shape, kept as the compatibility entry point).
     pub fn engine(
         &self,
         crypto: NodeCrypto,
         workload: Workload,
         epochs: u64,
     ) -> Box<dyn Engine> {
+        self.build_engine(crypto, workload.into(), StopCondition::Epochs(epochs))
+    }
+
+    /// Builds a live-service engine: proposals pull FIFO from the handle's
+    /// mempool (at most `max_batch` per epoch) and the engine runs until
+    /// the handle requests a stop, bounded by `max_epochs`.
+    pub fn service_engine(
+        &self,
+        crypto: NodeCrypto,
+        handle: ConsensusHandle,
+        max_batch: usize,
+        max_epochs: u64,
+    ) -> Box<dyn Engine> {
+        self.build_engine(
+            crypto,
+            BatchSource::Service { handle: handle.clone(), max_batch },
+            StopCondition::Service { handle, max_epochs },
+        )
+    }
+
+    /// Builds the engine for one node from any proposal source and stop
+    /// condition — the general form behind [`Protocol::engine`] and
+    /// [`Protocol::service_engine`].
+    pub fn build_engine(
+        &self,
+        crypto: NodeCrypto,
+        source: BatchSource,
+        stop: StopCondition,
+    ) -> Box<dyn Engine> {
         match self {
-            Protocol::HoneyBadgerLc => Box::new(honeybadger::hb_lc(crypto, workload, epochs)),
-            Protocol::HoneyBadgerSc => Box::new(honeybadger::hb_sc(crypto, workload, epochs)),
-            Protocol::Beat => Box::new(honeybadger::beat(crypto, workload, epochs)),
+            Protocol::HoneyBadgerLc => Box::new(honeybadger::hb_lc(crypto, source, stop)),
+            Protocol::HoneyBadgerSc => Box::new(honeybadger::hb_sc(crypto, source, stop)),
+            Protocol::Beat => Box::new(honeybadger::beat(crypto, source, stop)),
             Protocol::DumboLc => {
-                Box::new(DumboEngine::new(crypto, DumboVariant::Lc, workload, epochs))
+                Box::new(DumboEngine::new(crypto, DumboVariant::Lc, source, stop))
             }
             Protocol::DumboSc => {
-                Box::new(DumboEngine::new(crypto, DumboVariant::Sc, workload, epochs))
+                Box::new(DumboEngine::new(crypto, DumboVariant::Sc, source, stop))
             }
             Protocol::HoneyBadgerScBaseline => {
-                Box::new(honeybadger::hb_sc_baseline(crypto, workload, epochs))
+                Box::new(honeybadger::hb_sc_baseline(crypto, source, stop))
             }
             Protocol::BeatBaseline => {
-                Box::new(honeybadger::beat_baseline(crypto, workload, epochs))
+                Box::new(honeybadger::beat_baseline(crypto, source, stop))
             }
             Protocol::DumboScBaseline => {
-                Box::new(DumboEngine::new(crypto, DumboVariant::ScBaseline, workload, epochs))
+                Box::new(DumboEngine::new(crypto, DumboVariant::ScBaseline, source, stop))
             }
         }
     }

@@ -10,12 +10,23 @@
 
 use crate::byzantine::ByzantineMode;
 use crate::protocol::Protocol;
+use crate::service::{ArrivalSpec, LatencySummary, ServiceConfig, ServiceReport};
 use crate::sweep::SweepRun;
 use crate::testbed::{RunReport, TestbedConfig};
 use crate::workload::Workload;
 use std::io;
 use std::path::{Path, PathBuf};
 use wbft_report::{field, member, FromJson, Json, JsonError, ToJson};
+
+/// Decodes an *optional trailing* member: absent means `None`. Service
+/// members are encoded only when present, which keeps fixed-epoch
+/// documents byte-identical to their pre-service encoding.
+fn opt_field<T: FromJson>(j: &Json, key: &str) -> Result<Option<T>, JsonError> {
+    match j.get(key) {
+        None => Ok(None),
+        Some(v) => Ok(Some(T::from_json(v)?)),
+    }
+}
 
 impl ToJson for Protocol {
     fn to_json(&self) -> Json {
@@ -79,9 +90,109 @@ impl FromJson for Workload {
     }
 }
 
-impl ToJson for TestbedConfig {
+impl ToJson for ArrivalSpec {
     fn to_json(&self) -> Json {
         Json::obj([
+            ("per_node", Json::u64(self.per_node)),
+            ("interval_us", Json::u64(self.interval_us)),
+            ("tx_bytes", self.tx_bytes.to_json()),
+            ("seed", Json::u64(self.seed)),
+        ])
+    }
+}
+
+impl FromJson for ArrivalSpec {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(ArrivalSpec {
+            per_node: field(j, "per_node")?,
+            interval_us: field(j, "interval_us")?,
+            tx_bytes: field(j, "tx_bytes")?,
+            seed: field(j, "seed")?,
+        })
+    }
+}
+
+impl ToJson for ServiceConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("arrivals", self.arrivals.to_json()),
+            ("mempool_capacity", self.mempool_capacity.to_json()),
+            ("max_epochs", Json::u64(self.max_epochs)),
+        ])
+    }
+}
+
+impl FromJson for ServiceConfig {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(ServiceConfig {
+            arrivals: field(j, "arrivals")?,
+            mempool_capacity: field(j, "mempool_capacity")?,
+            max_epochs: field(j, "max_epochs")?,
+        })
+    }
+}
+
+impl ToJson for LatencySummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::u64(self.count)),
+            ("mean_us", Json::f64(self.mean_us)),
+            ("p50_us", Json::u64(self.p50_us)),
+            ("p90_us", Json::u64(self.p90_us)),
+            ("p99_us", Json::u64(self.p99_us)),
+            ("max_us", Json::u64(self.max_us)),
+        ])
+    }
+}
+
+impl FromJson for LatencySummary {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(LatencySummary {
+            count: field(j, "count")?,
+            mean_us: field(j, "mean_us")?,
+            p50_us: field(j, "p50_us")?,
+            p90_us: field(j, "p90_us")?,
+            p99_us: field(j, "p99_us")?,
+            max_us: field(j, "max_us")?,
+        })
+    }
+}
+
+impl ToJson for ServiceReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("submitted", Json::u64(self.submitted)),
+            ("admitted", Json::u64(self.admitted)),
+            ("rejected_dup", Json::u64(self.rejected_dup)),
+            ("rejected_full", Json::u64(self.rejected_full)),
+            ("requeued", Json::u64(self.requeued)),
+            ("peak_occupancy", Json::u64(self.peak_occupancy)),
+            ("pending_at_stop", Json::u64(self.pending_at_stop)),
+            ("committed_client_txs", Json::u64(self.committed_client_txs)),
+            ("latency", self.latency.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ServiceReport {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(ServiceReport {
+            submitted: field(j, "submitted")?,
+            admitted: field(j, "admitted")?,
+            rejected_dup: field(j, "rejected_dup")?,
+            rejected_full: field(j, "rejected_full")?,
+            requeued: field(j, "requeued")?,
+            peak_occupancy: field(j, "peak_occupancy")?,
+            pending_at_stop: field(j, "pending_at_stop")?,
+            committed_client_txs: field(j, "committed_client_txs")?,
+            latency: field(j, "latency")?,
+        })
+    }
+}
+
+impl ToJson for TestbedConfig {
+    fn to_json(&self) -> Json {
+        let mut members = vec![
             ("protocol", self.protocol.to_json()),
             ("n", self.n.to_json()),
             ("epochs", Json::u64(self.epochs)),
@@ -96,7 +207,13 @@ impl ToJson for TestbedConfig {
             ("byzantine", self.byzantine.to_json()),
             ("deadline_us", self.deadline.to_json()),
             ("clusters", self.clusters.to_json()),
-        ])
+        ];
+        // Trailing optional member: absent on fixed-epoch configs so their
+        // encoding stays byte-identical to pre-service documents.
+        if let Some(service) = &self.service {
+            members.push(("service", service.to_json()));
+        }
+        Json::obj(members)
     }
 }
 
@@ -117,13 +234,14 @@ impl FromJson for TestbedConfig {
             byzantine: field(j, "byzantine")?,
             deadline: field(j, "deadline_us")?,
             clusters: field(j, "clusters")?,
+            service: opt_field(j, "service")?,
         })
     }
 }
 
 impl ToJson for RunReport {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut members = vec![
             ("completed", Json::Bool(self.completed)),
             ("elapsed_us", self.elapsed.to_json()),
             ("epoch_latencies_us", self.epoch_latencies.to_json()),
@@ -134,7 +252,12 @@ impl ToJson for RunReport {
             ("bytes_on_air", Json::u64(self.bytes_on_air)),
             ("collisions", Json::u64(self.collisions)),
             ("metrics", self.metrics.to_json()),
-        ])
+        ];
+        // Trailing optional member, as in `TestbedConfig`.
+        if let Some(service) = &self.service {
+            members.push(("service", service.to_json()));
+        }
+        Json::obj(members)
     }
 }
 
@@ -151,6 +274,7 @@ impl FromJson for RunReport {
             bytes_on_air: field(j, "bytes_on_air")?,
             collisions: field(j, "collisions")?,
             metrics: field(j, "metrics")?,
+            service: opt_field(j, "service")?,
         })
     }
 }
@@ -247,10 +371,64 @@ mod tests {
             bytes_on_air: 7,
             collisions: 0,
             metrics: wbft_wireless::Metrics::new(4),
+            service: None,
         };
         let text = report.to_json().pretty();
         let decoded = RunReport::from_json(&wbft_report::parse(&text).unwrap()).unwrap();
         assert!(decoded.mean_latency_s.is_nan());
+        assert_eq!(decoded.to_json().pretty(), text);
+    }
+
+    #[test]
+    fn service_members_are_optional_and_round_trip() {
+        use crate::service::{ArrivalSpec, LatencySummary, ServiceConfig, ServiceReport};
+        let mut cfg = TestbedConfig::single_hop(Protocol::HoneyBadgerSc);
+        // Without a service member the encoding must not mention it at all
+        // (fixed-epoch byte-identity).
+        assert!(!cfg.to_json().pretty().contains("service"));
+        cfg.service = Some(ServiceConfig {
+            arrivals: ArrivalSpec { per_node: 5, interval_us: 750_000, tx_bytes: 48, seed: 3 },
+            mempool_capacity: 64,
+            max_epochs: 9,
+        });
+        let text = cfg.to_json().pretty();
+        let decoded = TestbedConfig::from_json(&wbft_report::parse(&text).unwrap()).unwrap();
+        assert_eq!(decoded.service, cfg.service);
+        assert_eq!(decoded.to_json().pretty(), text);
+        let report = RunReport {
+            completed: true,
+            elapsed: SimDuration::from_secs(90),
+            epoch_latencies: vec![SimDuration::from_secs(30)],
+            mean_latency_s: 30.0,
+            throughput_tpm: 10.0,
+            total_txs: 15,
+            channel_accesses_per_node: 4.0,
+            bytes_on_air: 900,
+            collisions: 0,
+            metrics: wbft_wireless::Metrics::new(4),
+            service: Some(ServiceReport {
+                submitted: 20,
+                admitted: 18,
+                rejected_dup: 1,
+                rejected_full: 1,
+                requeued: 2,
+                peak_occupancy: 7,
+                pending_at_stop: 0,
+                committed_client_txs: 18,
+                latency: LatencySummary {
+                    count: 18,
+                    mean_us: 31_000_000.0,
+                    p50_us: 29_000_000,
+                    p90_us: 44_000_000,
+                    p99_us: 51_000_000,
+                    max_us: 52_000_000,
+                },
+            }),
+        };
+        let text = report.to_json().pretty();
+        assert!(text.contains("p50_us") && text.contains("rejected_full"));
+        let decoded = RunReport::from_json(&wbft_report::parse(&text).unwrap()).unwrap();
+        assert_eq!(decoded.service, report.service);
         assert_eq!(decoded.to_json().pretty(), text);
     }
 
@@ -268,6 +446,7 @@ mod tests {
             bytes_on_air: 4_096,
             collisions: 2,
             metrics: wbft_wireless::Metrics::new(4),
+            service: None,
         };
         let text = scenario_string("beat.sh.seed7", &cfg, &report);
         let (label, cfg2, report2) = decode_scenario(&text).unwrap();

@@ -1,0 +1,766 @@
+//! The client-facing consensus service layer.
+//!
+//! The testbed's original API is a benchmark shape — engines take a
+//! pre-seeded [`BatchSource`](crate::workload::BatchSource) and a fixed
+//! `target_epochs` and terminate into a report. This module redesigns that
+//! surface into a *service*: clients submit transactions into a bounded,
+//! deterministic [`Mempool`] (digest-dedup, FIFO, explicit
+//! [`AdmitOutcome`] backpressure), epochs pull their proposals from the
+//! pool, committed blocks flow out through a pull-based stream, and a
+//! [`StopCondition`] decides when the engine stops opening new epochs —
+//! with [`StopCondition::Epochs`] kept as the compatibility mode that
+//! reproduces pre-redesign runs byte-for-byte.
+//!
+//! A [`ConsensusHandle`] is the client's view of one node's service: it is
+//! cheaply cloneable, shared between the engine (which pulls batches and
+//! records commits) and whatever front-end feeds it — the in-simulator
+//! arrival schedule ([`ArrivalSpec`]), the UDP client gateway
+//! (`wbft_consensus::netrun`), or in-process callers.
+//!
+//! Everything here is deterministic: the mempool is plain FIFO state keyed
+//! by ordered digests, arrival schedules are derived from seeds, and
+//! latency percentiles are computed over sorted sample vectors — so
+//! service scenarios inherit the sweep harness's parallel == serial
+//! byte-identity guarantee.
+
+use crate::driver::{Block, Tx};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+use wbft_crypto::hash::Digest32;
+use wbft_wireless::{SimDuration, SimTime};
+
+/// The digest a transaction is deduplicated by.
+pub fn tx_digest(tx: &[u8]) -> Digest32 {
+    Digest32::of(tx)
+}
+
+/// Digest chain over a node's committed blocks: per-block content digests,
+/// used by multi-process runs to cross-check that nodes agree on block
+/// *contents*, not merely on transaction counts.
+pub fn block_digests(blocks: &[Block]) -> Vec<Digest32> {
+    blocks
+        .iter()
+        .map(|b| {
+            let epoch = b.epoch.to_le_bytes();
+            let mut parts: Vec<&[u8]> = Vec::with_capacity(b.txs.len() + 1);
+            parts.push(&epoch);
+            for tx in &b.txs {
+                parts.push(tx);
+            }
+            Digest32::of_parts("wbft/service/block", &parts)
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------------
+// Mempool.
+
+/// The explicit backpressure answer to one submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmitOutcome {
+    /// Queued; will be proposed in an upcoming epoch.
+    Admitted,
+    /// Already pending, in flight, or committed — dropped so the chain
+    /// carries each transaction at most once.
+    Duplicate,
+    /// The pool is at capacity — the client should back off and resubmit.
+    Full,
+}
+
+/// Where a known transaction digest currently lives.
+#[derive(Clone, Copy, Debug)]
+enum TxPhase {
+    /// Queued, waiting to be proposed. Carries the local submit time.
+    Waiting(SimTime),
+    /// Pulled into a proposal (the epoch rides in `in_flight`), awaiting
+    /// that commit.
+    Proposed(SimTime),
+    /// In a committed block (locally admitted or learned from a peer's
+    /// proposal).
+    Committed,
+}
+
+/// Per-pool counters, snapshot through [`ConsensusHandle::stats`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Submissions received (admitted + rejected).
+    pub submitted: u64,
+    /// Submissions admitted into the pool.
+    pub admitted: u64,
+    /// Submissions rejected as duplicates.
+    pub rejected_dup: u64,
+    /// Submissions rejected because the pool was full.
+    pub rejected_full: u64,
+    /// In-flight transactions re-queued after their proposing epoch
+    /// committed without them (lost ABA, Byzantine proposer, ...).
+    pub requeued: u64,
+    /// Highest pending + in-flight occupancy observed.
+    pub peak_occupancy: u64,
+    /// Transactions still pending (queued) right now.
+    pub pending: u64,
+    /// Transactions currently inside an uncommitted proposal.
+    pub in_flight: u64,
+    /// Locally admitted transactions that reached a committed block.
+    pub committed: u64,
+    /// Commit latency of every locally admitted transaction (µs, in commit
+    /// order).
+    pub latencies_us: Vec<u64>,
+}
+
+/// A bounded, deterministic, digest-deduplicating FIFO transaction pool.
+///
+/// Admission is explicit ([`AdmitOutcome`]); proposals pull from the queue
+/// front; transactions pulled into an epoch that commits without them are
+/// re-queued at the front in their original order, so FIFO fairness
+/// survives lost proposals.
+///
+/// Commit handling is two-phase: [`Mempool::resolve`] (digest bookkeeping:
+/// dedup, queue eviction, in-flight re-queue) runs inside the engine
+/// *before* it pulls the next epoch's batch — otherwise a transaction just
+/// committed through a peer's proposal could ride again from a stale
+/// queue — and [`Mempool::finalize`] assigns the commit timestamp to the
+/// staged latency samples once the driver observes the block.
+#[derive(Debug)]
+pub struct Mempool {
+    capacity: usize,
+    queue: VecDeque<Tx>,
+    in_flight: Vec<(u64, Tx)>,
+    phases: BTreeMap<Digest32, TxPhase>,
+    /// `(epoch, submit time)` of locally admitted transactions whose block
+    /// is resolved but not yet timestamped.
+    staged: Vec<(u64, SimTime)>,
+    /// Epochs `< resolved_next` have been resolved (commits arrive in
+    /// epoch order, so a single watermark suffices).
+    resolved_next: u64,
+    stats: ServiceStats,
+}
+
+impl Mempool {
+    /// An empty pool holding at most `capacity` pending transactions.
+    pub fn new(capacity: usize) -> Self {
+        Mempool {
+            capacity,
+            queue: VecDeque::new(),
+            in_flight: Vec::new(),
+            phases: BTreeMap::new(),
+            staged: Vec::new(),
+            resolved_next: 0,
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// Offers one transaction at local time `now`.
+    pub fn admit(&mut self, tx: Tx, now: SimTime) -> AdmitOutcome {
+        self.stats.submitted += 1;
+        let d = tx_digest(&tx);
+        if self.phases.contains_key(&d) {
+            self.stats.rejected_dup += 1;
+            return AdmitOutcome::Duplicate;
+        }
+        if self.queue.len() >= self.capacity {
+            self.stats.rejected_full += 1;
+            return AdmitOutcome::Full;
+        }
+        self.phases.insert(d, TxPhase::Waiting(now));
+        self.queue.push_back(tx);
+        self.stats.admitted += 1;
+        self.note_occupancy();
+        AdmitOutcome::Admitted
+    }
+
+    /// Pulls up to `max` transactions (FIFO) into the proposal of `epoch`.
+    pub fn next_batch(&mut self, epoch: u64, max: usize) -> Vec<Tx> {
+        let mut out = Vec::new();
+        while out.len() < max {
+            let Some(tx) = self.queue.pop_front() else { break };
+            let d = tx_digest(&tx);
+            match self.phases.get(&d) {
+                Some(TxPhase::Waiting(since)) => {
+                    self.phases.insert(d, TxPhase::Proposed(*since));
+                    self.in_flight.push((epoch, tx.clone()));
+                    out.push(tx);
+                }
+                // Committed meanwhile through a peer's proposal — drop.
+                _ => continue,
+            }
+        }
+        out
+    }
+
+    /// Digest-level resolution of one committed block: marks every digest
+    /// committed (staging latency samples for locally admitted
+    /// transactions), evicts now-stale pending duplicates, and re-queues
+    /// in-flight transactions whose epoch resolved without them.
+    /// Idempotent per epoch — the engine calls it before pulling the next
+    /// batch, and [`Mempool::record_commit`] calls it again harmlessly.
+    pub fn resolve(&mut self, block: &Block) {
+        if block.epoch < self.resolved_next {
+            return;
+        }
+        self.resolved_next = block.epoch + 1;
+        for tx in &block.txs {
+            let d = tx_digest(tx);
+            match self.phases.get(&d) {
+                Some(TxPhase::Waiting(since)) | Some(TxPhase::Proposed(since)) => {
+                    self.staged.push((block.epoch, *since));
+                    self.phases.insert(d, TxPhase::Committed);
+                }
+                Some(TxPhase::Committed) => {}
+                // A peer's transaction we never saw: remember it so a later
+                // local submission is deduplicated against the chain.
+                None => {
+                    self.phases.insert(d, TxPhase::Committed);
+                }
+            }
+        }
+        // Evict queued transactions that just committed via a peer.
+        let phases = &self.phases;
+        self.queue.retain(|tx| {
+            matches!(phases.get(&tx_digest(tx)), Some(TxPhase::Waiting(_)))
+        });
+        // Resolve in-flight entries up to this epoch: committed ones are
+        // done; the rest ride again at the queue front, original order kept.
+        let mut keep = Vec::with_capacity(self.in_flight.len());
+        let mut requeue = Vec::new();
+        for (epoch, tx) in self.in_flight.drain(..) {
+            if epoch > block.epoch {
+                keep.push((epoch, tx));
+                continue;
+            }
+            let d = tx_digest(&tx);
+            // Anything not still `Proposed` (committed, or unknown) is
+            // resolved and dropped.
+            if let Some(TxPhase::Proposed(since)) = self.phases.get(&d) {
+                self.phases.insert(d, TxPhase::Waiting(*since));
+                requeue.push(tx);
+            }
+        }
+        self.in_flight = keep;
+        self.stats.requeued += requeue.len() as u64;
+        for tx in requeue.into_iter().rev() {
+            self.queue.push_front(tx);
+        }
+        self.note_occupancy();
+    }
+
+    /// Stamps commit time `now` onto every staged latency sample of epochs
+    /// `<= epoch` (the driver calls this when it observes the block, in
+    /// the same event that resolved it — so the stamp is the commit time).
+    pub fn finalize(&mut self, epoch: u64, now: SimTime) {
+        let mut rest = Vec::new();
+        for (e, since) in self.staged.drain(..) {
+            if e <= epoch {
+                self.stats.latencies_us.push(now.saturating_since(since).as_micros());
+                self.stats.committed += 1;
+            } else {
+                rest.push((e, since));
+            }
+        }
+        self.staged = rest;
+    }
+
+    /// One-call commit recording: [`Mempool::resolve`] +
+    /// [`Mempool::finalize`].
+    pub fn record_commit(&mut self, block: &Block, now: SimTime) {
+        self.resolve(block);
+        self.finalize(block.epoch, now);
+    }
+
+    /// Pending (queued, not yet proposed) transactions.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Transactions inside uncommitted proposals.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Counter snapshot (with `pending`/`in_flight` filled in).
+    pub fn stats(&self) -> ServiceStats {
+        let mut s = self.stats.clone();
+        s.pending = self.queue.len() as u64;
+        s.in_flight = self.in_flight.len() as u64;
+        s
+    }
+
+    fn note_occupancy(&mut self) {
+        let occ = (self.queue.len() + self.in_flight.len()) as u64;
+        if occ > self.stats.peak_occupancy {
+            self.stats.peak_occupancy = occ;
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// The handle.
+
+/// A committed block as seen on the service stream: the epoch plus the
+/// content digests (the full transactions stay in [`Block`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockSummary {
+    /// Epoch number.
+    pub epoch: u64,
+    /// Digest of every committed transaction, in block order (the count is
+    /// `digests.len()`).
+    pub digests: Vec<Digest32>,
+}
+
+#[derive(Debug)]
+struct ServiceCore {
+    mempool: Mempool,
+    /// Every committed block, in commit order (the stream's backing store).
+    blocks: Vec<Block>,
+    /// The local pull-consumer's position in `blocks`.
+    cursor: usize,
+    stop: bool,
+}
+
+/// The client-facing handle of one node's consensus service.
+///
+/// Cheaply cloneable; every clone shares the same state, so the engine
+/// (pulling proposals, recording commits) and the submission front-end
+/// (arrival timers, UDP gateway, in-process callers) stay consistent. All
+/// methods take `&self` — state lives behind an uncontended mutex, which
+/// keeps the handle `Send + Sync` for the parallel sweep executor.
+#[derive(Clone, Debug)]
+pub struct ConsensusHandle {
+    core: Arc<Mutex<ServiceCore>>,
+}
+
+impl ConsensusHandle {
+    /// A fresh service with a mempool of `capacity`.
+    pub fn new(capacity: usize) -> Self {
+        ConsensusHandle {
+            core: Arc::new(Mutex::new(ServiceCore {
+                mempool: Mempool::new(capacity),
+                blocks: Vec::new(),
+                cursor: 0,
+                stop: false,
+            })),
+        }
+    }
+
+    /// Submits one transaction; the outcome is the backpressure signal.
+    pub fn submit(&self, tx: Tx, now: SimTime) -> AdmitOutcome {
+        self.core.lock().unwrap().mempool.admit(tx, now)
+    }
+
+    /// Pulls the next committed block off the stream, if one is ready.
+    /// Blocks are delivered exactly once per handle family, in epoch order.
+    pub fn try_next_block(&self) -> Option<Block> {
+        let mut core = self.core.lock().unwrap();
+        let block = core.blocks.get(core.cursor).cloned()?;
+        core.cursor += 1;
+        Some(block)
+    }
+
+    /// Requests a graceful stop: the engine finishes its in-flight epoch
+    /// and opens no further ones.
+    pub fn stop(&self) {
+        self.core.lock().unwrap().stop = true;
+    }
+
+    /// `true` once [`ConsensusHandle::stop`] was called.
+    pub fn stop_requested(&self) -> bool {
+        self.core.lock().unwrap().stop
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        self.core.lock().unwrap().mempool.stats()
+    }
+
+    /// Submissions received so far (admitted + rejected).
+    pub fn submissions(&self) -> u64 {
+        self.core.lock().unwrap().mempool.stats.submitted
+    }
+
+    /// `true` when nothing is pending or in flight — every admitted
+    /// transaction has been resolved into a block (or evicted as a peer
+    /// commit).
+    pub fn drained(&self) -> bool {
+        let core = self.core.lock().unwrap();
+        core.mempool.pending() == 0 && core.mempool.in_flight() == 0
+    }
+
+    /// Committed blocks so far.
+    pub fn block_count(&self) -> usize {
+        self.core.lock().unwrap().blocks.len()
+    }
+
+    /// Stream summaries of blocks `from..`, for subscribers keeping their
+    /// own cursor (e.g. the UDP client gateway).
+    pub fn block_summaries(&self, from: usize) -> Vec<BlockSummary> {
+        let core = self.core.lock().unwrap();
+        core.blocks[from.min(core.blocks.len())..]
+            .iter()
+            .map(|b| BlockSummary {
+                epoch: b.epoch,
+                digests: b.txs.iter().map(|tx| tx_digest(tx)).collect(),
+            })
+            .collect()
+    }
+
+    /// Engine hook: pulls the proposal batch for `epoch`.
+    pub fn next_batch(&self, epoch: u64, max: usize) -> Vec<Tx> {
+        self.core.lock().unwrap().mempool.next_batch(epoch, max)
+    }
+
+    /// Engine hook, called at the commit *before* the next epoch's batch
+    /// is pulled: digest-level resolution (dedup, eviction, re-queue)
+    /// without a timestamp. See [`Mempool::resolve`].
+    pub fn resolve_commit(&self, block: &Block) {
+        self.core.lock().unwrap().mempool.resolve(block);
+    }
+
+    /// Driver hook: records one committed block at local time `now` —
+    /// resolves it (idempotent if the engine already did), stamps the
+    /// staged latency samples, and appends the block to the stream.
+    pub fn record_commit(&self, block: &Block, now: SimTime) {
+        let mut core = self.core.lock().unwrap();
+        core.mempool.resolve(block);
+        core.mempool.finalize(block.epoch, now);
+        core.blocks.push(block.clone());
+    }
+}
+
+// ------------------------------------------------------------------
+// Stop conditions.
+
+/// When an engine stops opening new epochs.
+#[derive(Clone, Debug)]
+pub enum StopCondition {
+    /// Run exactly this many epochs — the pre-redesign benchmark mode;
+    /// fixed-epoch runs through this variant are byte-identical to the old
+    /// `target_epochs` API.
+    Epochs(u64),
+    /// Serve the handle until it requests a stop, hard-bounded at
+    /// `max_epochs` so a run is finite even if the pool never drains.
+    Service {
+        /// The service whose stop flag ends the run.
+        handle: ConsensusHandle,
+        /// Upper bound on epochs regardless of the stop flag.
+        max_epochs: u64,
+    },
+}
+
+impl StopCondition {
+    /// May the engine open `epoch`?
+    pub fn allows(&self, epoch: u64) -> bool {
+        match self {
+            StopCondition::Epochs(n) => epoch < *n,
+            StopCondition::Service { handle, max_epochs } => {
+                epoch < *max_epochs && !handle.stop_requested()
+            }
+        }
+    }
+
+    /// Engine completion: every opened epoch committed and no further
+    /// epoch may open.
+    pub fn is_done(&self, started: u64, committed: u64) -> bool {
+        committed >= started && !self.allows(started)
+    }
+}
+
+// ------------------------------------------------------------------
+// Open-loop client arrivals.
+
+/// A deterministic open-loop client arrival schedule: every node receives
+/// `per_node` submissions at a fixed `interval_us` cadence with
+/// seed-derived sub-interval jitter, independent of consensus progress —
+/// the "serve live traffic" workload axis of service scenarios.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrivalSpec {
+    /// Submissions arriving at each node.
+    pub per_node: u64,
+    /// Inter-arrival gap in microseconds of simulated time.
+    pub interval_us: u64,
+    /// Bytes per transaction.
+    pub tx_bytes: usize,
+    /// Schedule seed (distinct seeds = distinct transactions and jitter).
+    pub seed: u64,
+}
+
+impl ArrivalSpec {
+    /// A small default: 8 arrivals per node, one every 2 simulated
+    /// seconds, 32-byte transactions.
+    pub fn small() -> Self {
+        ArrivalSpec { per_node: 8, interval_us: 2_000_000, tx_bytes: 32, seed: 1 }
+    }
+
+    /// The arrival schedule of `node`: `(delay from start, transaction)`
+    /// pairs in non-decreasing delay order. Transactions are globally
+    /// unique across nodes and indices.
+    pub fn schedule(&self, node: usize) -> Vec<(SimDuration, Tx)> {
+        (0..self.per_node)
+            .map(|i| {
+                let tag = Digest32::of_parts(
+                    "wbft/service/arrival",
+                    &[
+                        &self.seed.to_le_bytes(),
+                        &(node as u64).to_le_bytes(),
+                        &i.to_le_bytes(),
+                    ],
+                );
+                // Deterministic jitter inside the slot keeps nodes out of
+                // lockstep while preserving monotonic per-node order.
+                let jitter = if self.interval_us > 0 {
+                    u64::from_le_bytes(tag.as_bytes()[..8].try_into().expect("8 bytes"))
+                        % self.interval_us
+                } else {
+                    0
+                };
+                let at = SimDuration::from_micros(i * self.interval_us + jitter);
+                let mut tx = Vec::with_capacity(self.tx_bytes);
+                while tx.len() < self.tx_bytes {
+                    let take = (self.tx_bytes - tx.len()).min(32);
+                    tx.extend_from_slice(&tag.as_bytes()[..take]);
+                }
+                (at, bytes::Bytes::from(tx))
+            })
+            .collect()
+    }
+}
+
+/// The service side of a testbed experiment: the arrival load plus the
+/// pool and epoch bounds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Client arrival schedule.
+    pub arrivals: ArrivalSpec,
+    /// Mempool capacity per node.
+    pub mempool_capacity: usize,
+    /// Hard epoch bound (the run also ends at the config deadline).
+    pub max_epochs: u64,
+}
+
+impl ServiceConfig {
+    /// Defaults matched to the single-hop LoRa testbed's epoch cadence.
+    pub fn small() -> Self {
+        ServiceConfig { arrivals: ArrivalSpec::small(), mempool_capacity: 256, max_epochs: 64 }
+    }
+}
+
+// ------------------------------------------------------------------
+// Aggregated reporting.
+
+/// Percentile summary over per-transaction commit latencies.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean latency in µs (0 when there are no samples).
+    pub mean_us: f64,
+    /// Median.
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Slowest sample.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    /// Nearest-rank percentiles over `samples` (sorted internally).
+    pub fn from_samples(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary {
+                count: 0,
+                mean_us: 0.0,
+                p50_us: 0,
+                p90_us: 0,
+                p99_us: 0,
+                max_us: 0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let pick = |p: f64| -> u64 {
+            let idx = ((p * (sorted.len() - 1) as f64).round()) as usize;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        LatencySummary {
+            count: sorted.len() as u64,
+            mean_us: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64,
+            p50_us: pick(0.50),
+            p90_us: pick(0.90),
+            p99_us: pick(0.99),
+            max_us: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// The service section of a [`RunReport`](crate::testbed::RunReport):
+/// submission/backpressure counters plus commit-latency percentiles,
+/// aggregated over the run's (honest) nodes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceReport {
+    /// Submissions received across nodes.
+    pub submitted: u64,
+    /// Submissions admitted.
+    pub admitted: u64,
+    /// Duplicate rejections.
+    pub rejected_dup: u64,
+    /// Capacity rejections (the mempool drop count).
+    pub rejected_full: u64,
+    /// Re-queued in-flight transactions.
+    pub requeued: u64,
+    /// Highest per-node occupancy observed.
+    pub peak_occupancy: u64,
+    /// Transactions still pending or in flight when the run ended.
+    pub pending_at_stop: u64,
+    /// Locally admitted transactions that reached a committed block.
+    pub committed_client_txs: u64,
+    /// Commit latency percentiles over all nodes' samples.
+    pub latency: LatencySummary,
+}
+
+impl ServiceReport {
+    /// Aggregates per-node stats into the run-level report.
+    pub fn aggregate(stats: &[ServiceStats]) -> Self {
+        let mut samples = Vec::new();
+        for s in stats {
+            samples.extend_from_slice(&s.latencies_us);
+        }
+        samples.sort_unstable();
+        ServiceReport {
+            submitted: stats.iter().map(|s| s.submitted).sum(),
+            admitted: stats.iter().map(|s| s.admitted).sum(),
+            rejected_dup: stats.iter().map(|s| s.rejected_dup).sum(),
+            rejected_full: stats.iter().map(|s| s.rejected_full).sum(),
+            requeued: stats.iter().map(|s| s.requeued).sum(),
+            peak_occupancy: stats.iter().map(|s| s.peak_occupancy).max().unwrap_or(0),
+            pending_at_stop: stats.iter().map(|s| s.pending + s.in_flight).sum(),
+            committed_client_txs: stats.iter().map(|s| s.committed).sum(),
+            latency: LatencySummary::from_samples(&samples),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn tx(tag: u8) -> Tx {
+        Bytes::from(vec![tag; 24])
+    }
+
+    #[test]
+    fn admit_dedup_and_capacity() {
+        let mut m = Mempool::new(2);
+        let t0 = SimTime::ZERO;
+        assert_eq!(m.admit(tx(1), t0), AdmitOutcome::Admitted);
+        assert_eq!(m.admit(tx(1), t0), AdmitOutcome::Duplicate);
+        assert_eq!(m.admit(tx(2), t0), AdmitOutcome::Admitted);
+        assert_eq!(m.admit(tx(3), t0), AdmitOutcome::Full);
+        let s = m.stats();
+        assert_eq!((s.submitted, s.admitted, s.rejected_dup, s.rejected_full), (4, 2, 1, 1));
+        assert_eq!(s.peak_occupancy, 2);
+        // A full-rejected transaction may be retried once space frees.
+        let batch = m.next_batch(0, 10);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(m.admit(tx(3), t0), AdmitOutcome::Admitted);
+    }
+
+    #[test]
+    fn fifo_order_and_requeue_on_lost_proposal() {
+        let mut m = Mempool::new(16);
+        for tag in 1..=4 {
+            m.admit(tx(tag), SimTime::ZERO);
+        }
+        let batch = m.next_batch(0, 2);
+        assert_eq!(batch, vec![tx(1), tx(2)]);
+        // Epoch 0 commits with only tx(2) (tx(1)'s instance lost its ABA):
+        // tx(1) must ride again at the front, ahead of 3 and 4.
+        m.record_commit(&Block { epoch: 0, txs: vec![tx(2)] }, SimTime::from_micros(5));
+        assert_eq!(m.stats().requeued, 1);
+        let batch = m.next_batch(1, 10);
+        assert_eq!(batch, vec![tx(1), tx(3), tx(4)]);
+    }
+
+    #[test]
+    fn peer_commit_evicts_pending_duplicate_and_dedups_later_submissions() {
+        let mut m = Mempool::new(16);
+        m.admit(tx(7), SimTime::ZERO);
+        // A peer's proposal committed the same transaction first.
+        m.record_commit(&Block { epoch: 0, txs: vec![tx(7), tx(9)] }, SimTime::from_micros(3));
+        assert_eq!(m.pending(), 0);
+        // Latency recorded for our admitted copy; the foreign tx(9) is
+        // remembered for chain-level dedup but adds no sample.
+        assert_eq!(m.stats().latencies_us, vec![3]);
+        assert_eq!(m.admit(tx(7), SimTime::ZERO), AdmitOutcome::Duplicate);
+        assert_eq!(m.admit(tx(9), SimTime::ZERO), AdmitOutcome::Duplicate);
+    }
+
+    #[test]
+    fn handle_stream_delivers_blocks_once_in_order() {
+        let h = ConsensusHandle::new(8);
+        assert!(h.try_next_block().is_none());
+        h.record_commit(&Block { epoch: 0, txs: vec![tx(1)] }, SimTime::from_micros(1));
+        h.record_commit(&Block { epoch: 1, txs: vec![] }, SimTime::from_micros(2));
+        assert_eq!(h.try_next_block().map(|b| b.epoch), Some(0));
+        assert_eq!(h.try_next_block().map(|b| b.epoch), Some(1));
+        assert!(h.try_next_block().is_none());
+        assert_eq!(h.block_count(), 2);
+        let summaries = h.block_summaries(1);
+        assert_eq!(summaries.len(), 1);
+        assert_eq!(summaries[0].epoch, 1);
+    }
+
+    #[test]
+    fn stop_condition_modes() {
+        let fixed = StopCondition::Epochs(2);
+        assert!(fixed.allows(0) && fixed.allows(1) && !fixed.allows(2));
+        assert!(!fixed.is_done(2, 1));
+        assert!(fixed.is_done(2, 2));
+        let h = ConsensusHandle::new(8);
+        let svc = StopCondition::Service { handle: h.clone(), max_epochs: 3 };
+        assert!(svc.allows(0) && svc.allows(2) && !svc.allows(3));
+        assert!(!svc.is_done(1, 1), "no stop requested, more epochs allowed");
+        h.stop();
+        assert!(!svc.allows(0));
+        assert!(!svc.is_done(2, 1), "in-flight epoch must still finish");
+        assert!(svc.is_done(2, 2));
+    }
+
+    #[test]
+    fn arrival_schedules_are_deterministic_monotonic_and_distinct() {
+        let spec = ArrivalSpec { per_node: 6, interval_us: 1_000, tx_bytes: 32, seed: 9 };
+        let a = spec.schedule(0);
+        assert_eq!(a, spec.schedule(0));
+        assert_ne!(a, spec.schedule(1));
+        assert!(a.windows(2).all(|w| w[0].0 <= w[1].0), "arrivals must be ordered");
+        let mut digests: Vec<_> = a.iter().map(|(_, tx)| tx_digest(tx)).collect();
+        digests.extend(spec.schedule(1).iter().map(|(_, tx)| tx_digest(tx)));
+        digests.sort_unstable();
+        digests.dedup();
+        assert_eq!(digests.len(), 12, "transactions unique across nodes and slots");
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let s = LatencySummary::from_samples(&samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_us, 51);
+        assert_eq!(s.p90_us, 90);
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.max_us, 100);
+        assert!((s.mean_us - 50.5).abs() < 1e-9);
+        let empty = LatencySummary::from_samples(&[]);
+        assert_eq!((empty.count, empty.max_us), (0, 0));
+    }
+
+    #[test]
+    fn block_digests_depend_on_content_and_epoch() {
+        let a = vec![Block { epoch: 0, txs: vec![tx(1)] }];
+        let b = vec![Block { epoch: 0, txs: vec![tx(2)] }];
+        let c = vec![Block { epoch: 1, txs: vec![tx(1)] }];
+        assert_ne!(block_digests(&a), block_digests(&b));
+        assert_ne!(block_digests(&a), block_digests(&c));
+        assert_eq!(block_digests(&a), block_digests(&a));
+    }
+}

@@ -16,6 +16,7 @@
 
 use crate::byzantine::ByzantineMode;
 use crate::protocol::Protocol;
+use crate::service::ServiceConfig;
 use crate::testbed::{run, RunReport, TestbedConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -42,6 +43,11 @@ pub struct SweepSpec {
     pub losses: Vec<LossModel>,
     /// Byzantine placements; the empty placement is an all-honest run.
     pub placements: Vec<Vec<(usize, ByzantineMode)>>,
+    /// Service loads: `None` = the classic fixed-epoch pre-seeded run,
+    /// `Some` = a live-submission run under that open-loop client-arrival
+    /// schedule (latency percentiles and backpressure counters land in the
+    /// report's `service` member).
+    pub services: Vec<Option<ServiceConfig>>,
     /// Simulation seeds.
     pub seeds: Vec<u64>,
     /// Epochs per run.
@@ -65,6 +71,7 @@ impl SweepSpec {
             suites: vec![CryptoSuite::light()],
             losses: vec![LossModel::None],
             placements: vec![Vec::new()],
+            services: vec![None],
             seeds: vec![7],
             epochs: 1,
             batch_size: 8,
@@ -95,6 +102,7 @@ impl SweepSpec {
             * self.suites.len()
             * self.losses.len()
             * self.placements.len()
+            * self.services.len()
             * self.seeds.len()
     }
 
@@ -108,33 +116,49 @@ impl SweepSpec {
     /// Labels are unique, filesystem-safe and self-describing, e.g.
     /// `beat.mh4.secp160r1+bn158.loss-none.honest.seed7`.
     pub fn expand(&self) -> Vec<Scenario> {
+        // Service runs are single-hop only (clustered service is an open
+        // follow-on); fail loudly rather than at run() inside a worker.
+        assert!(
+            self.services.iter().all(Option::is_none)
+                || self.topologies.iter().all(Option::is_none),
+            "sweep \"{}\" combines a service load with a multi-hop topology — \
+             service runs are single-hop only",
+            self.name
+        );
         let mut out = Vec::with_capacity(self.len());
         for &protocol in &self.protocols {
             for &topology in &self.topologies {
                 for &suite in &self.suites {
                     for (li, loss) in self.losses.iter().enumerate() {
                         for placement in &self.placements {
-                            for &seed in &self.seeds {
-                                let mut cfg = TestbedConfig::single_hop(protocol);
-                                cfg.n = self.n;
-                                cfg.clusters = topology;
-                                cfg.suite = suite;
-                                cfg.loss = loss.clone();
-                                cfg.byzantine = placement.clone();
-                                cfg.seed = seed;
-                                cfg.epochs = self.epochs;
-                                cfg.workload.batch_size = self.batch_size;
-                                cfg.deadline = self.deadline;
-                                let label = format!(
-                                    "{}.{}.{}.{}.{}.seed{}",
-                                    protocol.slug(),
-                                    topology.map_or("sh".into(), |m| format!("mh{m}")),
-                                    suite_label(&suite),
-                                    loss_label(loss, li),
-                                    placement_label(placement),
-                                    seed,
-                                );
-                                out.push(Scenario { label, cfg });
+                            for service in &self.services {
+                                for &seed in &self.seeds {
+                                    let mut cfg = TestbedConfig::single_hop(protocol);
+                                    cfg.n = self.n;
+                                    cfg.clusters = topology;
+                                    cfg.suite = suite;
+                                    cfg.loss = loss.clone();
+                                    cfg.byzantine = placement.clone();
+                                    cfg.service = service.clone();
+                                    cfg.seed = seed;
+                                    cfg.epochs = self.epochs;
+                                    cfg.workload.batch_size = self.batch_size;
+                                    cfg.deadline = self.deadline;
+                                    // Fixed-epoch labels stay exactly as
+                                    // before; the service segment is only
+                                    // appended for live-submission points.
+                                    let label = format!(
+                                        "{}.{}.{}.{}.{}.seed{}{}",
+                                        protocol.slug(),
+                                        topology.map_or("sh".into(), |m| format!("mh{m}")),
+                                        suite_label(&suite),
+                                        loss_label(loss, li),
+                                        placement_label(placement),
+                                        seed,
+                                        service.as_ref().map_or(String::new(), service_label),
+                                    );
+                                    out.push(Scenario { label, cfg });
+                                }
                             }
                         }
                     }
@@ -166,6 +190,15 @@ fn loss_label(loss: &LossModel, index: usize) -> String {
         LossModel::Uniform { p } => format!("loss-u{p}"),
         LossModel::PerReceiver { .. } => format!("loss-pr{index}"),
     }
+}
+
+fn service_label(svc: &ServiceConfig) -> String {
+    format!(
+        ".svc-ia{}x{}c{}",
+        svc.arrivals.interval_us / 1_000,
+        svc.arrivals.per_node,
+        svc.mempool_capacity,
+    )
 }
 
 fn placement_label(placement: &[(usize, ByzantineMode)]) -> String {

@@ -11,6 +11,7 @@ use crate::byzantine::{ByzantineEngine, ByzantineMode};
 use crate::driver::{Engine, ProtocolNode};
 use crate::multihop::ClusterNode;
 use crate::protocol::Protocol;
+use crate::service::{ConsensusHandle, ServiceConfig, ServiceReport, ServiceStats};
 use crate::workload::Workload;
 use wbft_components::deal_node_crypto;
 use wbft_crypto::CryptoSuite;
@@ -50,6 +51,12 @@ pub struct TestbedConfig {
     pub deadline: SimDuration,
     /// `Some(m)` = multi-hop with `m` clusters of `n` nodes each.
     pub clusters: Option<usize>,
+    /// `Some` = live-service run: epochs pull proposals from client-fed
+    /// mempools under an open-loop arrival schedule instead of the
+    /// pre-seeded workload, and the report gains a [`ServiceReport`]
+    /// (single-hop only; `epochs` is ignored in favour of the service's
+    /// `max_epochs`).
+    pub service: Option<ServiceConfig>,
 }
 
 impl TestbedConfig {
@@ -70,6 +77,7 @@ impl TestbedConfig {
             byzantine: Vec::new(),
             deadline: SimDuration::from_secs(3_600),
             clusters: None,
+            service: None,
         }
     }
 
@@ -104,6 +112,11 @@ pub struct RunReport {
     /// Full per-node simulator counters (airtime, losses, CPU time) for
     /// scriptable figure regeneration from the JSON reports.
     pub metrics: Metrics,
+    /// Service-mode statistics: submission/backpressure counters and
+    /// per-transaction commit-latency percentiles. `None` on fixed-epoch
+    /// runs (and absent from their JSON, keeping them byte-identical to
+    /// pre-service reports).
+    pub service: Option<ServiceReport>,
 }
 
 // Pure aggregation step shared by the single- and multi-hop simulator
@@ -152,14 +165,20 @@ pub(crate) fn finish_report(
         bytes_on_air: metrics.total_bytes_sent(),
         collisions: metrics.collisions,
         metrics,
+        service: None,
     }
 }
 
 /// Executes one experiment.
 pub fn run(cfg: &TestbedConfig) -> RunReport {
-    match cfg.clusters {
-        None => run_single_hop(cfg),
-        Some(m) => run_multi_hop(cfg, m),
+    assert!(
+        cfg.service.is_none() || cfg.clusters.is_none(),
+        "service runs are single-hop only (clustered service is a follow-on)"
+    );
+    match (cfg.clusters, &cfg.service) {
+        (Some(m), _) => run_multi_hop(cfg, m),
+        (None, Some(svc)) => run_service_single_hop(cfg, svc),
+        (None, None) => run_single_hop(cfg),
     }
 }
 
@@ -218,6 +237,106 @@ fn run_single_hop(cfg: &TestbedConfig) -> RunReport {
         }
     }
     finish_report(completed, elapsed, decision_times, total_txs, sim.metrics().clone(), cfg.epochs)
+}
+
+/// The live-service counterpart of [`run_single_hop`]: every node owns a
+/// [`ConsensusHandle`] whose mempool is fed by the deterministic open-loop
+/// arrival schedule (injected through driver timers), epochs pull
+/// proposals from the pool, and the run completes when every honest node's
+/// submissions are resolved and all honest chains are level. The report
+/// carries the standard figures plus a [`ServiceReport`] with per-tx
+/// commit-latency percentiles and backpressure counters.
+fn run_service_single_hop(cfg: &TestbedConfig, svc: &ServiceConfig) -> RunReport {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0xdea1);
+    let crypto = deal_node_crypto(cfg.n, cfg.suite, &mut rng);
+    let honest: Vec<bool> = (0..cfg.n)
+        .map(|i| !cfg.byzantine.iter().any(|(b, _)| *b == i))
+        .collect();
+    let handles: Vec<ConsensusHandle> =
+        (0..cfg.n).map(|_| ConsensusHandle::new(svc.mempool_capacity)).collect();
+    let behaviors: Vec<_> = crypto
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let engine = cfg.protocol.service_engine(
+                c.clone(),
+                handles[i].clone(),
+                cfg.workload.batch_size,
+                svc.max_epochs,
+            );
+            let engine: Box<dyn Engine> =
+                match cfg.byzantine.iter().find(|(b, _)| *b == i) {
+                    Some((_, mode)) => Box::new(ByzantineEngine::new(engine, *mode)),
+                    None => engine,
+                };
+            ProtocolNode::new(engine, c, ChannelId(0))
+                .with_service(handles[i].clone(), svc.arrivals.schedule(i))
+        })
+        .collect();
+    let mut sim = Simulator::new(sim_config(cfg), Topology::single_hop(cfg.n), behaviors);
+    let deadline = SimTime::ZERO + cfg.deadline;
+    let expected = svc.arrivals.per_node;
+    let completed = sim.run_until_pred(deadline, |s| {
+        // Every honest node saw its full arrival schedule and resolved
+        // every admitted transaction into a block...
+        let drained = handles
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| honest[*i])
+            .all(|(_, h)| h.submissions() == expected && h.drained());
+        // ...and the honest chains are level (no node still waiting on the
+        // final commit), so the agreement check below sees whole chains.
+        drained && {
+            let mut lens =
+                s.behaviors().filter(|(id, _)| honest[id.index()]).map(|(_, b)| b.blocks().len());
+            let first = lens.next().unwrap_or(0);
+            lens.all(|l| l == first)
+        }
+    });
+    let elapsed = sim.now().saturating_since(SimTime::ZERO);
+    let decision_times: Vec<Vec<SimTime>> = sim
+        .behaviors()
+        .filter(|(id, _)| honest[id.index()])
+        .map(|(_, b)| b.clock().completed.clone())
+        .collect();
+    let reference = sim
+        .behaviors()
+        .find(|(id, _)| honest[id.index()])
+        .map(|(_, b)| b.blocks().to_vec())
+        .unwrap_or_default();
+    let total_txs: u64 = reference.iter().map(|b| b.txs.len() as u64).sum();
+    // Prefix agreement is the BFT invariant; when the run completed the
+    // predicate already levelled the chains, so prefixes are whole chains.
+    for (id, b) in sim.behaviors() {
+        if honest[id.index()] {
+            let common = b.blocks().len().min(reference.len());
+            assert_eq!(
+                &b.blocks()[..common],
+                &reference[..common],
+                "agreement violated at {id}"
+            );
+            if completed {
+                assert_eq!(b.blocks().len(), reference.len(), "chains not level at {id}");
+            }
+        }
+    }
+    let stats: Vec<ServiceStats> = handles
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| honest[*i])
+        .map(|(_, h)| h.stats())
+        .collect();
+    let mut report = finish_report(
+        completed,
+        elapsed,
+        decision_times,
+        total_txs,
+        sim.metrics().clone(),
+        reference.len() as u64,
+    );
+    report.service = Some(ServiceReport::aggregate(&stats));
+    report
 }
 
 fn run_multi_hop(cfg: &TestbedConfig, m: usize) -> RunReport {

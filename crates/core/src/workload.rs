@@ -52,8 +52,9 @@ impl Workload {
 }
 
 /// Where an engine's per-epoch proposals come from: a synthetic workload,
-/// or fixed externally-supplied content (the multi-hop global tier proposes
-/// cluster-block summaries, not generated transactions).
+/// fixed externally-supplied content (the multi-hop global tier proposes
+/// cluster-block summaries, not generated transactions), or a live
+/// client-fed mempool (the service API).
 #[derive(Clone, Debug)]
 pub enum BatchSource {
     /// Deterministic synthetic transactions.
@@ -61,6 +62,15 @@ pub enum BatchSource {
     /// A fixed single-proposal payload per epoch, set via
     /// [`BatchSource::set_fixed`]; epochs without one propose empty batches.
     Fixed(Vec<Option<Tx>>),
+    /// Live proposals pulled FIFO from a bounded client mempool (see
+    /// [`crate::service`]); epochs finding the pool empty propose empty
+    /// batches and keep the pipeline turning.
+    Service {
+        /// The shared service handle whose mempool feeds proposals.
+        handle: crate::service::ConsensusHandle,
+        /// Most transactions pulled into one proposal.
+        max_batch: usize,
+    },
 }
 
 impl BatchSource {
@@ -73,6 +83,7 @@ impl BatchSource {
                 .and_then(|t| t.clone())
                 .map(|t| vec![t])
                 .unwrap_or_default(),
+            BatchSource::Service { handle, max_batch } => handle.next_batch(epoch, *max_batch),
         }
     }
 

@@ -116,8 +116,9 @@ impl PeerTable {
 
     /// Validates the table: ids must be dense `0..n` in order (so node ids
     /// index protocol-code peer arrays), addresses unique, and no entry may
-    /// claim the transport's reserved control channel
-    /// ([`crate::runtime::CONTROL_CHANNEL`]).
+    /// claim the transport's reserved channels — control
+    /// ([`crate::runtime::CONTROL_CHANNEL`]) and client submission
+    /// ([`crate::client::CLIENT_CHANNEL`]).
     ///
     /// # Errors
     ///
@@ -127,12 +128,13 @@ impl PeerTable {
             if p.node as usize != i {
                 return Err(format!("peer {i} has id {} — ids must be dense 0..n", p.node));
             }
-            if p.channels.contains(&crate::runtime::CONTROL_CHANNEL) {
-                return Err(format!(
-                    "node {} claims channel {} — reserved for transport control",
-                    p.node,
-                    crate::runtime::CONTROL_CHANNEL
-                ));
+            for reserved in [crate::runtime::CONTROL_CHANNEL, crate::client::CLIENT_CHANNEL] {
+                if p.channels.contains(&reserved) {
+                    return Err(format!(
+                        "node {} claims channel {reserved} — reserved for the transport",
+                        p.node,
+                    ));
+                }
             }
         }
         for (i, a) in self.peers.iter().enumerate() {
@@ -203,6 +205,13 @@ mod tests {
     fn validation_rejects_the_reserved_control_channel() {
         let mut table = PeerTable::loopback(&[1, 2]);
         table.peers[0].channels.push(crate::runtime::CONTROL_CHANNEL);
+        assert!(table.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_the_reserved_client_channel() {
+        let mut table = PeerTable::loopback(&[1, 2]);
+        table.peers[1].channels.push(crate::client::CLIENT_CHANNEL);
         assert!(table.validate().is_err());
     }
 

@@ -25,11 +25,13 @@
 //! deterministic CI path and the fidelity reference; this crate is the
 //! deployment path (and the stepping stone to serial/LoRa bridges).
 
+pub mod client;
 pub mod config;
 pub mod runtime;
 
+pub use client::{ClientMsg, SubmitVerdict, CLIENT_CHANNEL, CLIENT_SRC};
 pub use config::{PeerEntry, PeerTable};
-pub use runtime::UdpRuntime;
+pub use runtime::{ClientGateway, UdpRuntime};
 
 /// Datagram-level counters a transport keeps alongside the protocol
 /// [`Metrics`](wbft_wireless::Metrics).
@@ -50,4 +52,8 @@ pub struct TransportStats {
     pub sends_rejected: u64,
     /// Individual `send_to` failures (UDP is lossy; never fatal).
     pub sends_failed: u64,
+    /// Datagrams consumed from the client-submission channel.
+    pub client_datagrams: u64,
+    /// Client-channel datagrams sent (replies + commit notifications).
+    pub client_sends: u64,
 }

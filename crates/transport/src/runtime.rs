@@ -25,6 +25,7 @@
 //! corruption as loss. Virtual CPU charges are recorded in [`Metrics`] but
 //! not slept: a real run measures real elapsed time.
 
+use crate::client::CLIENT_CHANNEL;
 use crate::config::PeerTable;
 use crate::TransportStats;
 use bytes::Bytes;
@@ -33,7 +34,7 @@ use rand_chacha::ChaCha12Rng;
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
 use std::io;
-use std::net::UdpSocket;
+use std::net::{SocketAddr, UdpSocket};
 use std::time::{Duration, Instant};
 use wbft_net::datagram::Datagram;
 use wbft_wireless::{ChannelId, Command, Frame, Metrics, NodeBehavior, NodeCtx, NodeId, SimTime};
@@ -64,6 +65,29 @@ const HELLO_INTERVAL: Duration = Duration::from_millis(100);
 /// takes over.
 const MAX_BARRIER_BUFFER: usize = 4_096;
 
+/// Handles datagrams on the reserved client channel
+/// ([`CLIENT_CHANNEL`](crate::client::CLIENT_CHANNEL)) — the runtime stays
+/// generic over protocol behaviors while a service layer plugs in
+/// submission handling and the committed-block stream.
+///
+/// `on_datagram` answers one client payload (replies go back to `from`);
+/// `on_tick` runs once per event-loop iteration to emit unsolicited
+/// messages (commit notifications to subscribers). Outgoing payloads are
+/// wrapped in client-channel datagrams by the runtime.
+pub trait ClientGateway: Send {
+    /// One datagram arrived on the client channel.
+    fn on_datagram(
+        &mut self,
+        from: SocketAddr,
+        payload: &Bytes,
+        now: SimTime,
+        out: &mut Vec<(SocketAddr, Bytes)>,
+    );
+
+    /// Called every event-loop iteration; push `(addr, payload)` messages.
+    fn on_tick(&mut self, now: SimTime, out: &mut Vec<(SocketAddr, Bytes)>);
+}
+
 /// Drives one behavior over UDP.
 pub struct UdpRuntime<B: NodeBehavior> {
     me: NodeId,
@@ -86,6 +110,7 @@ pub struct UdpRuntime<B: NodeBehavior> {
     pending_frames: Vec<Frame>,
     metrics: Metrics,
     stats: TransportStats,
+    client: Option<Box<dyn ClientGateway>>,
     buf: Vec<u8>,
 }
 
@@ -143,8 +168,17 @@ impl<B: NodeBehavior> UdpRuntime<B> {
             pending_frames: Vec::new(),
             metrics: Metrics::new(n),
             stats: TransportStats::default(),
+            client: None,
             buf: vec![0; RECV_BUF_BYTES],
         })
+    }
+
+    /// Installs the client-channel gateway: datagrams on
+    /// [`CLIENT_CHANNEL`](crate::client::CLIENT_CHANNEL) are routed to it
+    /// (they are counted foreign drops otherwise), and its tick hook runs
+    /// every event-loop iteration.
+    pub fn set_client_gateway(&mut self, gateway: Box<dyn ClientGateway>) {
+        self.client = Some(gateway);
     }
 
     /// Monotonic time since construction, as [`SimTime`] microseconds.
@@ -220,7 +254,40 @@ impl<B: NodeBehavior> UdpRuntime<B> {
                 return Ok(done_at.is_some());
             }
             self.fire_due_timers()?;
+            self.client_tick();
             self.poll_socket_once()?;
+        }
+    }
+
+    /// Lets the client gateway emit unsolicited messages (commit-stream
+    /// notifications to subscribers).
+    fn client_tick(&mut self) {
+        let Some(mut gateway) = self.client.take() else { return };
+        let mut out = Vec::new();
+        gateway.on_tick(self.now(), &mut out);
+        self.client = Some(gateway);
+        self.send_client(out);
+    }
+
+    /// Sends gateway output as client-channel datagrams (best-effort —
+    /// clients are external and lossy by contract).
+    fn send_client(&mut self, out: Vec<(SocketAddr, Bytes)>) {
+        for (addr, payload) in out {
+            let datagram = Datagram {
+                src: self.me.0,
+                channel: CLIENT_CHANNEL,
+                nominal_len: 0,
+                payload,
+            };
+            let Ok(bytes) = datagram.encode() else {
+                self.stats.sends_rejected += 1;
+                continue;
+            };
+            if self.socket.send_to(&bytes, addr).is_err() {
+                self.stats.sends_failed += 1;
+            } else {
+                self.stats.client_sends += 1;
+            }
         }
     }
 
@@ -293,7 +360,7 @@ impl<B: NodeBehavior> UdpRuntime<B> {
             .unwrap_or(POLL_QUANTUM);
         let wait = until_timer.min(POLL_QUANTUM).max(Duration::from_millis(1));
         self.socket.set_read_timeout(Some(wait))?;
-        let (n, _from) = match self.socket.recv_from(&mut self.buf) {
+        let (n, from) = match self.socket.recv_from(&mut self.buf) {
             Ok(ok) => ok,
             Err(e)
                 if matches!(
@@ -320,6 +387,20 @@ impl<B: NodeBehavior> UdpRuntime<B> {
                 return Ok(());
             }
         };
+        if datagram.channel == CLIENT_CHANNEL {
+            // Client traffic is unauthenticated and source-anonymous; only
+            // a configured gateway may consume it.
+            let Some(mut gateway) = self.client.take() else {
+                self.stats.drops_foreign += 1;
+                return Ok(());
+            };
+            self.stats.client_datagrams += 1;
+            let mut out = Vec::new();
+            gateway.on_datagram(from, &datagram.payload, self.now(), &mut out);
+            self.client = Some(gateway);
+            self.send_client(out);
+            return Ok(());
+        }
         if datagram.channel == CONTROL_CHANNEL {
             let known = datagram.src != self.me.0 && self.peers.entry(datagram.src).is_some();
             if !known {

@@ -9,7 +9,7 @@ use rand::SeedableRng;
 use wbft_components::deal_node_crypto;
 use wbft_consensus::driver::ProtocolNode;
 use wbft_consensus::honeybadger::hb_sc;
-use wbft_consensus::Workload;
+use wbft_consensus::{StopCondition, Workload};
 use wbft_crypto::CryptoSuite;
 use wbft_wireless::{ChannelId, SimConfig, SimTime, Simulator, Topology};
 
@@ -27,7 +27,7 @@ fn main() {
     // One HoneyBadgerBFT-SC engine per node, bound to radio channel 0.
     let behaviors: Vec<_> = crypto
         .into_iter()
-        .map(|c| ProtocolNode::new(hb_sc(c.clone(), workload.clone(), epochs), c, ChannelId(0)))
+        .map(|c| ProtocolNode::new(hb_sc(c.clone(), workload.clone(), StopCondition::Epochs(epochs)), c, ChannelId(0)))
         .collect();
 
     // A LoRa-class shared channel with CSMA/CA (SimConfig::default()).

@@ -1,0 +1,518 @@
+//! `wbft service_cluster` — a live consensus service over loopback UDP.
+//!
+//! The end-to-end demonstration of the service API on real sockets: the
+//! launcher spawns `n` node *processes* (each a `run_udp_service_node`
+//! with an empty mempool), then acts as the **external client process**:
+//! it subscribes to every node's commit stream, submits transactions over
+//! UDP **mid-run** on the reserved client channel, matches the streamed
+//! block digests against its submissions to measure end-to-end commit
+//! latency, and finally sends a graceful `Stop`. Every node writes a
+//! standard `RunReport` JSON whose `service` member carries its own
+//! commit-latency percentiles and mempool backpressure counters.
+//!
+//! ```text
+//! cargo run --release --example service_cluster -- --n 4 --protocol hb-sc \
+//!     --txs 12 --interval-ms 150
+//! ```
+//!
+//! Hard bounds (the CI guard): `--duration` caps each node's wall clock
+//! and `--max-epochs` caps its epoch count, so the run terminates even if
+//! the mempool never drains or the stop message is lost.
+//!
+//! Exit status is non-zero unless every node completes with ≥ 1 committed
+//! client transaction, reports latency percentiles, and agrees with its
+//! peers on the committed block *contents* (digest chains, not counts).
+
+use std::net::{SocketAddr, UdpSocket};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+#[path = "support/mod.rs"]
+mod support;
+use support::{allocate_loopback_table, wait_all};
+use wbft_consensus::netrun::{run_udp_service_node, ServiceNodeOpts};
+use wbft_consensus::report::{report_root, scenario_json};
+use wbft_consensus::service::tx_digest;
+use wbft_consensus::{Protocol, TestbedConfig};
+use wbft_crypto::hash::Digest32;
+use wbft_report::{field, Json, ToJson};
+use wbft_transport::{ClientMsg, PeerTable, SubmitVerdict, CLIENT_CHANNEL, CLIENT_SRC};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: service_cluster [--n N] [--protocol SLUG] [--txs K] [--tx-bytes B]\n\
+         \x20                      [--interval-ms MS] [--mempool-cap C] [--seed S]\n\
+         \x20                      [--max-epochs E] [--duration SECS] [--out DIR]\n\
+         \n\
+         Spawns N node processes serving consensus over loopback UDP, then\n\
+         submits K transactions per client wave from this (external) process,\n\
+         reads the streamed commits, and stops the cluster. --duration and\n\
+         --max-epochs are hard bounds so runs terminate even without a drain.\n\
+         Reports: <out>/<slug>/node<i>.json (RunReport + service stats)"
+    );
+    std::process::exit(2);
+}
+
+fn fatal(msg: &str) -> ! {
+    eprintln!("service_cluster: {msg}");
+    std::process::exit(1);
+}
+
+/// Everything a node process needs, in one JSON document.
+struct ClusterDoc {
+    cfg: TestbedConfig,
+    peers: PeerTable,
+    wall_secs: u64,
+    linger_ms: u64,
+    max_epochs: u64,
+    mempool_cap: u64,
+}
+
+impl ClusterDoc {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("config", self.cfg.to_json()),
+            ("peers", self.peers.to_json()),
+            ("wall_secs", Json::u64(self.wall_secs)),
+            ("linger_ms", Json::u64(self.linger_ms)),
+            ("max_epochs", Json::u64(self.max_epochs)),
+            ("mempool_cap", Json::u64(self.mempool_cap)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<Self, wbft_report::JsonError> {
+        Ok(ClusterDoc {
+            cfg: field(j, "config")?,
+            peers: field(j, "peers")?,
+            wall_secs: field(j, "wall_secs")?,
+            linger_ms: field(j, "linger_ms")?,
+            max_epochs: field(j, "max_epochs")?,
+            mempool_cap: field(j, "mempool_cap")?,
+        })
+    }
+}
+
+// ------------------------------------------------------------------
+// Node (child) mode.
+
+fn child_main(me: usize, cluster_path: &Path, out_dir: &Path) -> ! {
+    let doc = wbft_report::read_file(cluster_path)
+        .unwrap_or_else(|e| fatal(&format!("read {}: {e}", cluster_path.display())));
+    let doc = ClusterDoc::from_json(&doc)
+        .unwrap_or_else(|e| fatal(&format!("parse {}: {e}", cluster_path.display())));
+    let opts = ServiceNodeOpts {
+        wall: Duration::from_secs(doc.wall_secs),
+        linger: Duration::from_millis(doc.linger_ms),
+        max_epochs: doc.max_epochs,
+        mempool_capacity: doc.mempool_cap as usize,
+    };
+    let outcome = run_udp_service_node(&doc.cfg, doc.peers, me, &opts)
+        .unwrap_or_else(|e| fatal(&format!("node {me}: {e}")));
+    let service = outcome.report.service.clone().expect("service node reports service stats");
+    let label = format!("service.{}.node{me}", doc.cfg.protocol.slug());
+    // Embed the service parameters in the written config so the report
+    // artifact self-describes the pool/epoch bounds it ran under (arrivals
+    // came over UDP, not a schedule — hence per_node 0).
+    let mut cfg = doc.cfg.clone();
+    cfg.service = Some(wbft_consensus::ServiceConfig {
+        arrivals: wbft_consensus::ArrivalSpec {
+            per_node: 0,
+            interval_us: 0,
+            tx_bytes: 0,
+            seed: doc.cfg.seed,
+        },
+        mempool_capacity: doc.mempool_cap as usize,
+        max_epochs: doc.max_epochs,
+    });
+    let mut scenario = scenario_json(&label, &cfg, &outcome.report);
+    // Per-block content digests ride along so the launcher can check the
+    // nodes agree on what they committed, not merely on how much.
+    if let Json::Obj(members) = &mut scenario {
+        members.push((
+            "block_digests".into(),
+            Json::arr(outcome.block_digests.iter().map(|d| Json::str(hex::encode(d.0)))),
+        ));
+    }
+    let report_path = out_dir.join(format!("node{me}.json"));
+    wbft_report::write_file(&report_path, &scenario)
+        .unwrap_or_else(|e| fatal(&format!("write {}: {e}", report_path.display())));
+    eprintln!(
+        "node {me}: completed={} epochs={} client_txs={} p50={}us pending={} drops(full={})",
+        outcome.report.completed,
+        outcome.report.epoch_latencies.len(),
+        service.committed_client_txs,
+        service.latency.p50_us,
+        service.pending_at_stop,
+        service.rejected_full,
+    );
+    // The node is considered successful when it served at least one client
+    // transaction to commit; the hard bounds may have cut the run short.
+    std::process::exit(if service.committed_client_txs >= 1 { 0 } else { 3 });
+}
+
+// ------------------------------------------------------------------
+// Client side (runs in the launcher process — external to every node).
+
+struct ClientOutcome {
+    /// Digest → submit instant of every admitted transaction.
+    submitted: Vec<(Digest32, Instant)>,
+    /// Per-node count of our digests seen on that node's commit stream.
+    seen_per_node: Vec<usize>,
+    /// End-to-end latency samples (submit → first commit notification).
+    latencies_ms: Vec<u64>,
+    rejected: usize,
+}
+
+/// Submits `txs` transactions to every node (paced at `interval`), reading
+/// the commit streams until every submission is acknowledged by every node
+/// or `deadline` passes.
+fn run_client(
+    addrs: &[SocketAddr],
+    txs: usize,
+    tx_bytes: usize,
+    seed: u64,
+    interval: Duration,
+    deadline: Duration,
+) -> ClientOutcome {
+    let socket = UdpSocket::bind("127.0.0.1:0").expect("bind client socket");
+    socket.set_read_timeout(Some(Duration::from_millis(20))).expect("set timeout");
+    let send = |addr: SocketAddr, msg: &ClientMsg| {
+        let datagram = wbft_net::datagram::Datagram {
+            src: CLIENT_SRC,
+            channel: CLIENT_CHANNEL,
+            nominal_len: 0,
+            payload: msg.encode().expect("client messages fit"),
+        };
+        let _ = socket.send_to(&datagram.encode().expect("client frames fit"), addr);
+    };
+    let mut out = ClientOutcome {
+        submitted: Vec::new(),
+        seen_per_node: vec![0; addrs.len()],
+        latencies_ms: Vec::new(),
+        rejected: 0,
+    };
+    let start = Instant::now();
+    let mut next_submit = Instant::now();
+    let mut submitted = 0usize;
+    let mut first_commit: Vec<Option<Instant>> = Vec::new();
+    let mut buf = [0u8; 65536];
+    let mut tx_bodies: Vec<bytes::Bytes> = Vec::new();
+    let mut last_nudge = Instant::now() - Duration::from_secs(10);
+    loop {
+        // Periodically (re-)subscribe and re-send unacknowledged
+        // submissions: the first datagrams race the nodes' socket binds
+        // and UDP is lossy. Both are idempotent — a repeat Subscribe to an
+        // already-subscribed node is ignored, and resubmission is
+        // deduplicated by the mempool.
+        if last_nudge.elapsed() >= Duration::from_millis(500) {
+            last_nudge = Instant::now();
+            for &addr in addrs {
+                send(addr, &ClientMsg::Subscribe);
+            }
+            for (i, (_, _)) in out.submitted.iter().enumerate() {
+                if first_commit[i].is_none() {
+                    for &addr in addrs {
+                        send(addr, &ClientMsg::Submit { tx: tx_bodies[i].clone() });
+                    }
+                }
+            }
+        }
+        // Pace the open-loop submissions; each tx goes to *every* node, so
+        // the run also exercises cross-proposer dedup.
+        if submitted < txs && Instant::now() >= next_submit {
+            let tag = Digest32::of_parts(
+                "wbft/service-cluster/tx",
+                &[&seed.to_le_bytes(), &(submitted as u64).to_le_bytes()],
+            );
+            let mut tx = Vec::with_capacity(tx_bytes);
+            while tx.len() < tx_bytes {
+                let take = (tx_bytes - tx.len()).min(32);
+                tx.extend_from_slice(&tag.as_bytes()[..take]);
+            }
+            let tx = bytes::Bytes::from(tx);
+            out.submitted.push((tx_digest(&tx), Instant::now()));
+            first_commit.push(None);
+            for &addr in addrs {
+                send(addr, &ClientMsg::Submit { tx: tx.clone() });
+            }
+            tx_bodies.push(tx);
+            submitted += 1;
+            next_submit += interval;
+        }
+        // Drain the streams.
+        if let Ok((n, from)) = socket.recv_from(&mut buf) {
+            if let Ok(datagram) = wbft_net::datagram::Datagram::decode(&buf[..n]) {
+                if datagram.channel == CLIENT_CHANNEL {
+                    match ClientMsg::decode(&datagram.payload) {
+                        Some(ClientMsg::Block { digests, .. }) => {
+                            let node = addrs.iter().position(|a| *a == from);
+                            for d in digests {
+                                if let Some(i) =
+                                    out.submitted.iter().position(|(s, _)| s.0 == d)
+                                {
+                                    if let Some(node) = node {
+                                        out.seen_per_node[node] += 1;
+                                    }
+                                    if first_commit[i].is_none() {
+                                        first_commit[i] = Some(Instant::now());
+                                        let lat = first_commit[i]
+                                            .expect("just set")
+                                            .duration_since(out.submitted[i].1);
+                                        out.latencies_ms.push(lat.as_millis() as u64);
+                                    }
+                                }
+                            }
+                        }
+                        // Duplicate replies are expected (same tx to n
+                        // nodes is admitted once per node); Full means
+                        // real backpressure.
+                        Some(ClientMsg::SubmitReply {
+                            verdict: SubmitVerdict::Full, ..
+                        }) => out.rejected += 1,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        let all_seen = submitted == txs
+            && out.seen_per_node.iter().all(|&seen| seen >= txs);
+        if all_seen || start.elapsed() >= deadline {
+            break;
+        }
+    }
+    // Graceful stop — best-effort (x3 against UDP loss); the nodes' own
+    // --duration/--max-epochs guards bound the run if all three are lost.
+    for _ in 0..3 {
+        for &addr in addrs {
+            send(addr, &ClientMsg::Stop);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    out
+}
+
+// ------------------------------------------------------------------
+// Launcher.
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((p * (sorted.len() - 1) as f64).round()) as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Node mode: --node I --cluster PATH --out DIR.
+    if args.first().map(String::as_str) == Some("--node") {
+        let mut me = None;
+        let mut cluster = None;
+        let mut out = None;
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = || it.next().map(String::as_str).unwrap_or_else(|| usage());
+            match flag.as_str() {
+                "--node" => me = value().parse().ok(),
+                "--cluster" => cluster = Some(PathBuf::from(value())),
+                "--out" => out = Some(PathBuf::from(value())),
+                _ => usage(),
+            }
+        }
+        match (me, cluster, out) {
+            (Some(me), Some(cluster), Some(out)) => child_main(me, &cluster, &out),
+            _ => usage(),
+        }
+    }
+
+    let mut n = 4usize;
+    let mut protocol = Protocol::HoneyBadgerSc;
+    let mut txs = 12usize;
+    let mut tx_bytes = 32usize;
+    let mut interval_ms = 150u64;
+    let mut mempool_cap = 256u64;
+    let mut seed = 7u64;
+    let mut max_epochs = 100_000u64;
+    let mut duration_secs = 90u64;
+    let mut out = report_root().join("service");
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().map(String::as_str).unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--n" => n = value().parse().unwrap_or_else(|_| usage()),
+            "--protocol" => {
+                protocol = Protocol::from_slug(value()).unwrap_or_else(|| usage())
+            }
+            "--txs" => txs = value().parse().unwrap_or_else(|_| usage()),
+            "--tx-bytes" => tx_bytes = value().parse().unwrap_or_else(|_| usage()),
+            "--interval-ms" => interval_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--mempool-cap" => mempool_cap = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
+            "--max-epochs" => max_epochs = value().parse().unwrap_or_else(|_| usage()),
+            "--duration" => duration_secs = value().parse().unwrap_or_else(|_| usage()),
+            "--out" => out = value().into(),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if n < 4 || !(n - 1).is_multiple_of(3) {
+        eprintln!("--n must satisfy n = 3f+1 >= 4 (4, 7, 10, ...)");
+        std::process::exit(2);
+    }
+
+    let mut cfg = TestbedConfig::single_hop(protocol);
+    cfg.n = n;
+    cfg.seed = seed;
+    // batch_size is the per-epoch mempool pull cap in service mode.
+    cfg.workload.batch_size = 16;
+    let peers = allocate_loopback_table(n);
+    let addrs: Vec<SocketAddr> =
+        (0..n as u16).map(|i| peers.addr_of(i).expect("dense table")).collect();
+
+    let dir = out.join(protocol.slug());
+    std::fs::create_dir_all(&dir).expect("create out dir");
+    let doc = ClusterDoc {
+        cfg: cfg.clone(),
+        peers,
+        wall_secs: duration_secs,
+        linger_ms: 2_000,
+        max_epochs,
+        mempool_cap,
+    };
+    let cluster_path = dir.join("cluster.json");
+    wbft_report::write_file(&cluster_path, &doc.to_json()).expect("write cluster doc");
+
+    let exe = std::env::current_exe().expect("current exe");
+    let mut children: Vec<(usize, Child)> = (0..n)
+        .map(|me| {
+            let child = Command::new(&exe)
+                .arg("--node")
+                .arg(me.to_string())
+                .arg("--cluster")
+                .arg(&cluster_path)
+                .arg("--out")
+                .arg(&dir)
+                .spawn()
+                .unwrap_or_else(|e| fatal(&format!("spawn node {me}: {e}")));
+            (me, child)
+        })
+        .collect();
+
+    // Give the cluster a moment to pass its startup barrier, then drive
+    // live traffic from this process.
+    std::thread::sleep(Duration::from_millis(300));
+    let client = run_client(
+        &addrs,
+        txs,
+        tx_bytes,
+        seed,
+        Duration::from_millis(interval_ms),
+        Duration::from_secs(duration_secs.saturating_sub(5).max(5)),
+    );
+    let mut lat = client.latencies_ms.clone();
+    lat.sort_unstable();
+    println!(
+        "client: {} submitted, {} committed (p50 {}ms, p90 {}ms, max {}ms), {} full-rejections",
+        client.submitted.len(),
+        lat.len(),
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.90),
+        lat.last().copied().unwrap_or(0),
+        client.rejected,
+    );
+
+    let ok = wait_all(&mut children, Duration::from_secs(duration_secs + 15));
+    let mut success = true;
+    for (me, child_ok) in ok.iter().enumerate() {
+        if !child_ok {
+            eprintln!("{}: node {me} failed or committed no client txs", protocol.slug());
+            success = false;
+        }
+    }
+    if lat.len() < txs {
+        eprintln!(
+            "client saw only {}/{} transactions committed before the deadline",
+            lat.len(),
+            txs
+        );
+        success = false;
+    }
+
+    // Cross-check node reports: committed client txs, latency percentiles
+    // present, and digest-chain prefix agreement.
+    let mut chains: Vec<Vec<String>> = Vec::new();
+    for me in 0..n {
+        let path = dir.join(format!("node{me}.json"));
+        let doc = match wbft_report::read_file(&path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("unreadable report {}: {e}", path.display());
+                success = false;
+                continue;
+            }
+        };
+        let report: Result<wbft_consensus::RunReport, _> = field(&doc, "report");
+        match report {
+            Ok(report) => {
+                let Some(service) = report.service else {
+                    eprintln!("node {me}: report has no service member");
+                    success = false;
+                    continue;
+                };
+                println!(
+                    "node {me}: epochs={} client_txs={} latency p50/p90/p99 = {}/{}/{} ms, \
+                     peak_occupancy={} drops(full={}, dup={})",
+                    report.epoch_latencies.len(),
+                    service.committed_client_txs,
+                    service.latency.p50_us / 1_000,
+                    service.latency.p90_us / 1_000,
+                    service.latency.p99_us / 1_000,
+                    service.peak_occupancy,
+                    service.rejected_full,
+                    service.rejected_dup,
+                );
+                if service.committed_client_txs == 0 || service.latency.count == 0 {
+                    eprintln!("node {me}: no committed client transactions");
+                    success = false;
+                }
+            }
+            Err(e) => {
+                eprintln!("node {me}: bad report: {e}");
+                success = false;
+            }
+        }
+        match doc.get("block_digests").and_then(Json::as_arr) {
+            Some(arr) => chains.push(
+                arr.iter().map(|d| d.as_str().unwrap_or_default().to_string()).collect(),
+            ),
+            None => {
+                eprintln!("node {me}: report missing block_digests");
+                success = false;
+            }
+        }
+    }
+    // Digest-chain prefix agreement: nodes may stop one epoch apart (the
+    // stop races the last commit), but the common prefix must be identical.
+    for pair in chains.windows(2) {
+        let common = pair[0].len().min(pair[1].len());
+        if common == 0 || pair[0][..common] != pair[1][..common] {
+            eprintln!(
+                "AGREEMENT VIOLATION — digest chains diverge: {:?} vs {:?}",
+                &pair[0][..common.min(4)],
+                &pair[1][..common.min(4)]
+            );
+            success = false;
+        }
+    }
+    if success {
+        println!(
+            "{}: {} nodes served {} live client txs over loopback UDP and agreed on contents",
+            protocol.slug(),
+            n,
+            txs
+        );
+    }
+    std::process::exit(if success { 0 } else { 1 });
+}

@@ -1,0 +1,45 @@
+//! Shared scaffolding for the multi-process cluster examples
+//! (`udp_cluster`, `service_cluster`). Not an example itself — each
+//! launcher pulls it in with `#[path = "support/mod.rs"] mod support;`.
+
+use std::process::Child;
+use std::time::{Duration, Instant};
+use wbft_transport::PeerTable;
+
+/// Binds `n` ephemeral loopback ports and releases them for the children.
+/// (The small bind/re-bind race window is acceptable on a lab loopback.)
+pub fn allocate_loopback_table(n: usize) -> PeerTable {
+    let sockets: Vec<std::net::UdpSocket> = (0..n)
+        .map(|_| std::net::UdpSocket::bind("127.0.0.1:0").expect("bind ephemeral port"))
+        .collect();
+    let ports: Vec<u16> =
+        sockets.iter().map(|s| s.local_addr().expect("local addr").port()).collect();
+    drop(sockets);
+    PeerTable::loopback(&ports)
+}
+
+/// Waits for all children within `deadline`; kills stragglers. Returns the
+/// per-child success flags.
+pub fn wait_all(children: &mut [(usize, Child)], deadline: Duration) -> Vec<bool> {
+    let start = Instant::now();
+    let mut done = vec![None; children.len()];
+    while done.iter().any(Option::is_none) && start.elapsed() < deadline {
+        for (slot, (_, child)) in done.iter_mut().zip(children.iter_mut()) {
+            if slot.is_none() {
+                if let Ok(Some(status)) = child.try_wait() {
+                    *slot = Some(status.success());
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    for (slot, (me, child)) in done.iter_mut().zip(children.iter_mut()) {
+        if slot.is_none() {
+            eprintln!("node {me}: wall-clock timeout — killing");
+            let _ = child.kill();
+            let _ = child.wait();
+            *slot = Some(false);
+        }
+    }
+    done.into_iter().map(|s| s.unwrap_or(false)).collect()
+}

@@ -15,7 +15,7 @@
 use std::time::Instant;
 use wbft_consensus::report::{report_root, scenario_string, write_reports};
 use wbft_consensus::sweep::{resolve_threads, run_scenarios, SweepSpec};
-use wbft_consensus::{ByzantineMode, Protocol};
+use wbft_consensus::{ArrivalSpec, ByzantineMode, Protocol, ServiceConfig};
 use wbft_wireless::LossModel;
 
 fn usage() -> ! {
@@ -23,17 +23,43 @@ fn usage() -> ! {
         "usage: sweep [--protocols LIST|all|batched|baselines] [--multihop | --both]\n\
          \x20            [--seeds S1,S2,...] [--epochs E] [--batch B] [--n N]\n\
          \x20            [--loss P1,P2,...] [--byz MODE@NODE,...] [--suites light,medium]\n\
-         \x20            [--threads T] [--out DIR] [--verify-serial]\n\
+         \x20            [--service IAMSxCOUNT[@CAP]] [--threads T] [--out DIR]\n\
+         \x20            [--verify-serial]\n\
          \n\
          protocols: hb-lc hb-sc beat dumbo-lc dumbo-sc hb-sc-baseline beat-baseline\n\
          \x20          dumbo-sc-baseline\n\
          byz modes: silent flip corrupt crashN (e.g. crash1@2 = node 2 crashes after\n\
          \x20          1 decided block); each --byz entry is a separate sweep axis value\n\
+         service:   adds a live-submission axis next to the fixed-epoch run, e.g.\n\
+         \x20          --service 2000x8@64 = one tx every 2000ms per node, 8 per node,\n\
+         \x20          mempool capacity 64 (single-hop only; per-tx latency percentiles\n\
+         \x20          and mempool drop counts land in the report's \"service\" member)\n\
          reports:   one <label>.json per scenario under --out\n\
          \x20          (default target/reports/sweep); WBFT_SWEEP_THREADS sets the\n\
          \x20          default worker count"
     );
     std::process::exit(2);
+}
+
+/// Parses `IAMSxCOUNT[@CAP]` into a service load on the spec's defaults.
+fn parse_service(arg: &str) -> ServiceConfig {
+    let (rate, cap) = match arg.split_once('@') {
+        Some((rate, cap)) => (rate, cap.parse().unwrap_or_else(|_| usage())),
+        None => (arg, 256),
+    };
+    let (interval_ms, count) = rate.split_once('x').unwrap_or_else(|| usage());
+    let interval_ms: u64 = interval_ms.parse().unwrap_or_else(|_| usage());
+    let per_node: u64 = count.parse().unwrap_or_else(|_| usage());
+    ServiceConfig {
+        arrivals: ArrivalSpec {
+            per_node,
+            interval_us: interval_ms * 1_000,
+            tx_bytes: 32,
+            seed: 1,
+        },
+        mempool_capacity: cap,
+        max_epochs: 256,
+    }
 }
 
 fn parse_protocols(arg: &str) -> Vec<Protocol> {
@@ -108,6 +134,11 @@ fn main() {
                         _ => usage(),
                     })
                     .collect()
+            }
+            "--service" => {
+                // The live-submission load runs next to the fixed-epoch
+                // run (each --service value is one extra axis point).
+                spec.services = vec![None, Some(parse_service(value()))];
             }
             "--threads" => threads = Some(value().parse().unwrap_or_else(|_| usage())),
             "--out" => out = value().into(),

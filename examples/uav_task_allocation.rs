@@ -15,7 +15,7 @@ use rand::SeedableRng;
 use wbft_components::deal_node_crypto;
 use wbft_consensus::driver::ProtocolNode;
 use wbft_consensus::honeybadger::beat;
-use wbft_consensus::{BatchSource, Workload};
+use wbft_consensus::{BatchSource, StopCondition, Workload};
 use wbft_crypto::CryptoSuite;
 use wbft_wireless::{ChannelId, LossModel, NodeId, SimConfig, SimTime, Simulator, Topology};
 
@@ -38,7 +38,7 @@ fn main() {
         .into_iter()
         .map(|c| {
             let me = c.me;
-            let mut engine = beat(c.clone(), Workload::small(), 1);
+            let mut engine = beat(c.clone(), Workload::small(), StopCondition::Epochs(1));
             // Replace the synthetic workload with the UAV's real claims.
             let mut source = BatchSource::Fixed(Vec::new());
             // One proposal (the claim bundle) for epoch 0: encode each claim

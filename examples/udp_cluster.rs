@@ -22,7 +22,11 @@
 
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+#[path = "support/mod.rs"]
+mod support;
+use support::{allocate_loopback_table, wait_all};
 use wbft_consensus::netrun::run_udp_node;
 use wbft_consensus::report::{report_root, scenario_json};
 use wbft_consensus::{Protocol, TestbedConfig};
@@ -69,18 +73,6 @@ impl ClusterDoc {
     }
 }
 
-/// Binds `n` ephemeral loopback ports and releases them for the children.
-/// (The small bind/re-bind race window is acceptable on a lab loopback.)
-fn allocate_loopback_table(n: usize) -> PeerTable {
-    let sockets: Vec<std::net::UdpSocket> = (0..n)
-        .map(|_| std::net::UdpSocket::bind("127.0.0.1:0").expect("bind ephemeral port"))
-        .collect();
-    let ports: Vec<u16> =
-        sockets.iter().map(|s| s.local_addr().expect("local addr").port()).collect();
-    drop(sockets);
-    PeerTable::loopback(&ports)
-}
-
 fn child_main(me: usize, cluster_path: &Path, out_dir: &Path) -> ! {
     let doc = wbft_report::read_file(cluster_path)
         .unwrap_or_else(|e| fatal(&format!("read {}: {e}", cluster_path.display())));
@@ -96,7 +88,15 @@ fn child_main(me: usize, cluster_path: &Path, out_dir: &Path) -> ! {
     .unwrap_or_else(|e| fatal(&format!("node {me}: {e}")));
     let label = format!("udp.{}.node{me}", doc.cfg.protocol.slug());
     let report_path = out_dir.join(format!("node{me}.json"));
-    let scenario = scenario_json(&label, &doc.cfg, &outcome.report);
+    let mut scenario = scenario_json(&label, &doc.cfg, &outcome.report);
+    // Per-block content digests: the launcher compares these across nodes,
+    // so divergent-but-equal-sized commits fail loudly.
+    if let Json::Obj(members) = &mut scenario {
+        members.push((
+            "block_digests".into(),
+            Json::arr(outcome.block_digests.iter().map(|d| Json::str(hex::encode(d.0)))),
+        ));
+    }
     wbft_report::write_file(&report_path, &scenario)
         .unwrap_or_else(|e| fatal(&format!("write {}: {e}", report_path.display())));
     eprintln!(
@@ -115,32 +115,6 @@ fn child_main(me: usize, cluster_path: &Path, out_dir: &Path) -> ! {
 fn fatal(msg: &str) -> ! {
     eprintln!("udp_cluster: {msg}");
     std::process::exit(1);
-}
-
-/// Waits for all children within `deadline`; kills stragglers. Returns the
-/// per-child success flags.
-fn wait_all(children: &mut [(usize, Child)], deadline: Duration) -> Vec<bool> {
-    let start = Instant::now();
-    let mut done = vec![None; children.len()];
-    while done.iter().any(Option::is_none) && start.elapsed() < deadline {
-        for (slot, (_, child)) in done.iter_mut().zip(children.iter_mut()) {
-            if slot.is_none() {
-                if let Ok(Some(status)) = child.try_wait() {
-                    *slot = Some(status.success());
-                }
-            }
-        }
-        std::thread::sleep(Duration::from_millis(100));
-    }
-    for (slot, (me, child)) in done.iter_mut().zip(children.iter_mut()) {
-        if slot.is_none() {
-            eprintln!("node {me}: wall-clock timeout — killing");
-            let _ = child.kill();
-            let _ = child.wait();
-            *slot = Some(false);
-        }
-    }
-    done.into_iter().map(|s| s.unwrap_or(false)).collect()
 }
 
 /// Runs one protocol's cluster; returns `true` on full success.
@@ -181,6 +155,7 @@ fn run_cluster(cfg: &TestbedConfig, out_dir: &Path, wall_secs: u64) -> bool {
     // Cross-check the per-node reports even when some child failed — the
     // report files are the artifact CI asserts on.
     let mut txs = Vec::new();
+    let mut chains: Vec<Vec<String>> = Vec::new();
     for me in 0..cfg.n {
         let path = out_dir.join(format!("node{me}.json"));
         match std::fs::metadata(&path) {
@@ -189,6 +164,21 @@ fn run_cluster(cfg: &TestbedConfig, out_dir: &Path, wall_secs: u64) -> bool {
                 eprintln!("{slug}: missing or empty report {}", path.display());
                 success = false;
                 continue;
+            }
+        }
+        match wbft_report::read_file(&path) {
+            Ok(doc) => match doc.get("block_digests").and_then(Json::as_arr) {
+                Some(arr) => chains.push(
+                    arr.iter().map(|d| d.as_str().unwrap_or_default().to_string()).collect(),
+                ),
+                None => {
+                    eprintln!("{slug}: report {} lacks block_digests", path.display());
+                    success = false;
+                }
+            },
+            Err(e) => {
+                eprintln!("{slug}: unreadable report {}: {e}", path.display());
+                success = false;
             }
         }
         match wbft_consensus::report::read_report(&path) {
@@ -217,8 +207,31 @@ fn run_cluster(cfg: &TestbedConfig, out_dir: &Path, wall_secs: u64) -> bool {
         eprintln!("{slug}: AGREEMENT VIOLATION — per-node commit counts {txs:?}");
         success = false;
     }
+    // Content agreement: equal tx counts are not enough — the per-block
+    // digest chains must be identical (fixed-epoch runs end level, so this
+    // is full equality, not merely a common prefix).
+    for (me, chain) in chains.iter().enumerate().skip(1) {
+        if *chain != chains[0] {
+            eprintln!(
+                "{slug}: AGREEMENT VIOLATION — node {me}'s block contents diverge \
+                 (digest chain {:?}... vs node 0's {:?}...)",
+                &chain[..chain.len().min(2)],
+                &chains[0][..chains[0].len().min(2)],
+            );
+            success = false;
+        }
+    }
+    if chains.iter().any(|c| c.is_empty()) {
+        eprintln!("{slug}: a node committed no blocks");
+        success = false;
+    }
     if success {
-        println!("{slug}: {} nodes agreed on {} txs over loopback UDP", cfg.n, txs[0]);
+        println!(
+            "{slug}: {} nodes agreed on {} txs ({} blocks, identical contents) over loopback UDP",
+            cfg.n,
+            txs[0],
+            chains[0].len()
+        );
     }
     success
 }

@@ -11,8 +11,12 @@
 //! * [`components`] — batched RBC / CBC / PRBC / ABA and their
 //!   per-instance baselines;
 //! * [`consensus`] — HoneyBadger / BEAT / Dumbo deployments, Byzantine
-//!   behaviours, multi-hop clustering, the [`consensus::testbed`], and the
-//!   parallel scenario-sweep harness ([`consensus::sweep`]);
+//!   behaviours, multi-hop clustering, the [`consensus::testbed`], the
+//!   parallel scenario-sweep harness ([`consensus::sweep`]), and the
+//!   client-facing service API ([`consensus::service`]: bounded mempool,
+//!   consensus handles, streaming commits);
+//! * [`transport`] — real UDP runtime for the same sans-io protocol code,
+//!   plus the client-submission channel external processes use;
 //! * [`report`] — minimal JSON codec behind the machine-readable
 //!   `target/reports/*.json` sweep reports.
 //!
@@ -24,4 +28,5 @@ pub use wbft_consensus as consensus;
 pub use wbft_crypto as crypto;
 pub use wbft_net as net;
 pub use wbft_report as report;
+pub use wbft_transport as transport;
 pub use wbft_wireless as wireless;

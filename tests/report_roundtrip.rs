@@ -101,6 +101,7 @@ fn arb_report() -> impl Strategy<Value = RunReport> {
             bytes_on_air: txs.wrapping_mul(17),
             collisions: txs % 11,
             metrics,
+            service: None,
         })
 }
 
@@ -200,6 +201,7 @@ fn nan_mean_latency_crosses_json() {
         bytes_on_air: 0,
         collisions: 0,
         metrics: Metrics::new(0),
+        service: None,
     };
     let text = report.to_json().pretty();
     let decoded = RunReport::from_json(&parse(&text).unwrap()).unwrap();

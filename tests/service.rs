@@ -1,0 +1,413 @@
+//! The consensus-service API battery: mempool semantics, the fixed-epoch
+//! byte-identity regression, live-submission scenarios on the simulator,
+//! the sweep-axis determinism guarantee, and the full UDP path — external
+//! client process semantics (submission over the client channel, streamed
+//! commits, graceful stop) against in-process `UdpRuntime` nodes.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::time::Duration;
+use wbft_consensus::netrun::{run_udp_service_node, ServiceNodeOpts};
+use wbft_consensus::report::scenario_string;
+use wbft_consensus::service::{block_digests, tx_digest, Mempool};
+use wbft_consensus::sweep::{run_scenarios, SweepSpec};
+use wbft_consensus::testbed::{run, TestbedConfig};
+use wbft_consensus::{
+    AdmitOutcome, ArrivalSpec, Block, Protocol, ServiceConfig, StopCondition,
+};
+use wbft_transport::{ClientMsg, PeerTable, CLIENT_CHANNEL, CLIENT_SRC};
+use wbft_wireless::SimTime;
+
+// ------------------------------------------------------------------
+// Byte-identity regression against pre-redesign fixtures.
+
+/// The exact grid `examples/sweep.rs --protocols beat,dumbo-sc --seeds 7`
+/// ran *before* the service redesign; the fixture files under
+/// `tests/fixtures/` hold the reports that build produced. The redesigned
+/// engines (StopCondition::Epochs compatibility mode) must reproduce them
+/// byte for byte.
+#[test]
+fn fixed_epoch_reports_match_pre_redesign_fixtures() {
+    let mut spec = SweepSpec::new("regress");
+    spec.protocols = vec![Protocol::Beat, Protocol::DumboSc];
+    let scenarios = spec.expand();
+    let goldens = [
+        include_str!("fixtures/pre_redesign_beat_sh_seed7.json"),
+        include_str!("fixtures/pre_redesign_dumbo-sc_sh_seed7.json"),
+    ];
+    assert_eq!(scenarios.len(), goldens.len());
+    for (scenario, golden) in scenarios.iter().zip(goldens) {
+        let report = run(&scenario.cfg);
+        let text = scenario_string(&scenario.label, &scenario.cfg, &report);
+        assert_eq!(
+            text, golden,
+            "{}: fixed-epoch report diverged from the pre-redesign bytes",
+            scenario.label
+        );
+    }
+}
+
+// ------------------------------------------------------------------
+// Mempool property tests.
+
+fn tx_of(tag: u64) -> Bytes {
+    Bytes::from(tag.to_le_bytes().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A transaction submitted any number of times is admitted exactly once
+    /// and, after commit, rejected forever (committed-once semantics).
+    #[test]
+    fn dedup_admits_each_tx_once(tags in proptest::collection::vec(0u64..32, 1..40)) {
+        let mut pool = Mempool::new(1024);
+        let mut admitted = std::collections::BTreeSet::new();
+        for &tag in &tags {
+            let outcome = pool.admit(tx_of(tag), SimTime::ZERO);
+            if admitted.insert(tag) {
+                prop_assert_eq!(outcome, AdmitOutcome::Admitted);
+            } else {
+                prop_assert_eq!(outcome, AdmitOutcome::Duplicate);
+            }
+        }
+        // Propose + commit everything, then resubmit: all duplicates.
+        let batch = pool.next_batch(0, usize::MAX);
+        prop_assert_eq!(batch.len(), admitted.len());
+        pool.record_commit(&Block { epoch: 0, txs: batch }, SimTime::from_micros(1));
+        for &tag in &tags {
+            prop_assert_eq!(pool.admit(tx_of(tag), SimTime::ZERO), AdmitOutcome::Duplicate);
+        }
+        prop_assert_eq!(pool.stats().committed, admitted.len() as u64);
+    }
+
+    /// Batches preserve exact FIFO admission order across arbitrary
+    /// batch-size splits.
+    #[test]
+    fn batches_preserve_fifo_order(
+        count in 1usize..48,
+        pulls in proptest::collection::vec(1usize..8, 1..24),
+    ) {
+        let mut pool = Mempool::new(1024);
+        for tag in 0..count as u64 {
+            pool.admit(tx_of(tag ^ 0x5a5a_0000), SimTime::ZERO);
+        }
+        let mut drained = Vec::new();
+        for (epoch, max) in pulls.into_iter().enumerate() {
+            drained.extend(pool.next_batch(epoch as u64, max));
+        }
+        let expected: Vec<Bytes> =
+            (0..drained.len() as u64).map(|t| tx_of(t ^ 0x5a5a_0000)).collect();
+        prop_assert_eq!(drained, expected);
+    }
+
+    /// Reject-at-capacity never panics, never exceeds the bound, and frees
+    /// space once transactions move on.
+    #[test]
+    fn capacity_rejects_without_panicking(
+        capacity in 0usize..6,
+        offered in 0usize..24,
+    ) {
+        let mut pool = Mempool::new(capacity);
+        let mut admitted = 0u64;
+        for tag in 0..offered as u64 {
+            match pool.admit(tx_of(tag), SimTime::ZERO) {
+                AdmitOutcome::Admitted => admitted += 1,
+                AdmitOutcome::Full => {}
+                AdmitOutcome::Duplicate => prop_assert!(false, "all txs distinct"),
+            }
+            prop_assert!(pool.pending() <= capacity);
+        }
+        prop_assert_eq!(admitted as usize, offered.min(capacity));
+        let stats = pool.stats();
+        prop_assert_eq!(stats.rejected_full as usize, offered.saturating_sub(capacity));
+        // Proposing frees pending space for a previously rejected tx.
+        let batch = pool.next_batch(0, usize::MAX);
+        prop_assert_eq!(batch.len(), admitted as usize);
+        if offered > capacity && capacity > 0 {
+            prop_assert_eq!(
+                pool.admit(tx_of(capacity as u64), SimTime::ZERO),
+                AdmitOutcome::Admitted
+            );
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Live-submission scenarios on the simulator.
+
+fn service_cfg(protocol: Protocol, seed: u64) -> TestbedConfig {
+    let mut cfg = TestbedConfig::single_hop(protocol);
+    cfg.seed = seed;
+    cfg.workload.batch_size = 16;
+    cfg.service = Some(ServiceConfig {
+        arrivals: ArrivalSpec { per_node: 5, interval_us: 3_000_000, tx_bytes: 32, seed: 11 },
+        mempool_capacity: 64,
+        max_epochs: 64,
+    });
+    cfg
+}
+
+/// A live-submission run commits every client transaction exactly once and
+/// reports per-tx latency percentiles and backpressure counters.
+#[test]
+fn simulator_service_run_commits_all_client_txs() {
+    for protocol in [Protocol::HoneyBadgerSc, Protocol::DumboSc] {
+        let cfg = service_cfg(protocol, 9);
+        let report = run(&cfg);
+        assert!(report.completed, "{protocol}: service run must drain before the deadline");
+        let service = report.service.expect("service member present");
+        let expected = 4 * 5; // n nodes × per_node arrivals, all unique
+        assert_eq!(service.submitted, expected, "{protocol}");
+        assert_eq!(service.admitted, expected, "{protocol}");
+        assert_eq!(service.committed_client_txs, expected, "{protocol}");
+        assert_eq!(service.pending_at_stop, 0, "{protocol}");
+        assert_eq!(report.total_txs, expected, "{protocol}: chain carries each tx once");
+        assert_eq!(service.latency.count, expected, "{protocol}");
+        assert!(service.latency.p50_us > 0, "{protocol}: latencies must be measured");
+        assert!(service.latency.p50_us <= service.latency.p90_us);
+        assert!(service.latency.p90_us <= service.latency.p99_us);
+        assert!(service.latency.p99_us <= service.latency.max_us);
+        assert!(service.peak_occupancy > 0, "{protocol}");
+        assert_eq!(service.rejected_dup + service.rejected_full, 0, "{protocol}");
+    }
+}
+
+/// A capacity-starved pool sheds load: rejections are counted, nothing
+/// panics, and the admitted subset still commits.
+#[test]
+fn simulator_service_run_sheds_load_at_capacity() {
+    let mut cfg = service_cfg(Protocol::HoneyBadgerSc, 21);
+    let svc = cfg.service.as_mut().expect("service configured");
+    // A burst far faster than the epoch cadence, into a 2-slot pool, with
+    // one tx pulled per epoch so the queue stays saturated.
+    svc.arrivals = ArrivalSpec { per_node: 12, interval_us: 200_000, tx_bytes: 32, seed: 5 };
+    svc.mempool_capacity = 2;
+    cfg.workload.batch_size = 1;
+    let report = run(&cfg);
+    assert!(report.completed, "admitted txs must still drain");
+    let service = report.service.expect("service member present");
+    assert!(service.rejected_full > 0, "a 2-slot pool under burst must shed load");
+    assert_eq!(service.admitted, service.committed_client_txs, "admitted txs all commit");
+    assert!(service.peak_occupancy >= 2, "the pool must have saturated: {service:?}");
+    assert_eq!(service.admitted + service.rejected_full, service.submitted);
+}
+
+/// Service scenarios inherit the sweep harness's parallel == serial
+/// byte-identity guarantee.
+#[test]
+fn service_sweep_is_parallel_deterministic() {
+    let mut spec = SweepSpec::new("svc-det");
+    spec.protocols = vec![Protocol::HoneyBadgerSc];
+    spec.services = vec![
+        None,
+        Some(ServiceConfig {
+            arrivals: ArrivalSpec { per_node: 4, interval_us: 2_500_000, tx_bytes: 24, seed: 3 },
+            mempool_capacity: 32,
+            max_epochs: 32,
+        }),
+    ];
+    spec.seeds = vec![7, 8];
+    let scenarios = spec.expand();
+    assert_eq!(scenarios.len(), 4);
+    // Fixed-epoch labels keep their pre-service shape; service points are
+    // suffixed.
+    assert!(scenarios.iter().any(|s| s.label.ends_with(".seed7")));
+    assert!(scenarios.iter().any(|s| s.label.ends_with(".svc-ia2500x4c32")));
+    let parallel = run_scenarios(&scenarios, 4);
+    let serial = run_scenarios(&scenarios, 1);
+    for (p, s) in parallel.iter().zip(&serial) {
+        let pt = scenario_string(&p.scenario.label, &p.scenario.cfg, &p.report);
+        let st = scenario_string(&s.scenario.label, &s.scenario.cfg, &s.report);
+        assert_eq!(pt, st, "parallel and serial service reports must be byte-identical");
+    }
+}
+
+/// The graceful stop: a stop requested before start yields an immediately
+/// done engine that opens no epochs.
+#[test]
+fn service_stop_condition_halts_engine() {
+    use rand::SeedableRng;
+    use wbft_consensus::{ConsensusHandle, Engine, EngineOut};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let crypto = wbft_components::deal_node_crypto(4, wbft_crypto::CryptoSuite::light(), &mut rng)
+        .remove(0);
+    let handle = ConsensusHandle::new(16);
+    handle.stop();
+    let mut engine = Protocol::HoneyBadgerSc.service_engine(crypto, handle.clone(), 8, 64);
+    assert!(engine.is_done(), "stopped before start = nothing to do");
+    let mut out = EngineOut::new();
+    engine.start(&mut out);
+    assert!(out.sends.is_empty(), "a stopped engine opens no epoch");
+    assert!(engine.is_done());
+}
+
+// ------------------------------------------------------------------
+// The UDP service path: external client, streamed commits, graceful stop.
+
+fn client_send(socket: &std::net::UdpSocket, addr: std::net::SocketAddr, msg: &ClientMsg) {
+    let datagram = wbft_net::datagram::Datagram {
+        src: CLIENT_SRC,
+        channel: CLIENT_CHANNEL,
+        nominal_len: 0,
+        payload: msg.encode().expect("client messages fit"),
+    };
+    socket.send_to(&datagram.encode().expect("client frames fit"), addr).expect("send");
+}
+
+/// Four in-process UDP service nodes; an external client socket submits
+/// transactions mid-run, reads the commit stream, and stops the cluster.
+/// Every node must commit the client's transactions with recorded latency,
+/// and the digest chains must agree on a common prefix.
+#[test]
+fn udp_service_nodes_serve_live_submissions() {
+    let n = 4;
+    let sockets: Vec<std::net::UdpSocket> =
+        (0..n).map(|_| std::net::UdpSocket::bind("127.0.0.1:0").unwrap()).collect();
+    let ports: Vec<u16> = sockets.iter().map(|s| s.local_addr().unwrap().port()).collect();
+    drop(sockets);
+    let table = PeerTable::loopback(&ports);
+    let addrs: Vec<std::net::SocketAddr> =
+        (0..n as u16).map(|i| table.addr_of(i).unwrap()).collect();
+
+    let mut cfg = TestbedConfig::single_hop(Protocol::HoneyBadgerSc);
+    cfg.workload.batch_size = 8;
+    let opts = ServiceNodeOpts {
+        wall: Duration::from_secs(120),
+        linger: Duration::from_secs(2),
+        max_epochs: 100_000,
+        mempool_capacity: 64,
+    };
+    let handles: Vec<_> = (0..n)
+        .map(|me| {
+            let cfg = cfg.clone();
+            let table = table.clone();
+            std::thread::spawn(move || {
+                run_udp_service_node(&cfg, table, me, &opts).unwrap()
+            })
+        })
+        .collect();
+
+    // The external client: subscribe everywhere, submit 3 txs to every
+    // node (exercising cross-proposer dedup), read the streams. The first
+    // subscribes may hit not-yet-bound sockets, so they are re-sent below
+    // (subscription is idempotent and replays the stream from the start).
+    let client = std::net::UdpSocket::bind("127.0.0.1:0").unwrap();
+    client.set_read_timeout(Some(Duration::from_millis(25))).unwrap();
+    let txs: Vec<Bytes> = (0..3u64)
+        .map(|i| Bytes::from(format!("udp-service-tx-{i}-{:016x}", i.wrapping_mul(0x9e37))))
+        .collect();
+    let digests: Vec<[u8; 32]> = txs.iter().map(|t| tx_digest(t).0).collect();
+    let deadline = std::time::Instant::now() + Duration::from_secs(90);
+    let mut submitted = false;
+    let mut seen = vec![std::collections::BTreeSet::new(); n];
+    let mut buf = [0u8; 65536];
+    let mut last_nudge = std::time::Instant::now() - Duration::from_secs(10);
+    while std::time::Instant::now() < deadline {
+        // Periodically (re-)subscribe and (re-)submit: UDP is lossy and
+        // the first datagrams may predate the nodes' socket binds. Both
+        // operations are idempotent — subscription replays the stream,
+        // resubmission is deduplicated by the mempool.
+        if last_nudge.elapsed() >= Duration::from_millis(500) {
+            last_nudge = std::time::Instant::now();
+            for &addr in &addrs {
+                client_send(&client, addr, &ClientMsg::Subscribe);
+            }
+            if submitted {
+                for tx in &txs {
+                    for &addr in &addrs {
+                        client_send(&client, addr, &ClientMsg::Submit { tx: tx.clone() });
+                    }
+                }
+            }
+        }
+        if !submitted {
+            // Mid-run live submission: the nodes are already consensus-ing
+            // (empty epochs) by the time these arrive.
+            std::thread::sleep(Duration::from_millis(400));
+            for tx in &txs {
+                for &addr in &addrs {
+                    client_send(&client, addr, &ClientMsg::Submit { tx: tx.clone() });
+                }
+            }
+            submitted = true;
+        }
+        if let Ok((len, from)) = client.recv_from(&mut buf) {
+            if let Ok(datagram) = wbft_net::datagram::Datagram::decode(&buf[..len]) {
+                if let Some(ClientMsg::Block { digests: got, .. }) =
+                    ClientMsg::decode(&datagram.payload)
+                {
+                    if let Some(node) = addrs.iter().position(|a| *a == from) {
+                        for d in got {
+                            if digests.contains(&d) {
+                                seen[node].insert(d);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if seen.iter().all(|s| s.len() == txs.len()) {
+            break;
+        }
+    }
+    assert!(
+        seen.iter().all(|s| s.len() == txs.len()),
+        "every node must stream every client tx back; saw {:?}",
+        seen.iter().map(|s| s.len()).collect::<Vec<_>>()
+    );
+    // Graceful stop (repeated against UDP loss).
+    for _ in 0..5 {
+        for &addr in &addrs {
+            client_send(&client, addr, &ClientMsg::Stop);
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for (me, out) in outcomes.iter().enumerate() {
+        let service = out.report.service.as_ref().expect("service stats present");
+        assert_eq!(
+            service.committed_client_txs, 3,
+            "node {me} must commit the client's txs exactly once"
+        );
+        assert_eq!(service.latency.count, 3, "node {me} latency samples");
+        assert!(service.latency.p50_us > 0, "node {me} latency measured");
+        assert!(out.stats.client_datagrams > 0, "node {me} saw client traffic");
+    }
+    // Content agreement on the common digest-chain prefix.
+    let min_len = outcomes.iter().map(|o| o.block_digests.len()).min().unwrap();
+    assert!(min_len > 0);
+    for o in &outcomes[1..] {
+        assert_eq!(
+            &o.block_digests[..min_len],
+            &outcomes[0].block_digests[..min_len],
+            "digest chains diverged"
+        );
+    }
+}
+
+/// `block_digests` distinguishes same-count different-content chains — the
+/// property the udp_cluster cross-check now relies on.
+#[test]
+fn block_digest_chains_detect_content_divergence() {
+    let a = vec![Block { epoch: 0, txs: vec![Bytes::from_static(b"alpha")] }];
+    let b = vec![Block { epoch: 0, txs: vec![Bytes::from_static(b"bravo")] }];
+    assert_eq!(a[0].txs.len(), b[0].txs.len(), "equal tx counts...");
+    assert_ne!(block_digests(&a), block_digests(&b), "...but different digests");
+}
+
+/// Fixed-epoch mode through the new explicit API equals the compatibility
+/// path: `StopCondition::Epochs` is the old `target_epochs`.
+#[test]
+fn explicit_stop_condition_equals_compat_engine_path() {
+    let cfg = TestbedConfig::single_hop(Protocol::Beat);
+    let r1 = run(&cfg);
+    let r2 = run(&cfg);
+    // Determinism sanity of the refactored engines.
+    assert_eq!(
+        scenario_string("a", &cfg, &r1),
+        scenario_string("a", &cfg, &r2),
+        "fixed-epoch runs must stay deterministic"
+    );
+    let _ = StopCondition::Epochs(cfg.epochs); // the compat mode is public API
+}
