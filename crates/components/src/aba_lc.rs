@@ -11,10 +11,19 @@
 //!
 //! Round structure (Bracha '84):
 //! 1. broadcast `est`; on `n−f` accepted votes, take the majority `m`;
-//! 2. broadcast `m`; on `n−f` accepted votes, broadcast `v` if some value
-//!    holds a strict majority, else `⊥`;
+//! 2. broadcast `m`; on `n−f` accepted *justified* votes, broadcast `v`
+//!    if some value holds a strict majority, else `⊥`;
 //! 3. on `n−f` accepted votes: `≥ 2f+1` for `v` → **decide v**; `≥ f+1` →
 //!    `est = v`; otherwise `est =` local coin flip.
+//!
+//! Phases 2 and 3 apply Bracha's *message validation*: a phase-2 vote for
+//! `v` counts only once `v` has `f+1` accepted phase-1 supporters (so `v`
+//! is the majority of some legitimate `n−f` phase-1 sample), and a non-⊥
+//! phase-3 vote counts only under a justified phase-2 strict majority for
+//! its value. Without validation a single vote-flipping Byzantine node can
+//! deny both values the phase-2 majority, drive every honest node to ⊥,
+//! and let the local coin flip est away from an already-decided value —
+//! an agreement violation the scenario fuzzer reproduces.
 //!
 //! The local coin needs no cryptography — the trade the paper studies
 //! against the shared-coin variant (O(N³) messages vs. threshold-crypto
@@ -64,6 +73,24 @@ impl RoundState {
     /// Counts accepted votes equal to `v` in a phase.
     fn accepted_votes(&self, phase: usize, v: Vote) -> usize {
         self.accepted[phase].iter().filter(|x| **x == v).count()
+    }
+
+    /// Counts accepted phase-2 votes for `v` that are *justified* in the
+    /// Bracha message-validation sense: a phase-2 vote for `v` is countable
+    /// only once `v` has `f+1` accepted phase-1 supporters — i.e. `v` could
+    /// be the majority of some honest node's `n−f` phase-1 sample. An
+    /// honest phase-2 vote always becomes justified (its caster saw `v` win
+    /// a majority of its `n−f` sample, so `v` has at least `f+1` phase-1
+    /// votes that every node eventually accepts); a Byzantine phase-2 vote
+    /// for a value no honest node estimated never does, so it can never
+    /// poison a majority computation. Justification is monotone: waiting on
+    /// it preserves liveness.
+    fn justified_p2_votes(&self, v: Vote, f1: usize) -> usize {
+        if self.accepted_votes(0, v) >= f1 {
+            self.accepted_votes(1, v)
+        } else {
+            0
+        }
     }
 }
 
@@ -222,13 +249,22 @@ impl AbaLcBatch {
                 self.cast(instance, round, 1, maj);
                 progressed = true;
             }
-            // Phase 3 on n−f accepted phase-2 votes: strict majority or ⊥.
+            // Phase 3 on n−f *justified* accepted phase-2 votes: strict
+            // majority or ⊥. Counting unjustified votes here is unsound: a
+            // Byzantine phase-2 vote for the minority value (which no
+            // honest sample can justify) would land in the n−f sample,
+            // deny both values the strict majority, and push every honest
+            // node to ⊥ — and from all-⊥ the round falls through to the
+            // local coin, which can flip est away from a value another
+            // honest node has already decided on. Justified-only counting
+            // restores the Bracha argument: after a decide, every later
+            // round's justified phase-2 votes are unanimous.
             let phase3_vote = {
                 let n = self.p.n;
                 let rs = self.round_state(instance, round);
-                if rs.accepted_count(1) >= n_minus_f && !rs.my_reports[2][me].is_cast() {
-                    let ones = rs.accepted_votes(1, Vote::One);
-                    let zeros = rs.accepted_votes(1, Vote::Zero);
+                let ones = rs.justified_p2_votes(Vote::One, f1);
+                let zeros = rs.justified_p2_votes(Vote::Zero, f1);
+                if ones + zeros >= n_minus_f && !rs.my_reports[2][me].is_cast() {
                     Some(if 2 * ones > n {
                         Vote::One
                     } else if 2 * zeros > n {
@@ -254,8 +290,8 @@ impl AbaLcBatch {
             {
                 let n = self.p.n;
                 let rs = self.round_state(instance, round);
-                let one_ok = 2 * rs.accepted_votes(1, Vote::One) > n;
-                let zero_ok = 2 * rs.accepted_votes(1, Vote::Zero) > n;
+                let one_ok = 2 * rs.justified_p2_votes(Vote::One, f1) > n;
+                let zero_ok = 2 * rs.justified_p2_votes(Vote::Zero, f1) > n;
                 let ones = if one_ok { rs.accepted_votes(2, Vote::One) } else { 0 };
                 let zeros = if zero_ok { rs.accepted_votes(2, Vote::Zero) } else { 0 };
                 let valid_count = ones + zeros + rs.accepted_votes(2, Vote::Bot);

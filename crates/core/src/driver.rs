@@ -153,6 +153,10 @@ pub struct ProtocolNode<E: Engine> {
     channel: ChannelId,
     clock: EpochClock,
     service: Option<ServiceBinding>,
+    /// Reusable engine-output sink: `apply` drains it, so one allocation's
+    /// capacity serves every event instead of fresh `Vec`s per frame/timer
+    /// — the driver sits on the simulator's hot path.
+    scratch: EngineOut,
     /// Timer-id translation: global id = session * 2^10 + local.
     _private: (),
 }
@@ -175,6 +179,7 @@ impl<E: Engine> ProtocolNode<E> {
             channel,
             clock: EpochClock::default(),
             service: None,
+            scratch: EngineOut::new(),
             _private: (),
         }
     }
@@ -218,7 +223,7 @@ impl<E: Engine> ProtocolNode<E> {
         self.engine.is_done()
     }
 
-    fn apply(&mut self, mut out: EngineOut, ctx: &mut NodeCtx) {
+    fn apply(&mut self, out: &mut EngineOut, ctx: &mut NodeCtx) {
         // Record newly completed epochs (and stream them to the service).
         while self.clock.completed.len() < self.engine.blocks().len() {
             let idx = self.clock.completed.len();
@@ -249,6 +254,7 @@ impl<E: Engine> ProtocolNode<E> {
         for (session, local, delay) in out.timers.drain(..) {
             ctx.set_timer(delay, (session << TIMER_LOCAL_BITS) | local as u64);
         }
+        out.charge_us = 0;
     }
 }
 
@@ -262,9 +268,10 @@ impl<E: Engine> NodeBehavior for ProtocolNode<E> {
                 ctx.set_timer(*delay, ARRIVAL_TIMER_BIT | i as u64);
             }
         }
-        let mut out = EngineOut::new();
+        let mut out = std::mem::take(&mut self.scratch);
         self.engine.start(&mut out);
-        self.apply(out, ctx);
+        self.apply(&mut out, ctx);
+        self.scratch = out;
     }
 
     fn on_frame(&mut self, frame: &Frame, ctx: &mut NodeCtx) {
@@ -279,9 +286,10 @@ impl<E: Engine> NodeBehavior for ProtocolNode<E> {
         if !sig_ok {
             return;
         }
-        let mut out = EngineOut::new();
+        let mut out = std::mem::take(&mut self.scratch);
         self.engine.handle(env.session, env.src as usize, &env.body, &mut out);
-        self.apply(out, ctx);
+        self.apply(&mut out, ctx);
+        self.scratch = out;
     }
 
     fn on_timer(&mut self, id: u64, ctx: &mut NodeCtx) {
@@ -298,9 +306,10 @@ impl<E: Engine> NodeBehavior for ProtocolNode<E> {
         }
         let session = id >> TIMER_LOCAL_BITS;
         let local = (id & ((1 << TIMER_LOCAL_BITS) - 1)) as u32;
-        let mut out = EngineOut::new();
+        let mut out = std::mem::take(&mut self.scratch);
         self.engine.on_timer(session, local, &mut out);
-        self.apply(out, ctx);
+        self.apply(&mut out, ctx);
+        self.scratch = out;
     }
 }
 

@@ -545,8 +545,21 @@ impl DumboEngine {
                         Some(true) => st.elected = Some(candidate),
                         Some(false) => st.cursor += 1,
                         None => {
-                            // Activate (idempotent) and wait.
-                            let input = st.commit_cbc.delivered_set(candidate).is_some();
+                            // Activate (idempotent) and wait. Vote 1 only if
+                            // we hold everything stage 6 needs from this
+                            // candidate: its commit set AND its CBC_value. A
+                            // Byzantine candidate can complete the commit CBC
+                            // (a small bitmap) while its CBC_value is
+                            // permanently unrecoverable (init data corrupted
+                            // under an honest root, so no honest node ever
+                            // echoes); voting on the commit CBC alone then
+                            // elects a candidate whose W no one can fetch and
+                            // the epoch deadlocks waiting on NACK
+                            // retransmissions that cannot help. Requiring the
+                            // value locally means a 1-decision implies some
+                            // honest node holds the W and can serve NACKs.
+                            let input = st.commit_cbc.delivered_set(candidate).is_some()
+                                && st.value_cbc.delivered(candidate).is_some();
                             let mut acts = Actions::new();
                             st.aba.set_input(candidate, input, &mut acts);
                             out.absorb(sessions::of(epoch, sessions::ABA), &mut acts);

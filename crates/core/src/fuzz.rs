@@ -1,0 +1,623 @@
+//! Coverage-guided scenario fuzzing for liveness and agreement.
+//!
+//! The adversary of the paper may schedule deliveries arbitrarily within
+//! eventual delivery; the sweeps exercise *stochastic* corners of that
+//! power, this module hunts the *adversarial* corners. A [`FuzzCase`] is a
+//! complete single-hop scenario (protocol, topology size, Byzantine
+//! placement, loss, delivery scheduler) plus an event budget; running one
+//! yields a [`FuzzVerdict`]:
+//!
+//! * **stall** — some honest node failed to finish its epochs within the
+//!   event budget (a liveness failure under a bounded-delay schedule);
+//! * **divergence** — two honest digest chains disagree on a common prefix
+//!   (an agreement violation, the fatal kind);
+//! * **ok** — every honest node finished and all chains agree.
+//!
+//! The campaign ([`campaign`]) mutates a corpus of cases with a seeded RNG,
+//! keeps mutants that reach new [coverage](coverage_key), and greedily
+//! [minimizes](minimize) every failure into a replayable fixture
+//! (`tests/fixtures/fuzz/`). Everything is deterministic: same campaign
+//! seed, same cases, same verdicts, byte-identical fixture and outcome
+//! encodings.
+//!
+//! This module also owns the protocol-aware delivery schedulers that
+//! [`wbft_wireless::sched`] cannot build (it sits below envelope
+//! decoding): [`build_scheduler`] turns any
+//! [`SchedPolicy`](wbft_wireless::SchedPolicy) — including
+//! [`CoinStarve`](wbft_wireless::SchedPolicy::CoinStarve) — into an
+//! installable scheduler.
+
+use crate::byzantine::ByzantineMode;
+use crate::protocol::Protocol;
+use crate::service::block_digests;
+use crate::testbed::{self, TestbedConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use wbft_crypto::hash::Digest32;
+use wbft_net::packets::{Body, Envelope};
+use wbft_report::{field, Json, JsonError, ToJson};
+use wbft_wireless::{
+    Delivery, DeliveryScheduler, NodeId, SchedConfig, SchedPolicy, SimDuration, SimTime,
+};
+
+// ------------------------------------------------------------------
+// Protocol-aware scheduling.
+
+/// Builds the delivery scheduler for any policy: generic policies come
+/// straight from the wireless layer, protocol-aware ones are constructed
+/// here where envelopes can be decoded.
+pub fn build_scheduler(cfg: &SchedConfig) -> Box<dyn DeliveryScheduler> {
+    match cfg.build_generic() {
+        Some(s) => s,
+        None => match cfg.policy {
+            SchedPolicy::CoinStarve { pass } => {
+                Box::new(CoinStarveScheduler { pass, budget: cfg.budget, seen: BTreeMap::new() })
+            }
+            _ => unreachable!("build_generic covers every content-agnostic policy"),
+        },
+    }
+}
+
+/// See [`SchedPolicy::CoinStarve`]: per (receiver, session, round), the
+/// first `pass` coin-share deliveries flow promptly and every later one is
+/// held for the full budget — starving the quorum-completing (`f+1`-th)
+/// share that unblocks the common coin.
+pub struct CoinStarveScheduler {
+    pass: u32,
+    budget: SimDuration,
+    seen: BTreeMap<(NodeId, u64, u16), u32>,
+}
+
+/// `Some((session, round))` when `payload` is a frame carrying common-coin
+/// shares. The adversary reads traffic (it cannot forge), so decoding
+/// without key lookup is exactly its power.
+fn classify_coin(payload: &[u8]) -> Option<(u64, u16)> {
+    let (env, _sig_ok) = Envelope::open(payload, |_| None).ok()?;
+    match &env.body {
+        Body::AbaSc { coin_shares, .. } if !coin_shares.is_empty() => {
+            let round = coin_shares.iter().map(|(r, _)| *r).max().unwrap_or(0);
+            Some((env.session, round))
+        }
+        Body::BaseAbaCoin { round, .. } => Some((env.session, *round)),
+        _ => {
+            let (_, role) = crate::driver::sessions::split(env.session);
+            (role == crate::driver::sessions::PI_COIN).then_some((env.session, 0))
+        }
+    }
+}
+
+impl DeliveryScheduler for CoinStarveScheduler {
+    fn delay(&mut self, d: &Delivery<'_>) -> SimDuration {
+        let Some((session, round)) = classify_coin(d.payload) else {
+            return SimDuration::ZERO;
+        };
+        let passed = self.seen.entry((d.dst, session, round)).or_insert(0);
+        *passed += 1;
+        if *passed > self.pass { self.budget } else { SimDuration::ZERO }
+    }
+
+    fn budget(&self) -> SimDuration {
+        self.budget
+    }
+}
+
+// ------------------------------------------------------------------
+// Cases and verdicts.
+
+/// One fuzz scenario: a complete testbed config plus the event budget the
+/// liveness check is measured against.
+#[derive(Clone, Debug)]
+pub struct FuzzCase {
+    /// Human-readable case name (fixture file stem).
+    pub label: String,
+    /// The scenario (single-hop).
+    pub cfg: TestbedConfig,
+    /// Simulator events after which an unfinished run counts as stalled.
+    pub event_budget: u64,
+}
+
+/// What one case's run concluded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FuzzVerdict {
+    /// Finished within budget, chains agree.
+    Ok,
+    /// Some honest node did not finish within the event budget.
+    Stall,
+    /// Honest digest chains disagree on a common prefix.
+    Divergence,
+}
+
+impl FuzzVerdict {
+    /// Stable name used in fixture files and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FuzzVerdict::Ok => "ok",
+            FuzzVerdict::Stall => "stall",
+            FuzzVerdict::Divergence => "divergence",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "ok" => Some(FuzzVerdict::Ok),
+            "stall" => Some(FuzzVerdict::Stall),
+            "divergence" => Some(FuzzVerdict::Divergence),
+            _ => None,
+        }
+    }
+}
+
+/// Everything observed about one case's run (the replayable "report").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuzzOutcome {
+    /// The conclusion.
+    pub verdict: FuzzVerdict,
+    /// Simulator events processed.
+    pub events: u64,
+    /// Longest honest chain (blocks).
+    pub blocks: u64,
+    /// Medium collisions.
+    pub collisions: u64,
+    /// Digest chain of the first honest node (the agreement reference).
+    pub chain: Vec<Digest32>,
+}
+
+impl ToJson for FuzzOutcome {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("verdict", Json::str(self.verdict.name())),
+            ("events", Json::u64(self.events)),
+            ("blocks", Json::u64(self.blocks)),
+            ("collisions", Json::u64(self.collisions)),
+            (
+                "chain",
+                Json::arr(self.chain.iter().map(|d| Json::str(hex32(d)))),
+            ),
+        ])
+    }
+}
+
+/// Runs one case without panicking on protocol failures: disagreement
+/// becomes a [`FuzzVerdict::Divergence`], an unfinished run a
+/// [`FuzzVerdict::Stall`]. Single-hop only (divergence detection needs the
+/// per-node chains the multi-hop tiers don't expose uniformly).
+pub fn run_case(case: &FuzzCase) -> FuzzOutcome {
+    assert!(case.cfg.clusters.is_none(), "fuzz cases are single-hop");
+    testbed::validate(&case.cfg);
+    let (mut sim, honest) = testbed::build_single_hop(&case.cfg);
+    let deadline = SimTime::ZERO + case.cfg.deadline;
+    let budget = case.event_budget;
+    sim.run_until_pred(deadline, |s| {
+        s.events_processed() >= budget
+            || s.behaviors().all(|(id, b)| !honest[id.index()] || b.is_done())
+    });
+    let done = sim.behaviors().all(|(id, b)| !honest[id.index()] || b.is_done());
+    let chains: Vec<Vec<Digest32>> = sim
+        .behaviors()
+        .filter(|(id, _)| honest[id.index()])
+        .map(|(_, b)| block_digests(b.blocks()))
+        .collect();
+    let reference = chains.first().cloned().unwrap_or_default();
+    let divergent = chains.iter().any(|c| {
+        let common = c.len().min(reference.len());
+        c[..common] != reference[..common]
+    });
+    let verdict = if divergent {
+        FuzzVerdict::Divergence
+    } else if !done {
+        FuzzVerdict::Stall
+    } else {
+        FuzzVerdict::Ok
+    };
+    FuzzOutcome {
+        verdict,
+        events: sim.events_processed(),
+        blocks: chains.iter().map(|c| c.len() as u64).max().unwrap_or(0),
+        collisions: sim.metrics().collisions,
+        chain: reference,
+    }
+}
+
+// ------------------------------------------------------------------
+// Coverage.
+
+fn hex32(d: &Digest32) -> String {
+    use std::fmt::Write as _;
+    d.0.iter().fold(String::with_capacity(64), |mut s, b| {
+        let _ = write!(s, "{b:02x}");
+        s
+    })
+}
+
+fn fnv1a(hash: &mut u64, data: &[u8]) {
+    for &b in data {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+fn bucket(x: u64) -> u64 {
+    64 - x.leading_zeros() as u64
+}
+
+/// The coverage signature of one run: a deterministic FNV-1a hash over the
+/// case's structural features and the run's coarse observables. A mutant
+/// whose key is new exercised a combination the corpus hadn't.
+pub fn coverage_key(case: &FuzzCase, out: &FuzzOutcome) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    fnv1a(&mut h, case.cfg.protocol.slug().as_bytes());
+    fnv1a(&mut h, &(case.cfg.n as u64).to_le_bytes());
+    fnv1a(&mut h, &case.cfg.epochs.to_le_bytes());
+    for (node, mode) in &case.cfg.byzantine {
+        fnv1a(&mut h, &(*node as u64).to_le_bytes());
+        fnv1a(&mut h, format!("{mode:?}").as_bytes());
+    }
+    fnv1a(&mut h, format!("{:?}", case.cfg.loss).as_bytes());
+    if let Some(s) = &case.cfg.sched {
+        fnv1a(&mut h, format!("{:?}", s.policy).as_bytes());
+        fnv1a(&mut h, &bucket(s.budget.as_micros()).to_le_bytes());
+    }
+    fnv1a(&mut h, out.verdict.name().as_bytes());
+    fnv1a(&mut h, &bucket(out.events).to_le_bytes());
+    fnv1a(&mut h, &out.blocks.to_le_bytes());
+    fnv1a(&mut h, &bucket(out.collisions).to_le_bytes());
+    h
+}
+
+// ------------------------------------------------------------------
+// Mutation.
+
+/// The protocols a campaign draws from.
+fn mutate(case: &FuzzCase, protocols: &[Protocol], rng: &mut ChaCha12Rng) -> FuzzCase {
+    let mut cfg = case.cfg.clone();
+    // One structural mutation per generation keeps minimization short.
+    match rng.random_range(0..8u32) {
+        0 => cfg.seed = rng.random_range(1..1 << 16),
+        1 => cfg.protocol = protocols[rng.random_range(0..protocols.len())],
+        2 => {
+            // Place (or clear) one Byzantine node; n=4 tolerates f=1.
+            cfg.byzantine.clear();
+            if rng.random_bool(0.75) {
+                let node = rng.random_range(0..cfg.n);
+                let mode = ByzantineMode::ALL[rng.random_range(0..ByzantineMode::ALL.len())];
+                cfg.byzantine.push((node, mode));
+            }
+        }
+        3 => {
+            cfg.loss = if rng.random_bool(0.5) {
+                wbft_wireless::LossModel::None
+            } else {
+                wbft_wireless::LossModel::Uniform { p: rng.random_range(1..=30u32) as f64 / 100.0 }
+            };
+        }
+        4 => {
+            let budget = SimDuration::from_secs(rng.random_range(2..30));
+            let seed = rng.random_range(0..1 << 16);
+            let policy = match rng.random_range(0..3u32) {
+                0 => SchedPolicy::Reorder { p: rng.random_range(10..=99u32) as f64 / 100.0 },
+                1 => SchedPolicy::Victim {
+                    victims: vec![NodeId(rng.random_range(0..cfg.n as u16))],
+                },
+                _ => SchedPolicy::CoinStarve { pass: rng.random_range(0..3) },
+            };
+            cfg.sched = Some(SchedConfig { seed, budget, policy });
+        }
+        5 => cfg.sched = None,
+        6 => cfg.epochs = rng.random_range(1..=2),
+        _ => cfg.workload.batch_size = [4usize, 8, 16][rng.random_range(0..3usize)],
+    }
+    FuzzCase { label: String::new(), cfg, event_budget: case.event_budget }
+}
+
+fn relabel(case: &mut FuzzCase, index: u32) {
+    let sched = match &case.cfg.sched {
+        None => "nosched".to_string(),
+        Some(s) => match &s.policy {
+            SchedPolicy::Reorder { .. } => "reorder".to_string(),
+            SchedPolicy::Victim { .. } => "victim".to_string(),
+            SchedPolicy::CoinStarve { pass } => format!("coinstarve{pass}"),
+        },
+    };
+    let byz = if case.cfg.byzantine.is_empty() { "honest" } else { "byz" };
+    case.label = format!(
+        "fuzz-{index:04}.{}.n{}.{sched}.{byz}.seed{}",
+        case.cfg.protocol.slug(),
+        case.cfg.n,
+        case.cfg.seed
+    );
+}
+
+// ------------------------------------------------------------------
+// Campaign.
+
+/// Campaign parameters.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Scenarios to execute (including the seed corpus).
+    pub scenarios: u32,
+    /// Campaign RNG seed.
+    pub seed: u64,
+    /// Protocols to draw mutants from.
+    pub protocols: Vec<Protocol>,
+    /// Event budget per case.
+    pub event_budget: u64,
+}
+
+impl FuzzConfig {
+    /// The CI smoke shape: a bounded fixed-seed campaign over the two
+    /// shared-coin single-hop protocols.
+    pub fn smoke(scenarios: u32) -> Self {
+        FuzzConfig {
+            scenarios,
+            seed: 0xF022,
+            protocols: vec![Protocol::Beat, Protocol::HoneyBadgerSc],
+            event_budget: DEFAULT_EVENT_BUDGET,
+        }
+    }
+}
+
+/// Default per-case event budget: comfortably above what a healthy
+/// small-batch single-hop epoch needs (measured in the tens of thousands),
+/// low enough that a stalled case aborts quickly.
+pub const DEFAULT_EVENT_BUDGET: u64 = 400_000;
+
+/// One failing case, minimized, with its outcome.
+#[derive(Clone, Debug)]
+pub struct FuzzFailure {
+    /// The minimized case.
+    pub case: FuzzCase,
+    /// Its (re-verified) outcome.
+    pub outcome: FuzzOutcome,
+}
+
+/// Campaign result.
+#[derive(Debug)]
+pub struct FuzzReport {
+    /// Cases executed.
+    pub executed: u32,
+    /// Distinct coverage keys observed.
+    pub coverage: usize,
+    /// Corpus size at the end (coverage-new cases).
+    pub corpus: usize,
+    /// Minimized failures, in discovery order.
+    pub failures: Vec<FuzzFailure>,
+}
+
+/// The base scenario mutants grow from: the paper's 4-node single-hop
+/// setting shrunk to one small epoch so a campaign of hundreds of cases
+/// stays affordable.
+pub fn base_case(protocol: Protocol, event_budget: u64) -> FuzzCase {
+    let mut cfg = TestbedConfig::single_hop(protocol);
+    cfg.epochs = 1;
+    cfg.workload.batch_size = 8;
+    FuzzCase { label: format!("base.{}", protocol.slug()), cfg, event_budget }
+}
+
+/// The canonical protocol-aware attack: hold back every coin share after
+/// the first, per receiver and round, for the full budget — the
+/// quorum-completing `f+1`-th share arrives late everywhere, so every ABA
+/// round's common coin is starved until the scheduler's budget forces
+/// delivery. Shared-coin protocols must ride it out (liveness with bounded
+/// delays); this case pins that down as a regression fixture.
+pub fn coin_starvation_case(protocol: Protocol, event_budget: u64) -> FuzzCase {
+    let mut case = base_case(protocol, event_budget);
+    case.cfg.sched = Some(SchedConfig {
+        seed: 0xC01,
+        budget: SimDuration::from_secs(20),
+        policy: SchedPolicy::CoinStarve { pass: 1 },
+    });
+    case.label = format!("coin-quorum-starvation.{}", protocol.slug());
+    case
+}
+
+/// Runs a coverage-guided campaign. Deterministic for a fixed
+/// [`FuzzConfig`]: the corpus, coverage count, and every failure (and its
+/// minimized fixture bytes) depend only on the config.
+pub fn campaign(cfg: &FuzzConfig) -> FuzzReport {
+    let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed);
+    let mut corpus: Vec<FuzzCase> = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut failures = Vec::new();
+    let mut executed = 0u32;
+
+    // Seed corpus: every protocol's base case plus its coin-starvation
+    // schedule (the latter only meaningful for shared-coin deployments but
+    // harmless elsewhere — the classifier just never fires).
+    let mut pending: Vec<FuzzCase> = cfg
+        .protocols
+        .iter()
+        .flat_map(|p| [base_case(*p, cfg.event_budget), coin_starvation_case(*p, cfg.event_budget)])
+        .collect();
+
+    while executed < cfg.scenarios {
+        let mut case = match pending.pop() {
+            Some(c) => c,
+            None => {
+                let parent = &corpus[rng.random_range(0..corpus.len())];
+                let mut m = mutate(parent, &cfg.protocols, &mut rng);
+                relabel(&mut m, executed);
+                m
+            }
+        };
+        if case.label.is_empty() {
+            relabel(&mut case, executed);
+        }
+        let outcome = run_case(&case);
+        executed += 1;
+        let key = coverage_key(&case, &outcome);
+        if seen.insert(key) {
+            corpus.push(case.clone());
+        }
+        if outcome.verdict != FuzzVerdict::Ok {
+            let minimized = minimize(&case, outcome.verdict);
+            let outcome = run_case(&minimized);
+            failures.push(FuzzFailure { case: minimized, outcome });
+        }
+    }
+    FuzzReport { executed, coverage: seen.len(), corpus: corpus.len(), failures }
+}
+
+// ------------------------------------------------------------------
+// Minimization.
+
+/// Greedily shrinks a failing case while preserving its verdict: each
+/// simplification (drop Byzantine placement, drop loss, drop the
+/// scheduler, shrink the workload) is kept only if the failure reproduces.
+/// The result is the fixture a regression test replays.
+pub fn minimize(case: &FuzzCase, verdict: FuzzVerdict) -> FuzzCase {
+    let mut best = case.clone();
+    let attempts: [fn(&mut TestbedConfig); 6] = [
+        |c| c.byzantine.clear(),
+        |c| c.loss = wbft_wireless::LossModel::None,
+        |c| c.sched = None,
+        |c| c.adversary = wbft_wireless::AdversaryConfig::benign(),
+        |c| c.epochs = 1,
+        |c| c.workload.batch_size = 4,
+    ];
+    for attempt in attempts {
+        let mut candidate = best.clone();
+        attempt(&mut candidate.cfg);
+        if candidate.cfg.to_json().pretty() == best.cfg.to_json().pretty() {
+            continue; // no-op simplification
+        }
+        if run_case(&candidate).verdict == verdict {
+            best = candidate;
+        }
+    }
+    best.label = format!("{}.min", case.label);
+    best
+}
+
+// ------------------------------------------------------------------
+// Fixtures.
+
+/// Canonical fixture encoding of a case and its expected verdict.
+pub fn fixture_string(case: &FuzzCase, expect: FuzzVerdict) -> String {
+    wbft_report::to_file_string(&Json::obj([
+        ("label", Json::str(case.label.clone())),
+        ("config", case.cfg.to_json()),
+        ("event_budget", Json::u64(case.event_budget)),
+        ("expect", Json::str(expect.name())),
+    ]))
+}
+
+/// Decodes a fixture produced by [`fixture_string`].
+pub fn decode_fixture(j: &Json) -> Result<(FuzzCase, FuzzVerdict), JsonError> {
+    let label: String = field(j, "label")?;
+    let cfg: TestbedConfig = field(j, "config")?;
+    let event_budget: u64 = field(j, "event_budget")?;
+    let expect: String = field(j, "expect")?;
+    let expect = FuzzVerdict::from_name(&expect)
+        .ok_or_else(|| JsonError("unknown expected verdict".into()))?;
+    Ok((FuzzCase { label, cfg, event_budget }, expect))
+}
+
+/// Replays a fixture file: runs the case twice and checks that (a) both
+/// runs produce byte-identical outcome encodings (determinism) and (b) the
+/// verdict matches the fixture's expectation. Returns the outcome.
+pub fn replay_fixture(path: &Path) -> io::Result<FuzzOutcome> {
+    let j = wbft_report::read_file(path)?;
+    let (case, expect) = decode_fixture(&j)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{}: {e}", path.display())))?;
+    let first = run_case(&case);
+    let second = run_case(&case);
+    if first.to_json().pretty() != second.to_json().pretty() {
+        return Err(io::Error::other(format!(
+            "{}: replay not deterministic",
+            path.display()
+        )));
+    }
+    if first.verdict != expect {
+        return Err(io::Error::other(format!(
+            "{}: expected {}, got {}",
+            path.display(),
+            expect.name(),
+            first.verdict.name()
+        )));
+    }
+    Ok(first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use wbft_wireless::ChannelId;
+
+    #[test]
+    fn coin_classifier_ignores_non_coin_frames() {
+        assert_eq!(classify_coin(b"not an envelope"), None);
+        let mut sched = CoinStarveScheduler {
+            pass: 1,
+            budget: SimDuration::from_secs(5),
+            seen: BTreeMap::new(),
+        };
+        let payload = Bytes::from_static(&[0u8; 80]);
+        let d = Delivery {
+            src: NodeId(0),
+            dst: NodeId(1),
+            channel: ChannelId(0),
+            payload: &payload,
+            nominal_len: 80,
+            now: SimTime::ZERO,
+        };
+        assert_eq!(sched.delay(&d), SimDuration::ZERO, "garbage frames pass through");
+    }
+
+    #[test]
+    fn base_case_runs_clean() {
+        let out = run_case(&base_case(Protocol::Beat, DEFAULT_EVENT_BUDGET));
+        assert_eq!(out.verdict, FuzzVerdict::Ok);
+        assert!(out.events > 0 && out.events < DEFAULT_EVENT_BUDGET);
+        assert_eq!(out.blocks, 1);
+        assert!(!out.chain.is_empty());
+    }
+
+    #[test]
+    fn coin_starvation_case_survives_or_is_caught() {
+        // The canonical protocol-aware schedule. Shared-coin BEAT must ride
+        // it out within the budget (bounded delays preserve liveness); any
+        // other verdict is a real finding and belongs in a fixture.
+        let out = run_case(&coin_starvation_case(Protocol::Beat, DEFAULT_EVENT_BUDGET));
+        assert_eq!(out.verdict, FuzzVerdict::Ok, "events={} blocks={}", out.events, out.blocks);
+    }
+
+    #[test]
+    fn run_case_is_deterministic() {
+        let case = coin_starvation_case(Protocol::Beat, DEFAULT_EVENT_BUDGET);
+        let a = run_case(&case);
+        let b = run_case(&case);
+        assert_eq!(a, b);
+        assert_eq!(a.to_json().pretty(), b.to_json().pretty());
+    }
+
+    #[test]
+    fn fixtures_round_trip() {
+        let case = coin_starvation_case(Protocol::Beat, DEFAULT_EVENT_BUDGET);
+        let text = fixture_string(&case, FuzzVerdict::Ok);
+        let (back, expect) = decode_fixture(&wbft_report::parse(&text).unwrap()).unwrap();
+        assert_eq!(expect, FuzzVerdict::Ok);
+        assert_eq!(back.label, case.label);
+        assert_eq!(back.event_budget, case.event_budget);
+        assert_eq!(fixture_string(&back, expect), text);
+    }
+
+    #[test]
+    fn tiny_campaign_is_deterministic_and_counts_coverage() {
+        let cfg = FuzzConfig {
+            scenarios: 4,
+            seed: 7,
+            protocols: vec![Protocol::Beat],
+            event_budget: DEFAULT_EVENT_BUDGET,
+        };
+        let a = campaign(&cfg);
+        let b = campaign(&cfg);
+        assert_eq!(a.executed, 4);
+        assert_eq!(a.coverage, b.coverage);
+        assert_eq!(a.failures.len(), b.failures.len());
+        assert!(a.coverage >= 2, "base and starved cases must cover differently");
+    }
+}

@@ -23,6 +23,7 @@
 pub mod byzantine;
 pub mod driver;
 pub mod dumbo;
+pub mod fuzz;
 pub mod honeybadger;
 pub mod multihop;
 pub mod netrun;
@@ -35,6 +36,10 @@ pub mod workload;
 
 pub use byzantine::{ByzantineEngine, ByzantineMode};
 pub use driver::{Block, Engine, EngineOut, ProtocolNode, Tx};
+pub use fuzz::{
+    build_scheduler, campaign, replay_fixture, FuzzCase, FuzzConfig, FuzzOutcome, FuzzReport,
+    FuzzVerdict,
+};
 pub use netrun::{run_udp_node, run_udp_service_node, ServiceNodeOpts, UdpNodeOutcome};
 pub use protocol::Protocol;
 pub use service::{

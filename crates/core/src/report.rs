@@ -208,10 +208,13 @@ impl ToJson for TestbedConfig {
             ("deadline_us", self.deadline.to_json()),
             ("clusters", self.clusters.to_json()),
         ];
-        // Trailing optional member: absent on fixed-epoch configs so their
-        // encoding stays byte-identical to pre-service documents.
+        // Trailing optional members: absent when unset so configs predating
+        // each feature keep their exact byte encoding.
         if let Some(service) = &self.service {
             members.push(("service", service.to_json()));
+        }
+        if let Some(sched) = &self.sched {
+            members.push(("sched", sched.to_json()));
         }
         Json::obj(members)
     }
@@ -235,6 +238,7 @@ impl FromJson for TestbedConfig {
             deadline: field(j, "deadline_us")?,
             clusters: field(j, "clusters")?,
             service: opt_field(j, "service")?,
+            sched: opt_field(j, "sched")?,
         })
     }
 }
@@ -429,6 +433,22 @@ mod tests {
         assert!(text.contains("p50_us") && text.contains("rejected_full"));
         let decoded = RunReport::from_json(&wbft_report::parse(&text).unwrap()).unwrap();
         assert_eq!(decoded.service, report.service);
+        assert_eq!(decoded.to_json().pretty(), text);
+    }
+
+    #[test]
+    fn sched_member_is_optional_and_round_trips() {
+        use wbft_wireless::{SchedConfig, SchedPolicy};
+        let mut cfg = TestbedConfig::single_hop(Protocol::Beat);
+        assert!(!cfg.to_json().pretty().contains("sched"), "absent when unset");
+        cfg.sched = Some(SchedConfig {
+            seed: 3,
+            budget: SimDuration::from_secs(8),
+            policy: SchedPolicy::CoinStarve { pass: 1 },
+        });
+        let text = cfg.to_json().pretty();
+        let decoded = TestbedConfig::from_json(&wbft_report::parse(&text).unwrap()).unwrap();
+        assert_eq!(decoded.sched, cfg.sched);
         assert_eq!(decoded.to_json().pretty(), text);
     }
 

@@ -129,9 +129,14 @@ pub struct Mempool {
     /// `(epoch, submit time)` of locally admitted transactions whose block
     /// is resolved but not yet timestamped.
     staged: Vec<(u64, SimTime)>,
-    /// Epochs `< resolved_next` have been resolved (commits arrive in
-    /// epoch order, so a single watermark suffices).
-    resolved_next: u64,
+    /// Epochs `< resolved_below` have all been resolved. The engine resolves
+    /// commits in epoch order, but external replays (multi-process
+    /// cross-feeds, fuzz harnesses) may not — out-of-order resolutions park
+    /// in `resolved_above` until the watermark catches up.
+    resolved_below: u64,
+    /// Resolved epochs `>= resolved_below` (gapped commits), compacted back
+    /// into the watermark as gaps fill.
+    resolved_above: std::collections::BTreeSet<u64>,
     stats: ServiceStats,
 }
 
@@ -144,7 +149,8 @@ impl Mempool {
             in_flight: Vec::new(),
             phases: BTreeMap::new(),
             staged: Vec::new(),
-            resolved_next: 0,
+            resolved_below: 0,
+            resolved_above: std::collections::BTreeSet::new(),
             stats: ServiceStats::default(),
         }
     }
@@ -187,17 +193,35 @@ impl Mempool {
         out
     }
 
+    /// Has `epoch`'s block already been resolved?
+    fn epoch_resolved(&self, epoch: u64) -> bool {
+        epoch < self.resolved_below || self.resolved_above.contains(&epoch)
+    }
+
     /// Digest-level resolution of one committed block: marks every digest
     /// committed (staging latency samples for locally admitted
     /// transactions), evicts now-stale pending duplicates, and re-queues
     /// in-flight transactions whose epoch resolved without them.
     /// Idempotent per epoch — the engine calls it before pulling the next
     /// batch, and [`Mempool::record_commit`] calls it again harmlessly.
+    ///
+    /// Blocks may arrive out of epoch order (the engine resolves in order,
+    /// but multi-process cross-feeds and fuzz replays need not): each epoch
+    /// is resolved exactly once whenever its block shows up, and in-flight
+    /// transactions of an epoch whose block has *not* been seen stay in
+    /// flight — a gap is pending, not lost.
     pub fn resolve(&mut self, block: &Block) {
-        if block.epoch < self.resolved_next {
+        if self.epoch_resolved(block.epoch) {
             return;
         }
-        self.resolved_next = block.epoch + 1;
+        if block.epoch == self.resolved_below {
+            self.resolved_below += 1;
+            while self.resolved_above.remove(&self.resolved_below) {
+                self.resolved_below += 1;
+            }
+        } else {
+            self.resolved_above.insert(block.epoch);
+        }
         for tx in &block.txs {
             let d = tx_digest(tx);
             match self.phases.get(&d) {
@@ -218,12 +242,15 @@ impl Mempool {
         self.queue.retain(|tx| {
             matches!(phases.get(&tx_digest(tx)), Some(TxPhase::Waiting(_)))
         });
-        // Resolve in-flight entries up to this epoch: committed ones are
-        // done; the rest ride again at the queue front, original order kept.
+        // Resolve in-flight entries of every epoch whose block has been
+        // seen: committed ones are done; the rest ride again at the queue
+        // front, original order kept. Entries of unresolved (gapped) epochs
+        // stay in flight — their block is still coming.
         let mut keep = Vec::with_capacity(self.in_flight.len());
         let mut requeue = Vec::new();
+        let (below, above) = (self.resolved_below, &self.resolved_above);
         for (epoch, tx) in self.in_flight.drain(..) {
-            if epoch > block.epoch {
+            if !(epoch < below || above.contains(&epoch)) {
                 keep.push((epoch, tx));
                 continue;
             }
@@ -679,6 +706,61 @@ mod tests {
         assert_eq!(m.stats().requeued, 1);
         let batch = m.next_batch(1, 10);
         assert_eq!(batch, vec![tx(1), tx(3), tx(4)]);
+    }
+
+    #[test]
+    fn out_of_order_commits_resolve_each_epoch_once() {
+        // The bug this guards against: `resolve` used a single watermark and
+        // silently ignored any block below it, so an out-of-order replay
+        // (epoch 1 before epoch 0) never resolved epoch 0 — its lost
+        // transactions stayed in flight forever.
+        let mut m = Mempool::new(16);
+        for tag in 1..=4 {
+            m.admit(tx(tag), SimTime::ZERO);
+        }
+        assert_eq!(m.next_batch(0, 2), vec![tx(1), tx(2)]);
+        assert_eq!(m.next_batch(1, 2), vec![tx(3), tx(4)]);
+        // Epoch 1 commits first, without tx(4): tx(4) rides again, but
+        // epoch 0's entries must stay in flight — their block is pending.
+        m.record_commit(&Block { epoch: 1, txs: vec![tx(3)] }, SimTime::from_micros(5));
+        assert_eq!(m.stats().requeued, 1);
+        assert_eq!(m.in_flight(), 2, "epoch 0 still unresolved");
+        assert_eq!(m.pending(), 1);
+        // Epoch 0's block arrives late, without tx(2): it must still be
+        // resolved (not ignored as "already past"), re-queuing tx(2).
+        m.record_commit(&Block { epoch: 0, txs: vec![tx(1)] }, SimTime::from_micros(9));
+        assert_eq!(m.stats().requeued, 2);
+        assert_eq!(m.in_flight(), 0);
+        assert_eq!(m.next_batch(2, 10), vec![tx(2), tx(4)]);
+        // Idempotent in any order: replaying either block changes nothing.
+        m.record_commit(&Block { epoch: 0, txs: vec![tx(1)] }, SimTime::from_micros(11));
+        m.record_commit(&Block { epoch: 1, txs: vec![tx(3)] }, SimTime::from_micros(11));
+        assert_eq!(m.stats().requeued, 2);
+        assert_eq!(m.stats().latencies_us.len(), 2);
+    }
+
+    #[test]
+    fn gapped_commits_keep_unseen_epochs_in_flight() {
+        let mut m = Mempool::new(16);
+        for tag in 1..=3 {
+            m.admit(tx(tag), SimTime::ZERO);
+        }
+        assert_eq!(m.next_batch(0, 1), vec![tx(1)]);
+        assert_eq!(m.next_batch(1, 1), vec![tx(2)]);
+        assert_eq!(m.next_batch(2, 1), vec![tx(3)]);
+        m.record_commit(&Block { epoch: 0, txs: vec![tx(1)] }, SimTime::from_micros(1));
+        // Epoch 2 commits empty while epoch 1 is still a gap: tx(3) rides
+        // again, tx(2) must NOT be requeued — epoch 1's block is pending,
+        // and requeueing it would let it commit twice.
+        m.record_commit(&Block { epoch: 2, txs: vec![] }, SimTime::from_micros(2));
+        assert_eq!(m.stats().requeued, 1);
+        assert_eq!(m.in_flight(), 1, "epoch 1's entry stays in flight");
+        // The gap fills: epoch 1 commits its transaction normally.
+        m.record_commit(&Block { epoch: 1, txs: vec![tx(2)] }, SimTime::from_micros(3));
+        assert_eq!(m.in_flight(), 0);
+        assert_eq!(m.stats().requeued, 1, "committed in-flight tx never requeued");
+        assert_eq!(m.next_batch(3, 10), vec![tx(3)]);
+        assert_eq!(m.stats().latencies_us.len(), 2);
     }
 
     #[test]

@@ -125,6 +125,20 @@ impl SweepSpec {
              service runs are single-hop only",
             self.name
         );
+        // Reject dishonest axis values before any worker starts: a loss
+        // model that can swallow messages forever or an adversary without
+        // a finite delay bound breaks the eventual-delivery assumption
+        // every liveness claim rests on.
+        for (li, loss) in self.losses.iter().enumerate() {
+            loss.validate().unwrap_or_else(|e| {
+                panic!("sweep \"{}\" loss axis value #{li} is invalid: {e}", self.name)
+            });
+        }
+        if let Some(&protocol) = self.protocols.first() {
+            TestbedConfig::single_hop(protocol).adversary.validate().unwrap_or_else(|e| {
+                panic!("sweep \"{}\" adversary config is invalid: {e}", self.name)
+            });
+        }
         let mut out = Vec::with_capacity(self.len());
         for &protocol in &self.protocols {
             for &topology in &self.topologies {

@@ -17,7 +17,7 @@ use wbft_components::deal_node_crypto;
 use wbft_crypto::CryptoSuite;
 use wbft_wireless::{
     AdversaryConfig, ChannelId, CsmaParams, DmaParams, LossModel, Metrics, NodeId, RadioParams,
-    SimConfig, SimDuration, SimTime, Simulator, Topology,
+    SchedConfig, SimConfig, SimDuration, SimTime, Simulator, Topology,
 };
 
 /// Full description of one testbed experiment.
@@ -45,6 +45,12 @@ pub struct TestbedConfig {
     pub dma: DmaParams,
     /// Adversarial delivery scheduling.
     pub adversary: AdversaryConfig,
+    /// `Some` = worst-case delivery scheduler: an active adversary that
+    /// inspects each deliverable frame and holds it back within a hard
+    /// per-delivery budget (see [`wbft_wireless::sched`]). Built by
+    /// [`crate::fuzz::build_scheduler`], which also handles the
+    /// protocol-aware policies the wireless layer cannot decode.
+    pub sched: Option<SchedConfig>,
     /// Byzantine nodes: `(node id, behaviour)`. Single-hop only.
     pub byzantine: Vec<(usize, ByzantineMode)>,
     /// Simulated-time budget.
@@ -74,6 +80,7 @@ impl TestbedConfig {
             csma: CsmaParams::lora_class(),
             dma: DmaParams::aligned(),
             adversary: AdversaryConfig::benign(),
+            sched: None,
             byzantine: Vec::new(),
             deadline: SimDuration::from_secs(3_600),
             clusters: None,
@@ -169,16 +176,43 @@ pub(crate) fn finish_report(
     }
 }
 
+/// Checks a config describes a simulable scenario: the loss model must
+/// leave eventual delivery intact, the adversary must be honest about its
+/// delay bound, and any scheduler config must be well-formed. Panics
+/// loudly — a scenario that breaks the model's standing assumptions would
+/// produce a report whose correctness claims are vacuous.
+pub fn validate(cfg: &TestbedConfig) {
+    if let Err(e) = cfg.loss.validate() {
+        panic!("invalid loss config: {e}");
+    }
+    if let Err(e) = cfg.adversary.validate() {
+        panic!("invalid adversary config: {e}");
+    }
+    if let Some(sched) = &cfg.sched {
+        if let Err(e) = sched.validate() {
+            panic!("invalid scheduler config: {e}");
+        }
+    }
+}
+
 /// Executes one experiment.
 pub fn run(cfg: &TestbedConfig) -> RunReport {
     assert!(
         cfg.service.is_none() || cfg.clusters.is_none(),
         "service runs are single-hop only (clustered service is a follow-on)"
     );
+    validate(cfg);
     match (cfg.clusters, &cfg.service) {
         (Some(m), _) => run_multi_hop(cfg, m),
         (None, Some(svc)) => run_service_single_hop(cfg, svc),
         (None, None) => run_single_hop(cfg),
+    }
+}
+
+/// Installs the configured delivery scheduler, if any.
+fn install_scheduler<B: wbft_wireless::NodeBehavior>(cfg: &TestbedConfig, sim: &mut Simulator<B>) {
+    if let Some(sched) = &cfg.sched {
+        sim.set_scheduler(crate::fuzz::build_scheduler(sched));
     }
 }
 
@@ -193,7 +227,11 @@ fn sim_config(cfg: &TestbedConfig) -> SimConfig {
     }
 }
 
-fn run_single_hop(cfg: &TestbedConfig) -> RunReport {
+/// Builds the single-hop simulator and honesty mask shared by the standard
+/// run path and the fuzz harness's observed runs.
+pub(crate) fn build_single_hop(
+    cfg: &TestbedConfig,
+) -> (Simulator<ProtocolNode<Box<dyn Engine>>>, Vec<bool>) {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0xdea1);
     let crypto = deal_node_crypto(cfg.n, cfg.suite, &mut rng);
@@ -214,6 +252,12 @@ fn run_single_hop(cfg: &TestbedConfig) -> RunReport {
         })
         .collect();
     let mut sim = Simulator::new(sim_config(cfg), Topology::single_hop(cfg.n), behaviors);
+    install_scheduler(cfg, &mut sim);
+    (sim, honest)
+}
+
+fn run_single_hop(cfg: &TestbedConfig) -> RunReport {
+    let (mut sim, honest) = build_single_hop(cfg);
     let deadline = SimTime::ZERO + cfg.deadline;
     let completed = sim.run_until_pred(deadline, |s| {
         s.behaviors().all(|(id, b)| !honest[id.index()] || b.is_done())
@@ -275,6 +319,7 @@ fn run_service_single_hop(cfg: &TestbedConfig, svc: &ServiceConfig) -> RunReport
         })
         .collect();
     let mut sim = Simulator::new(sim_config(cfg), Topology::single_hop(cfg.n), behaviors);
+    install_scheduler(cfg, &mut sim);
     let deadline = SimTime::ZERO + cfg.deadline;
     let expected = svc.arrivals.per_node;
     let completed = sim.run_until_pred(deadline, |s| {
@@ -363,6 +408,7 @@ fn run_multi_hop(cfg: &TestbedConfig, m: usize) -> RunReport {
     }
     let topo = Topology::clustered(m, cfg.n);
     let mut sim = Simulator::new(sim_config(cfg), topo, behaviors);
+    install_scheduler(cfg, &mut sim);
     let deadline = SimTime::ZERO + cfg.deadline;
     let completed = sim.run_until_pred(deadline, |s| s.behaviors().all(|(_, b)| b.is_done()));
     let elapsed = sim.now().saturating_since(SimTime::ZERO);

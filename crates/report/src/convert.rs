@@ -16,7 +16,7 @@ use crate::json::{Json, JsonError};
 use wbft_crypto::{CryptoSuite, EcdsaCurve, ThresholdCurve};
 use wbft_wireless::{
     AdversaryConfig, CsmaParams, DmaParams, LossModel, Metrics, NodeId, NodeMetrics, RadioParams,
-    SimDuration, SimTime,
+    SchedConfig, SchedPolicy, SimDuration, SimTime,
 };
 
 /// Encoding into a [`Json`] value.
@@ -230,13 +230,74 @@ impl FromJson for LossModel {
 
 impl ToJson for AdversaryConfig {
     fn to_json(&self) -> Json {
-        Json::obj([("jitter_us", self.jitter.to_json()), ("targeted", self.targeted.to_json())])
+        // `bound_us` is a trailing optional member: encoded only when set,
+        // so configs predating the delay bound serialize byte-identically.
+        let mut members =
+            vec![("jitter_us", self.jitter.to_json()), ("targeted", self.targeted.to_json())];
+        if self.bound.is_some() {
+            members.push(("bound_us", self.bound.to_json()));
+        }
+        Json::obj(members)
     }
 }
 
 impl FromJson for AdversaryConfig {
     fn from_json(j: &Json) -> Result<Self, JsonError> {
-        Ok(AdversaryConfig { jitter: field(j, "jitter_us")?, targeted: field(j, "targeted")? })
+        Ok(AdversaryConfig {
+            jitter: field(j, "jitter_us")?,
+            targeted: field(j, "targeted")?,
+            bound: match j.get("bound_us") {
+                Some(v) => Option::from_json(v)?,
+                None => None,
+            },
+        })
+    }
+}
+
+impl ToJson for SchedConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("seed", Json::u64(self.seed)),
+            ("budget_us", self.budget.to_json()),
+            ("policy", self.policy.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SchedConfig {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(SchedConfig {
+            seed: field(j, "seed")?,
+            budget: field(j, "budget_us")?,
+            policy: field(j, "policy")?,
+        })
+    }
+}
+
+impl ToJson for SchedPolicy {
+    fn to_json(&self) -> Json {
+        match self {
+            SchedPolicy::Reorder { p } => {
+                Json::obj([("kind", Json::str("reorder")), ("p", Json::f64(*p))])
+            }
+            SchedPolicy::Victim { victims } => {
+                Json::obj([("kind", Json::str("victim")), ("victims", victims.to_json())])
+            }
+            SchedPolicy::CoinStarve { pass } => {
+                Json::obj([("kind", Json::str("coin_starve")), ("pass", pass.to_json())])
+            }
+        }
+    }
+}
+
+impl FromJson for SchedPolicy {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        match member(j, "kind")?.as_str() {
+            Some("reorder") => Ok(SchedPolicy::Reorder { p: field(j, "p")? }),
+            Some("victim") => Ok(SchedPolicy::Victim { victims: field(j, "victims")? }),
+            Some("coin_starve") => Ok(SchedPolicy::CoinStarve { pass: field(j, "pass")? }),
+            _ => Err(JsonError::msg("unknown sched policy kind")),
+        }
     }
 }
 
@@ -418,8 +479,16 @@ mod tests {
         let a = AdversaryConfig {
             jitter: Some(SimDuration::from_millis(10)),
             targeted: vec![(NodeId(3), SimDuration::from_secs(1))],
+            bound: None,
         };
         assert_eq!(round_trip(&a).to_json(), a.to_json());
+        assert!(
+            a.to_json().get("bound_us").is_none(),
+            "unset bound must stay absent for fixture byte-identity"
+        );
+        let bounded = AdversaryConfig { bound: Some(SimDuration::from_secs(4)), ..a.clone() };
+        assert_eq!(round_trip(&bounded).to_json(), bounded.to_json());
+        assert_eq!(round_trip(&bounded).bound, Some(SimDuration::from_secs(4)));
         let r = RadioParams::lora_sf7();
         assert_eq!(round_trip(&r), r);
         let c = CsmaParams::lora_class();
@@ -428,6 +497,21 @@ mod tests {
         assert_eq!(round_trip(&d), d);
         let s = CryptoSuite::medium();
         assert_eq!(round_trip(&s), s);
+    }
+
+    #[test]
+    fn sched_configs_round_trip() {
+        for policy in [
+            SchedPolicy::Reorder { p: 0.25 },
+            SchedPolicy::Victim { victims: vec![NodeId(1), NodeId(3)] },
+            SchedPolicy::CoinStarve { pass: 2 },
+        ] {
+            let cfg =
+                SchedConfig { seed: 42, budget: SimDuration::from_secs(5), policy };
+            let back = round_trip(&cfg);
+            assert_eq!(back, cfg);
+        }
+        assert!(SchedPolicy::from_json(&parse(r#"{"kind":"drop_all"}"#).unwrap()).is_err());
     }
 
     #[test]

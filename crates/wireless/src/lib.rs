@@ -18,7 +18,9 @@
 //!   ([`topology`]);
 //! * **asynchrony**: stochastic loss and adversarial (bounded) delivery
 //!   delays — messages between honest nodes are eventually delivered,
-//!   nothing more ([`adversary`]).
+//!   nothing more ([`adversary`]) — plus pluggable worst-case delivery
+//!   schedulers that adaptively reorder and hold back frames within a hard
+//!   per-delivery budget ([`sched`]).
 //!
 //! Protocol logic plugs in as sans-io [`NodeBehavior`] state machines; runs
 //! are bit-for-bit deterministic for a fixed seed.
@@ -55,6 +57,7 @@ pub mod csma;
 pub mod dma;
 pub mod metrics;
 pub mod radio;
+pub mod sched;
 pub mod sim;
 pub mod time;
 pub mod topology;
@@ -65,6 +68,7 @@ pub use csma::CsmaParams;
 pub use dma::DmaParams;
 pub use metrics::{Metrics, NodeMetrics};
 pub use radio::RadioParams;
+pub use sched::{Delivery, DeliveryScheduler, SchedConfig, SchedPolicy, SchedStats};
 pub use sim::{SimConfig, Simulator};
 pub use time::{SimDuration, SimTime};
 pub use topology::{ChannelId, NodeId, Position, RoutingModel, Topology};

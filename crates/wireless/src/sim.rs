@@ -13,6 +13,7 @@ use crate::csma::CsmaParams;
 use crate::dma::DmaParams;
 use crate::metrics::Metrics;
 use crate::radio::RadioParams;
+use crate::sched::{Delivery, DeliveryScheduler, SchedStats};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{ChannelId, NodeId, Topology};
 use bytes::Bytes;
@@ -142,6 +143,17 @@ pub struct Simulator<B: NodeBehavior> {
     seq: u64,
     metrics: Metrics,
     started: bool,
+    /// Events dispatched so far (the fuzzer's liveness budget unit).
+    events: u64,
+    /// Adversarial delivery scheduler, consulted per (tx, receiver) pair
+    /// after the loss roll. Owns its RNG, so installing one leaves the
+    /// simulation stream untouched.
+    scheduler: Option<Box<dyn DeliveryScheduler>>,
+    sched_stats: SchedStats,
+    /// Scratch buffers recycled across events (hot-path: the event loop
+    /// must not allocate per delivery).
+    cmd_scratch: Vec<Command>,
+    woken_scratch: Vec<NodeId>,
 }
 
 impl<B: NodeBehavior> Simulator<B> {
@@ -171,6 +183,11 @@ impl<B: NodeBehavior> Simulator<B> {
             seq: 0,
             metrics: Metrics::new(n),
             started: false,
+            events: 0,
+            scheduler: None,
+            sched_stats: SchedStats::default(),
+            cmd_scratch: Vec::new(),
+            woken_scratch: Vec::new(),
         }
     }
 
@@ -182,6 +199,28 @@ impl<B: NodeBehavior> Simulator<B> {
     /// Measurement counters.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Events dispatched so far — the fuzzer's liveness-budget unit (a
+    /// stalled run stops making progress in simulated time long before its
+    /// deadline, but keeps dispatching retry events; counting events bounds
+    /// both).
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    /// Installs an adversarial delivery scheduler (see [`crate::sched`]).
+    /// Every delay it returns is clamped to its own
+    /// [`DeliveryScheduler::budget`], so eventual delivery holds whatever
+    /// the implementation does.
+    pub fn set_scheduler(&mut self, scheduler: Box<dyn DeliveryScheduler>) {
+        self.scheduler = Some(scheduler);
+    }
+
+    /// Counters about the installed scheduler's interventions (zeroes when
+    /// no scheduler is installed).
+    pub fn sched_stats(&self) -> SchedStats {
+        self.sched_stats
     }
 
     /// The topology (channels may have changed at runtime).
@@ -264,6 +303,7 @@ impl<B: NodeBehavior> Simulator<B> {
     }
 
     fn dispatch(&mut self, kind: EventKind) {
+        self.events += 1;
         match kind {
             EventKind::Start(node) => self.call_behavior(node, |b, ctx| b.on_start(ctx)),
             EventKind::Timer(node, id) => {
@@ -295,15 +335,18 @@ impl<B: NodeBehavior> Simulator<B> {
     /// Runs one behavior callback and applies its commands.
     fn call_behavior(&mut self, node: NodeId, f: impl FnOnce(&mut B, &mut NodeCtx)) {
         let mut behavior = self.behaviors[node.index()].take().expect("behavior present");
+        // Command sink recycled across calls: callbacks run strictly
+        // sequentially (commands apply after the callback returns and never
+        // re-enter one), so one scratch vector serves every event.
         let mut ctx = NodeCtx {
             now: self.now,
             node,
             rng: &mut self.rng,
-            cmds: Vec::new(),
+            cmds: std::mem::take(&mut self.cmd_scratch),
             charged: SimDuration::ZERO,
         };
         f(&mut behavior, &mut ctx);
-        let NodeCtx { cmds, charged, .. } = ctx;
+        let NodeCtx { cmds: mut cmd_sink, charged, .. } = ctx;
         self.behaviors[node.index()] = Some(behavior);
 
         // Charge CPU: the node is busy until `now + charged`.
@@ -316,7 +359,7 @@ impl<B: NodeBehavior> Simulator<B> {
             self.now
         };
 
-        for cmd in cmds {
+        for cmd in cmd_sink.drain(..) {
             match cmd {
                 Command::Broadcast { channel, payload, nominal_len, slot } => {
                     let queue = &mut self.nodes[node.index()].tx_queue;
@@ -343,6 +386,7 @@ impl<B: NodeBehavior> Simulator<B> {
                 Command::LeaveChannel(ch) => self.topology.leave_channel(node, ch),
             }
         }
+        self.cmd_scratch = cmd_sink;
     }
 
     /// `true` iff `listener` senses energy on `channel` right now. A
@@ -469,8 +513,29 @@ impl<B: NodeBehavior> Simulator<B> {
                 self.metrics.node_mut(r_id).lost_noise += 1;
                 continue;
             }
-            // Adversarial + routing latency, then DMA arrival.
+            // Adversarial + scheduled + routing latency, then DMA arrival.
             let extra = self.cfg.adversary.extra_delay(tx.sender, r_id, &mut self.rng);
+            let sched = match self.scheduler.as_mut() {
+                Some(s) => {
+                    let d = s
+                        .delay(&Delivery {
+                            src: tx.sender,
+                            dst: r_id,
+                            channel: tx.channel,
+                            payload: &tx.payload,
+                            nominal_len: tx.nominal_len,
+                            now: self.now,
+                        })
+                        .min(s.budget());
+                    self.sched_stats.considered += 1;
+                    if d > SimDuration::ZERO {
+                        self.sched_stats.delayed += 1;
+                        self.sched_stats.total_extra_us += d.as_micros();
+                    }
+                    d
+                }
+                None => SimDuration::ZERO,
+            };
             let routed = self.topology.routing_for(tx.channel).extra_latency();
             let frame = Frame {
                 src: tx.sender,
@@ -478,14 +543,15 @@ impl<B: NodeBehavior> Simulator<B> {
                 payload: tx.payload.clone(),
                 nominal_len: tx.nominal_len,
             };
-            self.push(self.now + extra + routed, EventKind::RxArrive(r_id, frame));
+            self.push(self.now + extra + sched + routed, EventKind::RxArrive(r_id, frame));
         }
         if collided_any {
             self.metrics.collisions += 1;
         }
 
-        // Wake deferring nodes on this channel.
-        let mut woken = Vec::new();
+        // Wake deferring nodes on this channel (scratch vector recycled —
+        // this runs once per transmission).
+        let mut woken = std::mem::take(&mut self.woken_scratch);
         self.waiting.retain(|(ch, node)| {
             if *ch == tx.channel {
                 woken.push(*node);
@@ -494,15 +560,30 @@ impl<B: NodeBehavior> Simulator<B> {
                 true
             }
         });
-        for node in woken {
+        for node in woken.drain(..) {
             self.nodes[node.index()].tx_state = TxState::Idle;
             self.push(self.now, EventKind::TxAttempt(node));
         }
+        self.woken_scratch = woken;
 
-        // Prune history that can no longer overlap anything.
-        let horizon = self.now.saturating_since(SimTime::ZERO);
-        let keep_after = horizon.as_micros().saturating_sub(10_000_000);
-        self.recent_tx.retain(|t| t.end.as_micros() >= keep_after && t.seq != tx_seq || t.end > self.now);
+        // Prune history exactly: an ended transmission only matters for the
+        // collision checks of transmissions still in the air, which all
+        // started at or after the earliest in-flight start — so anything
+        // ending at or before that start can never overlap a future check,
+        // and with an idle medium the history empties outright. (Carrier
+        // sense only looks at in-flight transmissions, and future
+        // transmissions start after `now`.) The just-ended transmission is
+        // always removed, matching the long-standing tie-break: of two
+        // frames ending at the same instant, the second's collision check
+        // no longer sees the first. This keeps the linear scans in
+        // `channel_busy_for`/`tx_end` short on busy grids without changing
+        // any delivery.
+        let min_active_start = self.nodes.iter().filter_map(|st| st.current_tx_start).min();
+        let now = self.now;
+        self.recent_tx.retain(|t| {
+            t.seq != tx_seq
+                && (t.end > now || min_active_start.is_some_and(|s| t.end > s))
+        });
     }
 
     fn rx_arrive(&mut self, node: NodeId, frame: Frame) {
@@ -512,9 +593,10 @@ impl<B: NodeBehavior> Simulator<B> {
             let mut pending = std::mem::take(&mut self.nodes[node.index()].dma_buffered);
             self.nodes[node.index()].dma_buffered_bytes = 0;
             pending.push(frame);
-            for f in pending {
+            for f in pending.drain(..) {
                 self.push(self.now + delay, EventKind::RxProcess(node, f));
             }
+            self.nodes[node.index()].dma_buffered = pending;
         } else {
             self.nodes[node.index()].dma_buffered_bytes += frame.nominal_len;
             self.nodes[node.index()].dma_buffered.push(frame);
@@ -523,18 +605,20 @@ impl<B: NodeBehavior> Simulator<B> {
     }
 
     fn rx_flush(&mut self, node: NodeId) {
-        let pending = std::mem::take(&mut self.nodes[node.index()].dma_buffered);
+        let mut pending = std::mem::take(&mut self.nodes[node.index()].dma_buffered);
         self.nodes[node.index()].dma_buffered_bytes = 0;
         let interrupt = SimDuration::from_micros(self.cfg.dma.interrupt_us);
-        for f in pending {
+        for f in pending.drain(..) {
             self.push(self.now + interrupt, EventKind::RxProcess(node, f));
         }
+        self.nodes[node.index()].dma_buffered = pending;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sched::{SchedConfig, SchedPolicy};
     use std::collections::VecDeque;
 
     /// Test behavior: sends `to_send` frames at start; records receptions.
@@ -651,6 +735,67 @@ mod tests {
         sim.run_until(SimTime::from_micros(30_000_000));
         assert!(sim.behavior(NodeId(1)).received.is_empty());
         assert_eq!(sim.metrics().node(NodeId(1)).lost_noise, 5);
+    }
+
+    #[test]
+    fn scheduler_holds_back_victim_deliveries() {
+        let budget = SimDuration::from_secs(5);
+        let build = || {
+            let topo = Topology::single_hop(2);
+            let behaviors = vec![Chatter::new(1, 50), Chatter::new(0, 50)];
+            Simulator::new(cfg(6), topo, behaviors)
+        };
+        let mut sim = build();
+        sim.set_scheduler(
+            SchedConfig {
+                seed: 11,
+                budget,
+                policy: SchedPolicy::Victim { victims: vec![NodeId(1)] },
+            }
+            .build_generic()
+            .expect("generic policy"),
+        );
+        // Airtime is well under a second; at 2 s an unscheduled run has
+        // delivered (checked below), a starved victim has not.
+        sim.run_until(SimTime::from_micros(2_000_000));
+        assert!(sim.behavior(NodeId(1)).received.is_empty(), "victim starved early");
+        sim.run_until(SimTime::from_micros(20_000_000));
+        assert_eq!(sim.behavior(NodeId(1)).received, vec![(NodeId(0), 50)]);
+        let stats = sim.sched_stats();
+        assert_eq!(stats.considered, 1);
+        assert_eq!(stats.delayed, 1);
+        assert_eq!(stats.total_extra_us, budget.as_micros());
+
+        let mut plain = build();
+        plain.run_until(SimTime::from_micros(2_000_000));
+        assert_eq!(plain.behavior(NodeId(1)).received, vec![(NodeId(0), 50)]);
+    }
+
+    #[test]
+    fn inert_scheduler_leaves_the_run_untouched() {
+        // The scheduler owns its RNG, so installing one that never delays
+        // must reproduce the unscheduled run exactly.
+        let run = |sched: bool| {
+            let topo = Topology::single_hop(4);
+            let behaviors: Vec<_> = (0..4).map(|_| Chatter::new(2, 80)).collect();
+            let mut sim = Simulator::new(cfg(7), topo, behaviors);
+            if sched {
+                sim.set_scheduler(
+                    SchedConfig {
+                        seed: 99,
+                        budget: SimDuration::from_secs(1),
+                        policy: SchedPolicy::Reorder { p: 0.0 },
+                    }
+                    .build_generic()
+                    .expect("generic policy"),
+                );
+            }
+            sim.run_until(SimTime::from_micros(30_000_000));
+            let log: Vec<_> =
+                (0..4u16).map(|i| sim.behavior(NodeId(i)).received.clone()).collect();
+            (log, sim.metrics().collisions)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

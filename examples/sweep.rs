@@ -13,6 +13,7 @@
 //! ```
 
 use std::time::Instant;
+use wbft_consensus::fuzz::{campaign, fixture_string, FuzzConfig};
 use wbft_consensus::report::{report_root, scenario_string, write_reports};
 use wbft_consensus::sweep::{resolve_threads, run_scenarios, SweepSpec};
 use wbft_consensus::{ArrivalSpec, ByzantineMode, Protocol, ServiceConfig};
@@ -25,7 +26,13 @@ fn usage() -> ! {
          \x20            [--loss P1,P2,...] [--byz MODE@NODE,...] [--suites light,medium]\n\
          \x20            [--service IAMSxCOUNT[@CAP]] [--threads T] [--out DIR]\n\
          \x20            [--verify-serial]\n\
+         \x20      sweep --fuzz SCENARIOS [--seeds CAMPAIGN_SEED] [--protocols LIST]\n\
+         \x20            [--out DIR]\n\
          \n\
+         fuzz:      coverage-guided scenario campaign hunting liveness stalls and\n\
+         \x20          agreement violations; minimized failures land as replayable\n\
+         \x20          fixtures under --out (default target/reports/fuzz) and the\n\
+         \x20          exit code is non-zero when any scenario fails\n\
          protocols: hb-lc hb-sc beat dumbo-lc dumbo-sc hb-sc-baseline beat-baseline\n\
          \x20          dumbo-sc-baseline\n\
          byz modes: silent flip corrupt crashN (e.g. crash1@2 = node 2 crashes after\n\
@@ -98,14 +105,20 @@ fn main() {
     let mut spec = SweepSpec::new("sweep");
     spec.protocols = Protocol::ALL.to_vec();
     let mut threads: Option<usize> = None;
-    let mut out = report_root().join("sweep");
+    let mut out: Option<std::path::PathBuf> = None;
     let mut verify_serial = false;
+    let mut fuzz_scenarios: Option<u32> = None;
+    let mut protocols_set = false;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || it.next().map(String::as_str).unwrap_or_else(|| usage());
         match flag.as_str() {
-            "--protocols" => spec.protocols = parse_protocols(value()),
+            "--protocols" => {
+                spec.protocols = parse_protocols(value());
+                protocols_set = true;
+            }
+            "--fuzz" => fuzz_scenarios = Some(value().parse().unwrap_or_else(|_| usage())),
             "--multihop" => spec.topologies = vec![Some(4)],
             "--both" => spec.topologies = vec![None, Some(4)],
             "--seeds" => spec.seeds = parse_list(value()),
@@ -141,12 +154,27 @@ fn main() {
                 spec.services = vec![None, Some(parse_service(value()))];
             }
             "--threads" => threads = Some(value().parse().unwrap_or_else(|_| usage())),
-            "--out" => out = value().into(),
+            "--out" => out = Some(value().into()),
             "--verify-serial" => verify_serial = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
+
+    if let Some(scenarios) = fuzz_scenarios {
+        let out = out.unwrap_or_else(|| report_root().join("fuzz"));
+        let mut cfg = FuzzConfig::smoke(scenarios);
+        if let Some(&seed) = spec.seeds.first() {
+            cfg.seed = seed;
+        }
+        if protocols_set {
+            cfg.protocols = spec.protocols.clone();
+        }
+        run_fuzz(&cfg, &out);
+        return;
+    }
+
+    let out = out.unwrap_or_else(|| report_root().join("sweep"));
     if spec.is_empty() {
         usage();
     }
@@ -239,6 +267,57 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+/// Runs a fuzz campaign, writes every minimized failure as a replayable
+/// fixture under `out`, and exits non-zero when anything failed.
+fn run_fuzz(cfg: &FuzzConfig, out: &std::path::Path) {
+    let protocols: Vec<&str> = cfg.protocols.iter().map(|p| p.slug()).collect();
+    println!(
+        "fuzz: {} scenarios, campaign seed {}, protocols [{}]",
+        cfg.scenarios,
+        cfg.seed,
+        protocols.join(", ")
+    );
+    let t0 = Instant::now();
+    let report = campaign(cfg);
+    println!(
+        "fuzz: {} executed, {} coverage keys, corpus {}, {} failure(s) in {:.2}s",
+        report.executed,
+        report.coverage,
+        report.corpus,
+        report.failures.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    if report.failures.is_empty() {
+        return;
+    }
+    std::fs::create_dir_all(out).unwrap_or_else(|e| {
+        eprintln!("cannot create {}: {e}", out.display());
+        std::process::exit(1);
+    });
+    for f in &report.failures {
+        let path = out.join(format!("{}.json", f.case.label));
+        let text = fixture_string(&f.case, f.outcome.verdict);
+        std::fs::write(&path, text).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        eprintln!(
+            "FAILURE: {} -> {} (events {}, blocks {}) fixture {}",
+            f.case.label,
+            f.outcome.verdict.name(),
+            f.outcome.events,
+            f.outcome.blocks,
+            path.display()
+        );
+    }
+    eprintln!(
+        "fuzz FAILED: {} scenario(s) stalled or diverged; fixtures in {}",
+        report.failures.len(),
+        out.display()
+    );
+    std::process::exit(1);
 }
 
 /// Left-align the first column, right-align the rest.

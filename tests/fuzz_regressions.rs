@@ -1,0 +1,61 @@
+//! Replays every fuzz fixture under `tests/fixtures/fuzz/`.
+//!
+//! Each fixture is a minimized scenario the fuzzer (`wbft_consensus::fuzz`)
+//! once flagged — or a canonical adversarial schedule worth pinning — plus
+//! the verdict the current code must produce. `replay_fixture` runs each
+//! case twice and checks both determinism (byte-identical outcome
+//! encodings) and the expected verdict, so a regression of any fixed
+//! liveness bug (or a new nondeterminism) fails here with the offending
+//! file named.
+//!
+//! The seeded fixtures:
+//! * `coin-quorum-starvation.{beat,hb-sc}` — the protocol-aware CoinStarve
+//!   schedule holds back every common-coin share after the first, per
+//!   receiver and round, for the full 20 s budget; shared-coin protocols
+//!   must still terminate (liveness under bounded delays).
+//! * `dumbo-sc-corrupt-proposer-deadlock` — a corrupt proposer once drove
+//!   every honest node to elect a candidate whose CBC_value is permanently
+//!   unrecoverable (the commit CBC, a plain bitmap, survives corruption
+//!   while the value CBC does not); fixed by requiring the candidate's
+//!   CBC_value locally before voting 1 in the election ABA (dumbo.rs).
+//! * `hb-lc-flip-votes-unjustified-phase2` — a vote-flipping node once
+//!   broke local-coin ABA agreement by injecting a phase-2 vote with no
+//!   phase-1 justification, denying both values the strict majority and
+//!   coin-flipping honest nodes away from a decided value; fixed by
+//!   Bracha message validation in aba_lc.rs.
+
+use std::path::{Path, PathBuf};
+use wbft_consensus::fuzz::{
+    coin_starvation_case, fixture_string, replay_fixture, FuzzVerdict, DEFAULT_EVENT_BUDGET,
+};
+use wbft_consensus::Protocol;
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/fuzz")
+}
+
+#[test]
+fn every_fixture_replays_deterministically_with_its_expected_verdict() {
+    let mut replayed = 0;
+    for entry in std::fs::read_dir(fixture_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "json") {
+            replay_fixture(&path).unwrap_or_else(|e| panic!("{e}"));
+            replayed += 1;
+        }
+    }
+    assert!(replayed >= 4, "expected the seeded fixture set, found {replayed}");
+}
+
+#[test]
+fn coin_starvation_fixtures_match_the_canonical_encoding() {
+    // The committed files are exactly what `fixture_string` produces for
+    // the canonical coin-quorum-starvation cases, so encoder drift (which
+    // would silently decouple the fixtures from the fuzzer) fails loudly.
+    for p in [Protocol::Beat, Protocol::HoneyBadgerSc] {
+        let case = coin_starvation_case(p, DEFAULT_EVENT_BUDGET);
+        let disk =
+            std::fs::read_to_string(fixture_dir().join(format!("{}.json", case.label))).unwrap();
+        assert_eq!(fixture_string(&case, FuzzVerdict::Ok), disk, "{} drifted", case.label);
+    }
+}
