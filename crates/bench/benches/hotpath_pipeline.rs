@@ -1,0 +1,164 @@
+//! Epoch-pipelining bench — latency vs load, pipelined against sequential.
+//!
+//! Runs the same open-loop client arrival schedule through the sweep
+//! harness at pipeline depths W ∈ {1, 2, 4} and compares per-transaction
+//! commit latency in *simulated* time (deterministic, so the comparison is
+//! stable across machines and CI runs). With arrivals faster than the
+//! epoch cadence, the sequential engine (W = 1) queues submissions behind
+//! one epoch at a time while a pipelined engine overlaps the next epochs'
+//! dissemination with the current agreement — the bench asserts the
+//! headline claim: at matched arrival rates, some W ≥ 2 beats W = 1 on
+//! mean commit latency for at least one protocol.
+//!
+//! Also times wall-clock µs/run per grid point and writes the JSON
+//! baseline to `target/reports/hotpath/` so CI tracks both the simulated
+//! latency win and the event-loop cost of the pipelined paths across PRs.
+
+use std::time::Instant;
+use wbft_bench::{banner, report_dir, row, write_json};
+use wbft_consensus::report::scenario_string;
+use wbft_consensus::sweep::{run_sweep, SweepSpec};
+use wbft_consensus::testbed::run;
+use wbft_consensus::{ArrivalSpec, Protocol, ServiceConfig};
+use wbft_report::Json;
+
+/// Mean microseconds per call over `reps` calls (one warmup call first).
+fn time_us<R>(reps: u32, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    t0.elapsed().as_secs_f64() * 1e6 / reps as f64
+}
+
+fn main() {
+    let reps: u32 = std::env::var("WBFT_HOTPATH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+
+    banner(
+        "Hotpath pipeline — commit latency vs pipeline depth at matched load",
+        "open-loop arrivals faster than the epoch cadence; latency is simulated time",
+    );
+
+    // One latency-vs-load grid: three protocols × depths, with the same
+    // saturating arrival schedule everywhere (the matched-load
+    // comparison). Arrivals land faster than any epoch can drain them, so
+    // a backlog exists from the start — the regime pipelining is for.
+    let mut spec = SweepSpec::new("hotpath-pipeline");
+    spec.protocols = vec![Protocol::HoneyBadgerSc, Protocol::DumboSc, Protocol::Beat];
+    spec.pipeline_depths = vec![1, 2, 4];
+    spec.seeds = vec![7];
+    spec.batch_size = 4;
+    spec.services = vec![Some(ServiceConfig {
+        arrivals: ArrivalSpec { per_node: 24, interval_us: 1_000, tx_bytes: 32, seed: 13 },
+        mempool_capacity: 128,
+        max_epochs: 64,
+    })];
+    let runs = run_sweep(&spec, 1);
+
+    let widths = [52usize, 6, 12, 12, 12, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "scenario".into(),
+                "W".into(),
+                "mean (ms)".into(),
+                "p99 (ms)".into(),
+                "us/run".into(),
+                "txs".into(),
+            ],
+            &widths
+        )
+    );
+
+    // mean commit latency (µs, simulated) per (protocol, depth).
+    let mut mean_us = std::collections::BTreeMap::new();
+    let mut rows = Vec::new();
+    for sweep_run in &runs {
+        let scenario = &sweep_run.scenario;
+        let cfg = &scenario.cfg;
+        assert!(sweep_run.report.completed, "{}: run must drain", scenario.label);
+        // Determinism bar: a repeated run must reproduce the exact report.
+        let text = scenario_string(&scenario.label, cfg, &sweep_run.report);
+        let again = scenario_string(&scenario.label, cfg, &run(cfg));
+        assert_eq!(text, again, "{}: repeated runs must be byte-identical", scenario.label);
+        let service = sweep_run.report.service.as_ref().expect("service member present");
+        assert_eq!(
+            service.committed_client_txs, service.admitted,
+            "{}: every admitted tx must commit",
+            scenario.label
+        );
+        let wall_us = time_us(reps, || run(cfg));
+        mean_us.insert((cfg.protocol.slug(), cfg.pipeline_depth), service.latency.mean_us);
+        println!(
+            "{}",
+            row(
+                &[
+                    scenario.label.clone(),
+                    cfg.pipeline_depth.to_string(),
+                    format!("{:.1}", service.latency.mean_us / 1e3),
+                    format!("{:.1}", service.latency.p99_us as f64 / 1e3),
+                    format!("{wall_us:.0}"),
+                    sweep_run.report.total_txs.to_string(),
+                ],
+                &widths
+            )
+        );
+        rows.push(Json::obj([
+            ("scenario", Json::str(scenario.label.clone())),
+            ("protocol", Json::str(cfg.protocol.slug())),
+            ("pipeline_depth", Json::u64(cfg.pipeline_depth)),
+            ("mean_latency_us", Json::f64(service.latency.mean_us)),
+            ("p50_latency_us", Json::u64(service.latency.p50_us)),
+            ("p99_latency_us", Json::u64(service.latency.p99_us)),
+            ("committed_txs", Json::u64(service.committed_client_txs)),
+            ("us_per_run", Json::f64(wall_us)),
+        ]));
+    }
+
+    // The headline claim: at matched arrival rates, some pipelined depth
+    // beats the sequential engine's mean commit latency on at least one
+    // protocol. (Deterministic simulated time, so this is a stable gate,
+    // not a flaky wall-clock one.)
+    let mut winners = Vec::new();
+    for &protocol in &spec.protocols {
+        let sequential = mean_us[&(protocol.slug(), 1)];
+        let best_pipelined = spec
+            .pipeline_depths
+            .iter()
+            .filter(|&&d| d > 1)
+            .map(|&d| mean_us[&(protocol.slug(), d)])
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "{}: sequential {:.1} ms vs best pipelined {:.1} ms ({:+.1}%)",
+            protocol.slug(),
+            sequential / 1e3,
+            best_pipelined / 1e3,
+            (best_pipelined - sequential) / sequential * 100.0,
+        );
+        if best_pipelined < sequential {
+            winners.push(protocol);
+        }
+    }
+    assert!(
+        !winners.is_empty(),
+        "no protocol improved mean commit latency at any pipelined depth"
+    );
+
+    let report = Json::obj([
+        ("kind", Json::str("hotpath-pipeline")),
+        ("reps", Json::u64(reps as u64)),
+        ("runs", Json::arr(rows)),
+    ]);
+    let path = report_dir("hotpath").join("hotpath_pipeline.json");
+    write_json(&path, &report);
+    println!("\nreport: {}", path.display());
+    println!(
+        "[hotpath_pipeline] OK (deterministic; pipelining wins on {})",
+        winners.iter().map(|p| p.slug()).collect::<Vec<_>>().join(", ")
+    );
+}

@@ -68,6 +68,13 @@ pub trait Engine {
     /// Handles a component timer.
     fn on_timer(&mut self, session: u64, local: u32, out: &mut EngineOut);
 
+    /// Notifies the engine that new client work may be available (a local
+    /// submission was just admitted to the mempool). Pipelined engines
+    /// open an extra dissemination epoch mid-agreement here; the default
+    /// — and every strictly sequential engine — does nothing, so the
+    /// sequential event stream is untouched.
+    fn on_work_available(&mut self, _out: &mut EngineOut) {}
+
     /// Blocks decided so far, in epoch order.
     fn blocks(&self) -> &[Block];
 
@@ -86,6 +93,9 @@ impl Engine for Box<dyn Engine> {
     }
     fn on_timer(&mut self, session: u64, local: u32, out: &mut EngineOut) {
         (**self).on_timer(session, local, out)
+    }
+    fn on_work_available(&mut self, out: &mut EngineOut) {
+        (**self).on_work_available(out)
     }
     fn blocks(&self) -> &[Block] {
         (**self).blocks()
@@ -295,13 +305,19 @@ impl<E: Engine> NodeBehavior for ProtocolNode<E> {
     fn on_timer(&mut self, id: u64, ctx: &mut NodeCtx) {
         if id & ARRIVAL_TIMER_BIT != 0 {
             // A scheduled client arrival: submit into the mempool; the
-            // engine pulls it when it opens its next epoch.
+            // engine pulls it when it opens its next epoch. Pipelined
+            // engines may open that epoch right now, overlapping its
+            // dissemination with the agreement already in flight.
             if let Some(svc) = &self.service {
                 let idx = (id & !ARRIVAL_TIMER_BIT) as usize;
                 if let Some((_, tx)) = svc.arrivals.get(idx) {
                     svc.handle.submit(tx.clone(), ctx.now());
                 }
             }
+            let mut out = std::mem::take(&mut self.scratch);
+            self.engine.on_work_available(&mut out);
+            self.apply(&mut out, ctx);
+            self.scratch = out;
             return;
         }
         let session = id >> TIMER_LOCAL_BITS;

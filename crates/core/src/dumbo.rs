@@ -31,7 +31,6 @@ use wbft_crypto::thresh_coin::{CoinName, CoinShare};
 use wbft_crypto::thresh_sig::ThresholdSignature;
 use wbft_net::{Bitmap, Body, CoinFlavor, RetransmitPolicy};
 
-const KEEP_EPOCHS: usize = 2;
 const TIMER_PI_RETX: u32 = 0;
 
 // ------------------------------------------------------------------
@@ -342,6 +341,9 @@ struct EpochState {
     /// Position in π currently being voted.
     cursor: usize,
     elected: Option<usize>,
+    /// Decided block awaiting in-order finalization (pipelined epochs may
+    /// decide out of order; the chain commits strictly by epoch).
+    decided: Option<Block>,
     committed: bool,
 }
 
@@ -367,6 +369,9 @@ pub struct DumboEngine {
     stop: StopCondition,
     /// Epochs opened so far (`is_done` compares against committed blocks).
     started: u64,
+    /// Pipeline depth `W`: epochs allowed in flight past the committed
+    /// chain. `W = 1` is the strictly sequential behavior.
+    depth: u64,
     epochs: VecDeque<EpochState>,
     blocks: Vec<Block>,
 }
@@ -391,6 +396,7 @@ impl DumboEngine {
             source: source.into(),
             stop,
             started: 0,
+            depth: 1,
             epochs: VecDeque::new(),
             blocks: Vec::new(),
         }
@@ -399,6 +405,16 @@ impl DumboEngine {
     /// Mutable access to the proposal source.
     pub fn source_mut(&mut self) -> &mut BatchSource {
         &mut self.source
+    }
+
+    /// Sets the pipeline depth `W` (clamped to at least 1). Call before
+    /// `start`; `W = 1` reproduces the sequential engine byte for byte.
+    /// Dumbo pipelines the dissemination lane (PRBC/CBC for future epochs
+    /// run while earlier epochs elect); the serial election itself is
+    /// inherently per-epoch.
+    pub fn with_depth(mut self, depth: u64) -> Self {
+        self.depth = depth.max(1);
+        self
     }
 
     fn begin_epoch(&mut self, epoch: u64, out: &mut EngineOut) {
@@ -468,6 +484,7 @@ impl DumboEngine {
             order: None,
             cursor: 0,
             elected: None,
+            decided: None,
             committed: false,
         };
         let txs = self.source.batch(epoch, self.me);
@@ -475,8 +492,28 @@ impl DumboEngine {
         st.prbc.start(encode_batch(&txs), &mut acts);
         out.absorb(p_prbc.session, &mut acts);
         self.epochs.push_back(st);
-        while self.epochs.len() > KEEP_EPOCHS {
+        // Keep one finalized epoch beyond the pipeline window alive as a
+        // NACK responder for lagging peers.
+        let keep = self.depth as usize + 1;
+        while self.epochs.len() > keep {
             self.epochs.pop_front();
+        }
+    }
+
+    /// Opens dissemination for new epochs until `depth` are in flight past
+    /// the committed chain (or the stop condition refuses). As in the
+    /// HoneyBadger engine, the epoch right past the chain head always
+    /// opens (the sequential cadence) while *extra* pipelined epochs open
+    /// only when the source has work — eager opens on an idle mempool
+    /// would burn whole epochs on empty proposals.
+    fn open_epochs(&mut self, out: &mut EngineOut) {
+        while self.started < self.blocks.len() as u64 + self.depth && self.stop.allows(self.started)
+        {
+            if self.started > self.blocks.len() as u64 && !self.source.has_work() {
+                break;
+            }
+            let next = self.started;
+            self.begin_epoch(next, out);
         }
     }
 
@@ -484,10 +521,19 @@ impl DumboEngine {
         let quorum = 2 * self.f + 1;
         let Some(idx) = self.epochs.iter().position(|e| e.epoch == epoch) else { return };
 
-        // Stage 2: CBC_value after 2f+1 PRBC proofs.
+        // Stage 2: CBC_value after 2f+1 PRBC proofs. At pipelined depths a
+        // *future* epoch's agreement lane (CBC → coin → election) stays
+        // parked until the epoch reaches the chain head — only its PRBC
+        // dissemination overlaps the head's agreement. Starting the CBC
+        // early would exclude proposals still in flight behind pipelined
+        // traffic from the W vector and drop whole batches into requeue.
+        let at_head = self.epochs[idx].epoch == self.blocks.len() as u64;
         {
             let st = &mut self.epochs[idx];
-            if !st.value_started && st.prbc.proven_count() >= quorum {
+            if !st.value_started
+                && st.prbc.proven_count() >= quorum
+                && (self.depth == 1 || at_head)
+            {
                 st.value_started = true;
                 let mut entries = Vec::new();
                 for j in 0..self.n {
@@ -570,10 +616,10 @@ impl DumboEngine {
             }
         }
         // Stage 6: assemble the block from the elected candidate's W.
-        let committed_now = {
+        {
             let st = &mut self.epochs[idx];
-            if st.committed {
-                false
+            if st.committed || st.decided.is_some() {
+                // Already decided; waiting (if at all) on finalization.
             } else if let Some(c) = st.elected {
                 if let Some(wbytes) = st.value_cbc.delivered(c) {
                     if let Some(entries) = decode_w(wbytes) {
@@ -608,48 +654,65 @@ impl DumboEngine {
                                     }
                                 }
                             }
-                            st.committed = true;
-                            let block = Block { epoch, txs };
-                            // Service mode: resolve before the next epoch
-                            // pulls its batch (see honeybadger.rs).
-                            if let BatchSource::Service { handle, .. } = &self.source {
-                                handle.resolve_commit(&block);
-                            }
-                            self.blocks.push(block);
-                            true
+                            st.decided = Some(Block { epoch, txs });
                         } else if !all_valid {
                             // Forged W vector — cannot happen for an elected
                             // honest candidate; fall back to the next one.
                             st.elected = None;
                             st.cursor += 1;
-                            false
-                        } else {
-                            false // waiting on PRBC values via NACK
                         }
+                        // else: waiting on PRBC values via NACK
                     } else {
                         // Malformed W: skip candidate.
                         st.elected = None;
                         st.cursor += 1;
-                        false
                     }
-                } else {
-                    false // waiting on the candidate's CBC_value via NACK
                 }
-            } else {
-                false
+                // else: waiting on the candidate's CBC_value via NACK
             }
-        };
-        if committed_now && self.stop.allows(epoch + 1) {
-            self.begin_epoch(epoch + 1, out);
+        }
+        self.finalize_in_order(out);
+    }
+
+    /// Appends decided epochs to the chain strictly in epoch order — the
+    /// committed digest chain stays a common prefix even when a later
+    /// pipelined epoch decides before an earlier one — then refills the
+    /// dissemination pipeline.
+    fn finalize_in_order(&mut self, out: &mut EngineOut) {
+        let mut advanced = false;
+        loop {
+            let next = self.blocks.len() as u64;
+            let Some(i) = self.epochs.iter().position(|e| e.epoch == next) else { break };
+            let Some(block) = self.epochs[i].decided.take() else { break };
+            self.epochs[i].committed = true;
+            // Service mode: resolve before the next epoch pulls its batch
+            // (see honeybadger.rs).
+            if let BatchSource::Service { handle, .. } = &self.source {
+                handle.resolve_commit(&block);
+            }
+            self.blocks.push(block);
+            advanced = true;
+        }
+        if advanced {
+            self.open_epochs(out);
+            // The next epoch just became the chain head: release its
+            // parked agreement lane (no-op when its PRBC quorum is not in
+            // yet or at depth 1, where the head is the only open epoch).
+            let head = self.blocks.len() as u64;
+            self.poll(head, out);
         }
     }
 }
 
 impl Engine for DumboEngine {
     fn start(&mut self, out: &mut EngineOut) {
-        if self.stop.allows(0) {
-            self.begin_epoch(0, out);
-        }
+        self.open_epochs(out);
+    }
+
+    fn on_work_available(&mut self, out: &mut EngineOut) {
+        // Fill the pipeline window on fresh local submissions (no-op at
+        // the sequential depth, which never has window slack here).
+        self.open_epochs(out);
     }
 
     fn handle(&mut self, session: u64, from: usize, body: &Body, out: &mut EngineOut) {
@@ -708,6 +771,15 @@ mod tests {
     use wbft_wireless::{ChannelId, SimConfig, SimTime, Simulator, Topology};
 
     fn run_dumbo(variant: DumboVariant, seed: u64, epochs: u64) -> Vec<Vec<Block>> {
+        run_dumbo_at_depth(variant, seed, epochs, 1)
+    }
+
+    fn run_dumbo_at_depth(
+        variant: DumboVariant,
+        seed: u64,
+        epochs: u64,
+        depth: u64,
+    ) -> Vec<Vec<Block>> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(77);
         let crypto = deal_node_crypto(4, CryptoSuite::light(), &mut rng);
         let workload = Workload::small();
@@ -715,7 +787,8 @@ mod tests {
             .into_iter()
             .map(|c| {
                 let engine =
-                    DumboEngine::new(c.clone(), variant, workload.clone(), StopCondition::Epochs(epochs));
+                    DumboEngine::new(c.clone(), variant, workload.clone(), StopCondition::Epochs(epochs))
+                        .with_depth(depth);
                 ProtocolNode::new(engine, c, ChannelId(0))
             })
             .collect();
@@ -745,6 +818,21 @@ mod tests {
         let first = &blocks[0];
         for b in &blocks {
             assert_eq!(b, first);
+        }
+    }
+
+    #[test]
+    fn dumbo_sc_pipelined_depths_agree_and_commit_in_order() {
+        for depth in [2u64, 4] {
+            let all_blocks = run_dumbo_at_depth(DumboVariant::Sc, 5, 3, depth);
+            let first = &all_blocks[0];
+            assert_eq!(first.len(), 3, "depth {depth}: all epochs commit");
+            for (e, b) in first.iter().enumerate() {
+                assert_eq!(b.epoch, e as u64, "depth {depth}: chain is in epoch order");
+            }
+            for blocks in &all_blocks {
+                assert_eq!(blocks, first, "depth {depth}: all nodes agree");
+            }
         }
     }
 

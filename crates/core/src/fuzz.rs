@@ -256,6 +256,10 @@ pub fn coverage_key(case: &FuzzCase, out: &FuzzOutcome) -> u64 {
         fnv1a(&mut h, format!("{mode:?}").as_bytes());
     }
     fnv1a(&mut h, format!("{:?}", case.cfg.loss).as_bytes());
+    // Fold only non-default depths so pre-pipelining keys are unchanged.
+    if case.cfg.pipeline_depth != 1 {
+        fnv1a(&mut h, &case.cfg.pipeline_depth.to_le_bytes());
+    }
     if let Some(s) = &case.cfg.sched {
         fnv1a(&mut h, format!("{:?}", s.policy).as_bytes());
         fnv1a(&mut h, &bucket(s.budget.as_micros()).to_le_bytes());
@@ -274,7 +278,7 @@ pub fn coverage_key(case: &FuzzCase, out: &FuzzOutcome) -> u64 {
 fn mutate(case: &FuzzCase, protocols: &[Protocol], rng: &mut ChaCha12Rng) -> FuzzCase {
     let mut cfg = case.cfg.clone();
     // One structural mutation per generation keeps minimization short.
-    match rng.random_range(0..8u32) {
+    match rng.random_range(0..9u32) {
         0 => cfg.seed = rng.random_range(1..1 << 16),
         1 => cfg.protocol = protocols[rng.random_range(0..protocols.len())],
         2 => {
@@ -307,7 +311,8 @@ fn mutate(case: &FuzzCase, protocols: &[Protocol], rng: &mut ChaCha12Rng) -> Fuz
         }
         5 => cfg.sched = None,
         6 => cfg.epochs = rng.random_range(1..=2),
-        _ => cfg.workload.batch_size = [4usize, 8, 16][rng.random_range(0..3usize)],
+        7 => cfg.workload.batch_size = [4usize, 8, 16][rng.random_range(0..3usize)],
+        _ => cfg.pipeline_depth = [1u64, 2, 4][rng.random_range(0..3usize)],
     }
     FuzzCase { label: String::new(), cfg, event_budget: case.event_budget }
 }
@@ -322,8 +327,13 @@ fn relabel(case: &mut FuzzCase, index: u32) {
         },
     };
     let byz = if case.cfg.byzantine.is_empty() { "honest" } else { "byz" };
+    let depth = if case.cfg.pipeline_depth == 1 {
+        String::new()
+    } else {
+        format!(".w{}", case.cfg.pipeline_depth)
+    };
     case.label = format!(
-        "fuzz-{index:04}.{}.n{}.{sched}.{byz}.seed{}",
+        "fuzz-{index:04}.{}.n{}.{sched}.{byz}{depth}.seed{}",
         case.cfg.protocol.slug(),
         case.cfg.n,
         case.cfg.seed
@@ -394,6 +404,19 @@ pub fn base_case(protocol: Protocol, event_budget: u64) -> FuzzCase {
     cfg.epochs = 1;
     cfg.workload.batch_size = 8;
     FuzzCase { label: format!("base.{}", protocol.slug()), cfg, event_budget }
+}
+
+/// The base case at pipeline depth `W`: `depth` epochs keep their
+/// dissemination in flight while earlier epochs finish agreement. Pinned
+/// as fixtures so the pipelined epoch machinery (decided-block buffering,
+/// in-order finalization, early decryption) stays deterministic and live
+/// under the fuzzer's replay check.
+pub fn pipelined_case(protocol: Protocol, depth: u64, event_budget: u64) -> FuzzCase {
+    let mut case = base_case(protocol, event_budget);
+    case.cfg.epochs = 2;
+    case.cfg.pipeline_depth = depth;
+    case.label = format!("pipelined-w{depth}.{}", protocol.slug());
+    case
 }
 
 /// The canonical protocol-aware attack: hold back every coin share after
@@ -469,13 +492,14 @@ pub fn campaign(cfg: &FuzzConfig) -> FuzzReport {
 /// The result is the fixture a regression test replays.
 pub fn minimize(case: &FuzzCase, verdict: FuzzVerdict) -> FuzzCase {
     let mut best = case.clone();
-    let attempts: [fn(&mut TestbedConfig); 6] = [
+    let attempts: [fn(&mut TestbedConfig); 7] = [
         |c| c.byzantine.clear(),
         |c| c.loss = wbft_wireless::LossModel::None,
         |c| c.sched = None,
         |c| c.adversary = wbft_wireless::AdversaryConfig::benign(),
         |c| c.epochs = 1,
         |c| c.workload.batch_size = 4,
+        |c| c.pipeline_depth = 1,
     ];
     for attempt in attempts {
         let mut candidate = best.clone();

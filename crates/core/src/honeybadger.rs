@@ -30,9 +30,6 @@ use wbft_crypto::thresh_enc::{Ciphertext, DecShare};
 use wbft_crypto::GroupElem;
 use wbft_net::{Bitmap, Body, CoinFlavor, RetransmitPolicy};
 
-/// How many past epochs stay alive as NACK responders.
-const KEEP_EPOCHS: usize = 2;
-
 const TIMER_DEC_RETX: u32 = 0;
 
 // ------------------------------------------------------------------
@@ -276,6 +273,9 @@ struct EpochState<B, A> {
     dec: DecStage,
     aba_inputs_sent: bool,
     accepted: Option<Vec<usize>>,
+    /// Decided block awaiting in-order finalization (pipelined epochs may
+    /// decide out of order; the chain commits strictly by epoch).
+    decided: Option<Block>,
     committed: bool,
 }
 
@@ -289,6 +289,9 @@ pub struct HbEngine<B, A> {
     stop: StopCondition,
     /// Epochs opened so far (`is_done` compares against committed blocks).
     started: u64,
+    /// Pipeline depth `W`: epochs allowed in flight past the committed
+    /// chain. `W = 1` is the strictly sequential behavior.
+    depth: u64,
     make_rbc: Box<dyn FnMut(Params) -> B + Send>,
     make_aba: Box<dyn FnMut(Params) -> A + Send>,
     batched_dec: bool,
@@ -322,6 +325,7 @@ impl<B: Broadcaster, A: BinaryAgreement> HbEngine<B, A> {
             source,
             stop,
             started: 0,
+            depth: 1,
             make_rbc,
             make_aba,
             batched_dec,
@@ -335,6 +339,13 @@ impl<B: Broadcaster, A: BinaryAgreement> HbEngine<B, A> {
     /// fixed proposals before starting an epoch).
     pub fn source_mut(&mut self) -> &mut BatchSource {
         &mut self.source
+    }
+
+    /// Sets the pipeline depth `W` (clamped to at least 1). Call before
+    /// `start`; `W = 1` reproduces the sequential engine byte for byte.
+    pub fn with_depth(mut self, depth: u64) -> Self {
+        self.depth = depth.max(1);
+        self
     }
 
     fn begin_epoch(&mut self, epoch: u64, out: &mut EngineOut) {
@@ -363,10 +374,54 @@ impl<B: Broadcaster, A: BinaryAgreement> HbEngine<B, A> {
             dec,
             aba_inputs_sent: false,
             accepted: None,
+            decided: None,
             committed: false,
         });
-        while self.epochs.len() > KEEP_EPOCHS {
+        // Keep one finalized epoch beyond the pipeline window alive as a
+        // NACK responder for lagging peers.
+        let keep = self.depth as usize + 1;
+        while self.epochs.len() > keep {
             self.epochs.pop_front();
+        }
+    }
+
+    /// Opens dissemination for new epochs until `depth` are in flight past
+    /// the committed chain (or the stop condition refuses). The epoch
+    /// right past the chain head always opens — that is the sequential
+    /// cadence every depth shares — but *extra* pipelined epochs open only
+    /// while the source has work for them: an eager open on an idle
+    /// mempool would spend a full epoch of airtime on an empty proposal.
+    fn open_epochs(&mut self, out: &mut EngineOut) {
+        while self.started < self.blocks.len() as u64 + self.depth && self.stop.allows(self.started)
+        {
+            if self.started > self.blocks.len() as u64 && !self.source.has_work() {
+                break;
+            }
+            let next = self.started;
+            self.begin_epoch(next, out);
+        }
+    }
+
+    /// Starts decryption of proposer `j`'s delivered proposal; a malformed
+    /// ciphertext from a Byzantine proposer counts as an empty contribution.
+    fn activate_dec(
+        crypto: &NodeCrypto,
+        st: &mut EpochState<B, A>,
+        j: usize,
+        session: u64,
+        out: &mut EngineOut,
+    ) {
+        if st.dec.active[j] {
+            return;
+        }
+        let Some(bytes) = st.rbc.delivered(j) else { return };
+        if let Some(ct) = decode_ciphertext(bytes) {
+            let mut acts = Actions::new();
+            st.dec.activate(j, ct, crypto, &mut acts);
+            out.absorb(session, &mut acts);
+        } else {
+            st.dec.active[j] = true;
+            st.dec.plaintexts[j] = Some(encode_batch(&[]).to_vec());
         }
     }
 
@@ -376,10 +431,20 @@ impl<B: Broadcaster, A: BinaryAgreement> HbEngine<B, A> {
         let n = self.n;
         let Some(idx) = self.epochs.iter().position(|e| e.epoch == epoch) else { return };
 
-        // 1. Feed ABA inputs when 2f+1 RBCs delivered — all at once.
+        // 1. Feed ABA inputs when 2f+1 RBCs delivered — all at once. At
+        //    pipelined depths the agreement lane of a *future* epoch stays
+        //    parked until the epoch reaches the chain head: its
+        //    dissemination overlaps the head's agreement, but binding ABA
+        //    inputs while proposals are still in flight behind pipelined
+        //    traffic would vote 0 on slow instances and requeue whole
+        //    batches.
+        let at_head = self.epochs[idx].epoch == self.blocks.len() as u64;
         {
             let st = &mut self.epochs[idx];
-            if !st.aba_inputs_sent && st.rbc.delivered_count() >= quorum {
+            if !st.aba_inputs_sent
+                && st.rbc.delivered_count() >= quorum
+                && (self.depth == 1 || at_head)
+            {
                 st.aba_inputs_sent = true;
                 let mut acts = Actions::new();
                 for j in 0..n {
@@ -388,6 +453,24 @@ impl<B: Broadcaster, A: BinaryAgreement> HbEngine<B, A> {
                 }
                 let session = sessions::of(epoch, sessions::ABA);
                 out.absorb(session, &mut acts);
+            }
+        }
+        // 1b. Early-commit fast path (pipelined depths only): once our ABA
+        //     inputs are bound, n−f of them are unanimously 1, so start
+        //     exchanging decryption shares for every delivered instance the
+        //     ABAs have not rejected instead of waiting for the full
+        //     accepted set to freeze. Commit still waits for stage 2's
+        //     frozen set; shares for instances that end up rejected are
+        //     simply never combined.
+        if self.depth > 1 {
+            let session = sessions::of(epoch, sessions::DEC);
+            let st = &mut self.epochs[idx];
+            if st.aba_inputs_sent && st.accepted.is_none() {
+                for j in 0..n {
+                    if st.aba.decided(j) != Some(false) {
+                        Self::activate_dec(&self.crypto, st, j, session, out);
+                    }
+                }
             }
         }
         // 2. Freeze the accepted set when all ABAs decided.
@@ -405,27 +488,14 @@ impl<B: Broadcaster, A: BinaryAgreement> HbEngine<B, A> {
             let st = &mut self.epochs[idx];
             if let Some(accepted) = st.accepted.clone() {
                 for j in accepted {
-                    if !st.dec.active[j] {
-                        if let Some(bytes) = st.rbc.delivered(j) {
-                            if let Some(ct) = decode_ciphertext(bytes) {
-                                let mut acts = Actions::new();
-                                st.dec.activate(j, ct, &self.crypto, &mut acts);
-                                out.absorb(session, &mut acts);
-                            } else {
-                                // Malformed ciphertext from a Byzantine
-                                // proposer: treat as an empty contribution.
-                                st.dec.active[j] = true;
-                                st.dec.plaintexts[j] = Some(encode_batch(&[]).to_vec());
-                            }
-                        }
-                    }
+                    Self::activate_dec(&self.crypto, st, j, session, out);
                 }
             }
         }
-        // 4. Commit once every accepted proposal decrypted.
-        let committed_now = {
+        // 4. Decide the epoch once every accepted proposal decrypted.
+        {
             let st = &mut self.epochs[idx];
-            if !st.committed {
+            if !st.committed && st.decided.is_none() {
                 if let Some(accepted) = &st.accepted {
                     if st.dec.complete_for(accepted) {
                         let mut txs: Vec<Tx> = Vec::new();
@@ -440,37 +510,55 @@ impl<B: Broadcaster, A: BinaryAgreement> HbEngine<B, A> {
                                 }
                             }
                         }
-                        st.committed = true;
-                        let block = Block { epoch, txs };
-                        // Service mode: resolve the commit in the mempool
-                        // *before* the next epoch pulls its batch, so a
-                        // peer-committed transaction cannot ride again.
-                        if let BatchSource::Service { handle, .. } = &self.source {
-                            handle.resolve_commit(&block);
-                        }
-                        self.blocks.push(block);
-                        true
-                    } else {
-                        false
+                        st.decided = Some(Block { epoch, txs });
                     }
-                } else {
-                    false
                 }
-            } else {
-                false
             }
-        };
-        if committed_now && self.stop.allows(epoch + 1) {
-            self.begin_epoch(epoch + 1, out);
+        }
+        self.finalize_in_order(out);
+    }
+
+    /// Appends decided epochs to the chain strictly in epoch order — the
+    /// committed digest chain stays a common prefix even when a later
+    /// pipelined epoch decides before an earlier one — then refills the
+    /// dissemination pipeline.
+    fn finalize_in_order(&mut self, out: &mut EngineOut) {
+        let mut advanced = false;
+        loop {
+            let next = self.blocks.len() as u64;
+            let Some(i) = self.epochs.iter().position(|e| e.epoch == next) else { break };
+            let Some(block) = self.epochs[i].decided.take() else { break };
+            self.epochs[i].committed = true;
+            // Service mode: resolve the commit in the mempool *before* the
+            // next epoch pulls its batch, so a peer-committed transaction
+            // cannot ride again.
+            if let BatchSource::Service { handle, .. } = &self.source {
+                handle.resolve_commit(&block);
+            }
+            self.blocks.push(block);
+            advanced = true;
+        }
+        if advanced {
+            self.open_epochs(out);
+            // The next epoch just became the chain head: release its
+            // parked agreement lane (no-op when it has no RBC quorum yet
+            // or at depth 1, where the head is the only open epoch).
+            let head = self.blocks.len() as u64;
+            self.poll(head, out);
         }
     }
 }
 
 impl<B: Broadcaster, A: BinaryAgreement> Engine for HbEngine<B, A> {
     fn start(&mut self, out: &mut EngineOut) {
-        if self.stop.allows(0) {
-            self.begin_epoch(0, out);
-        }
+        self.open_epochs(out);
+    }
+
+    fn on_work_available(&mut self, out: &mut EngineOut) {
+        // A fresh local submission: fill the pipeline window now instead
+        // of waiting for the next commit. Sequential depth (W = 1) never
+        // has window slack here, so this is a no-op for it.
+        self.open_epochs(out);
     }
 
     fn handle(&mut self, session: u64, from: usize, body: &Body, out: &mut EngineOut) {
@@ -631,13 +719,18 @@ mod tests {
     use wbft_wireless::{ChannelId, SimConfig, SimTime, Simulator, Topology};
 
     fn run_hb_sc(seed: u64, epochs: u64) -> Vec<Vec<Block>> {
+        run_hb_sc_at_depth(seed, epochs, 1)
+    }
+
+    fn run_hb_sc_at_depth(seed: u64, epochs: u64, depth: u64) -> Vec<Vec<Block>> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(99);
         let crypto = deal_node_crypto(4, CryptoSuite::light(), &mut rng);
         let workload = Workload::small();
         let behaviors: Vec<_> = crypto
             .into_iter()
             .map(|c| {
-                let engine = hb_sc(c.clone(), workload.clone(), StopCondition::Epochs(epochs));
+                let engine = hb_sc(c.clone(), workload.clone(), StopCondition::Epochs(epochs))
+                    .with_depth(depth);
                 ProtocolNode::new(engine, c, ChannelId(0))
             })
             .collect();
@@ -671,6 +764,21 @@ mod tests {
             assert_ne!(blocks[0].txs, blocks[1].txs, "epochs carry fresh batches");
         }
         assert_eq!(all_blocks[0], all_blocks[3]);
+    }
+
+    #[test]
+    fn hb_sc_pipelined_depths_agree_and_commit_in_order() {
+        for depth in [2u64, 4] {
+            let all_blocks = run_hb_sc_at_depth(6, 4, depth);
+            let first = &all_blocks[0];
+            assert_eq!(first.len(), 4, "depth {depth}: all epochs commit");
+            for (e, b) in first.iter().enumerate() {
+                assert_eq!(b.epoch, e as u64, "depth {depth}: chain is in epoch order");
+            }
+            for blocks in &all_blocks {
+                assert_eq!(blocks, first, "depth {depth}: all nodes agree");
+            }
+        }
     }
 
     #[test]

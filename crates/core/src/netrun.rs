@@ -89,7 +89,12 @@ pub fn run_udp_node(
         .into_iter()
         .nth(me)
         .expect("me < n checked above");
-    let engine: Box<dyn Engine> = cfg.protocol.engine(crypto.clone(), cfg.workload.clone(), cfg.epochs);
+    let engine: Box<dyn Engine> = cfg.protocol.engine_at_depth(
+        crypto.clone(),
+        cfg.workload.clone(),
+        cfg.epochs,
+        cfg.pipeline_depth,
+    );
     let node = ProtocolNode::new(engine, crypto, ChannelId(0));
     // Per-node rng stream: the ctx rng is not part of consensus state, but
     // distinct streams avoid accidental cross-node correlation.
@@ -133,22 +138,46 @@ pub fn run_udp_node(
 /// spoofed source can cost: the subscriber list is capped, and the
 /// from-the-start catch-up replay runs only when an address is *newly*
 /// subscribed — repeated `Subscribe` datagrams are acks, not replays.
+///
+/// Subscribers are *evicted*, not kept forever: an address whose sends
+/// keep failing ([`SUBSCRIBER_FAILURE_LIMIT`] failures since its last
+/// `Subscribe`) is dropped, and a `Subscribe` arriving at a full table displaces the
+/// oldest subscriber instead of being refused — otherwise 64 stale
+/// addresses would permanently block every new subscriber while the node
+/// re-sends each block to dead peers forever. A repeated `Subscribe` from
+/// a live subscriber resets its failure count (it is plainly reachable).
 pub struct ServiceGateway {
     handle: ConsensusHandle,
-    subscribers: Vec<SocketAddr>,
+    /// Subscribed addresses with their failed-send counts (reset by a
+    /// repeated `Subscribe`), in subscription order (front = oldest =
+    /// first LRU victim).
+    subscribers: Vec<(SocketAddr, u32)>,
     /// How many committed blocks have been pushed to subscribers.
     cursor: usize,
+    /// Addresses evicted so far (failure- or LRU-triggered), mirrored
+    /// into [`TransportStats::client_evictions`].
+    evicted: u64,
 }
 
-/// Most subscriber addresses one gateway serves (excess `Subscribe`s are
-/// dropped — an unauthenticated spoofing flood must not grow node memory
-/// or turn the commit stream into an amplification vector).
+/// Most subscriber addresses one gateway serves. A `Subscribe` past the
+/// cap evicts the oldest subscriber — an unauthenticated spoofing flood
+/// still cannot grow node memory or turn the commit stream into an
+/// amplification vector, but it can no longer pin the table full either.
 pub const MAX_SUBSCRIBERS: usize = 64;
+
+/// Failed sends (since the address's last `Subscribe`) after which a
+/// subscriber is evicted.
+pub const SUBSCRIBER_FAILURE_LIMIT: u32 = 3;
 
 impl ServiceGateway {
     /// Wraps a handle.
     pub fn new(handle: ConsensusHandle) -> Self {
-        ServiceGateway { handle, subscribers: Vec::new(), cursor: 0 }
+        ServiceGateway { handle, subscribers: Vec::new(), cursor: 0, evicted: 0 }
+    }
+
+    /// Current subscriber addresses, oldest first (test hook).
+    pub fn subscriber_addrs(&self) -> Vec<SocketAddr> {
+        self.subscribers.iter().map(|(addr, _)| *addr).collect()
     }
 
     /// Encodes one block summary as chunked `Block` messages (a block with
@@ -196,16 +225,24 @@ impl ClientGateway for ServiceGateway {
                 }
             }
             ClientMsg::Subscribe => {
-                if self.subscribers.contains(&from) {
+                if let Some(entry) =
+                    self.subscribers.iter_mut().find(|(addr, _)| *addr == from)
+                {
                     // Already subscribed: the stream is flowing; treating a
                     // repeat as a fresh catch-up would let one spoofed
-                    // address request O(chain) datagrams per probe.
+                    // address request O(chain) datagrams per probe. It does
+                    // prove the address alive, so forgive past failures.
+                    entry.1 = 0;
                     return;
                 }
                 if self.subscribers.len() >= MAX_SUBSCRIBERS {
-                    return;
+                    // Full table: displace the oldest subscriber rather
+                    // than refusing — a cap of stale addresses must not
+                    // lock new clients out forever.
+                    self.subscribers.remove(0);
+                    self.evicted += 1;
                 }
-                self.subscribers.push(from);
+                self.subscribers.push((from, 0));
                 // A late subscriber catches up from the stream start.
                 for summary in self.handle.block_summaries(0) {
                     for bytes in Self::block_msgs(&summary) {
@@ -224,11 +261,28 @@ impl ClientGateway for ServiceGateway {
         self.cursor += fresh.len();
         for summary in fresh {
             for bytes in Self::block_msgs(&summary) {
-                for &addr in &self.subscribers {
+                for &(addr, _) in &self.subscribers {
                     out.push((addr, bytes.clone()));
                 }
             }
         }
+    }
+
+    fn on_send_failed(&mut self, addr: SocketAddr) {
+        let Some(i) = self.subscribers.iter().position(|(a, _)| *a == addr) else {
+            // Failures toward non-subscribers (submit replies) carry no
+            // state to clean up.
+            return;
+        };
+        self.subscribers[i].1 += 1;
+        if self.subscribers[i].1 >= SUBSCRIBER_FAILURE_LIMIT {
+            self.subscribers.remove(i);
+            self.evicted += 1;
+        }
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evicted
     }
 }
 
@@ -282,11 +336,12 @@ pub fn run_udp_service_node(
         .nth(me)
         .expect("me < n checked above");
     let handle = ConsensusHandle::new(opts.mempool_capacity);
-    let engine: Box<dyn Engine> = cfg.protocol.service_engine(
+    let engine: Box<dyn Engine> = cfg.protocol.service_engine_at_depth(
         crypto.clone(),
         handle.clone(),
         cfg.workload.batch_size,
         opts.max_epochs,
+        cfg.pipeline_depth,
     );
     // No local arrival schedule: submissions come over the client channel.
     let node = ProtocolNode::new(engine, crypto, ChannelId(0))
@@ -328,6 +383,61 @@ mod tests {
         cfg.epochs = 1;
         cfg.workload.batch_size = 4;
         cfg
+    }
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    fn subscribe(gw: &mut ServiceGateway, port: u16) {
+        let msg = ClientMsg::Subscribe.encode().unwrap();
+        let mut out = Vec::new();
+        gw.on_datagram(addr(port), &msg, SimTime::ZERO, &mut out);
+    }
+
+    #[test]
+    fn full_subscriber_table_evicts_the_oldest_not_the_newcomer() {
+        // The bug this guards against: the table silently dropped every
+        // Subscribe past the cap, so 64 stale addresses blocked new
+        // subscribers permanently.
+        let mut gw = ServiceGateway::new(ConsensusHandle::new(8));
+        for i in 0..MAX_SUBSCRIBERS as u16 {
+            subscribe(&mut gw, 40_000 + i);
+        }
+        assert_eq!(gw.subscriber_addrs().len(), MAX_SUBSCRIBERS);
+        assert_eq!(gw.evictions(), 0);
+        subscribe(&mut gw, 41_000);
+        let addrs = gw.subscriber_addrs();
+        assert_eq!(addrs.len(), MAX_SUBSCRIBERS, "cap still holds");
+        assert!(!addrs.contains(&addr(40_000)), "oldest subscriber displaced");
+        assert!(addrs.contains(&addr(41_000)), "newcomer admitted");
+        assert_eq!(gw.evictions(), 1);
+    }
+
+    #[test]
+    fn repeated_send_failures_evict_a_subscriber() {
+        // The bug this guards against: a dead subscriber was re-sent every
+        // committed block forever — no failure count, no eviction.
+        let handle = ConsensusHandle::new(8);
+        let mut gw = ServiceGateway::new(handle.clone());
+        subscribe(&mut gw, 42_000);
+        subscribe(&mut gw, 42_001);
+        for _ in 0..SUBSCRIBER_FAILURE_LIMIT - 1 {
+            gw.on_send_failed(addr(42_000));
+        }
+        assert_eq!(gw.subscriber_addrs().len(), 2, "below the limit: kept");
+        // A re-Subscribe proves the address alive and forgives failures.
+        subscribe(&mut gw, 42_000);
+        for _ in 0..SUBSCRIBER_FAILURE_LIMIT - 1 {
+            gw.on_send_failed(addr(42_000));
+        }
+        assert_eq!(gw.subscriber_addrs().len(), 2, "count was reset");
+        gw.on_send_failed(addr(42_000));
+        assert_eq!(gw.subscriber_addrs(), vec![addr(42_001)], "limit reached: evicted");
+        assert_eq!(gw.evictions(), 1);
+        // Failures toward non-subscribers (submit replies) are no-ops.
+        gw.on_send_failed(addr(49_999));
+        assert_eq!(gw.evictions(), 1);
     }
 
     #[test]

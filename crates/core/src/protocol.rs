@@ -113,6 +113,19 @@ impl Protocol {
         self.build_engine(crypto, workload.into(), StopCondition::Epochs(epochs))
     }
 
+    /// Fixed-epoch engine with a pipeline depth: up to `depth` epochs keep
+    /// their dissemination in flight while earlier ones finish agreement.
+    /// `depth = 1` is exactly [`Protocol::engine`].
+    pub fn engine_at_depth(
+        &self,
+        crypto: NodeCrypto,
+        workload: Workload,
+        epochs: u64,
+        depth: u64,
+    ) -> Box<dyn Engine> {
+        self.build_engine_at_depth(crypto, workload.into(), StopCondition::Epochs(epochs), depth)
+    }
+
     /// Builds a live-service engine: proposals pull FIFO from the handle's
     /// mempool (at most `max_batch` per epoch) and the engine runs until
     /// the handle requests a stop, bounded by `max_epochs`.
@@ -123,10 +136,24 @@ impl Protocol {
         max_batch: usize,
         max_epochs: u64,
     ) -> Box<dyn Engine> {
-        self.build_engine(
+        self.service_engine_at_depth(crypto, handle, max_batch, max_epochs, 1)
+    }
+
+    /// Live-service engine with a pipeline depth (see
+    /// [`Protocol::engine_at_depth`]).
+    pub fn service_engine_at_depth(
+        &self,
+        crypto: NodeCrypto,
+        handle: ConsensusHandle,
+        max_batch: usize,
+        max_epochs: u64,
+        depth: u64,
+    ) -> Box<dyn Engine> {
+        self.build_engine_at_depth(
             crypto,
             BatchSource::Service { handle: handle.clone(), max_batch },
             StopCondition::Service { handle, max_epochs },
+            depth,
         )
     }
 
@@ -139,25 +166,41 @@ impl Protocol {
         source: BatchSource,
         stop: StopCondition,
     ) -> Box<dyn Engine> {
+        self.build_engine_at_depth(crypto, source, stop, 1)
+    }
+
+    /// The general form with a pipeline depth `W ≥ 1` (`W = 1` reproduces
+    /// the sequential engines byte for byte).
+    pub fn build_engine_at_depth(
+        &self,
+        crypto: NodeCrypto,
+        source: BatchSource,
+        stop: StopCondition,
+        depth: u64,
+    ) -> Box<dyn Engine> {
         match self {
-            Protocol::HoneyBadgerLc => Box::new(honeybadger::hb_lc(crypto, source, stop)),
-            Protocol::HoneyBadgerSc => Box::new(honeybadger::hb_sc(crypto, source, stop)),
-            Protocol::Beat => Box::new(honeybadger::beat(crypto, source, stop)),
+            Protocol::HoneyBadgerLc => {
+                Box::new(honeybadger::hb_lc(crypto, source, stop).with_depth(depth))
+            }
+            Protocol::HoneyBadgerSc => {
+                Box::new(honeybadger::hb_sc(crypto, source, stop).with_depth(depth))
+            }
+            Protocol::Beat => Box::new(honeybadger::beat(crypto, source, stop).with_depth(depth)),
             Protocol::DumboLc => {
-                Box::new(DumboEngine::new(crypto, DumboVariant::Lc, source, stop))
+                Box::new(DumboEngine::new(crypto, DumboVariant::Lc, source, stop).with_depth(depth))
             }
             Protocol::DumboSc => {
-                Box::new(DumboEngine::new(crypto, DumboVariant::Sc, source, stop))
+                Box::new(DumboEngine::new(crypto, DumboVariant::Sc, source, stop).with_depth(depth))
             }
             Protocol::HoneyBadgerScBaseline => {
-                Box::new(honeybadger::hb_sc_baseline(crypto, source, stop))
+                Box::new(honeybadger::hb_sc_baseline(crypto, source, stop).with_depth(depth))
             }
             Protocol::BeatBaseline => {
-                Box::new(honeybadger::beat_baseline(crypto, source, stop))
+                Box::new(honeybadger::beat_baseline(crypto, source, stop).with_depth(depth))
             }
-            Protocol::DumboScBaseline => {
-                Box::new(DumboEngine::new(crypto, DumboVariant::ScBaseline, source, stop))
-            }
+            Protocol::DumboScBaseline => Box::new(
+                DumboEngine::new(crypto, DumboVariant::ScBaseline, source, stop).with_depth(depth),
+            ),
         }
     }
 }

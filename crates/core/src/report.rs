@@ -216,6 +216,9 @@ impl ToJson for TestbedConfig {
         if let Some(sched) = &self.sched {
             members.push(("sched", sched.to_json()));
         }
+        if self.pipeline_depth != 1 {
+            members.push(("pipeline_depth", Json::u64(self.pipeline_depth)));
+        }
         Json::obj(members)
     }
 }
@@ -239,6 +242,7 @@ impl FromJson for TestbedConfig {
             clusters: field(j, "clusters")?,
             service: opt_field(j, "service")?,
             sched: opt_field(j, "sched")?,
+            pipeline_depth: opt_field::<u64>(j, "pipeline_depth")?.unwrap_or(1),
         })
     }
 }
@@ -449,6 +453,22 @@ mod tests {
         let text = cfg.to_json().pretty();
         let decoded = TestbedConfig::from_json(&wbft_report::parse(&text).unwrap()).unwrap();
         assert_eq!(decoded.sched, cfg.sched);
+        assert_eq!(decoded.to_json().pretty(), text);
+    }
+
+    #[test]
+    fn pipeline_depth_member_is_optional_and_round_trips() {
+        let mut cfg = TestbedConfig::single_hop(Protocol::HoneyBadgerSc);
+        assert_eq!(cfg.pipeline_depth, 1);
+        assert!(
+            !cfg.to_json().pretty().contains("pipeline_depth"),
+            "absent at the sequential default so pre-pipelining configs keep their bytes"
+        );
+        cfg.pipeline_depth = 4;
+        let text = cfg.to_json().pretty();
+        assert!(text.contains("pipeline_depth"));
+        let decoded = TestbedConfig::from_json(&wbft_report::parse(&text).unwrap()).unwrap();
+        assert_eq!(decoded.pipeline_depth, 4);
         assert_eq!(decoded.to_json().pretty(), text);
     }
 

@@ -70,11 +70,14 @@ pub enum AdmitOutcome {
 /// Where a known transaction digest currently lives.
 #[derive(Clone, Copy, Debug)]
 enum TxPhase {
-    /// Queued, waiting to be proposed. Carries the local submit time.
+    /// Queued, waiting to be proposed (the admission sequence rides in the
+    /// queue entry). Carries the local submit time.
     Waiting(SimTime),
     /// Pulled into a proposal (the epoch rides in `in_flight`), awaiting
-    /// that commit.
-    Proposed(SimTime),
+    /// that commit. Carries the admission sequence — a re-queue slots the
+    /// transaction back at its admission-order position — and the submit
+    /// time.
+    Proposed(u64, SimTime),
     /// In a committed block (locally admitted or learned from a peer's
     /// proposal).
     Committed,
@@ -111,8 +114,11 @@ pub struct ServiceStats {
 ///
 /// Admission is explicit ([`AdmitOutcome`]); proposals pull from the queue
 /// front; transactions pulled into an epoch that commits without them are
-/// re-queued at the front in their original order, so FIFO fairness
-/// survives lost proposals.
+/// re-queued *at their admission-order position* (each queue entry carries
+/// its admission sequence number), so FIFO fairness survives lost
+/// proposals even when several open epochs resolve out of order — a blind
+/// requeue-at-front would let a later epoch's casualty jump ahead of an
+/// earlier-admitted transaction that was re-queued before it.
 ///
 /// Commit handling is two-phase: [`Mempool::resolve`] (digest bookkeeping:
 /// dedup, queue eviction, in-flight re-queue) runs inside the engine
@@ -123,9 +129,13 @@ pub struct ServiceStats {
 #[derive(Debug)]
 pub struct Mempool {
     capacity: usize,
-    queue: VecDeque<Tx>,
+    /// Pending transactions with their admission sequence numbers, kept in
+    /// ascending sequence order (re-queues insert by sequence).
+    queue: VecDeque<(u64, Tx)>,
     in_flight: Vec<(u64, Tx)>,
     phases: BTreeMap<Digest32, TxPhase>,
+    /// Next admission sequence number.
+    next_seq: u64,
     /// `(epoch, submit time)` of locally admitted transactions whose block
     /// is resolved but not yet timestamped.
     staged: Vec<(u64, SimTime)>,
@@ -148,6 +158,7 @@ impl Mempool {
             queue: VecDeque::new(),
             in_flight: Vec::new(),
             phases: BTreeMap::new(),
+            next_seq: 0,
             staged: Vec::new(),
             resolved_below: 0,
             resolved_above: std::collections::BTreeSet::new(),
@@ -167,8 +178,10 @@ impl Mempool {
             self.stats.rejected_full += 1;
             return AdmitOutcome::Full;
         }
+        let seq = self.next_seq;
+        self.next_seq += 1;
         self.phases.insert(d, TxPhase::Waiting(now));
-        self.queue.push_back(tx);
+        self.queue.push_back((seq, tx));
         self.stats.admitted += 1;
         self.note_occupancy();
         AdmitOutcome::Admitted
@@ -178,11 +191,11 @@ impl Mempool {
     pub fn next_batch(&mut self, epoch: u64, max: usize) -> Vec<Tx> {
         let mut out = Vec::new();
         while out.len() < max {
-            let Some(tx) = self.queue.pop_front() else { break };
+            let Some((seq, tx)) = self.queue.pop_front() else { break };
             let d = tx_digest(&tx);
             match self.phases.get(&d) {
                 Some(TxPhase::Waiting(since)) => {
-                    self.phases.insert(d, TxPhase::Proposed(*since));
+                    self.phases.insert(d, TxPhase::Proposed(seq, *since));
                     self.in_flight.push((epoch, tx.clone()));
                     out.push(tx);
                 }
@@ -225,7 +238,7 @@ impl Mempool {
         for tx in &block.txs {
             let d = tx_digest(tx);
             match self.phases.get(&d) {
-                Some(TxPhase::Waiting(since)) | Some(TxPhase::Proposed(since)) => {
+                Some(TxPhase::Waiting(since)) | Some(TxPhase::Proposed(_, since)) => {
                     self.staged.push((block.epoch, *since));
                     self.phases.insert(d, TxPhase::Committed);
                 }
@@ -239,15 +252,15 @@ impl Mempool {
         }
         // Evict queued transactions that just committed via a peer.
         let phases = &self.phases;
-        self.queue.retain(|tx| {
+        self.queue.retain(|(_, tx)| {
             matches!(phases.get(&tx_digest(tx)), Some(TxPhase::Waiting(_)))
         });
         // Resolve in-flight entries of every epoch whose block has been
-        // seen: committed ones are done; the rest ride again at the queue
-        // front, original order kept. Entries of unresolved (gapped) epochs
-        // stay in flight — their block is still coming.
+        // seen: committed ones are done; the rest ride again at their
+        // admission-order queue position. Entries of unresolved (gapped)
+        // epochs stay in flight — their block is still coming.
         let mut keep = Vec::with_capacity(self.in_flight.len());
-        let mut requeue = Vec::new();
+        let mut requeue: Vec<(u64, Tx)> = Vec::new();
         let (below, above) = (self.resolved_below, &self.resolved_above);
         for (epoch, tx) in self.in_flight.drain(..) {
             if !(epoch < below || above.contains(&epoch)) {
@@ -257,15 +270,20 @@ impl Mempool {
             let d = tx_digest(&tx);
             // Anything not still `Proposed` (committed, or unknown) is
             // resolved and dropped.
-            if let Some(TxPhase::Proposed(since)) = self.phases.get(&d) {
-                self.phases.insert(d, TxPhase::Waiting(*since));
-                requeue.push(tx);
+            if let Some(&TxPhase::Proposed(seq, since)) = self.phases.get(&d) {
+                self.phases.insert(d, TxPhase::Waiting(since));
+                requeue.push((seq, tx));
             }
         }
         self.in_flight = keep;
         self.stats.requeued += requeue.len() as u64;
-        for tx in requeue.into_iter().rev() {
-            self.queue.push_front(tx);
+        // Deterministic w.r.t. admission order: each casualty slots back in
+        // by its admission sequence, so a later epoch resolving first can
+        // never push its transactions ahead of earlier-admitted ones.
+        requeue.sort_unstable_by_key(|(seq, _)| *seq);
+        for (seq, tx) in requeue {
+            let at = self.queue.partition_point(|(s, _)| *s < seq);
+            self.queue.insert(at, (seq, tx));
         }
         self.note_occupancy();
     }
@@ -371,6 +389,13 @@ impl ConsensusHandle {
     /// Submits one transaction; the outcome is the backpressure signal.
     pub fn submit(&self, tx: Tx, now: SimTime) -> AdmitOutcome {
         self.core.lock().unwrap().mempool.admit(tx, now)
+    }
+
+    /// Engine hook: whether the mempool holds queued (not yet proposed)
+    /// transactions — pipelined engines only open epochs beyond the
+    /// sequential cadence when there is actual work to disseminate.
+    pub fn has_pending(&self) -> bool {
+        self.core.lock().unwrap().mempool.pending() > 0
     }
 
     /// Pulls the next committed block off the stream, if one is ready.
@@ -533,7 +558,11 @@ impl ArrivalSpec {
                 // Deterministic jitter inside the slot keeps nodes out of
                 // lockstep while preserving monotonic per-node order.
                 let jitter = if self.interval_us > 0 {
-                    u64::from_le_bytes(tag.as_bytes()[..8].try_into().expect("8 bytes"))
+                    tag.as_bytes()
+                        .get(..8)
+                        .and_then(|b| b.try_into().ok())
+                        .map(u64::from_le_bytes)
+                        .unwrap_or(0)
                         % self.interval_us
                 } else {
                     0
@@ -614,7 +643,7 @@ impl LatencySummary {
             p50_us: pick(0.50),
             p90_us: pick(0.90),
             p99_us: pick(0.99),
-            max_us: *sorted.last().expect("non-empty"),
+            max_us: sorted.last().copied().unwrap_or(0),
         }
     }
 }
@@ -761,6 +790,36 @@ mod tests {
         assert_eq!(m.stats().requeued, 1, "committed in-flight tx never requeued");
         assert_eq!(m.next_batch(3, 10), vec![tx(3)]);
         assert_eq!(m.stats().latencies_us.len(), 2);
+    }
+
+    #[test]
+    fn out_of_order_requeue_keeps_admission_order() {
+        // The reorder bug: with several epochs open at once (pipelined
+        // runs), a blind requeue-at-front let the casualty of a *later*
+        // epoch jump ahead of an earlier-admitted transaction that had
+        // already been re-queued — admission-order FIFO silently broke.
+        let mut m = Mempool::new(16);
+        for tag in 1..=3 {
+            m.admit(tx(tag), SimTime::ZERO); // seqs 0, 1, 2
+        }
+        assert_eq!(m.next_batch(0, 1), vec![tx(1)]);
+        assert_eq!(m.next_batch(1, 1), vec![tx(2)]);
+        assert_eq!(m.next_batch(2, 1), vec![tx(3)]);
+        // Epoch 0 resolves first, without tx(1): it rides again.
+        m.record_commit(&Block { epoch: 0, txs: vec![] }, SimTime::from_micros(1));
+        // A fresh admission lands behind the requeued tx(1).
+        m.admit(tx(4), SimTime::from_micros(2)); // seq 3
+        // Epoch 2 resolves next, also empty. Requeue-at-front would put
+        // tx(3) (seq 2) ahead of tx(1) (seq 0).
+        m.record_commit(&Block { epoch: 2, txs: vec![] }, SimTime::from_micros(3));
+        // Epoch 1 resolves last, empty too: tx(2) must slot between them.
+        m.record_commit(&Block { epoch: 1, txs: vec![] }, SimTime::from_micros(4));
+        assert_eq!(m.stats().requeued, 3);
+        assert_eq!(
+            m.next_batch(3, 10),
+            vec![tx(1), tx(2), tx(3), tx(4)],
+            "requeues must restore admission order regardless of resolution order"
+        );
     }
 
     #[test]

@@ -48,6 +48,11 @@ pub struct SweepSpec {
     /// schedule (latency percentiles and backpressure counters land in the
     /// report's `service` member).
     pub services: Vec<Option<ServiceConfig>>,
+    /// Pipeline depths `W` (epochs whose dissemination may be in flight at
+    /// once). `1` is the strictly sequential engine; depths `> 1` append a
+    /// `.w{d}` label segment, so depth-1 labels keep their exact
+    /// pre-pipelining form. Single-hop only.
+    pub pipeline_depths: Vec<u64>,
     /// Simulation seeds.
     pub seeds: Vec<u64>,
     /// Epochs per run.
@@ -72,6 +77,7 @@ impl SweepSpec {
             losses: vec![LossModel::None],
             placements: vec![Vec::new()],
             services: vec![None],
+            pipeline_depths: vec![1],
             seeds: vec![7],
             epochs: 1,
             batch_size: 8,
@@ -103,6 +109,7 @@ impl SweepSpec {
             * self.losses.len()
             * self.placements.len()
             * self.services.len()
+            * self.pipeline_depths.len()
             * self.seeds.len()
     }
 
@@ -123,6 +130,13 @@ impl SweepSpec {
                 || self.topologies.iter().all(Option::is_none),
             "sweep \"{}\" combines a service load with a multi-hop topology — \
              service runs are single-hop only",
+            self.name
+        );
+        assert!(
+            self.pipeline_depths.iter().all(|&d| d == 1)
+                || self.topologies.iter().all(Option::is_none),
+            "sweep \"{}\" combines a pipeline depth > 1 with a multi-hop topology — \
+             pipelined epochs are single-hop only",
             self.name
         );
         // Reject dishonest axis values before any worker starts: a loss
@@ -146,32 +160,41 @@ impl SweepSpec {
                     for (li, loss) in self.losses.iter().enumerate() {
                         for placement in &self.placements {
                             for service in &self.services {
-                                for &seed in &self.seeds {
-                                    let mut cfg = TestbedConfig::single_hop(protocol);
-                                    cfg.n = self.n;
-                                    cfg.clusters = topology;
-                                    cfg.suite = suite;
-                                    cfg.loss = loss.clone();
-                                    cfg.byzantine = placement.clone();
-                                    cfg.service = service.clone();
-                                    cfg.seed = seed;
-                                    cfg.epochs = self.epochs;
-                                    cfg.workload.batch_size = self.batch_size;
-                                    cfg.deadline = self.deadline;
-                                    // Fixed-epoch labels stay exactly as
-                                    // before; the service segment is only
-                                    // appended for live-submission points.
-                                    let label = format!(
-                                        "{}.{}.{}.{}.{}.seed{}{}",
-                                        protocol.slug(),
-                                        topology.map_or("sh".into(), |m| format!("mh{m}")),
-                                        suite_label(&suite),
-                                        loss_label(loss, li),
-                                        placement_label(placement),
-                                        seed,
-                                        service.as_ref().map_or(String::new(), service_label),
-                                    );
-                                    out.push(Scenario { label, cfg });
+                                for &depth in &self.pipeline_depths {
+                                    for &seed in &self.seeds {
+                                        let mut cfg = TestbedConfig::single_hop(protocol);
+                                        cfg.n = self.n;
+                                        cfg.clusters = topology;
+                                        cfg.suite = suite;
+                                        cfg.loss = loss.clone();
+                                        cfg.byzantine = placement.clone();
+                                        cfg.service = service.clone();
+                                        cfg.pipeline_depth = depth;
+                                        cfg.seed = seed;
+                                        cfg.epochs = self.epochs;
+                                        cfg.workload.batch_size = self.batch_size;
+                                        cfg.deadline = self.deadline;
+                                        // Sequential labels stay exactly as
+                                        // before; the depth and service
+                                        // segments appear only on pipelined
+                                        // and live-submission points.
+                                        let label = format!(
+                                            "{}.{}.{}.{}.{}{}.seed{}{}",
+                                            protocol.slug(),
+                                            topology.map_or("sh".into(), |m| format!("mh{m}")),
+                                            suite_label(&suite),
+                                            loss_label(loss, li),
+                                            placement_label(placement),
+                                            if depth == 1 {
+                                                String::new()
+                                            } else {
+                                                format!(".w{depth}")
+                                            },
+                                            seed,
+                                            service.as_ref().map_or(String::new(), service_label),
+                                        );
+                                        out.push(Scenario { label, cfg });
+                                    }
                                 }
                             }
                         }
@@ -351,6 +374,32 @@ mod tests {
         // Scenario configs carry the axis values.
         assert!(scenarios.iter().any(|s| s.cfg.clusters == Some(4)));
         assert!(scenarios.iter().any(|s| !s.cfg.byzantine.is_empty()));
+    }
+
+    #[test]
+    fn pipeline_depth_axis_expands_and_tags_labels() {
+        let mut spec = SweepSpec::new("depths");
+        spec.pipeline_depths = vec![1, 2, 4];
+        spec.seeds = vec![7, 8];
+        assert_eq!(spec.len(), 3 * 2);
+        let scenarios = spec.expand();
+        assert_eq!(scenarios.len(), 6);
+        // Depth 1 keeps the exact pre-pipelining label shape.
+        assert_eq!(scenarios[0].label, "beat.sh.secp160r1+bn158.loss-none.honest.seed7");
+        assert_eq!(scenarios[0].cfg.pipeline_depth, 1);
+        // Deeper points get a `.w{d}` segment and carry the depth.
+        assert_eq!(scenarios[2].label, "beat.sh.secp160r1+bn158.loss-none.honest.w2.seed7");
+        assert_eq!(scenarios[2].cfg.pipeline_depth, 2);
+        assert!(scenarios[4].label.contains(".w4."));
+    }
+
+    #[test]
+    #[should_panic(expected = "single-hop only")]
+    fn pipelined_multihop_sweeps_are_rejected() {
+        let mut spec = SweepSpec::new("bad");
+        spec.topologies = vec![Some(4)];
+        spec.pipeline_depths = vec![2];
+        spec.expand();
     }
 
     #[test]

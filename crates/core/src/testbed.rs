@@ -63,6 +63,11 @@ pub struct TestbedConfig {
     /// (single-hop only; `epochs` is ignored in favour of the service's
     /// `max_epochs`).
     pub service: Option<ServiceConfig>,
+    /// Pipeline depth `W`: how many epochs keep their dissemination in
+    /// flight while earlier epochs finish agreement. `1` (the default) is
+    /// the strictly sequential engine; absent from the JSON encoding at 1
+    /// so pre-pipelining configs keep their exact bytes. Single-hop only.
+    pub pipeline_depth: u64,
 }
 
 impl TestbedConfig {
@@ -85,6 +90,7 @@ impl TestbedConfig {
             deadline: SimDuration::from_secs(3_600),
             clusters: None,
             service: None,
+            pipeline_depth: 1,
         }
     }
 
@@ -193,6 +199,12 @@ pub fn validate(cfg: &TestbedConfig) {
             panic!("invalid scheduler config: {e}");
         }
     }
+    if cfg.pipeline_depth == 0 {
+        panic!("invalid pipeline depth: 0 (W >= 1; W = 1 is sequential)");
+    }
+    if cfg.clusters.is_some() && cfg.pipeline_depth != 1 {
+        panic!("pipelined epochs are single-hop only (clustered pipelining is a follow-on)");
+    }
 }
 
 /// Executes one experiment.
@@ -242,7 +254,12 @@ pub(crate) fn build_single_hop(
         .into_iter()
         .enumerate()
         .map(|(i, c)| {
-            let engine = cfg.protocol.engine(c.clone(), cfg.workload.clone(), cfg.epochs);
+            let engine = cfg.protocol.engine_at_depth(
+                c.clone(),
+                cfg.workload.clone(),
+                cfg.epochs,
+                cfg.pipeline_depth,
+            );
             let engine: Box<dyn Engine> =
                 match cfg.byzantine.iter().find(|(b, _)| *b == i) {
                     Some((_, mode)) => Box::new(ByzantineEngine::new(engine, *mode)),
@@ -303,11 +320,12 @@ fn run_service_single_hop(cfg: &TestbedConfig, svc: &ServiceConfig) -> RunReport
         .into_iter()
         .enumerate()
         .map(|(i, c)| {
-            let engine = cfg.protocol.service_engine(
+            let engine = cfg.protocol.service_engine_at_depth(
                 c.clone(),
                 handles[i].clone(),
                 cfg.workload.batch_size,
                 svc.max_epochs,
+                cfg.pipeline_depth,
             );
             let engine: Box<dyn Engine> =
                 match cfg.byzantine.iter().find(|(b, _)| *b == i) {

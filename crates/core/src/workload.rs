@@ -87,6 +87,18 @@ impl BatchSource {
         }
     }
 
+    /// Whether the source has transactions worth a new epoch right now.
+    /// Synthetic and fixed sources always do (their content is a function
+    /// of the epoch number); a live mempool only when transactions are
+    /// queued — pipelined engines use this to avoid burning a whole
+    /// epoch's airtime on an empty proposal.
+    pub fn has_work(&self) -> bool {
+        match self {
+            BatchSource::Workload(_) | BatchSource::Fixed(_) => true,
+            BatchSource::Service { handle, .. } => handle.has_pending(),
+        }
+    }
+
     /// Installs the fixed proposal for an epoch.
     pub fn set_fixed(&mut self, epoch: u64, tx: Tx) {
         if let BatchSource::Fixed(slots) = self {

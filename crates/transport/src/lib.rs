@@ -56,4 +56,7 @@ pub struct TransportStats {
     pub client_datagrams: u64,
     /// Client-channel datagrams sent (replies + commit notifications).
     pub client_sends: u64,
+    /// Client subscribers evicted by the gateway (repeated send failures
+    /// or LRU displacement past the subscriber cap).
+    pub client_evictions: u64,
 }

@@ -86,6 +86,18 @@ pub trait ClientGateway: Send {
 
     /// Called every event-loop iteration; push `(addr, payload)` messages.
     fn on_tick(&mut self, now: SimTime, out: &mut Vec<(SocketAddr, Bytes)>);
+
+    /// A client-channel send to `addr` failed at the socket. Gateways
+    /// tracking per-address state (subscriber lists) use this to notice
+    /// dead peers and evict them; the default ignores it.
+    fn on_send_failed(&mut self, _addr: SocketAddr) {}
+
+    /// How many client addresses this gateway has evicted so far — the
+    /// runtime mirrors it into
+    /// [`TransportStats::client_evictions`](crate::TransportStats).
+    fn evictions(&self) -> u64 {
+        0
+    }
 }
 
 /// Drives one behavior over UDP.
@@ -270,8 +282,10 @@ impl<B: NodeBehavior> UdpRuntime<B> {
     }
 
     /// Sends gateway output as client-channel datagrams (best-effort —
-    /// clients are external and lossy by contract).
+    /// clients are external and lossy by contract). Failed destinations
+    /// are reported back to the gateway so it can evict dead subscribers.
     fn send_client(&mut self, out: Vec<(SocketAddr, Bytes)>) {
+        let mut failed: Vec<SocketAddr> = Vec::new();
         for (addr, payload) in out {
             let datagram = Datagram {
                 src: self.me.0,
@@ -285,9 +299,16 @@ impl<B: NodeBehavior> UdpRuntime<B> {
             };
             if self.socket.send_to(&bytes, addr).is_err() {
                 self.stats.sends_failed += 1;
+                failed.push(addr);
             } else {
                 self.stats.client_sends += 1;
             }
+        }
+        if let Some(gateway) = self.client.as_mut() {
+            for addr in failed {
+                gateway.on_send_failed(addr);
+            }
+            self.stats.client_evictions = gateway.evictions();
         }
     }
 
@@ -643,6 +664,52 @@ mod tests {
         assert_eq!(rt.stats().drops_malformed, 1);
         assert_eq!(rt.stats().drops_foreign, 2);
         assert_eq!(rt.metrics().node(NodeId(1)).frames_received, 0);
+    }
+
+    #[test]
+    fn failed_client_sends_reach_the_gateway_and_evictions_hit_stats() {
+        /// Pushes one message to an unsendable address (port 0 fails at
+        /// `send_to` on every platform we run), then evicts it on the
+        /// failure callback.
+        struct OneShotGateway {
+            pushed: bool,
+            evicted: u64,
+        }
+        impl ClientGateway for OneShotGateway {
+            fn on_datagram(
+                &mut self,
+                _from: SocketAddr,
+                _payload: &Bytes,
+                _now: SimTime,
+                _out: &mut Vec<(SocketAddr, Bytes)>,
+            ) {
+            }
+            fn on_tick(&mut self, _now: SimTime, out: &mut Vec<(SocketAddr, Bytes)>) {
+                if !self.pushed {
+                    self.pushed = true;
+                    out.push(("127.0.0.1:0".parse().unwrap(), Bytes::from_static(b"z")));
+                }
+            }
+            fn on_send_failed(&mut self, _addr: SocketAddr) {
+                self.evicted += 1;
+            }
+            fn evictions(&self) -> u64 {
+                self.evicted
+            }
+        }
+        let (mut sockets, table) = loopback_cluster(1);
+        let mut rt = UdpRuntime::from_socket(
+            sockets.pop().unwrap(),
+            table,
+            0,
+            Chatter { to_send: 0, received: Vec::new() },
+            6,
+        )
+        .unwrap();
+        rt.set_client_gateway(Box::new(OneShotGateway { pushed: false, evicted: 0 }));
+        let _ = rt.run_until(Duration::from_millis(300), Duration::ZERO, |_| false).unwrap();
+        assert_eq!(rt.stats().sends_failed, 1);
+        assert_eq!(rt.stats().client_evictions, 1);
     }
 
     #[test]

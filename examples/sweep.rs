@@ -24,8 +24,8 @@ fn usage() -> ! {
         "usage: sweep [--protocols LIST|all|batched|baselines] [--multihop | --both]\n\
          \x20            [--seeds S1,S2,...] [--epochs E] [--batch B] [--n N]\n\
          \x20            [--loss P1,P2,...] [--byz MODE@NODE,...] [--suites light,medium]\n\
-         \x20            [--service IAMSxCOUNT[@CAP]] [--threads T] [--out DIR]\n\
-         \x20            [--verify-serial]\n\
+         \x20            [--service IAMSxCOUNT[@CAP]] [--depths W1,W2,...] [--threads T]\n\
+         \x20            [--out DIR] [--verify-serial]\n\
          \x20      sweep --fuzz SCENARIOS [--seeds CAMPAIGN_SEED] [--protocols LIST]\n\
          \x20            [--out DIR]\n\
          \n\
@@ -41,6 +41,9 @@ fn usage() -> ! {
          \x20          --service 2000x8@64 = one tx every 2000ms per node, 8 per node,\n\
          \x20          mempool capacity 64 (single-hop only; per-tx latency percentiles\n\
          \x20          and mempool drop counts land in the report's \"service\" member)\n\
+         depths:    pipeline depths W as a sweep axis, e.g. --depths 1,2,4; W epochs\n\
+         \x20          keep their dissemination in flight while earlier epochs finish\n\
+         \x20          agreement (W=1 = sequential; single-hop only)\n\
          reports:   one <label>.json per scenario under --out\n\
          \x20          (default target/reports/sweep); WBFT_SWEEP_THREADS sets the\n\
          \x20          default worker count"
@@ -153,6 +156,7 @@ fn main() {
                 // run (each --service value is one extra axis point).
                 spec.services = vec![None, Some(parse_service(value()))];
             }
+            "--depths" => spec.pipeline_depths = parse_list(value()),
             "--threads" => threads = Some(value().parse().unwrap_or_else(|_| usage())),
             "--out" => out = Some(value().into()),
             "--verify-serial" => verify_serial = true,
@@ -184,13 +188,14 @@ fn main() {
     let threads = resolve_threads(threads, |key| std::env::var(key).ok());
     let scenarios = spec.expand();
     println!(
-        "sweep: {} scenarios ({} protocols x {} topologies x {} suites x {} loss x {} placements x {} seeds), {} threads",
+        "sweep: {} scenarios ({} protocols x {} topologies x {} suites x {} loss x {} placements x {} depths x {} seeds), {} threads",
         scenarios.len(),
         spec.protocols.len(),
         spec.topologies.len(),
         spec.suites.len(),
         spec.losses.len(),
         spec.placements.len(),
+        spec.pipeline_depths.len(),
         spec.seeds.len(),
         threads,
     );

@@ -23,10 +23,17 @@
 //!   phase-1 justification, denying both values the strict majority and
 //!   coin-flipping honest nodes away from a decided value; fixed by
 //!   Bracha message validation in aba_lc.rs.
+//! * `pipelined-w{2,4}.*` — the base scenario at pipeline depths 2 and 4
+//!   (dissemination of future epochs in flight while earlier epochs finish
+//!   agreement); pins determinism and liveness of the decided-block
+//!   buffering, in-order finalization, and early-decryption paths. The
+//!   fuzzer also mutates `pipeline_depth` ∈ {1, 2, 4}, so new pipelined
+//!   failures land here as minimized fixtures.
 
 use std::path::{Path, PathBuf};
 use wbft_consensus::fuzz::{
-    coin_starvation_case, fixture_string, replay_fixture, FuzzVerdict, DEFAULT_EVENT_BUDGET,
+    coin_starvation_case, fixture_string, pipelined_case, replay_fixture, FuzzVerdict,
+    DEFAULT_EVENT_BUDGET,
 };
 use wbft_consensus::Protocol;
 
@@ -44,7 +51,27 @@ fn every_fixture_replays_deterministically_with_its_expected_verdict() {
             replayed += 1;
         }
     }
-    assert!(replayed >= 4, "expected the seeded fixture set, found {replayed}");
+    assert!(replayed >= 7, "expected the seeded fixture set, found {replayed}");
+}
+
+#[test]
+fn pipelined_fixtures_match_the_canonical_encoding() {
+    // Same drift guard as the coin-starvation pair, for the pipelined
+    // cases — and it pins that `pipeline_depth` is *present* in the config
+    // encoding whenever it is not the default 1.
+    for (p, depth) in
+        [(Protocol::Beat, 2u64), (Protocol::HoneyBadgerSc, 4), (Protocol::DumboSc, 2)]
+    {
+        let case = pipelined_case(p, depth, DEFAULT_EVENT_BUDGET);
+        let disk =
+            std::fs::read_to_string(fixture_dir().join(format!("{}.json", case.label))).unwrap();
+        assert_eq!(fixture_string(&case, FuzzVerdict::Ok), disk, "{} drifted", case.label);
+        assert!(
+            disk.contains("\"pipeline_depth\""),
+            "{}: depth must be encoded when non-default",
+            case.label
+        );
+    }
 }
 
 #[test]

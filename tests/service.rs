@@ -9,7 +9,7 @@ use proptest::prelude::*;
 use std::time::Duration;
 use wbft_consensus::netrun::{run_udp_service_node, ServiceNodeOpts};
 use wbft_consensus::report::scenario_string;
-use wbft_consensus::service::{block_digests, tx_digest, Mempool};
+use wbft_consensus::service::{block_digests, tx_digest, LatencySummary, Mempool};
 use wbft_consensus::sweep::{run_scenarios, SweepSpec};
 use wbft_consensus::testbed::{run, TestbedConfig};
 use wbft_consensus::{
@@ -129,6 +129,44 @@ proptest! {
                 pool.admit(tx_of(capacity as u64), SimTime::ZERO),
                 AdmitOutcome::Admitted
             );
+        }
+    }
+
+    /// Latency summaries never panic — not on empty streams, not on a
+    /// single sample, not on arbitrary ones — and the percentile chain
+    /// stays ordered (these once carried `expect("non-empty")` panics).
+    #[test]
+    fn latency_summary_never_panics(
+        samples in proptest::collection::vec(0u64..1_000_000, 0..24),
+    ) {
+        let s = LatencySummary::from_samples(&samples);
+        prop_assert_eq!(s.count as usize, samples.len());
+        if samples.is_empty() {
+            prop_assert_eq!((s.p50_us, s.p90_us, s.p99_us, s.max_us), (0, 0, 0, 0));
+            prop_assert_eq!(s.mean_us, 0.0);
+        } else {
+            prop_assert!(s.p50_us <= s.p90_us);
+            prop_assert!(s.p90_us <= s.p99_us);
+            prop_assert!(s.p99_us <= s.max_us);
+            prop_assert_eq!(s.max_us, *samples.iter().max().unwrap());
+        }
+    }
+
+    /// Arrival schedules never panic, including the degenerate zero
+    /// interval (the jitter modulus guard) and zero-length transactions.
+    #[test]
+    fn arrival_schedule_never_panics(
+        per_node in 0u64..6,
+        interval_us in 0u64..3,
+        tx_bytes in 0usize..40,
+        seed in 0u64..64,
+    ) {
+        let spec = ArrivalSpec { per_node, interval_us, tx_bytes, seed };
+        for node in 0..3 {
+            let schedule = spec.schedule(node);
+            prop_assert_eq!(schedule.len() as u64, per_node);
+            prop_assert!(schedule.iter().all(|(_, tx)| tx.len() == tx_bytes));
+            prop_assert!(schedule.windows(2).all(|w| w[0].0 <= w[1].0));
         }
     }
 }
