@@ -161,6 +161,15 @@ impl<E: Engine> Engine for ByzantineEngine<E> {
         self.corrupt(out);
     }
 
+    fn restore_chain(&mut self, blocks: Vec<Block>) {
+        self.inner.restore_chain(blocks);
+    }
+
+    fn adopt_chain(&mut self, blocks: Vec<Block>, out: &mut EngineOut) {
+        self.inner.adopt_chain(blocks, out);
+        self.corrupt(out);
+    }
+
     fn blocks(&self) -> &[Block] {
         self.inner.blocks()
     }

@@ -75,6 +75,23 @@ pub trait Engine {
     /// sequential event stream is untouched.
     fn on_work_available(&mut self, _out: &mut EngineOut) {}
 
+    /// Seeds the engine with a committed chain prefix recovered from the
+    /// durable journal. Called *before* [`Engine::start`]: the engine
+    /// adopts the blocks as already-committed history and `start` opens
+    /// its first live epoch right past them. No sends, timers or service
+    /// interaction happen here — pre-start output has nowhere to go. The
+    /// default (and any engine without chain state) ignores the prefix.
+    fn restore_chain(&mut self, _blocks: Vec<Block>) {}
+
+    /// Adopts verified peer blocks extending the local chain *mid-run*
+    /// (the anti-entropy catch-up path). `blocks` must be contiguous from
+    /// the current chain head and already digest-verified by the caller;
+    /// non-contiguous entries are ignored. Engines drop any live instance
+    /// of an adopted epoch and move their pipeline past the new head. The
+    /// default does nothing (catch-up simply has no effect on engines
+    /// without chain state).
+    fn adopt_chain(&mut self, _blocks: Vec<Block>, _out: &mut EngineOut) {}
+
     /// Blocks decided so far, in epoch order.
     fn blocks(&self) -> &[Block];
 
@@ -96,6 +113,12 @@ impl Engine for Box<dyn Engine> {
     }
     fn on_work_available(&mut self, out: &mut EngineOut) {
         (**self).on_work_available(out)
+    }
+    fn restore_chain(&mut self, blocks: Vec<Block>) {
+        (**self).restore_chain(blocks)
+    }
+    fn adopt_chain(&mut self, blocks: Vec<Block>, out: &mut EngineOut) {
+        (**self).adopt_chain(blocks, out)
     }
     fn blocks(&self) -> &[Block] {
         (**self).blocks()
@@ -155,6 +178,23 @@ struct ServiceBinding {
     arrivals: Vec<(SimDuration, Tx)>,
 }
 
+/// Anti-entropy state of one node: the reserved channel it announces on
+/// and the cumulative journal chain digests it verifies chunks against
+/// (see `wbft_transport::sync` for the wire protocol).
+struct SyncState {
+    channel: ChannelId,
+    /// Chain digest after each committed block, grown lazily with the
+    /// chain (index == epoch).
+    digests: Vec<[u8; 32]>,
+    /// Head announcements answered with a block chunk.
+    served: u64,
+    /// Blocks shipped inside chunks.
+    shipped: u64,
+    /// Blocks that did not fit a chunk's datagram budget (the peer's next
+    /// announcement round pulls them).
+    dropped: u64,
+}
+
 /// Adapts an [`Engine`] to the simulator's [`NodeBehavior`].
 pub struct ProtocolNode<E: Engine> {
     engine: E,
@@ -163,6 +203,11 @@ pub struct ProtocolNode<E: Engine> {
     channel: ChannelId,
     clock: EpochClock,
     service: Option<ServiceBinding>,
+    /// Durable block journal: every commit is appended before the event
+    /// that produced it returns, so a crash at any instant loses at most
+    /// the in-flight epoch.
+    journal: Option<crate::recovery::BlockJournal>,
+    sync: Option<SyncState>,
     /// Reusable engine-output sink: `apply` drains it, so one allocation's
     /// capacity serves every event instead of fresh `Vec`s per frame/timer
     /// — the driver sits on the simulator's hot path.
@@ -178,6 +223,16 @@ const TIMER_LOCAL_BITS: u64 = 10;
 /// bit 53, so `session << TIMER_LOCAL_BITS` never reaches this bit).
 const ARRIVAL_TIMER_BIT: u64 = 1 << 63;
 
+/// Driver-level timer lane for periodic anti-entropy head announcements.
+const SYNC_TIMER_BIT: u64 = 1 << 62;
+
+/// Cadence of head announcements on the sync channel.
+const SYNC_ANNOUNCE_INTERVAL: SimDuration = SimDuration::from_millis(500);
+
+/// Transmit-queue slot for head announcements: a newer height supersedes a
+/// stale queued one instead of wasting airtime behind it.
+const SYNC_ANNOUNCE_SLOT: u64 = u64::MAX;
+
 impl<E: Engine> ProtocolNode<E> {
     /// Binds an engine to a node's crypto identity and radio channel.
     pub fn new(engine: E, crypto: NodeCrypto, channel: ChannelId) -> Self {
@@ -189,9 +244,53 @@ impl<E: Engine> ProtocolNode<E> {
             channel,
             clock: EpochClock::default(),
             service: None,
+            journal: None,
+            sync: None,
             scratch: EngineOut::new(),
             _private: (),
         }
+    }
+
+    /// Attaches a durable block journal: every committed block is appended
+    /// (payload = the proposal batch codec) in the same event that decided
+    /// it. Open the journal first and feed its recovered prefix through
+    /// [`Engine::restore_chain`] + [`ProtocolNode::with_recovered`].
+    pub fn with_journal(mut self, journal: crate::recovery::BlockJournal) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Marks the first `n` blocks of the engine's chain as recovered
+    /// history rather than fresh commits: their completion clocks pre-fill
+    /// with time zero, so the driver neither re-records them into the
+    /// service stream (a restart seeds that via
+    /// [`ConsensusHandle::recover_chain`](crate::service::ConsensusHandle::recover_chain))
+    /// nor re-appends them to the journal.
+    pub fn with_recovered(mut self, n: usize) -> Self {
+        self.clock.completed = vec![SimTime::ZERO; n];
+        self
+    }
+
+    /// Enables anti-entropy catch-up on `channel` (reserved for sync
+    /// traffic): the node periodically announces its chain height, answers
+    /// shorter peers with digest-chained block chunks, and adopts verified
+    /// chunks that extend its own chain. Messages on this channel are
+    /// unsigned — adoption is gated on the journal digest chain instead.
+    pub fn with_sync(mut self, channel: ChannelId) -> Self {
+        self.sync = Some(SyncState {
+            channel,
+            digests: Vec::new(),
+            served: 0,
+            shipped: 0,
+            dropped: 0,
+        });
+        self
+    }
+
+    /// Anti-entropy counters `(requests served, blocks shipped, blocks
+    /// dropped to chunk budgets)`, when sync is enabled.
+    pub fn sync_counters(&self) -> Option<(u64, u64, u64)> {
+        self.sync.as_ref().map(|s| (s.served, s.shipped, s.dropped))
     }
 
     /// Attaches a consensus service: committed blocks are recorded into
@@ -240,6 +339,17 @@ impl<E: Engine> ProtocolNode<E> {
             if let Some(svc) = &self.service {
                 svc.handle.record_commit(&self.engine.blocks()[idx], ctx.now());
             }
+            // Journal the block in the same event that decided it: a crash
+            // at any instant loses at most the epoch still in flight. An
+            // append failure (store I/O) must not take down consensus — the
+            // node keeps running unjournaled.
+            let journal_failed = match self.journal.as_mut() {
+                Some(j) => j.append(&self.engine.blocks()[idx]).is_err(),
+                None => false,
+            };
+            if journal_failed {
+                self.journal = None;
+            }
             self.clock.completed.push(ctx.now());
         }
         if out.charge_us > 0 {
@@ -266,6 +376,116 @@ impl<E: Engine> ProtocolNode<E> {
         }
         out.charge_us = 0;
     }
+
+    /// Extends the cached cumulative chain digests to cover every committed
+    /// block (index == epoch).
+    fn refresh_sync_digests(&mut self) {
+        let Some(sync) = &mut self.sync else { return };
+        let blocks = self.engine.blocks();
+        while sync.digests.len() < blocks.len() {
+            let b = &blocks[sync.digests.len()];
+            let prev = sync
+                .digests
+                .last()
+                .copied()
+                .unwrap_or(wbft_journal::GENESIS_DIGEST);
+            sync.digests.push(wbft_journal::chain_digest(
+                &prev,
+                b.epoch,
+                &crate::recovery::encode_block_payload(&b.txs),
+            ));
+        }
+    }
+
+    /// Broadcasts a periodic chain-height announcement on the sync channel.
+    fn announce_head(&mut self, ctx: &mut NodeCtx) {
+        let Some(sync) = &self.sync else { return };
+        let msg = wbft_transport::SyncMsg::HeadAnnounce {
+            height: self.engine.blocks().len() as u64,
+        };
+        if let Ok(bytes) = msg.encode() {
+            let nominal = bytes.len();
+            ctx.broadcast_slot(sync.channel, bytes, nominal, SYNC_ANNOUNCE_SLOT);
+        }
+        ctx.set_timer(SYNC_ANNOUNCE_INTERVAL, SYNC_TIMER_BIT);
+    }
+
+    /// Handles one unsigned datagram on the sync channel: answer a shorter
+    /// peer's announcement with a budgeted chunk, or verify and adopt a
+    /// chunk that extends the local chain.
+    fn on_sync_frame(&mut self, payload: &[u8], ctx: &mut NodeCtx) {
+        use wbft_transport::sync::{SyncBlock, SyncMsg, MAX_CHUNK_BLOCKS, SYNC_CHUNK_BUDGET};
+        let Some(msg) = SyncMsg::decode(payload) else { return };
+        self.refresh_sync_digests();
+        match msg {
+            SyncMsg::HeadAnnounce { height } => {
+                let ours = self.engine.blocks().len() as u64;
+                if height >= ours {
+                    return;
+                }
+                let Some(sync) = &mut self.sync else { return };
+                let blocks = self.engine.blocks();
+                let mut chunk = Vec::new();
+                let mut used = 0usize;
+                for e in height as usize..blocks.len() {
+                    let payload =
+                        Bytes::from(crate::recovery::encode_block_payload(&blocks[e].txs));
+                    let sb = SyncBlock { payload, digest: sync.digests[e] };
+                    if chunk.len() >= MAX_CHUNK_BLOCKS
+                        || used + sb.wire_len() > SYNC_CHUNK_BUDGET
+                    {
+                        sync.dropped += (blocks.len() - e) as u64;
+                        break;
+                    }
+                    used += sb.wire_len();
+                    chunk.push(sb);
+                }
+                if chunk.is_empty() {
+                    return;
+                }
+                sync.served += 1;
+                sync.shipped += chunk.len() as u64;
+                let reply = SyncMsg::BlockChunk { start_epoch: height, blocks: chunk };
+                if let Ok(bytes) = reply.encode() {
+                    let nominal = bytes.len();
+                    ctx.broadcast(sync.channel, bytes, nominal);
+                }
+            }
+            SyncMsg::BlockChunk { start_epoch, blocks } => {
+                if start_epoch != self.engine.blocks().len() as u64 {
+                    return; // Stale (already have it) or gapped (can't verify).
+                }
+                let Some(sync) = &self.sync else { return };
+                // Chunks are unsigned: adopt only the prefix whose digests
+                // extend our own chain — a forged or corrupted block breaks
+                // the chain right there and everything after it is refused.
+                let mut prev = sync
+                    .digests
+                    .last()
+                    .copied()
+                    .unwrap_or(wbft_journal::GENESIS_DIGEST);
+                let mut adopted = Vec::new();
+                for (i, sb) in blocks.iter().enumerate() {
+                    let epoch = start_epoch + i as u64;
+                    if wbft_journal::chain_digest(&prev, epoch, &sb.payload) != sb.digest {
+                        break;
+                    }
+                    let Some(txs) = crate::recovery::decode_block_payload(&sb.payload) else {
+                        break;
+                    };
+                    prev = sb.digest;
+                    adopted.push(Block { epoch, txs });
+                }
+                if adopted.is_empty() {
+                    return;
+                }
+                let mut out = std::mem::take(&mut self.scratch);
+                self.engine.adopt_chain(adopted, &mut out);
+                self.apply(&mut out, ctx);
+                self.scratch = out;
+            }
+        }
+    }
 }
 
 impl<E: Engine> NodeBehavior for ProtocolNode<E> {
@@ -278,6 +498,9 @@ impl<E: Engine> NodeBehavior for ProtocolNode<E> {
                 ctx.set_timer(*delay, ARRIVAL_TIMER_BIT | i as u64);
             }
         }
+        if self.sync.is_some() {
+            ctx.set_timer(SYNC_ANNOUNCE_INTERVAL, SYNC_TIMER_BIT);
+        }
         let mut out = std::mem::take(&mut self.scratch);
         self.engine.start(&mut out);
         self.apply(&mut out, ctx);
@@ -285,6 +508,16 @@ impl<E: Engine> NodeBehavior for ProtocolNode<E> {
     }
 
     fn on_frame(&mut self, frame: &Frame, ctx: &mut NodeCtx) {
+        // Sync traffic is not enveloped: it rides its own reserved channel
+        // unsigned (forged blocks die on the digest-chain check instead),
+        // so it branches off before the signature-verify charge.
+        if let Some(sync) = &self.sync {
+            if frame.channel == sync.channel {
+                let payload = frame.payload.clone();
+                self.on_sync_frame(&payload, ctx);
+                return;
+            }
+        }
         // Verify the packet signature (cost charged whether it passes or
         // not — the radio delivered it, the CPU must check it).
         ctx.charge_cpu(SimDuration::from_micros(self.crypto.suite.ecdsa.profile().verify_us));
@@ -318,6 +551,10 @@ impl<E: Engine> NodeBehavior for ProtocolNode<E> {
             self.engine.on_work_available(&mut out);
             self.apply(&mut out, ctx);
             self.scratch = out;
+            return;
+        }
+        if id & SYNC_TIMER_BIT != 0 {
+            self.announce_head(ctx);
             return;
         }
         let session = id >> TIMER_LOCAL_BITS;

@@ -187,7 +187,16 @@ impl ToJson for FuzzOutcome {
 pub fn run_case(case: &FuzzCase) -> FuzzOutcome {
     assert!(case.cfg.clusters.is_none(), "fuzz cases are single-hop");
     testbed::validate(&case.cfg);
-    let (mut sim, honest) = testbed::build_single_hop(&case.cfg);
+    // Crash-plan cases run the journaled, sync-capable build and execute
+    // the churn timeline before the completion race; verdicts (including a
+    // restarted node that never catches up → stall) are judged the same way.
+    let (mut sim, honest) = if case.cfg.crash.is_some() {
+        let (mut sim, honest, stores, crypto) = testbed::build_crash_single_hop(&case.cfg);
+        testbed::apply_crash_timeline(&case.cfg, &mut sim, &crypto, &stores);
+        (sim, honest)
+    } else {
+        testbed::build_single_hop(&case.cfg)
+    };
     let deadline = SimTime::ZERO + case.cfg.deadline;
     let budget = case.event_budget;
     sim.run_until_pred(deadline, |s| {
@@ -264,6 +273,14 @@ pub fn coverage_key(case: &FuzzCase, out: &FuzzOutcome) -> u64 {
         fnv1a(&mut h, format!("{:?}", s.policy).as_bytes());
         fnv1a(&mut h, &bucket(s.budget.as_micros()).to_le_bytes());
     }
+    // Fold only present plans so pre-churn keys are unchanged.
+    if let Some(plan) = &case.cfg.crash {
+        for ev in &plan.crashes {
+            fnv1a(&mut h, &(ev.node as u64).to_le_bytes());
+            fnv1a(&mut h, &bucket(ev.at_us).to_le_bytes());
+            fnv1a(&mut h, &bucket(ev.restart_us).to_le_bytes());
+        }
+    }
     fnv1a(&mut h, out.verdict.name().as_bytes());
     fnv1a(&mut h, &bucket(out.events).to_le_bytes());
     fnv1a(&mut h, &out.blocks.to_le_bytes());
@@ -278,16 +295,19 @@ pub fn coverage_key(case: &FuzzCase, out: &FuzzOutcome) -> u64 {
 fn mutate(case: &FuzzCase, protocols: &[Protocol], rng: &mut ChaCha12Rng) -> FuzzCase {
     let mut cfg = case.cfg.clone();
     // One structural mutation per generation keeps minimization short.
-    match rng.random_range(0..9u32) {
+    match rng.random_range(0..11u32) {
         0 => cfg.seed = rng.random_range(1..1 << 16),
         1 => cfg.protocol = protocols[rng.random_range(0..protocols.len())],
         2 => {
-            // Place (or clear) one Byzantine node; n=4 tolerates f=1.
+            // Place (or clear) one Byzantine node; n=4 tolerates f=1, so a
+            // placement also clears any crash plan (churn + Byzantine
+            // together would exceed f).
             cfg.byzantine.clear();
             if rng.random_bool(0.75) {
                 let node = rng.random_range(0..cfg.n);
                 let mode = ByzantineMode::ALL[rng.random_range(0..ByzantineMode::ALL.len())];
                 cfg.byzantine.push((node, mode));
+                cfg.crash = None;
             }
         }
         3 => {
@@ -312,7 +332,23 @@ fn mutate(case: &FuzzCase, protocols: &[Protocol], rng: &mut ChaCha12Rng) -> Fuz
         5 => cfg.sched = None,
         6 => cfg.epochs = rng.random_range(1..=2),
         7 => cfg.workload.batch_size = [4usize, 8, 16][rng.random_range(0..3usize)],
-        _ => cfg.pipeline_depth = [1u64, 2, 4][rng.random_range(0..3usize)],
+        8 => cfg.pipeline_depth = [1u64, 2, 4][rng.random_range(0..3usize)],
+        9 => {
+            // Crash one node mid-run; the plan replaces any Byzantine
+            // placement (churn + Byzantine together would exceed f = 1).
+            cfg.byzantine.clear();
+            let node = rng.random_range(0..cfg.n);
+            let at_us = rng.random_range(1..=20u64) * 1_000_000;
+            let down_us = rng.random_range(5..=40u64) * 1_000_000;
+            cfg.crash = Some(crate::testbed::CrashPlan {
+                crashes: vec![crate::testbed::CrashEvent {
+                    node,
+                    at_us,
+                    restart_us: at_us + down_us,
+                }],
+            });
+        }
+        _ => cfg.crash = None,
     }
     FuzzCase { label: String::new(), cfg, event_budget: case.event_budget }
 }
@@ -332,8 +368,9 @@ fn relabel(case: &mut FuzzCase, index: u32) {
     } else {
         format!(".w{}", case.cfg.pipeline_depth)
     };
+    let churn = if case.cfg.crash.is_some() { ".churn" } else { "" };
     case.label = format!(
-        "fuzz-{index:04}.{}.n{}.{sched}.{byz}{depth}.seed{}",
+        "fuzz-{index:04}.{}.n{}.{sched}.{byz}{depth}{churn}.seed{}",
         case.cfg.protocol.slug(),
         case.cfg.n,
         case.cfg.seed
@@ -419,6 +456,25 @@ pub fn pipelined_case(protocol: Protocol, depth: u64, event_budget: u64) -> Fuzz
     case
 }
 
+/// The canonical churn case: one node dies five seconds in (volatile state
+/// gone, in-flight frames cut) and restarts after a 25-second outage,
+/// replaying its durable journal and catching the missed commits up over
+/// the anti-entropy sync channel. A restarted node that fails to converge
+/// shows up as a stall; a bad recovery shows up as divergence.
+pub fn crash_restart_case(protocol: Protocol, event_budget: u64) -> FuzzCase {
+    let mut case = base_case(protocol, event_budget);
+    case.cfg.epochs = 2;
+    case.cfg.crash = Some(crate::testbed::CrashPlan {
+        crashes: vec![crate::testbed::CrashEvent {
+            node: 2,
+            at_us: 5_000_000,
+            restart_us: 30_000_000,
+        }],
+    });
+    case.label = format!("crash-restart.{}", protocol.slug());
+    case
+}
+
 /// The canonical protocol-aware attack: hold back every coin share after
 /// the first, per receiver and round, for the full budget — the
 /// quorum-completing `f+1`-th share arrives late everywhere, so every ABA
@@ -446,13 +502,19 @@ pub fn campaign(cfg: &FuzzConfig) -> FuzzReport {
     let mut failures = Vec::new();
     let mut executed = 0u32;
 
-    // Seed corpus: every protocol's base case plus its coin-starvation
-    // schedule (the latter only meaningful for shared-coin deployments but
-    // harmless elsewhere — the classifier just never fires).
+    // Seed corpus: every protocol's base case, its coin-starvation schedule
+    // (only meaningful for shared-coin deployments but harmless elsewhere —
+    // the classifier just never fires), and its crash-restart churn case.
     let mut pending: Vec<FuzzCase> = cfg
         .protocols
         .iter()
-        .flat_map(|p| [base_case(*p, cfg.event_budget), coin_starvation_case(*p, cfg.event_budget)])
+        .flat_map(|p| {
+            [
+                base_case(*p, cfg.event_budget),
+                coin_starvation_case(*p, cfg.event_budget),
+                crash_restart_case(*p, cfg.event_budget),
+            ]
+        })
         .collect();
 
     while executed < cfg.scenarios {
@@ -492,7 +554,7 @@ pub fn campaign(cfg: &FuzzConfig) -> FuzzReport {
 /// The result is the fixture a regression test replays.
 pub fn minimize(case: &FuzzCase, verdict: FuzzVerdict) -> FuzzCase {
     let mut best = case.clone();
-    let attempts: [fn(&mut TestbedConfig); 7] = [
+    let attempts: [fn(&mut TestbedConfig); 8] = [
         |c| c.byzantine.clear(),
         |c| c.loss = wbft_wireless::LossModel::None,
         |c| c.sched = None,
@@ -500,6 +562,7 @@ pub fn minimize(case: &FuzzCase, verdict: FuzzVerdict) -> FuzzCase {
         |c| c.epochs = 1,
         |c| c.workload.batch_size = 4,
         |c| c.pipeline_depth = 1,
+        |c| c.crash = None,
     ];
     for attempt in attempts {
         let mut candidate = best.clone();
@@ -607,6 +670,22 @@ mod tests {
         // other verdict is a real finding and belongs in a fixture.
         let out = run_case(&coin_starvation_case(Protocol::Beat, DEFAULT_EVENT_BUDGET));
         assert_eq!(out.verdict, FuzzVerdict::Ok, "events={} blocks={}", out.events, out.blocks);
+    }
+
+    #[test]
+    fn crash_restart_case_converges() {
+        let out = run_case(&crash_restart_case(Protocol::Beat, DEFAULT_EVENT_BUDGET));
+        assert_eq!(out.verdict, FuzzVerdict::Ok, "events={} blocks={}", out.events, out.blocks);
+        assert_eq!(out.blocks, 2);
+    }
+
+    #[test]
+    fn crash_case_replay_is_deterministic() {
+        let case = crash_restart_case(Protocol::Beat, DEFAULT_EVENT_BUDGET);
+        let a = run_case(&case);
+        let b = run_case(&case);
+        assert_eq!(a, b);
+        assert_eq!(a.to_json().pretty(), b.to_json().pretty());
     }
 
     #[test]

@@ -561,6 +561,39 @@ impl<B: Broadcaster, A: BinaryAgreement> Engine for HbEngine<B, A> {
         self.open_epochs(out);
     }
 
+    fn restore_chain(&mut self, blocks: Vec<Block>) {
+        // Adopt the recovered prefix as already-committed history; `start`
+        // then opens the first live epoch right past it (epochs are opened
+        // relative to `blocks.len()`, so no per-epoch state is needed).
+        self.started = self.started.max(blocks.len() as u64);
+        self.blocks = blocks;
+    }
+
+    fn adopt_chain(&mut self, blocks: Vec<Block>, out: &mut EngineOut) {
+        let mut advanced = false;
+        for block in blocks {
+            if block.epoch != self.blocks.len() as u64 {
+                continue;
+            }
+            // Drop the live instance of the adopted epoch: its agreement
+            // is moot and its components must not commit a second copy.
+            if let Some(i) = self.epochs.iter().position(|e| e.epoch == block.epoch) {
+                self.epochs.remove(i);
+            }
+            if let BatchSource::Service { handle, .. } = &self.source {
+                handle.resolve_commit(&block);
+            }
+            self.blocks.push(block);
+            advanced = true;
+        }
+        if advanced {
+            self.started = self.started.max(self.blocks.len() as u64);
+            self.open_epochs(out);
+            let head = self.blocks.len() as u64;
+            self.poll(head, out);
+        }
+    }
+
     fn handle(&mut self, session: u64, from: usize, body: &Body, out: &mut EngineOut) {
         let (epoch, role) = sessions::split(session);
         let Some(idx) = self.epochs.iter().position(|e| e.epoch == epoch) else { return };

@@ -28,6 +28,7 @@ pub mod honeybadger;
 pub mod multihop;
 pub mod netrun;
 pub mod protocol;
+pub mod recovery;
 pub mod report;
 pub mod service;
 pub mod sweep;
@@ -42,6 +43,7 @@ pub use fuzz::{
 };
 pub use netrun::{run_udp_node, run_udp_service_node, ServiceNodeOpts, UdpNodeOutcome};
 pub use protocol::Protocol;
+pub use recovery::{chain_digests, BlockJournal};
 pub use service::{
     AdmitOutcome, ArrivalSpec, ConsensusHandle, LatencySummary, Mempool, ServiceConfig,
     ServiceReport, ServiceStats, StopCondition,
@@ -50,5 +52,5 @@ pub use sweep::{
     parallel_map, resolve_threads, run_scenarios, run_sweep, sweep_threads, Scenario, SweepRun,
     SweepSpec,
 };
-pub use testbed::{run, RunReport, TestbedConfig};
+pub use testbed::{run, CrashEvent, CrashPlan, RunReport, TestbedConfig};
 pub use workload::{BatchSource, Workload};

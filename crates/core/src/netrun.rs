@@ -18,6 +18,7 @@
 //! reports; channel accesses, bytes on air (nominal) and commit counts are.
 
 use crate::driver::{Engine, ProtocolNode};
+use crate::recovery::BlockJournal;
 use crate::service::{block_digests, AdmitOutcome, ConsensusHandle, ServiceReport};
 use crate::testbed::{finish_report, RunReport, TestbedConfig};
 use std::io;
@@ -287,17 +288,23 @@ impl ClientGateway for ServiceGateway {
 }
 
 /// Bounds and sizing of one UDP service node.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServiceNodeOpts {
     /// Wall-clock budget — the hard duration guard: the node exits when it
     /// passes even if the mempool never drains or the stop never arrives.
     pub wall: Duration,
-    /// Post-completion linger serving peers' NACKs and late subscribers.
+    /// Post-completion linger serving peers' NACKs, anti-entropy digest
+    /// requests, and late subscribers.
     pub linger: Duration,
     /// Hard epoch bound (the other half of the CI guard).
     pub max_epochs: u64,
     /// Mempool capacity.
     pub mempool_capacity: usize,
+    /// Durable block journal path. When set, every committed block is
+    /// appended before the run reports it, and a restart replays the
+    /// journal: recovered blocks re-enter the block stream and the mempool
+    /// dedup set, and the engine resumes from the recovered epoch.
+    pub journal: Option<std::path::PathBuf>,
 }
 
 /// Runs node `me` of a single-hop `cfg` deployment as a live consensus
@@ -336,20 +343,47 @@ pub fn run_udp_service_node(
         .nth(me)
         .expect("me < n checked above");
     let handle = ConsensusHandle::new(opts.mempool_capacity);
-    let engine: Box<dyn Engine> = cfg.protocol.service_engine_at_depth(
+    let mut engine: Box<dyn Engine> = cfg.protocol.service_engine_at_depth(
         crypto.clone(),
         handle.clone(),
         cfg.workload.batch_size,
         opts.max_epochs,
         cfg.pipeline_depth,
     );
+    // Open the durable journal (if configured) before the engine starts:
+    // the recovered prefix re-enters the block stream and mempool dedup
+    // set via the handle, and the engine resumes from the next epoch.
+    let mut journal = None;
+    let mut recovered_len = 0usize;
+    if let Some(path) = &opts.journal {
+        let store = wbft_journal::FileStore::open(path)?;
+        let (j, blocks) = BlockJournal::open(Box::new(store)).map_err(|e| match e {
+            wbft_journal::JournalError::Io(io) => io,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        })?;
+        handle.recover_chain(&blocks);
+        recovered_len = blocks.len();
+        engine.restore_chain(blocks);
+        journal = Some(j);
+    }
     // No local arrival schedule: submissions come over the client channel.
-    let node = ProtocolNode::new(engine, crypto, ChannelId(0))
-        .with_service(handle.clone(), Vec::new());
+    let mut node = ProtocolNode::new(engine, crypto, ChannelId(0))
+        .with_service(handle.clone(), Vec::new())
+        .with_recovered(recovered_len)
+        .with_sync(ChannelId(wbft_transport::SYNC_CHANNEL));
+    if let Some(j) = journal {
+        node = node.with_journal(j);
+    }
     let rng_seed = cfg.seed ^ ((me as u64) << 32) ^ 0x11d9;
     let mut runtime = UdpRuntime::new(peers, me as u16, node, rng_seed)?;
     runtime.set_client_gateway(Box::new(ServiceGateway::new(handle.clone())));
     let completed = runtime.run_until(opts.wall, opts.linger, |node| node.is_done())?;
+    if let Some((served, shipped, dropped)) = runtime.behavior().sync_counters() {
+        let stats = runtime.stats_mut();
+        stats.sync_requests_served = served;
+        stats.sync_blocks_shipped = shipped;
+        stats.sync_chunks_dropped = dropped;
+    }
     let elapsed = runtime
         .completed_at()
         .unwrap_or_else(|| runtime.now())

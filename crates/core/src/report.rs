@@ -12,7 +12,7 @@ use crate::byzantine::ByzantineMode;
 use crate::protocol::Protocol;
 use crate::service::{ArrivalSpec, LatencySummary, ServiceConfig, ServiceReport};
 use crate::sweep::SweepRun;
-use crate::testbed::{RunReport, TestbedConfig};
+use crate::testbed::{CrashEvent, CrashPlan, RunReport, TestbedConfig};
 use crate::workload::Workload;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -190,6 +190,38 @@ impl FromJson for ServiceReport {
     }
 }
 
+impl ToJson for CrashEvent {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("node", self.node.to_json()),
+            ("at_us", Json::u64(self.at_us)),
+            ("restart_us", Json::u64(self.restart_us)),
+        ])
+    }
+}
+
+impl FromJson for CrashEvent {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(CrashEvent {
+            node: field(j, "node")?,
+            at_us: field(j, "at_us")?,
+            restart_us: field(j, "restart_us")?,
+        })
+    }
+}
+
+impl ToJson for CrashPlan {
+    fn to_json(&self) -> Json {
+        Json::obj([("crashes", self.crashes.to_json())])
+    }
+}
+
+impl FromJson for CrashPlan {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(CrashPlan { crashes: field(j, "crashes")? })
+    }
+}
+
 impl ToJson for TestbedConfig {
     fn to_json(&self) -> Json {
         let mut members = vec![
@@ -219,6 +251,9 @@ impl ToJson for TestbedConfig {
         if self.pipeline_depth != 1 {
             members.push(("pipeline_depth", Json::u64(self.pipeline_depth)));
         }
+        if let Some(crash) = &self.crash {
+            members.push(("crash", crash.to_json()));
+        }
         Json::obj(members)
     }
 }
@@ -243,6 +278,7 @@ impl FromJson for TestbedConfig {
             service: opt_field(j, "service")?,
             sched: opt_field(j, "sched")?,
             pipeline_depth: opt_field::<u64>(j, "pipeline_depth")?.unwrap_or(1),
+            crash: opt_field(j, "crash")?,
         })
     }
 }
@@ -469,6 +505,23 @@ mod tests {
         assert!(text.contains("pipeline_depth"));
         let decoded = TestbedConfig::from_json(&wbft_report::parse(&text).unwrap()).unwrap();
         assert_eq!(decoded.pipeline_depth, 4);
+        assert_eq!(decoded.to_json().pretty(), text);
+    }
+
+    #[test]
+    fn crash_member_is_optional_and_round_trips() {
+        let mut cfg = TestbedConfig::single_hop(Protocol::Beat);
+        assert!(
+            !cfg.to_json().pretty().contains("crash"),
+            "absent when unset so pre-churn configs keep their bytes"
+        );
+        cfg.crash = Some(CrashPlan {
+            crashes: vec![CrashEvent { node: 2, at_us: 5_000_000, restart_us: 30_000_000 }],
+        });
+        let text = cfg.to_json().pretty();
+        assert!(text.contains("restart_us"));
+        let decoded = TestbedConfig::from_json(&wbft_report::parse(&text).unwrap()).unwrap();
+        assert_eq!(decoded.crash, cfg.crash);
         assert_eq!(decoded.to_json().pretty(), text);
     }
 

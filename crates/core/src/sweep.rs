@@ -17,7 +17,7 @@
 use crate::byzantine::ByzantineMode;
 use crate::protocol::Protocol;
 use crate::service::ServiceConfig;
-use crate::testbed::{run, RunReport, TestbedConfig};
+use crate::testbed::{run, CrashPlan, RunReport, TestbedConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use wbft_crypto::CryptoSuite;
@@ -53,6 +53,12 @@ pub struct SweepSpec {
     /// `.w{d}` label segment, so depth-1 labels keep their exact
     /// pre-pipelining form. Single-hop only.
     pub pipeline_depths: Vec<u64>,
+    /// Crash/churn schedules: `None` = no churn (the classic run), `Some` =
+    /// the listed nodes are killed and restarted at the scheduled times
+    /// (journal recovery + anti-entropy catch-up). Churn points append a
+    /// `.crash…` label segment, so churn-free labels keep their exact
+    /// pre-churn form. Single-hop, non-service only.
+    pub crashes: Vec<Option<CrashPlan>>,
     /// Simulation seeds.
     pub seeds: Vec<u64>,
     /// Epochs per run.
@@ -78,6 +84,7 @@ impl SweepSpec {
             placements: vec![Vec::new()],
             services: vec![None],
             pipeline_depths: vec![1],
+            crashes: vec![None],
             seeds: vec![7],
             epochs: 1,
             batch_size: 8,
@@ -110,6 +117,7 @@ impl SweepSpec {
             * self.placements.len()
             * self.services.len()
             * self.pipeline_depths.len()
+            * self.crashes.len()
             * self.seeds.len()
     }
 
@@ -139,6 +147,14 @@ impl SweepSpec {
              pipelined epochs are single-hop only",
             self.name
         );
+        assert!(
+            self.crashes.iter().all(Option::is_none)
+                || (self.topologies.iter().all(Option::is_none)
+                    && self.services.iter().all(Option::is_none)),
+            "sweep \"{}\" combines a crash plan with a multi-hop topology or a \
+             service load — crash/churn runs are single-hop, non-service only",
+            self.name
+        );
         // Reject dishonest axis values before any worker starts: a loss
         // model that can swallow messages forever or an adversary without
         // a finite delay bound breaks the eventual-delivery assumption
@@ -161,39 +177,49 @@ impl SweepSpec {
                         for placement in &self.placements {
                             for service in &self.services {
                                 for &depth in &self.pipeline_depths {
-                                    for &seed in &self.seeds {
-                                        let mut cfg = TestbedConfig::single_hop(protocol);
-                                        cfg.n = self.n;
-                                        cfg.clusters = topology;
-                                        cfg.suite = suite;
-                                        cfg.loss = loss.clone();
-                                        cfg.byzantine = placement.clone();
-                                        cfg.service = service.clone();
-                                        cfg.pipeline_depth = depth;
-                                        cfg.seed = seed;
-                                        cfg.epochs = self.epochs;
-                                        cfg.workload.batch_size = self.batch_size;
-                                        cfg.deadline = self.deadline;
-                                        // Sequential labels stay exactly as
-                                        // before; the depth and service
-                                        // segments appear only on pipelined
-                                        // and live-submission points.
-                                        let label = format!(
-                                            "{}.{}.{}.{}.{}{}.seed{}{}",
-                                            protocol.slug(),
-                                            topology.map_or("sh".into(), |m| format!("mh{m}")),
-                                            suite_label(&suite),
-                                            loss_label(loss, li),
-                                            placement_label(placement),
-                                            if depth == 1 {
-                                                String::new()
-                                            } else {
-                                                format!(".w{depth}")
-                                            },
-                                            seed,
-                                            service.as_ref().map_or(String::new(), service_label),
-                                        );
-                                        out.push(Scenario { label, cfg });
+                                    for crash in &self.crashes {
+                                        for &seed in &self.seeds {
+                                            let mut cfg = TestbedConfig::single_hop(protocol);
+                                            cfg.n = self.n;
+                                            cfg.clusters = topology;
+                                            cfg.suite = suite;
+                                            cfg.loss = loss.clone();
+                                            cfg.byzantine = placement.clone();
+                                            cfg.service = service.clone();
+                                            cfg.pipeline_depth = depth;
+                                            cfg.crash = crash.clone();
+                                            cfg.seed = seed;
+                                            cfg.epochs = self.epochs;
+                                            cfg.workload.batch_size = self.batch_size;
+                                            cfg.deadline = self.deadline;
+                                            // Sequential labels stay exactly
+                                            // as before; the depth, service
+                                            // and crash segments appear only
+                                            // on pipelined, live-submission
+                                            // and churn points.
+                                            let label = format!(
+                                                "{}.{}.{}.{}.{}{}.seed{}{}{}",
+                                                protocol.slug(),
+                                                topology
+                                                    .map_or("sh".into(), |m| format!("mh{m}")),
+                                                suite_label(&suite),
+                                                loss_label(loss, li),
+                                                placement_label(placement),
+                                                if depth == 1 {
+                                                    String::new()
+                                                } else {
+                                                    format!(".w{depth}")
+                                                },
+                                                seed,
+                                                service
+                                                    .as_ref()
+                                                    .map_or(String::new(), service_label),
+                                                crash
+                                                    .as_ref()
+                                                    .map_or(String::new(), crash_label),
+                                            );
+                                            out.push(Scenario { label, cfg });
+                                        }
                                     }
                                 }
                             }
@@ -236,6 +262,16 @@ fn service_label(svc: &ServiceConfig) -> String {
         svc.arrivals.per_node,
         svc.mempool_capacity,
     )
+}
+
+fn crash_label(plan: &CrashPlan) -> String {
+    let events = plan
+        .crashes
+        .iter()
+        .map(|e| format!("{}@{}-{}", e.node, e.at_us, e.restart_us))
+        .collect::<Vec<_>>()
+        .join("+");
+    format!(".crash{events}")
 }
 
 fn placement_label(placement: &[(usize, ByzantineMode)]) -> String {
@@ -391,6 +427,40 @@ mod tests {
         assert_eq!(scenarios[2].label, "beat.sh.secp160r1+bn158.loss-none.honest.w2.seed7");
         assert_eq!(scenarios[2].cfg.pipeline_depth, 2);
         assert!(scenarios[4].label.contains(".w4."));
+    }
+
+    #[test]
+    fn crash_axis_expands_and_tags_labels() {
+        use crate::testbed::{CrashEvent, CrashPlan};
+        let mut spec = SweepSpec::new("churn");
+        spec.crashes = vec![
+            None,
+            Some(CrashPlan {
+                crashes: vec![CrashEvent { node: 2, at_us: 5_000_000, restart_us: 30_000_000 }],
+            }),
+        ];
+        assert_eq!(spec.len(), 2);
+        let scenarios = spec.expand();
+        // The churn-free point keeps the exact pre-churn label shape.
+        assert_eq!(scenarios[0].label, "beat.sh.secp160r1+bn158.loss-none.honest.seed7");
+        assert!(scenarios[0].cfg.crash.is_none());
+        assert_eq!(
+            scenarios[1].label,
+            "beat.sh.secp160r1+bn158.loss-none.honest.seed7.crash2@5000000-30000000"
+        );
+        assert!(scenarios[1].cfg.crash.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "single-hop, non-service only")]
+    fn crash_multihop_sweeps_are_rejected() {
+        use crate::testbed::{CrashEvent, CrashPlan};
+        let mut spec = SweepSpec::new("bad-churn");
+        spec.topologies = vec![Some(4)];
+        spec.crashes = vec![Some(CrashPlan {
+            crashes: vec![CrashEvent { node: 0, at_us: 1, restart_us: 2 }],
+        })];
+        spec.expand();
     }
 
     #[test]

@@ -11,14 +11,43 @@ use crate::byzantine::{ByzantineEngine, ByzantineMode};
 use crate::driver::{Engine, ProtocolNode};
 use crate::multihop::ClusterNode;
 use crate::protocol::Protocol;
+use crate::recovery::BlockJournal;
 use crate::service::{ConsensusHandle, ServiceConfig, ServiceReport, ServiceStats};
 use crate::workload::Workload;
 use wbft_components::deal_node_crypto;
 use wbft_crypto::CryptoSuite;
+use wbft_journal::SharedMem;
+use wbft_transport::SYNC_CHANNEL;
 use wbft_wireless::{
     AdversaryConfig, ChannelId, CsmaParams, DmaParams, LossModel, Metrics, NodeId, RadioParams,
     SchedConfig, SimConfig, SimDuration, SimTime, Simulator, Topology,
 };
+
+/// One crash-restart event on the churn timeline: the node's process dies
+/// at `at_us` (losing all volatile state, cutting its in-flight frames)
+/// and a fresh incarnation boots at `restart_us`, recovering its committed
+/// prefix from the durable journal and catching the rest up through the
+/// anti-entropy sync channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// Node to crash (must be honest).
+    pub node: usize,
+    /// Simulated microseconds from start at which the node dies.
+    pub at_us: u64,
+    /// Simulated microseconds at which it restarts (`> at_us`).
+    pub restart_us: u64,
+}
+
+/// A seed-deterministic crash/churn schedule: crash/restart is a fault
+/// axis like loss or Byzantine behaviour, not a separate harness. With a
+/// plan installed every node journals its commits to an in-memory durable
+/// store and listens on the reserved sync channel, so restarted nodes
+/// recover their prefix and converge with the survivors.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Crash events; at most one per node, nodes disjoint from `byzantine`.
+    pub crashes: Vec<CrashEvent>,
+}
 
 /// Full description of one testbed experiment.
 #[derive(Clone, Debug)]
@@ -68,6 +97,12 @@ pub struct TestbedConfig {
     /// the strictly sequential engine; absent from the JSON encoding at 1
     /// so pre-pipelining configs keep their exact bytes. Single-hop only.
     pub pipeline_depth: u64,
+    /// `Some` = crash/churn schedule: nodes journal commits durably, the
+    /// listed nodes are killed and restarted at the scheduled times, and
+    /// the run only completes once the restarted nodes have recovered and
+    /// caught up. Absent from the JSON encoding when `None` so pre-churn
+    /// configs keep their exact bytes. Single-hop, non-service only.
+    pub crash: Option<CrashPlan>,
 }
 
 impl TestbedConfig {
@@ -91,6 +126,7 @@ impl TestbedConfig {
             clusters: None,
             service: None,
             pipeline_depth: 1,
+            crash: None,
         }
     }
 
@@ -205,6 +241,50 @@ pub fn validate(cfg: &TestbedConfig) {
     if cfg.clusters.is_some() && cfg.pipeline_depth != 1 {
         panic!("pipelined epochs are single-hop only (clustered pipelining is a follow-on)");
     }
+    if let Some(plan) = &cfg.crash {
+        if cfg.clusters.is_some() {
+            panic!("crash plans are single-hop only");
+        }
+        if cfg.service.is_some() {
+            panic!("crash plans do not compose with service mode (follow-on)");
+        }
+        if plan.crashes.is_empty() {
+            panic!("crash plan has no events (use crash: None for no churn)");
+        }
+        let deadline_us = cfg.deadline.as_micros();
+        let mut seen: Vec<usize> = Vec::new();
+        for ev in &plan.crashes {
+            if ev.node >= cfg.n {
+                panic!("crash event names node {} but n = {}", ev.node, cfg.n);
+            }
+            if ev.restart_us <= ev.at_us {
+                panic!("crash of node {} restarts at {}us, not after {}us", ev.node, ev.restart_us, ev.at_us);
+            }
+            if ev.restart_us >= deadline_us {
+                panic!("crash of node {} restarts after the {}us deadline", ev.node, deadline_us);
+            }
+            if cfg.byzantine.iter().any(|(b, _)| *b == ev.node) {
+                panic!("node {} is both Byzantine and crash-scheduled", ev.node);
+            }
+            if seen.contains(&ev.node) {
+                panic!("node {} crashes more than once (one event per node)", ev.node);
+            }
+            seen.push(ev.node);
+        }
+        // A down node is indistinguishable from a silent faulty one, so
+        // crashed + Byzantine together must stay within the f the quorum
+        // sizes tolerate or the liveness claim is vacuous.
+        let f = cfg.n.saturating_sub(1) / 3;
+        if seen.len() + cfg.byzantine.len() > f {
+            panic!(
+                "{} crashed + {} Byzantine nodes exceed f = {} for n = {}",
+                seen.len(),
+                cfg.byzantine.len(),
+                f,
+                cfg.n
+            );
+        }
+    }
 }
 
 /// Executes one experiment.
@@ -217,6 +297,7 @@ pub fn run(cfg: &TestbedConfig) -> RunReport {
     match (cfg.clusters, &cfg.service) {
         (Some(m), _) => run_multi_hop(cfg, m),
         (None, Some(svc)) => run_service_single_hop(cfg, svc),
+        (None, None) if cfg.crash.is_some() => run_single_hop_with_crashes(cfg),
         (None, None) => run_single_hop(cfg),
     }
 }
@@ -296,6 +377,161 @@ fn run_single_hop(cfg: &TestbedConfig) -> RunReport {
         if honest[id.index()] && completed {
             assert_eq!(b.blocks(), &reference[..], "agreement violated at {id}");
         }
+    }
+    finish_report(completed, elapsed, decision_times, total_txs, sim.metrics().clone(), cfg.epochs)
+}
+
+/// Builds one journaled, sync-capable node for a crash run. `recover`
+/// replays whatever the durable store holds before the engine starts, so
+/// the same constructor serves both cold boot (empty store) and restart.
+fn build_crash_node(
+    cfg: &TestbedConfig,
+    i: usize,
+    crypto: wbft_components::NodeCrypto,
+    store: &SharedMem,
+) -> ProtocolNode<Box<dyn Engine>> {
+    let (journal, blocks) = BlockJournal::open(Box::new(store.clone()))
+        .expect("durable journal recovery failed");
+    let recovered = blocks.len();
+    let mut engine = cfg.protocol.engine_at_depth(
+        crypto.clone(),
+        cfg.workload.clone(),
+        cfg.epochs,
+        cfg.pipeline_depth,
+    );
+    engine.restore_chain(blocks);
+    let engine: Box<dyn Engine> = match cfg.byzantine.iter().find(|(b, _)| *b == i) {
+        Some((_, mode)) => Box::new(ByzantineEngine::new(engine, *mode)),
+        None => engine,
+    };
+    ProtocolNode::new(engine, crypto, ChannelId(0))
+        .with_recovered(recovered)
+        .with_journal(journal)
+        .with_sync(ChannelId(SYNC_CHANNEL))
+}
+
+/// Everything a crash run's restart actions need beyond the simulator
+/// itself: the honest mask, the durable per-node stores, and the dealt
+/// crypto (restarts re-instantiate a node with its original identity).
+pub(crate) type CrashSetup = (
+    Simulator<ProtocolNode<Box<dyn Engine>>>,
+    Vec<bool>,
+    Vec<SharedMem>,
+    Vec<wbft_components::NodeCrypto>,
+);
+
+/// Builds the journaled, sync-capable single-hop simulator for a crash
+/// run, plus the durable stores and dealt crypto the restart actions need.
+/// Shared by the standard crash path and the fuzz harness.
+pub(crate) fn build_crash_single_hop(cfg: &TestbedConfig) -> CrashSetup {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0xdea1);
+    let crypto = deal_node_crypto(cfg.n, cfg.suite, &mut rng);
+    let honest: Vec<bool> = (0..cfg.n)
+        .map(|i| !cfg.byzantine.iter().any(|(b, _)| *b == i))
+        .collect();
+    // The durable stores outlive the crashed incarnations — they are the
+    // sim's stand-in for each node's disk.
+    let stores: Vec<SharedMem> = (0..cfg.n).map(|_| SharedMem::new()).collect();
+    let behaviors: Vec<_> = crypto
+        .iter()
+        .enumerate()
+        .map(|(i, c)| build_crash_node(cfg, i, c.clone(), &stores[i]))
+        .collect();
+    let mut topo = Topology::single_hop(cfg.n);
+    for i in 0..cfg.n {
+        topo.join_channel(NodeId(i as u16), ChannelId(SYNC_CHANNEL));
+    }
+    let mut sim = Simulator::new(sim_config(cfg), topo, behaviors);
+    install_scheduler(cfg, &mut sim);
+    (sim, honest, stores, crypto)
+}
+
+/// Phased execution of the crash plan: advances simulated time to each
+/// crash/restart in order and performs the action. On return every node is
+/// up again and the caller runs the sim to completion.
+pub(crate) fn apply_crash_timeline(
+    cfg: &TestbedConfig,
+    sim: &mut Simulator<ProtocolNode<Box<dyn Engine>>>,
+    crypto: &[wbft_components::NodeCrypto],
+    stores: &[SharedMem],
+) {
+    enum Action {
+        Crash(usize),
+        Restart(usize),
+    }
+    let Some(plan) = &cfg.crash else { return };
+    let mut actions: Vec<(u64, Action)> = Vec::new();
+    for ev in &plan.crashes {
+        actions.push((ev.at_us, Action::Crash(ev.node)));
+        actions.push((ev.restart_us, Action::Restart(ev.node)));
+    }
+    actions.sort_by_key(|(t, _)| *t);
+    for (t, action) in actions {
+        sim.run_until(SimTime::ZERO + SimDuration::from_micros(t));
+        match action {
+            Action::Crash(i) => sim.crash_node(NodeId(i as u16)),
+            Action::Restart(i) => {
+                let node = build_crash_node(cfg, i, crypto[i].clone(), &stores[i]);
+                sim.restart_node(NodeId(i as u16), node);
+            }
+        }
+    }
+}
+
+/// [`run_single_hop`] with the crash/churn axis engaged: every node
+/// journals commits to an in-memory durable store and listens on the
+/// reserved sync channel; the plan's nodes are crashed (volatile state
+/// dropped, in-flight frames cut) and restarted (journal replayed, chain
+/// caught up via anti-entropy) at their scheduled times.
+fn run_single_hop_with_crashes(cfg: &TestbedConfig) -> RunReport {
+    let plan = cfg.crash.clone().expect("crash path requires a plan");
+    let (mut sim, honest, stores, crypto) = build_crash_single_hop(cfg);
+    let deadline = SimTime::ZERO + cfg.deadline;
+    apply_crash_timeline(cfg, &mut sim, &crypto, &stores);
+    // Completion demands the restarted nodes too: a node that recovered
+    // its journal but never caught up keeps the run from completing.
+    let completed = sim.run_until_pred(deadline, |s| {
+        s.behaviors().all(|(id, b)| !honest[id.index()] || b.is_done())
+    });
+    let elapsed = sim.now().saturating_since(SimTime::ZERO);
+    let decision_times: Vec<Vec<SimTime>> = sim
+        .behaviors()
+        .filter(|(id, _)| honest[id.index()])
+        .map(|(_, b)| b.clock().completed.clone())
+        .collect();
+    let never_crashed_honest = |i: usize| -> bool {
+        honest[i] && !plan.crashes.iter().any(|ev| ev.node == i)
+    };
+    let reference = sim
+        .behaviors()
+        .find(|(id, _)| never_crashed_honest(id.index()))
+        .map(|(_, b)| b.blocks().to_vec())
+        .unwrap_or_default();
+    let total_txs: u64 = reference.iter().map(|b| b.txs.len() as u64).sum();
+    for (id, b) in sim.behaviors() {
+        if honest[id.index()] {
+            // Prefix agreement always; level chains once completed — a
+            // restarted node must have converged with the survivors.
+            let common = b.blocks().len().min(reference.len());
+            assert_eq!(&b.blocks()[..common], &reference[..common], "agreement violated at {id}");
+            if completed {
+                assert_eq!(b.blocks().len(), reference.len(), "chains not level at {id}");
+            }
+        }
+    }
+    // The durable stores must themselves replay to the agreed chain — the
+    // journal is the recovery story, so check it, not just the engines.
+    for ev in &plan.crashes {
+        let (_, blocks) = BlockJournal::open(Box::new(stores[ev.node].clone()))
+            .expect("post-run journal replay failed");
+        let common = blocks.len().min(reference.len());
+        assert_eq!(
+            crate::recovery::chain_digests(&blocks[..common]),
+            crate::recovery::chain_digests(&reference[..common]),
+            "journal of node {} diverged from the agreed chain",
+            ev.node
+        );
     }
     finish_report(completed, elapsed, decision_times, total_txs, sim.metrics().clone(), cfg.epochs)
 }
@@ -453,6 +689,37 @@ mod tests {
         assert!(report.total_txs > 0);
         assert!(report.throughput_tpm > 0.0);
         assert!(report.channel_accesses_per_node > 0.0);
+    }
+
+    #[test]
+    fn crash_restart_converges() {
+        let mut cfg = TestbedConfig::single_hop(Protocol::Beat);
+        cfg.epochs = 2;
+        cfg.workload.batch_size = 8;
+        cfg.crash = Some(CrashPlan {
+            crashes: vec![CrashEvent {
+                node: 2,
+                at_us: 5_000_000,
+                restart_us: 30_000_000,
+            }],
+        });
+        let report = run(&cfg);
+        assert!(report.completed, "crash-restart run must converge");
+        assert_eq!(report.epoch_latencies.len(), 2);
+        assert!(report.total_txs > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed f")]
+    fn crash_plan_beyond_f_is_rejected() {
+        let mut cfg = TestbedConfig::single_hop(Protocol::Beat);
+        cfg.crash = Some(CrashPlan {
+            crashes: vec![
+                CrashEvent { node: 0, at_us: 1, restart_us: 2 },
+                CrashEvent { node: 1, at_us: 1, restart_us: 2 },
+            ],
+        });
+        validate(&cfg);
     }
 
     #[test]

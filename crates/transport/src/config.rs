@@ -117,8 +117,9 @@ impl PeerTable {
     /// Validates the table: ids must be dense `0..n` in order (so node ids
     /// index protocol-code peer arrays), addresses unique, and no entry may
     /// claim the transport's reserved channels — control
-    /// ([`crate::runtime::CONTROL_CHANNEL`]) and client submission
-    /// ([`crate::client::CLIENT_CHANNEL`]).
+    /// ([`crate::runtime::CONTROL_CHANNEL`]), client submission
+    /// ([`crate::client::CLIENT_CHANNEL`]) and anti-entropy sync
+    /// ([`crate::sync::SYNC_CHANNEL`]).
     ///
     /// # Errors
     ///
@@ -128,7 +129,11 @@ impl PeerTable {
             if p.node as usize != i {
                 return Err(format!("peer {i} has id {} — ids must be dense 0..n", p.node));
             }
-            for reserved in [crate::runtime::CONTROL_CHANNEL, crate::client::CLIENT_CHANNEL] {
+            for reserved in [
+                crate::runtime::CONTROL_CHANNEL,
+                crate::client::CLIENT_CHANNEL,
+                crate::sync::SYNC_CHANNEL,
+            ] {
                 if p.channels.contains(&reserved) {
                     return Err(format!(
                         "node {} claims channel {reserved} — reserved for the transport",
@@ -212,6 +217,13 @@ mod tests {
     fn validation_rejects_the_reserved_client_channel() {
         let mut table = PeerTable::loopback(&[1, 2]);
         table.peers[1].channels.push(crate::client::CLIENT_CHANNEL);
+        assert!(table.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_the_reserved_sync_channel() {
+        let mut table = PeerTable::loopback(&[1, 2]);
+        table.peers[0].channels.push(crate::sync::SYNC_CHANNEL);
         assert!(table.validate().is_err());
     }
 

@@ -28,10 +28,12 @@
 pub mod client;
 pub mod config;
 pub mod runtime;
+pub mod sync;
 
 pub use client::{ClientMsg, SubmitVerdict, CLIENT_CHANNEL, CLIENT_SRC};
 pub use config::{PeerEntry, PeerTable};
 pub use runtime::{ClientGateway, UdpRuntime};
+pub use sync::{SyncBlock, SyncMsg, SYNC_CHANNEL, SYNC_CHUNK_BUDGET};
 
 /// Datagram-level counters a transport keeps alongside the protocol
 /// [`Metrics`](wbft_wireless::Metrics).
@@ -59,4 +61,12 @@ pub struct TransportStats {
     /// Client subscribers evicted by the gateway (repeated send failures
     /// or LRU displacement past the subscriber cap).
     pub client_evictions: u64,
+    /// Anti-entropy head announcements answered with a block chunk (this
+    /// node had blocks the announcer was missing).
+    pub sync_requests_served: u64,
+    /// Committed blocks shipped inside anti-entropy chunks.
+    pub sync_blocks_shipped: u64,
+    /// Blocks that did not fit the current chunk's datagram budget and
+    /// wait for the peer's next announcement round.
+    pub sync_chunks_dropped: u64,
 }

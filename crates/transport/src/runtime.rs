@@ -214,6 +214,13 @@ impl<B: NodeBehavior> UdpRuntime<B> {
         &self.stats
     }
 
+    /// Mutable access to the counters, so a driver can fold in counts the
+    /// behavior tracked itself (the anti-entropy sync counters live in the
+    /// protocol node — the runtime only routes its datagrams).
+    pub fn stats_mut(&mut self) -> &mut TransportStats {
+        &mut self.stats
+    }
+
     /// When the completion predicate first held, if it has — the moment to
     /// measure elapsed time against (the post-completion linger spent
     /// answering peers' NACKs is service, not latency).
@@ -436,12 +443,20 @@ impl<B: NodeBehavior> UdpRuntime<B> {
             }
             return Ok(());
         }
+        // The reserved sync channel belongs to no peer-table entry: any
+        // known peer may speak on it (the behavior verifies digest chains
+        // itself, since sync traffic is unsigned). All other channels pass
+        // the usual joined/claimed filter.
         let foreign = datagram.src == self.me.0
-            || !self.joined.contains(&datagram.channel)
-            || self
-                .peers
-                .entry(datagram.src)
-                .is_none_or(|p| !p.channels.contains(&datagram.channel));
+            || if datagram.channel == crate::sync::SYNC_CHANNEL {
+                self.peers.entry(datagram.src).is_none()
+            } else {
+                !self.joined.contains(&datagram.channel)
+                    || self
+                        .peers
+                        .entry(datagram.src)
+                        .is_none_or(|p| !p.channels.contains(&datagram.channel))
+            };
         if foreign {
             self.stats.drops_foreign += 1;
             return Ok(());
@@ -515,7 +530,19 @@ impl<B: NodeBehavior> UdpRuntime<B> {
         let m = self.metrics.node_mut(self.me);
         m.channel_accesses += 1;
         m.bytes_sent += nominal_len as u64;
-        for addr in self.peers.multicast_set(self.me.0, channel) {
+        // The reserved sync channel has no claimants in the table; its
+        // multicast set is every other peer.
+        let targets = if channel.0 == crate::sync::SYNC_CHANNEL {
+            self.peers
+                .peers
+                .iter()
+                .filter(|p| p.node != self.me.0)
+                .map(|p| p.addr)
+                .collect()
+        } else {
+            self.peers.multicast_set(self.me.0, channel)
+        };
+        for addr in targets {
             if self.socket.send_to(&bytes, addr).is_err() {
                 self.stats.sends_failed += 1;
             }

@@ -54,8 +54,16 @@ enum EventKind {
 struct Event {
     at: SimTime,
     seq: u64,
+    /// Incarnation of the event's node when it was scheduled; stale events
+    /// from before a crash are dropped at dispatch. [`INC_ANY`] for events
+    /// not bound to a node's lifetime (a transmission already in the air
+    /// ends regardless of what its sender does next).
+    inc: u32,
     kind: EventKind,
 }
+
+/// Incarnation wildcard: the event survives crashes of its node.
+const INC_ANY: u32 = u32::MAX;
 
 impl PartialEq for Event {
     fn eq(&self, other: &Self) -> bool {
@@ -145,6 +153,11 @@ pub struct Simulator<B: NodeBehavior> {
     started: bool,
     /// Events dispatched so far (the fuzzer's liveness budget unit).
     events: u64,
+    /// Per-node crash counter; bumped by [`Simulator::crash_node`] so every
+    /// event scheduled for the previous incarnation dies on dispatch.
+    incarnations: Vec<u32>,
+    /// Nodes currently crashed (no behavior installed).
+    down: Vec<bool>,
     /// Adversarial delivery scheduler, consulted per (tx, receiver) pair
     /// after the loss roll. Owns its RNG, so installing one leaves the
     /// simulation stream untouched.
@@ -184,6 +197,8 @@ impl<B: NodeBehavior> Simulator<B> {
             metrics: Metrics::new(n),
             started: false,
             events: 0,
+            incarnations: vec![0; n],
+            down: vec![false; n],
             scheduler: None,
             sched_stats: SchedStats::default(),
             cmd_scratch: Vec::new(),
@@ -238,17 +253,81 @@ impl<B: NodeBehavior> Simulator<B> {
         self.behaviors[node.index()].as_mut().expect("behavior present between events")
     }
 
-    /// Iterates all behaviors.
+    /// Iterates all *live* behaviors (crashed nodes are skipped until
+    /// restarted).
     pub fn behaviors(&self) -> impl Iterator<Item = (NodeId, &B)> {
         self.behaviors
             .iter()
             .enumerate()
-            .map(|(i, b)| (NodeId(i as u16), b.as_ref().expect("behavior present")))
+            .filter_map(|(i, b)| Some((NodeId(i as u16), b.as_ref()?)))
+    }
+
+    /// Read access to a node's behavior, or `None` while it is crashed.
+    pub fn try_behavior(&self, node: NodeId) -> Option<&B> {
+        self.behaviors[node.index()].as_ref()
+    }
+
+    /// `true` while `node` is crashed (between [`Simulator::crash_node`]
+    /// and [`Simulator::restart_node`]).
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.down[node.index()]
+    }
+
+    /// Crash-faults `node` right now: its behavior (all protocol state) is
+    /// dropped, its radio goes dark mid-transmission (an in-flight frame is
+    /// cut — receivers never see it), and every event scheduled for it —
+    /// timers, queued deliveries, backoffs — dies with its incarnation. The
+    /// durable state a real crash leaves behind lives *outside* the
+    /// behavior (e.g. a shared-memory journal store).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is already down.
+    pub fn crash_node(&mut self, node: NodeId) {
+        let i = node.index();
+        assert!(!self.down[i], "node {} is already down", node.index());
+        self.down[i] = true;
+        self.incarnations[i] += 1;
+        self.behaviors[i] = None;
+        self.nodes[i] = NodeState::new();
+        self.waiting.retain(|&(_, n)| n != node);
+        // The dying radio's carrier vanishes: in-flight transmissions are
+        // cut and never delivered (their TxEnd finds nothing to deliver);
+        // completed ones still matter for ongoing collision checks.
+        let now = self.now;
+        self.recent_tx.retain(|t| t.sender != node || t.end <= now);
+    }
+
+    /// Restarts a crashed `node` with a fresh behavior (typically rebuilt
+    /// from recovered durable state): it gets a clean radio/CPU state and an
+    /// `on_start` at the current simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not down.
+    pub fn restart_node(&mut self, node: NodeId, behavior: B) {
+        let i = node.index();
+        assert!(self.down[i], "node {} is not down", node.index());
+        self.down[i] = false;
+        self.behaviors[i] = Some(behavior);
+        self.push(self.now, EventKind::Start(node));
     }
 
     fn push(&mut self, at: SimTime, kind: EventKind) {
+        let inc = match &kind {
+            EventKind::Start(n)
+            | EventKind::Timer(n, _)
+            | EventKind::TxAttempt(n)
+            | EventKind::TxStart(n)
+            | EventKind::RxArrive(n, _)
+            | EventKind::RxFlush(n)
+            | EventKind::RxProcess(n, _) => self.incarnations[n.index()],
+            // A transmission in the air outlives its sender's crash; the
+            // delivery logic consults `recent_tx`, not the sender.
+            EventKind::TxEnd(_) => INC_ANY,
+        };
         self.seq += 1;
-        self.queue.push(Reverse(Event { at, seq: self.seq, kind }));
+        self.queue.push(Reverse(Event { at, seq: self.seq, inc, kind }));
     }
 
     fn start_if_needed(&mut self) {
@@ -271,7 +350,7 @@ impl<B: NodeBehavior> Simulator<B> {
             }
             let Reverse(ev) = self.queue.pop().expect("peeked");
             self.now = ev.at;
-            self.dispatch(ev.kind);
+            self.dispatch(ev.kind, ev.inc);
         }
         self.now
     }
@@ -294,7 +373,7 @@ impl<B: NodeBehavior> Simulator<B> {
             }
             let Reverse(ev) = self.queue.pop().expect("peeked");
             self.now = ev.at;
-            self.dispatch(ev.kind);
+            self.dispatch(ev.kind, ev.inc);
             if pred(self) {
                 return true;
             }
@@ -302,7 +381,26 @@ impl<B: NodeBehavior> Simulator<B> {
         false
     }
 
-    fn dispatch(&mut self, kind: EventKind) {
+    fn dispatch(&mut self, kind: EventKind, inc: u32) {
+        // Events addressed to a crashed node — or to a previous incarnation
+        // of a restarted one — are dropped unprocessed: a dead node has no
+        // timers, no CPU, and no radio.
+        let node = match &kind {
+            EventKind::Start(n)
+            | EventKind::Timer(n, _)
+            | EventKind::TxAttempt(n)
+            | EventKind::TxStart(n)
+            | EventKind::RxArrive(n, _)
+            | EventKind::RxFlush(n)
+            | EventKind::RxProcess(n, _) => Some(*n),
+            EventKind::TxEnd(_) => None,
+        };
+        if let Some(n) = node {
+            let i = n.index();
+            if self.down[i] || (inc != INC_ANY && inc != self.incarnations[i]) {
+                return;
+            }
+        }
         self.events += 1;
         match kind {
             EventKind::Start(node) => self.call_behavior(node, |b, ctx| b.on_start(ctx)),
@@ -974,6 +1072,53 @@ mod tests {
         // the latest version airs once.
         assert_eq!(got, vec![3], "queued versions must coalesce, got {got:?}");
         assert_eq!(sim.metrics().node(NodeId(0)).channel_accesses, 1);
+    }
+
+    #[test]
+    fn crash_drops_state_and_restart_rejoins() {
+        // Node 1 crashes with a timer pending and a frame in flight toward
+        // it; neither must reach the restarted incarnation, but frames sent
+        // after the restart must.
+        let topo = Topology::single_hop(2);
+        let behaviors = vec![Chatter::new(1, 50), Chatter::new(0, 50)];
+        let mut sim = Simulator::new(cfg(21), topo, behaviors);
+        sim.behavior_mut(NodeId(1)); // touch: both alive
+        // Let node 0's frame get on the air, then kill 1 before delivery.
+        sim.run_until(SimTime::from_micros(10));
+        sim.crash_node(NodeId(1));
+        assert!(sim.is_down(NodeId(1)));
+        assert!(sim.try_behavior(NodeId(1)).is_none());
+        assert_eq!(sim.behaviors().count(), 1, "only node 0 is live");
+        sim.run_until(SimTime::from_micros(5_000_000));
+        sim.restart_node(NodeId(1), Chatter::new(0, 50));
+        assert!(!sim.is_down(NodeId(1)));
+        assert!(
+            sim.behavior(NodeId(1)).received.is_empty(),
+            "pre-crash deliveries must not leak into the new incarnation"
+        );
+        // A fresh send from node 0 reaches the restarted node.
+        sim.behavior_mut(NodeId(0)).to_send = 0;
+        // Drive a new broadcast through the behavior API: reuse on_start by
+        // restarting node 0 too (crash+restart is also how churn loops).
+        sim.crash_node(NodeId(0));
+        sim.restart_node(NodeId(0), Chatter::new(1, 50));
+        sim.run_until(SimTime::from_micros(10_000_000));
+        assert_eq!(sim.behavior(NodeId(1)).received, vec![(NodeId(0), 50)]);
+    }
+
+    #[test]
+    fn crash_is_free_when_unused() {
+        // The incarnation plumbing must not perturb crash-free runs: same
+        // trace as `identical_seeds_give_identical_traces` guards, plus the
+        // event counter still ticks for every dispatched event.
+        let topo = Topology::single_hop(3);
+        let behaviors: Vec<_> = (0..3).map(|_| Chatter::new(1, 60)).collect();
+        let mut sim = Simulator::new(cfg(22), topo, behaviors);
+        sim.run_until(SimTime::from_micros(30_000_000));
+        assert!(sim.events_processed() > 0);
+        for i in 0..3u16 {
+            assert_eq!(sim.behavior(NodeId(i)).received.len(), 2);
+        }
     }
 
     #[test]

@@ -44,11 +44,17 @@ fn usage() -> ! {
         "usage: service_cluster [--n N] [--protocol SLUG] [--txs K] [--tx-bytes B]\n\
          \x20                      [--interval-ms MS] [--mempool-cap C] [--seed S]\n\
          \x20                      [--max-epochs E] [--duration SECS] [--out DIR]\n\
+         \x20                      [--linger-ms MS] [--journal] [--crash-node I@T]\n\
          \n\
          Spawns N node processes serving consensus over loopback UDP, then\n\
          submits K transactions per client wave from this (external) process,\n\
          reads the streamed commits, and stops the cluster. --duration and\n\
          --max-epochs are hard bounds so runs terminate even without a drain.\n\
+         --journal gives each node a durable block journal in <out>/<slug>;\n\
+         --crash-node I@T (implies --journal) SIGKILLs node I's process T ms\n\
+         into the run and respawns it — the restart must recover its journal,\n\
+         catch up over anti-entropy, and end in agreement, or the launcher\n\
+         exits non-zero.\n\
          Reports: <out>/<slug>/node<i>.json (RunReport + service stats)"
     );
     std::process::exit(2);
@@ -67,6 +73,9 @@ struct ClusterDoc {
     linger_ms: u64,
     max_epochs: u64,
     mempool_cap: u64,
+    /// Each node journals committed blocks to `<out>/node<i>.journal` and
+    /// recovers from it on (re)start.
+    journal: bool,
 }
 
 impl ClusterDoc {
@@ -78,6 +87,7 @@ impl ClusterDoc {
             ("linger_ms", Json::u64(self.linger_ms)),
             ("max_epochs", Json::u64(self.max_epochs)),
             ("mempool_cap", Json::u64(self.mempool_cap)),
+            ("journal", Json::Bool(self.journal)),
         ])
     }
 
@@ -89,6 +99,7 @@ impl ClusterDoc {
             linger_ms: field(j, "linger_ms")?,
             max_epochs: field(j, "max_epochs")?,
             mempool_cap: field(j, "mempool_cap")?,
+            journal: field(j, "journal")?,
         })
     }
 }
@@ -106,6 +117,7 @@ fn child_main(me: usize, cluster_path: &Path, out_dir: &Path) -> ! {
         linger: Duration::from_millis(doc.linger_ms),
         max_epochs: doc.max_epochs,
         mempool_capacity: doc.mempool_cap as usize,
+        journal: doc.journal.then(|| out_dir.join(format!("node{me}.journal"))),
     };
     let outcome = run_udp_service_node(&doc.cfg, doc.peers, me, &opts)
         .unwrap_or_else(|e| fatal(&format!("node {me}: {e}")));
@@ -147,8 +159,14 @@ fn child_main(me: usize, cluster_path: &Path, out_dir: &Path) -> ! {
         service.rejected_full,
     );
     // The node is considered successful when it served at least one client
-    // transaction to commit; the hard bounds may have cut the run short.
-    std::process::exit(if service.committed_client_txs >= 1 { 0 } else { 3 });
+    // transaction to commit; the hard bounds may have cut the run short. A
+    // journaled restart may legitimately commit nothing new itself (its
+    // incarnation's txs all recovered or arrived over anti-entropy), so
+    // there a non-empty chain counts — the launcher separately enforces
+    // that the chain agrees with and keeps up with the peers'.
+    let ok = service.committed_client_txs >= 1
+        || (doc.journal && !outcome.block_digests.is_empty());
+    std::process::exit(if ok { 0 } else { 3 });
 }
 
 // ------------------------------------------------------------------
@@ -295,6 +313,12 @@ fn run_client(
 // ------------------------------------------------------------------
 // Launcher.
 
+/// Parses `I@T`: SIGKILL node `I` at `T` milliseconds into the run.
+fn parse_crash(spec: &str) -> Option<(usize, u64)> {
+    let (node, at) = spec.split_once('@')?;
+    Some((node.parse().ok()?, at.parse().ok()?))
+}
+
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -336,6 +360,9 @@ fn main() {
     let mut seed = 7u64;
     let mut max_epochs = 100_000u64;
     let mut duration_secs = 90u64;
+    let mut linger_ms = 2_000u64;
+    let mut journal = false;
+    let mut crash: Option<(usize, u64)> = None;
     let mut out = report_root().join("service");
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -352,6 +379,9 @@ fn main() {
             "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
             "--max-epochs" => max_epochs = value().parse().unwrap_or_else(|_| usage()),
             "--duration" => duration_secs = value().parse().unwrap_or_else(|_| usage()),
+            "--linger-ms" => linger_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--journal" => journal = true,
+            "--crash-node" => crash = Some(parse_crash(value()).unwrap_or_else(|| usage())),
             "--out" => out = value().into(),
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -360,6 +390,15 @@ fn main() {
     if n < 4 || !(n - 1).is_multiple_of(3) {
         eprintln!("--n must satisfy n = 3f+1 >= 4 (4, 7, 10, ...)");
         std::process::exit(2);
+    }
+    if let Some((idx, _)) = crash {
+        if idx >= n {
+            eprintln!("--crash-node index {idx} out of range for n={n}");
+            std::process::exit(2);
+        }
+        // A crash-restart run without a journal would restart from genesis
+        // and only converge by luck; durability is the point of the drill.
+        journal = true;
     }
 
     let mut cfg = TestbedConfig::single_hop(protocol);
@@ -373,44 +412,65 @@ fn main() {
 
     let dir = out.join(protocol.slug());
     std::fs::create_dir_all(&dir).expect("create out dir");
+    if journal {
+        // A journal left over from a previous invocation would make the
+        // fresh run recover a stale chain and immediately diverge.
+        for me in 0..n {
+            let _ = std::fs::remove_file(dir.join(format!("node{me}.journal")));
+        }
+    }
     let doc = ClusterDoc {
         cfg: cfg.clone(),
         peers,
         wall_secs: duration_secs,
-        linger_ms: 2_000,
+        linger_ms,
         max_epochs,
         mempool_cap,
+        journal,
     };
     let cluster_path = dir.join("cluster.json");
     wbft_report::write_file(&cluster_path, &doc.to_json()).expect("write cluster doc");
 
     let exe = std::env::current_exe().expect("current exe");
-    let mut children: Vec<(usize, Child)> = (0..n)
-        .map(|me| {
-            let child = Command::new(&exe)
-                .arg("--node")
-                .arg(me.to_string())
-                .arg("--cluster")
-                .arg(&cluster_path)
-                .arg("--out")
-                .arg(&dir)
-                .spawn()
-                .unwrap_or_else(|e| fatal(&format!("spawn node {me}: {e}")));
-            (me, child)
-        })
-        .collect();
+    let spawn_node = |me: usize| -> Child {
+        Command::new(&exe)
+            .arg("--node")
+            .arg(me.to_string())
+            .arg("--cluster")
+            .arg(&cluster_path)
+            .arg("--out")
+            .arg(&dir)
+            .spawn()
+            .unwrap_or_else(|e| fatal(&format!("spawn node {me}: {e}")))
+    };
+    let mut children: Vec<(usize, Child)> = (0..n).map(|me| (me, spawn_node(me))).collect();
 
     // Give the cluster a moment to pass its startup barrier, then drive
-    // live traffic from this process.
+    // live traffic from a client thread while this thread runs the crash
+    // schedule (if any).
     std::thread::sleep(Duration::from_millis(300));
-    let client = run_client(
-        &addrs,
-        txs,
-        tx_bytes,
-        seed,
-        Duration::from_millis(interval_ms),
-        Duration::from_secs(duration_secs.saturating_sub(5).max(5)),
-    );
+    let run_started = Instant::now();
+    let client_deadline = Duration::from_secs(duration_secs.saturating_sub(5).max(5));
+    let client = {
+        let addrs = addrs.clone();
+        let interval = Duration::from_millis(interval_ms);
+        std::thread::spawn(move || {
+            run_client(&addrs, txs, tx_bytes, seed, interval, client_deadline)
+        })
+    };
+    if let Some((idx, at_ms)) = crash {
+        let at = Duration::from_millis(at_ms);
+        std::thread::sleep(at.saturating_sub(run_started.elapsed()));
+        let child = &mut children[idx].1;
+        // SIGKILL, not a graceful stop: the journal's torn-tail recovery is
+        // exactly the artifact a hard kill leaves behind.
+        let _ = child.kill();
+        let _ = child.wait();
+        eprintln!("launcher: killed node {idx} at {:?}; respawning", run_started.elapsed());
+        std::thread::sleep(Duration::from_millis(500));
+        children[idx].1 = spawn_node(idx);
+    }
+    let client = client.join().expect("client thread");
     let mut lat = client.latencies_ms.clone();
     lat.sort_unstable();
     println!(
@@ -442,8 +502,8 @@ fn main() {
 
     // Cross-check node reports: committed client txs, latency percentiles
     // present, and digest-chain prefix agreement.
-    let mut chains: Vec<Vec<String>> = Vec::new();
-    for me in 0..n {
+    let mut chains: Vec<Vec<String>> = vec![Vec::new(); n];
+    for (me, chain) in chains.iter_mut().enumerate() {
         let path = dir.join(format!("node{me}.json"));
         let doc = match wbft_report::read_file(&path) {
             Ok(doc) => doc,
@@ -484,9 +544,9 @@ fn main() {
             }
         }
         match doc.get("block_digests").and_then(Json::as_arr) {
-            Some(arr) => chains.push(
-                arr.iter().map(|d| d.as_str().unwrap_or_default().to_string()).collect(),
-            ),
+            Some(arr) => {
+                *chain = arr.iter().map(|d| d.as_str().unwrap_or_default().to_string()).collect()
+            }
             None => {
                 eprintln!("node {me}: report missing block_digests");
                 success = false;
@@ -495,15 +555,43 @@ fn main() {
     }
     // Digest-chain prefix agreement: nodes may stop one epoch apart (the
     // stop races the last commit), but the common prefix must be identical.
-    for pair in chains.windows(2) {
-        let common = pair[0].len().min(pair[1].len());
-        if common == 0 || pair[0][..common] != pair[1][..common] {
+    for a in 0..n {
+        for b in a + 1..n {
+            let common = chains[a].len().min(chains[b].len());
+            if common == 0 || chains[a][..common] != chains[b][..common] {
+                eprintln!(
+                    "AGREEMENT VIOLATION — digest chains of nodes {a}/{b} diverge: \
+                     {:?} vs {:?}",
+                    &chains[a][..common.min(4)],
+                    &chains[b][..common.min(4)]
+                );
+                success = false;
+            }
+        }
+    }
+    // Convergence after the crash drill: the restarted node must have
+    // recovered its journal and caught up over anti-entropy — its chain may
+    // not lag behind the shortest surviving peer's.
+    if let Some((idx, _)) = crash {
+        let others_min = chains
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != idx)
+            .map(|(_, c)| c.len())
+            .min()
+            .unwrap_or(0);
+        if chains[idx].len() < others_min {
             eprintln!(
-                "AGREEMENT VIOLATION — digest chains diverge: {:?} vs {:?}",
-                &pair[0][..common.min(4)],
-                &pair[1][..common.min(4)]
+                "CATCH-UP FAILURE — restarted node {idx} holds {} blocks, shortest \
+                 surviving peer holds {others_min}",
+                chains[idx].len()
             );
             success = false;
+        } else {
+            println!(
+                "crash drill: node {idx} restarted with {} blocks, peers hold >= {others_min}",
+                chains[idx].len()
+            );
         }
     }
     if success {

@@ -16,6 +16,7 @@ use std::time::Instant;
 use wbft_consensus::fuzz::{campaign, fixture_string, FuzzConfig};
 use wbft_consensus::report::{report_root, scenario_string, write_reports};
 use wbft_consensus::sweep::{resolve_threads, run_scenarios, SweepSpec};
+use wbft_consensus::testbed::{CrashEvent, CrashPlan};
 use wbft_consensus::{ArrivalSpec, ByzantineMode, Protocol, ServiceConfig};
 use wbft_wireless::LossModel;
 
@@ -24,7 +25,8 @@ fn usage() -> ! {
         "usage: sweep [--protocols LIST|all|batched|baselines] [--multihop | --both]\n\
          \x20            [--seeds S1,S2,...] [--epochs E] [--batch B] [--n N]\n\
          \x20            [--loss P1,P2,...] [--byz MODE@NODE,...] [--suites light,medium]\n\
-         \x20            [--service IAMSxCOUNT[@CAP]] [--depths W1,W2,...] [--threads T]\n\
+         \x20            [--service IAMSxCOUNT[@CAP]] [--depths W1,W2,...]\n\
+         \x20            [--crash NODE@T1-T2,...] [--threads T]\n\
          \x20            [--out DIR] [--verify-serial]\n\
          \x20      sweep --fuzz SCENARIOS [--seeds CAMPAIGN_SEED] [--protocols LIST]\n\
          \x20            [--out DIR]\n\
@@ -44,6 +46,10 @@ fn usage() -> ! {
          depths:    pipeline depths W as a sweep axis, e.g. --depths 1,2,4; W epochs\n\
          \x20          keep their dissemination in flight while earlier epochs finish\n\
          \x20          agreement (W=1 = sequential; single-hop only)\n\
+         crash:     adds a crash/churn axis next to the churn-free run, e.g.\n\
+         \x20          --crash 2@5-30 = node 2 dies 5s in and restarts at 30s,\n\
+         \x20          recovering its journal and catching up via anti-entropy\n\
+         \x20          (seconds of simulated time; single-hop, non-service only)\n\
          reports:   one <label>.json per scenario under --out\n\
          \x20          (default target/reports/sweep); WBFT_SWEEP_THREADS sets the\n\
          \x20          default worker count"
@@ -103,6 +109,16 @@ fn parse_list<T: std::str::FromStr>(arg: &str) -> Vec<T> {
     arg.split(',').map(|v| v.parse().unwrap_or_else(|_| usage())).collect()
 }
 
+/// Parses one `NODE@T1-T2` crash event (seconds of simulated time).
+fn parse_crash(entry: &str) -> CrashEvent {
+    let (node, window) = entry.split_once('@').unwrap_or_else(|| usage());
+    let (at_s, restart_s) = window.split_once('-').unwrap_or_else(|| usage());
+    let node: usize = node.parse().unwrap_or_else(|_| usage());
+    let at_s: u64 = at_s.parse().unwrap_or_else(|_| usage());
+    let restart_s: u64 = restart_s.parse().unwrap_or_else(|_| usage());
+    CrashEvent { node, at_us: at_s * 1_000_000, restart_us: restart_s * 1_000_000 }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut spec = SweepSpec::new("sweep");
@@ -157,6 +173,12 @@ fn main() {
                 spec.services = vec![None, Some(parse_service(value()))];
             }
             "--depths" => spec.pipeline_depths = parse_list(value()),
+            "--crash" => {
+                // One plan with all listed events, next to the churn-free
+                // run (the crash axis point mirrors --service's shape).
+                let events: Vec<CrashEvent> = value().split(',').map(parse_crash).collect();
+                spec.crashes = vec![None, Some(CrashPlan { crashes: events })];
+            }
             "--threads" => threads = Some(value().parse().unwrap_or_else(|_| usage())),
             "--out" => out = Some(value().into()),
             "--verify-serial" => verify_serial = true,
@@ -188,7 +210,7 @@ fn main() {
     let threads = resolve_threads(threads, |key| std::env::var(key).ok());
     let scenarios = spec.expand();
     println!(
-        "sweep: {} scenarios ({} protocols x {} topologies x {} suites x {} loss x {} placements x {} depths x {} seeds), {} threads",
+        "sweep: {} scenarios ({} protocols x {} topologies x {} suites x {} loss x {} placements x {} depths x {} crash x {} seeds), {} threads",
         scenarios.len(),
         spec.protocols.len(),
         spec.topologies.len(),
@@ -196,6 +218,7 @@ fn main() {
         spec.losses.len(),
         spec.placements.len(),
         spec.pipeline_depths.len(),
+        spec.crashes.len(),
         spec.seeds.len(),
         threads,
     );

@@ -315,11 +315,13 @@ fn udp_service_nodes_serve_live_submissions() {
         linger: Duration::from_secs(2),
         max_epochs: 100_000,
         mempool_capacity: 64,
+        journal: None,
     };
     let handles: Vec<_> = (0..n)
         .map(|me| {
             let cfg = cfg.clone();
             let table = table.clone();
+            let opts = opts.clone();
             std::thread::spawn(move || {
                 run_udp_service_node(&cfg, table, me, &opts).unwrap()
             })
