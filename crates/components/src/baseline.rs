@@ -12,7 +12,7 @@ use crate::aba_sc::AbaScBatch;
 use crate::context::{Actions, BinaryAgreement, Broadcaster, Params, RetxState};
 use crate::share_buf::SigShareBuf;
 use bytes::Bytes;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use wbft_crypto::hash::Digest32;
 use wbft_crypto::thresh_coin::{CoinPublicSet, CoinSecretShare};
 use wbft_crypto::thresh_sig::{PublicKeySet, SecretKeyShare, SigShare, ThresholdSignature};
@@ -598,7 +598,7 @@ impl BaselinePrbcSet {
             if self.my_done[j] || self.rbc.delivered(j).is_none() {
                 continue;
             }
-            let root = self.rbc.delivered_root(j).expect("delivered");
+            let Some(root) = self.rbc.delivered_root(j) else { continue };
             self.my_done[j] = true;
             acts.charge(self.keys.profile().sign_share_us);
             let share = self.secret.sign_share(&prbc_done_msg(self.p().session, j, &root));
@@ -681,7 +681,7 @@ pub struct BaselineAbaSet {
     flavor: CoinFlavor,
     n: usize,
     /// Items already emitted (dedup across flushes).
-    emitted: HashSet<(u8, u16, u8)>,
+    emitted: BTreeSet<(u8, u16, u8)>,
 }
 
 impl std::fmt::Debug for BaselineAbaSet {
@@ -709,7 +709,7 @@ impl BaselineAbaSet {
             n: p.n,
             inner: AbaScBatch::new_serial(p, flavor, coin_pub, coin_sec),
             flavor,
-            emitted: HashSet::new(),
+            emitted: BTreeSet::new(),
         }
     }
 

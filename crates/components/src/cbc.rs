@@ -467,13 +467,14 @@ impl CbcSmallBatch {
     }
 
     fn echo_if_needed(&mut self, instance: usize, acts: &mut Actions) {
-        if self.my_share_sent[instance] || self.values[instance].is_none() {
+        let Some(value) = self.values[instance] else { return };
+        if self.my_share_sent[instance] {
             return;
         }
         self.my_share_sent[instance] = true;
         acts.charge(self.keys.profile().sign_share_us);
         if instance == self.p.me {
-            let root = small_root(self.values[instance].as_ref().expect("value set"));
+            let root = small_root(&value);
             let share = self.secret.sign_share(&echo_msg(self.p.session, instance, &root));
             self.record_share(instance, share, acts);
         }

@@ -98,7 +98,7 @@ impl PrbcBatch {
             if self.done[j].my_share_sent || self.rbc.delivered(j).is_none() {
                 continue;
             }
-            let root = self.rbc.delivered_root(j).expect("delivered implies root");
+            let Some(root) = self.rbc.delivered_root(j) else { continue };
             self.done[j].my_share_sent = true;
             acts.charge(self.keys.profile().sign_share_us);
             let share = self.secret.sign_share(&done_msg(self.p().session, j, &root));

@@ -117,12 +117,12 @@ impl DecStage {
             return;
         }
         self.active[j] = true;
+        let my_share = (!self.my_sent[j]).then(|| crypto.enc_sec.dec_share(&ct));
         self.cts[j] = Some(ct);
-        if !self.my_sent[j] {
+        if let Some(share) = my_share {
             self.my_sent[j] = true;
             // Producing a decryption share costs one share-signing op.
             acts.charge(crypto.suite.threshold.signature_profile().sign_share_us);
-            let share = crypto.enc_sec.dec_share(self.cts[j].as_ref().expect("just set"));
             self.my_shares[j] = Some(share);
             self.record(j, share, crypto, acts, true);
             self.dirty = true;

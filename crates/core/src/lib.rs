@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # wbft-consensus — wireless asynchronous BFT consensus
 //!
 //! The consensus layer and testbed of the ConsensusBatcher reproduction

@@ -374,6 +374,13 @@ pub struct ConsensusHandle {
 }
 
 impl ConsensusHandle {
+    /// Locks the core, recovering a poisoned mutex: `ServiceCore` holds
+    /// counters and Vecs mutated one field at a time, so state left by a
+    /// panicking thread is still well-formed.
+    fn locked(&self) -> std::sync::MutexGuard<'_, ServiceCore> {
+        self.core.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// A fresh service with a mempool of `capacity`.
     pub fn new(capacity: usize) -> Self {
         ConsensusHandle {
@@ -388,20 +395,20 @@ impl ConsensusHandle {
 
     /// Submits one transaction; the outcome is the backpressure signal.
     pub fn submit(&self, tx: Tx, now: SimTime) -> AdmitOutcome {
-        self.core.lock().unwrap().mempool.admit(tx, now)
+        self.locked().mempool.admit(tx, now)
     }
 
     /// Engine hook: whether the mempool holds queued (not yet proposed)
     /// transactions — pipelined engines only open epochs beyond the
     /// sequential cadence when there is actual work to disseminate.
     pub fn has_pending(&self) -> bool {
-        self.core.lock().unwrap().mempool.pending() > 0
+        self.locked().mempool.pending() > 0
     }
 
     /// Pulls the next committed block off the stream, if one is ready.
     /// Blocks are delivered exactly once per handle family, in epoch order.
     pub fn try_next_block(&self) -> Option<Block> {
-        let mut core = self.core.lock().unwrap();
+        let mut core = self.locked();
         let block = core.blocks.get(core.cursor).cloned()?;
         core.cursor += 1;
         Some(block)
@@ -410,41 +417,41 @@ impl ConsensusHandle {
     /// Requests a graceful stop: the engine finishes its in-flight epoch
     /// and opens no further ones.
     pub fn stop(&self) {
-        self.core.lock().unwrap().stop = true;
+        self.locked().stop = true;
     }
 
     /// `true` once [`ConsensusHandle::stop`] was called.
     pub fn stop_requested(&self) -> bool {
-        self.core.lock().unwrap().stop
+        self.locked().stop
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> ServiceStats {
-        self.core.lock().unwrap().mempool.stats()
+        self.locked().mempool.stats()
     }
 
     /// Submissions received so far (admitted + rejected).
     pub fn submissions(&self) -> u64 {
-        self.core.lock().unwrap().mempool.stats.submitted
+        self.locked().mempool.stats.submitted
     }
 
     /// `true` when nothing is pending or in flight — every admitted
     /// transaction has been resolved into a block (or evicted as a peer
     /// commit).
     pub fn drained(&self) -> bool {
-        let core = self.core.lock().unwrap();
+        let core = self.locked();
         core.mempool.pending() == 0 && core.mempool.in_flight() == 0
     }
 
     /// Committed blocks so far.
     pub fn block_count(&self) -> usize {
-        self.core.lock().unwrap().blocks.len()
+        self.locked().blocks.len()
     }
 
     /// Stream summaries of blocks `from..`, for subscribers keeping their
     /// own cursor (e.g. the UDP client gateway).
     pub fn block_summaries(&self, from: usize) -> Vec<BlockSummary> {
-        let core = self.core.lock().unwrap();
+        let core = self.locked();
         core.blocks[from.min(core.blocks.len())..]
             .iter()
             .map(|b| BlockSummary {
@@ -456,21 +463,21 @@ impl ConsensusHandle {
 
     /// Engine hook: pulls the proposal batch for `epoch`.
     pub fn next_batch(&self, epoch: u64, max: usize) -> Vec<Tx> {
-        self.core.lock().unwrap().mempool.next_batch(epoch, max)
+        self.locked().mempool.next_batch(epoch, max)
     }
 
     /// Engine hook, called at the commit *before* the next epoch's batch
     /// is pulled: digest-level resolution (dedup, eviction, re-queue)
     /// without a timestamp. See [`Mempool::resolve`].
     pub fn resolve_commit(&self, block: &Block) {
-        self.core.lock().unwrap().mempool.resolve(block);
+        self.locked().mempool.resolve(block);
     }
 
     /// Driver hook: records one committed block at local time `now` —
     /// resolves it (idempotent if the engine already did), stamps the
     /// staged latency samples, and appends the block to the stream.
     pub fn record_commit(&self, block: &Block, now: SimTime) {
-        let mut core = self.core.lock().unwrap();
+        let mut core = self.locked();
         core.mempool.resolve(block);
         core.mempool.finalize(block.epoch, now);
         core.blocks.push(block.clone());
@@ -485,7 +492,7 @@ impl ConsensusHandle {
     /// samples are staged and no commit counters move: the service did not
     /// commit these blocks in this incarnation, it inherited them.
     pub fn recover_chain(&self, blocks: &[Block]) {
-        let mut core = self.core.lock().unwrap();
+        let mut core = self.locked();
         for block in blocks {
             core.mempool.resolve(block);
             core.blocks.push(block.clone());

@@ -231,7 +231,7 @@ impl SweepSpec {
         // Hard check, not a debug_assert: duplicate axis values (e.g.
         // `--seeds 7,7`) would otherwise silently overwrite each other's
         // report files in release builds.
-        let unique: std::collections::HashSet<_> =
+        let unique: std::collections::BTreeSet<_> =
             out.iter().map(|s| s.label.as_str()).collect();
         assert_eq!(
             unique.len(),

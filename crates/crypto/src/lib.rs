@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # wbft-crypto — lightweight cryptography for wireless asynchronous BFT
 //!
 //! The cryptographic substrate of the ConsensusBatcher reproduction

@@ -139,8 +139,8 @@ thread_local! {
     /// are a pure function of the indices, so per-thread maps stay mutually
     /// consistent; thread-local storage keeps parallel sweep workers off a
     /// shared lock. Cleared wholesale when full.
-    static LAGRANGE_MEMO: std::cell::RefCell<std::collections::HashMap<Vec<u16>, Vec<Scalar>>> =
-        std::cell::RefCell::new(std::collections::HashMap::new());
+    static LAGRANGE_MEMO: std::cell::RefCell<std::collections::BTreeMap<Vec<u16>, Vec<Scalar>>> =
+        const { std::cell::RefCell::new(std::collections::BTreeMap::new()) };
 }
 
 /// Max index sets held by the Lagrange memo before it is cleared.

@@ -1,3 +1,7 @@
+#![forbid(unsafe_code)]
+// Totality backstop (type-aware side of wbft-lint's T1 rule): protocol
+// paths must not panic via unwrap/expect. Test code is exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! Append-only write-ahead journal of committed blocks.
 //!
 //! Each record is framed as
@@ -106,14 +110,19 @@ pub fn chain_digest(prev: &[u8; 32], epoch: u64, payload: &[u8]) -> [u8; 32] {
 /// Encode one framed record extending the chain head `prev`.
 pub fn encode_record(prev: &[u8; 32], epoch: u64, payload: &[u8]) -> Vec<u8> {
     let record_len = RECORD_HEADER + payload.len();
+    assert!(
+        record_len + CHECKSUM_LEN <= MAX_FRAME,
+        "journal record exceeds MAX_FRAME and could never be recovered"
+    );
     let mut out = Vec::with_capacity(4 + record_len + CHECKSUM_LEN);
+    // wbft-lint: allow(wire-safety) — record_len asserted ≤ MAX_FRAME above
     out.extend_from_slice(&(record_len as u32).to_le_bytes());
     out.extend_from_slice(prev);
     out.extend_from_slice(&epoch.to_le_bytes());
     out.extend_from_slice(payload);
     let mut h = Sha256::new();
     h.update(FRAME_DOMAIN);
-    h.update(&out[4..]);
+    h.update(out.get(4..).unwrap_or(&[]));
     let sum = h.finalize();
     out.extend_from_slice(&sum);
     out
@@ -147,21 +156,23 @@ pub fn parse_records(bytes: &[u8]) -> Result<Recovered, JournalError> {
     let mut offset = 0usize;
     let mut torn = false;
     while offset < bytes.len() {
-        let rest = &bytes[offset..];
-        if rest.len() < 4 {
+        let rest = bytes.get(offset..).unwrap_or(&[]);
+        let Some(len_prefix) = rest.get(..4).and_then(|b| <[u8; 4]>::try_from(b).ok()) else {
+            torn = true;
+            break;
+        };
+        let record_len = u32::from_le_bytes(len_prefix) as usize;
+        if record_len < RECORD_HEADER || record_len + CHECKSUM_LEN > MAX_FRAME {
             torn = true;
             break;
         }
-        let record_len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
-        if record_len < RECORD_HEADER
-            || record_len + CHECKSUM_LEN > MAX_FRAME
-            || rest.len() < 4 + record_len + CHECKSUM_LEN
-        {
+        let (Some(record), Some(claimed)) = (
+            rest.get(4..4 + record_len),
+            rest.get(4 + record_len..4 + record_len + CHECKSUM_LEN),
+        ) else {
             torn = true;
             break;
-        }
-        let record = &rest[4..4 + record_len];
-        let claimed = &rest[4 + record_len..4 + record_len + CHECKSUM_LEN];
+        };
         let mut h = Sha256::new();
         h.update(FRAME_DOMAIN);
         h.update(record);
@@ -169,12 +180,17 @@ pub fn parse_records(bytes: &[u8]) -> Result<Recovered, JournalError> {
             torn = true;
             break;
         }
-        let mut prev = [0u8; 32];
-        prev.copy_from_slice(&record[..32]);
-        let mut epoch_le = [0u8; 8];
-        epoch_le.copy_from_slice(&record[32..40]);
+        // record_len ≥ RECORD_HEADER (40) was checked above, so all three
+        // sub-slices exist; a miss is still a torn tail, never a panic.
+        let (Some(prev), Some(epoch_le), Some(payload)) = (
+            record.get(..32).and_then(|b| <[u8; 32]>::try_from(b).ok()),
+            record.get(32..RECORD_HEADER).and_then(|b| <[u8; 8]>::try_from(b).ok()),
+            record.get(RECORD_HEADER..),
+        ) else {
+            torn = true;
+            break;
+        };
         let epoch = u64::from_le_bytes(epoch_le);
-        let payload = &record[RECORD_HEADER..];
         if prev != head {
             return Err(JournalError::ChainMismatch { epoch });
         }
@@ -256,7 +272,7 @@ impl SharedMem {
     }
 
     pub fn snapshot(&self) -> Vec<u8> {
-        self.bytes.lock().expect("journal store poisoned").clone()
+        self.bytes.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
     }
 }
 
@@ -265,11 +281,11 @@ impl JournalStore for SharedMem {
         Ok(self.snapshot())
     }
     fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
-        self.bytes.lock().expect("journal store poisoned").extend_from_slice(bytes);
+        self.bytes.lock().unwrap_or_else(std::sync::PoisonError::into_inner).extend_from_slice(bytes);
         Ok(())
     }
     fn truncate(&mut self, len: u64) -> io::Result<()> {
-        self.bytes.lock().expect("journal store poisoned").truncate(len as usize);
+        self.bytes.lock().unwrap_or_else(std::sync::PoisonError::into_inner).truncate(len as usize);
         Ok(())
     }
 }

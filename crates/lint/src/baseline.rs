@@ -1,0 +1,219 @@
+//! The committed baseline and its ratchet.
+//!
+//! `lint-baseline.json` grandfathers the findings that existed when a rule
+//! landed. The ratchet is one-way: a (rule, path, what) key may hold at most
+//! as many findings as the baseline records — new findings fail CI, and
+//! after a burn-down `--write-baseline` shrinks the file (never grows it,
+//! unless the change is deliberate and reviewed like any other diff).
+//!
+//! Keys deliberately exclude line numbers: edits above a grandfathered
+//! finding must not shake the ratchet.
+
+use crate::rules::{Finding, Rule};
+use std::collections::BTreeMap;
+use wbft_report::json::{Json, JsonError};
+
+/// Grandfathered finding counts, keyed by (rule, path, what).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<(Rule, String, String), u32>,
+}
+
+/// The outcome of checking findings against a baseline.
+#[derive(Clone, Debug, Default)]
+pub struct RatchetDiff {
+    /// Findings in excess of their baseline key's count — these fail CI.
+    pub regressions: Vec<Finding>,
+    /// Keys whose count dropped (or disappeared): the baseline can ratchet
+    /// down via `--write-baseline`.
+    pub improved: Vec<(Rule, String, String, u32, u32)>,
+}
+
+impl Baseline {
+    /// A baseline over the given findings (what `--write-baseline` stores).
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut counts = BTreeMap::new();
+        for f in findings {
+            *counts.entry((f.rule, f.path.clone(), f.what.clone())).or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Total grandfathered findings per rule.
+    pub fn rule_counts(&self) -> BTreeMap<Rule, u32> {
+        let mut per_rule = BTreeMap::new();
+        for ((rule, _, _), n) in &self.counts {
+            *per_rule.entry(*rule).or_insert(0) += n;
+        }
+        per_rule
+    }
+
+    /// Checks current findings against the baseline.
+    pub fn diff(&self, findings: &[Finding]) -> RatchetDiff {
+        let current = Baseline::from_findings(findings);
+        let mut diff = RatchetDiff::default();
+        // Regressions: walk findings in order so the report points at real
+        // sites; every finding beyond the grandfathered count for its key
+        // is new.
+        let mut seen: BTreeMap<(Rule, String, String), u32> = BTreeMap::new();
+        for f in findings {
+            let key = (f.rule, f.path.clone(), f.what.clone());
+            let n = seen.entry(key.clone()).or_insert(0);
+            *n += 1;
+            if *n > self.counts.get(&key).copied().unwrap_or(0) {
+                diff.regressions.push(f.clone());
+            }
+        }
+        for (key, &base_n) in &self.counts {
+            let now = current.counts.get(key).copied().unwrap_or(0);
+            if now < base_n {
+                diff.improved.push((key.0, key.1.clone(), key.2.clone(), base_n, now));
+            }
+        }
+        diff
+    }
+
+    /// Encodes to the committed JSON document.
+    pub fn to_json(&self) -> Json {
+        let entries = self.counts.iter().map(|((rule, path, what), n)| {
+            Json::obj([
+                ("rule", Json::str(rule.name())),
+                ("path", Json::str(path.clone())),
+                ("what", Json::str(what.clone())),
+                ("count", Json::u64(u64::from(*n))),
+            ])
+        });
+        Json::obj([
+            ("version", Json::u64(1)),
+            ("entries", Json::Arr(entries.collect())),
+        ])
+    }
+
+    /// Decodes the committed JSON document.
+    pub fn from_json(j: &Json) -> Result<Baseline, JsonError> {
+        let version = j.get("version").and_then(Json::as_u64);
+        if version != Some(1) {
+            return Err(JsonError(format!("unsupported baseline version {version:?}")));
+        }
+        let entries = j
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| JsonError("baseline: missing entries array".to_string()))?;
+        let mut counts = BTreeMap::new();
+        for e in entries {
+            let rule_name = e
+                .get("rule")
+                .and_then(Json::as_str)
+                .ok_or_else(|| JsonError("baseline entry: missing rule".to_string()))?;
+            let rule = Rule::from_name(rule_name)
+                .ok_or_else(|| JsonError(format!("baseline entry: unknown rule {rule_name}")))?;
+            let path = e
+                .get("path")
+                .and_then(Json::as_str)
+                .ok_or_else(|| JsonError("baseline entry: missing path".to_string()))?;
+            let what = e
+                .get("what")
+                .and_then(Json::as_str)
+                .ok_or_else(|| JsonError("baseline entry: missing what".to_string()))?;
+            let count = e
+                .get("count")
+                .and_then(Json::as_u64)
+                .filter(|&n| n > 0 && n <= u64::from(u32::MAX))
+                .ok_or_else(|| JsonError("baseline entry: bad count".to_string()))?;
+            let key = (rule, path.to_string(), what.to_string());
+            if counts.insert(key, count as u32).is_some() {
+                return Err(JsonError(format!(
+                    "baseline entry duplicated: {rule_name} {path} {what}"
+                )));
+            }
+        }
+        Ok(Baseline { counts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: Rule, path: &str, what: &str, line: u32) -> Finding {
+        Finding { rule, path: path.to_string(), line, what: what.to_string() }
+    }
+
+    #[test]
+    fn empty_baseline_fails_everything() {
+        let b = Baseline::default();
+        let f = vec![finding(Rule::Totality, "a.rs", "unwrap", 3)];
+        let d = b.diff(&f);
+        assert_eq!(d.regressions.len(), 1);
+        assert!(d.improved.is_empty());
+    }
+
+    #[test]
+    fn grandfathered_counts_pass_excess_fails() {
+        let base = Baseline::from_findings(&[
+            finding(Rule::Totality, "a.rs", "unwrap", 3),
+            finding(Rule::Totality, "a.rs", "unwrap", 9),
+        ]);
+        // Same two (lines moved): fine.
+        let same = vec![
+            finding(Rule::Totality, "a.rs", "unwrap", 4),
+            finding(Rule::Totality, "a.rs", "unwrap", 10),
+        ];
+        assert!(base.diff(&same).regressions.is_empty());
+        // A third unwrap in the same file: exactly one regression.
+        let mut more = same.clone();
+        more.push(finding(Rule::Totality, "a.rs", "unwrap", 20));
+        let d = base.diff(&more);
+        assert_eq!(d.regressions.len(), 1);
+        assert_eq!(d.regressions[0].line, 20);
+        // Same count but a different file: regression (keys are per-path).
+        let moved = vec![
+            finding(Rule::Totality, "a.rs", "unwrap", 4),
+            finding(Rule::Totality, "b.rs", "unwrap", 10),
+        ];
+        assert_eq!(base.diff(&moved).regressions.len(), 1);
+    }
+
+    #[test]
+    fn improvements_reported() {
+        let base = Baseline::from_findings(&[
+            finding(Rule::WireSafety, "a.rs", "as u8", 1),
+            finding(Rule::WireSafety, "a.rs", "as u8", 2),
+            finding(Rule::OrderedState, "b.rs", "HashMap", 5),
+        ]);
+        let now = vec![finding(Rule::WireSafety, "a.rs", "as u8", 1)];
+        let d = base.diff(&now);
+        assert!(d.regressions.is_empty());
+        assert_eq!(d.improved.len(), 2);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let base = Baseline::from_findings(&[
+            finding(Rule::Totality, "a.rs", "unwrap", 3),
+            finding(Rule::Totality, "a.rs", "unwrap", 9),
+            finding(Rule::Determinism, "c.rs", "Instant::now", 7),
+        ]);
+        let j = base.to_json();
+        let back = Baseline::from_json(&j).unwrap();
+        assert_eq!(back, base);
+        // Canonical file encoding is deterministic.
+        let text = wbft_report::json::to_file_string(&j);
+        let reparsed = wbft_report::json::parse(&text).unwrap();
+        assert_eq!(wbft_report::json::to_file_string(&reparsed), text);
+    }
+
+    #[test]
+    fn bad_documents_rejected() {
+        for text in [
+            "{}",
+            "{\"version\":2,\"entries\":[]}",
+            "{\"version\":1}",
+            "{\"version\":1,\"entries\":[{\"rule\":\"nope\",\"path\":\"a\",\"what\":\"w\",\"count\":1}]}",
+            "{\"version\":1,\"entries\":[{\"rule\":\"totality\",\"path\":\"a\",\"what\":\"w\",\"count\":0}]}",
+        ] {
+            let j = wbft_report::json::parse(text).unwrap();
+            assert!(Baseline::from_json(&j).is_err(), "{text} must be rejected");
+        }
+    }
+}

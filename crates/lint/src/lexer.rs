@@ -1,0 +1,564 @@
+//! A lossless Rust token lexer.
+//!
+//! The passes in this crate reason about *token* patterns, never raw text —
+//! a `HashMap` inside a string literal or a doc comment must not trigger the
+//! ordered-state rule, and `// wbft-lint:` pragmas live in comments that a
+//! text grep could not reliably separate from string contents. The lexer
+//! therefore understands everything that can hide bytes from a naive scan:
+//! cooked and raw string literals (with any `#` count and `b`/`c` prefixes),
+//! char literals vs. lifetimes, nested block comments, and numeric literals
+//! with radix prefixes and suffixes.
+//!
+//! Two properties are load-bearing and property-tested:
+//!
+//! * **Total:** `lex` never panics, whatever bytes the file holds.
+//! * **Lossless:** concatenating `Token::text` in order reproduces the
+//!   input exactly, so lexing is a fixpoint on its own re-render.
+
+/// Classification of one source token.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// A run of whitespace.
+    Whitespace,
+    /// `// …` to end of line (doc comments included).
+    LineComment,
+    /// `/* … */`, nesting-aware; an unterminated comment runs to the end.
+    BlockComment,
+    /// An identifier or keyword.
+    Ident,
+    /// `'a`, `'static`, `'_`.
+    Lifetime,
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`, …
+    Str,
+    /// A char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// A numeric literal, radix prefix and suffix included.
+    Number,
+    /// One ASCII punctuation character.
+    Punct,
+    /// Anything the lexer does not recognize (kept for losslessness).
+    Unknown,
+}
+
+/// One token: kind, exact source text, and 1-based start line.
+#[derive(Clone, Copy, Debug)]
+pub struct Token<'a> {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// The exact bytes it covers.
+    pub text: &'a str,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+}
+
+impl Token<'_> {
+    /// `true` for tokens the passes reason about (not whitespace/comments).
+    pub fn is_significant(&self) -> bool {
+        !matches!(
+            self.kind,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+
+    /// The single punctuation char, if this is a [`TokenKind::Punct`].
+    pub fn punct(&self) -> Option<char> {
+        match self.kind {
+            TokenKind::Punct => self.text.chars().next(),
+            _ => None,
+        }
+    }
+}
+
+/// Lexes a whole source file. Total and lossless (see module docs).
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    let mut lx = Lexer { src, pos: 0, line: 1, tokens: Vec::new() };
+    lx.run();
+    lx.tokens
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn rest(&self) -> &'a str {
+        self.src.get(self.pos..).unwrap_or("")
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.rest().chars();
+        it.next();
+        it.next()
+    }
+
+    /// Consumes one char, returning it.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    /// Emits a token covering `start..self.pos`, then counts its newlines.
+    fn emit(&mut self, kind: TokenKind, start: usize, line: u32) {
+        let text = self.src.get(start..self.pos).unwrap_or("");
+        self.tokens.push(Token { kind, text, line });
+        self.line = line + text.matches('\n').count() as u32;
+    }
+
+    fn run(&mut self) {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let Some(c) = self.peek() else { break };
+            let kind = if c.is_whitespace() {
+                self.whitespace()
+            } else if c == '/' && self.peek2() == Some('/') {
+                self.line_comment()
+            } else if c == '/' && self.peek2() == Some('*') {
+                self.block_comment()
+            } else if c == '\'' {
+                self.char_or_lifetime()
+            } else if c == '"' {
+                self.cooked_string('"')
+            } else if c.is_ascii_digit() {
+                self.number()
+            } else if is_ident_start(c) {
+                self.ident_or_prefixed_string()
+            } else if c.is_ascii() {
+                self.bump();
+                TokenKind::Punct
+            } else {
+                self.bump();
+                TokenKind::Unknown
+            };
+            self.emit(kind, start, line);
+            // Defensive: a lexer bug that consumes nothing must not loop
+            // forever; swallow one char as Unknown instead.
+            if self.pos == start {
+                self.bump();
+                self.emit(TokenKind::Unknown, start, line);
+            }
+        }
+    }
+
+    fn whitespace(&mut self) -> TokenKind {
+        while self.peek().is_some_and(char::is_whitespace) {
+            self.bump();
+        }
+        TokenKind::Whitespace
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(), self.peek2()) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: runs to EOF
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// `'a` / `'_` lifetimes vs. `'x'` / `'\n'` char literals.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        match self.peek() {
+            Some('\\') => {
+                self.escape();
+                if self.peek() == Some('\'') {
+                    self.bump();
+                }
+                TokenKind::Char
+            }
+            Some(c) if is_ident_start(c) => {
+                // Could be `'a'` (char) or `'a` / `'abc` (lifetime): consume
+                // the ident run, then look for a closing quote.
+                while self.peek().is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                if self.peek() == Some('\'') {
+                    self.bump();
+                    TokenKind::Char
+                } else {
+                    TokenKind::Lifetime
+                }
+            }
+            Some(c) if c != '\'' => {
+                self.bump();
+                if self.peek() == Some('\'') {
+                    self.bump();
+                    TokenKind::Char
+                } else {
+                    // `'(` with no closing quote — not valid Rust; keep the
+                    // bytes as Unknown rather than guessing.
+                    TokenKind::Unknown
+                }
+            }
+            _ => {
+                // `''` or a bare trailing quote.
+                if self.peek() == Some('\'') {
+                    self.bump();
+                }
+                TokenKind::Unknown
+            }
+        }
+    }
+
+    /// One escape sequence inside a char/string literal: consumes the
+    /// backslash and enough of what follows (`\xNN`, `\u{…}`, `\n`, …).
+    fn escape(&mut self) {
+        self.bump(); // '\'
+        match self.peek() {
+            Some('x') => {
+                self.bump();
+                for _ in 0..2 {
+                    if self.peek().is_some_and(|c| c.is_ascii_hexdigit()) {
+                        self.bump();
+                    }
+                }
+            }
+            Some('u') => {
+                self.bump();
+                if self.peek() == Some('{') {
+                    self.bump();
+                    while self.peek().is_some_and(|c| c != '}' && c != '\n') {
+                        self.bump();
+                    }
+                    if self.peek() == Some('}') {
+                        self.bump();
+                    }
+                }
+            }
+            Some(_) => {
+                self.bump();
+            }
+            None => {}
+        }
+    }
+
+    /// A cooked (escaped) string literal; the opening quote is pending.
+    fn cooked_string(&mut self, quote: char) -> TokenKind {
+        self.bump(); // opening quote
+        loop {
+            match self.peek() {
+                None => break, // unterminated: runs to EOF
+                Some('\\') => self.escape(),
+                Some(c) if c == quote => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// A raw string body: `"` already identified, `hashes` leading `#`s.
+    fn raw_string(&mut self, hashes: usize) -> TokenKind {
+        self.bump(); // opening quote
+        'outer: loop {
+            match self.bump() {
+                None => break, // unterminated
+                Some('"') => {
+                    // Need `hashes` consecutive '#' to close.
+                    let mark = self.pos;
+                    for _ in 0..hashes {
+                        if self.peek() == Some('#') {
+                            self.bump();
+                        } else {
+                            self.pos = mark;
+                            continue 'outer;
+                        }
+                    }
+                    break;
+                }
+                Some(_) => {}
+            }
+        }
+        TokenKind::Str
+    }
+
+    fn number(&mut self) -> TokenKind {
+        let radix_prefixed = self.peek() == Some('0')
+            && matches!(self.peek2(), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'));
+        // Main body: digits, hex digits, underscores, and type suffixes all
+        // fall under "alphanumeric or underscore".
+        while self.peek().is_some_and(is_ident_continue) {
+            let last = self.bump();
+            // `1e+3` / `2.5E-7`: a sign directly after the exponent marker
+            // belongs to the number (never in radix-prefixed ints).
+            if !radix_prefixed
+                && matches!(last, Some('e' | 'E'))
+                && matches!(self.peek(), Some('+' | '-'))
+                && self.peek2().is_some_and(|c| c.is_ascii_digit())
+            {
+                self.bump();
+            }
+        }
+        // Fractional part: only if followed by a digit (so `0..10` stays a
+        // range and `x.0` tuple access never reaches here).
+        if !radix_prefixed
+            && self.peek() == Some('.')
+            && self.peek2().is_some_and(|c| c.is_ascii_digit())
+        {
+            self.bump();
+            while self.peek().is_some_and(is_ident_continue) {
+                let last = self.bump();
+                if matches!(last, Some('e' | 'E'))
+                    && matches!(self.peek(), Some('+' | '-'))
+                    && self.peek2().is_some_and(|c| c.is_ascii_digit())
+                {
+                    self.bump();
+                }
+            }
+        }
+        TokenKind::Number
+    }
+
+    /// An identifier — or, if it is a string prefix (`r`, `b`, `br`, `c`,
+    /// `cr`, …) directly followed by a string opener, the whole literal.
+    fn ident_or_prefixed_string(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self.peek().is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let ident = self.src.get(start..self.pos).unwrap_or("");
+        let is_prefix = matches!(ident, "r" | "b" | "c" | "br" | "rb" | "cr" | "rc");
+        if !is_prefix {
+            return TokenKind::Ident;
+        }
+        let raw = ident.contains('r');
+        match self.peek() {
+            Some('"') if raw => self.raw_string(0),
+            Some('"') => self.cooked_string('"'),
+            Some('\'') if ident == "b" => {
+                // Byte-char literal b'…'.
+                self.bump();
+                match self.peek() {
+                    Some('\\') => self.escape(),
+                    Some(c) if c != '\'' => {
+                        self.bump();
+                    }
+                    _ => {}
+                }
+                if self.peek() == Some('\'') {
+                    self.bump();
+                }
+                TokenKind::Char
+            }
+            Some('#') if raw => {
+                // Count hashes; only a quote after them makes this a raw
+                // string (`r#ident` rolls back to a plain ident token).
+                let mark = self.pos;
+                let mut hashes = 0usize;
+                while self.peek() == Some('#') {
+                    self.bump();
+                    hashes += 1;
+                }
+                if self.peek() == Some('"') {
+                    self.raw_string(hashes)
+                } else {
+                    self.pos = mark;
+                    TokenKind::Ident
+                }
+            }
+            _ => TokenKind::Ident,
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Parses an integer literal token's value, if it is one (underscores and
+/// type suffixes stripped, `0x`/`0o`/`0b` radixes understood). `None` for
+/// floats and out-of-range values.
+pub fn int_literal_value(text: &str) -> Option<u128> {
+    let clean: String = text.chars().filter(|&c| c != '_').collect();
+    let (radix, digits) = match clean.as_bytes() {
+        [b'0', b'x' | b'X', rest @ ..] => (16, rest),
+        [b'0', b'o' | b'O', rest @ ..] => (8, rest),
+        [b'0', b'b' | b'B', rest @ ..] => (2, rest),
+        _ => (10, clean.as_bytes()),
+    };
+    let digits = core::str::from_utf8(digits).ok()?;
+    // Strip a type suffix (`u8`, `usize`, `i32`, …); for decimal ints the
+    // suffix starts at the first non-digit. A `.` or exponent makes it a
+    // float — not an integer literal.
+    let end = digits
+        .find(|c: char| !c.is_digit(radix))
+        .map_or(digits.len(), |i| i);
+    let (num, suffix) = digits.split_at(end);
+    if num.is_empty() || suffix.starts_with('.') {
+        return None;
+    }
+    if radix == 10 && matches!(suffix.as_bytes().first(), Some(b'e' | b'E')) {
+        return None; // exponent float like 1e3
+    }
+    if !suffix.is_empty() && !suffix.starts_with(['u', 'i', 'f']) {
+        return None; // malformed literal; refuse to guess
+    }
+    if suffix.starts_with('f') {
+        return None;
+    }
+    u128::from_str_radix(num, radix).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render(tokens: &[Token<'_>]) -> String {
+        tokens.iter().map(|t| t.text).collect()
+    }
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .filter(Token::is_significant)
+            .map(|t| (t.kind, t.text.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn lossless_on_typical_source() {
+        let src = r##"
+            // a comment with "a string" and 'q'
+            fn main() {
+                let s = "escaped \" quote";
+                let r = r#"raw "inner" body"#;
+                let b = b"bytes";
+                let c = 'x';
+                let lt: &'static str = s;
+                /* block /* nested */ done */
+                let n = 0xff_u8 + 1_000 + 2.5e-3;
+            }
+        "##;
+        assert_eq!(render(&lex(src)), src);
+    }
+
+    #[test]
+    fn strings_hide_idents() {
+        let toks = kinds(r#"let x = "HashMap unwrap"; foo();"#);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Str && t.contains("HashMap")));
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "HashMap"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'b' }");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Char && t == "'b'"));
+    }
+
+    #[test]
+    fn byte_char_and_escapes() {
+        let toks = kinds(r"let a = b'\n'; let c = '\u{1F600}'; let q = '\'';");
+        let chars: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).map(|(_, t)| t.clone()).collect();
+        assert_eq!(chars, [r"b'\n'", r"'\u{1F600}'", r"'\''"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r##"has "# inside"##; next()"###;
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Str && t.contains("inside")));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "next"));
+        assert_eq!(render(&lex(src)), src);
+    }
+
+    #[test]
+    fn raw_ident_is_not_a_string() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "r"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "match"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* x /* y */ z */ b";
+        let toks = kinds(src);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Ident).count(),
+            2,
+            "only a and b are code"
+        );
+        assert_eq!(render(&lex(src)), src);
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let toks = kinds("for i in 0..10 {}");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Number && t == "0"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Number && t == "10"));
+    }
+
+    #[test]
+    fn line_numbers() {
+        let toks = lex("a\nbb\n\nccc");
+        let sig: Vec<_> = toks.iter().filter(|t| t.is_significant()).collect();
+        assert_eq!(sig[0].line, 1);
+        assert_eq!(sig[1].line, 2);
+        assert_eq!(sig[2].line, 4);
+    }
+
+    #[test]
+    fn unterminated_tokens_run_to_eof() {
+        for src in ["\"open", "r#\"open", "/* open", "'\\", "b\"open"] {
+            assert_eq!(render(&lex(src)), src, "{src:?} must stay lossless");
+        }
+    }
+
+    #[test]
+    fn int_literal_values() {
+        assert_eq!(int_literal_value("255"), Some(255));
+        assert_eq!(int_literal_value("0xff"), Some(255));
+        assert_eq!(int_literal_value("0xFE"), Some(254));
+        assert_eq!(int_literal_value("0o375"), Some(253));
+        assert_eq!(int_literal_value("0b1111_1111"), Some(255));
+        assert_eq!(int_literal_value("255u8"), Some(255));
+        assert_eq!(int_literal_value("1_000"), Some(1000));
+        assert_eq!(int_literal_value("2.5"), None);
+        assert_eq!(int_literal_value("1e3"), None);
+        assert_eq!(int_literal_value("2.5f64"), None);
+    }
+}

@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+//! `cargo run -p wbft-lint` — the workspace static analyzer.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(wbft_lint::cli_main(&args));
+}

@@ -1,0 +1,346 @@
+//! The analysis passes: token-pattern matching per file, pragma
+//! suppression, and the crate-root unsafe check.
+
+use crate::classify::{in_ranges, test_line_ranges, FileInfo};
+use crate::lexer::{int_literal_value, lex, Token, TokenKind};
+use crate::pragma::{find_pragmas, Pragma};
+use crate::rules::{Finding, Rule};
+
+/// Rust keywords that can directly precede a `[` without it being an index
+/// expression (`let [a, b] = …`, `if let [x] = …`, `in [1, 2]`, …).
+const KEYWORDS_BEFORE_BRACKET: [&str; 14] = [
+    "let", "in", "if", "while", "match", "return", "mut", "ref", "as", "move", "static", "const",
+    "else", "box",
+];
+
+/// Reserved radio-channel byte values (CONTROL/CLIENT/SYNC).
+const RESERVED_CHANNEL_BYTES: [u128; 3] = [0xff, 0xfe, 0xfd];
+
+/// Narrowing cast targets W1 denies.
+const NARROWING_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Runs every applicable pass over one file's source, returning findings
+/// with pragma suppression already applied (plus `bad-pragma` /
+/// `unused-allow` findings for the pragma system itself).
+pub fn check_file(info: &FileInfo, src: &str) -> Vec<Finding> {
+    let tokens = lex(src);
+    let test_ranges = test_line_ranges(&tokens);
+    let (pragmas, pragma_errors) = find_pragmas(&tokens);
+
+    let mut raw = Vec::new();
+    scan_tokens(info, &tokens, &mut raw);
+    raw.retain(|f| !in_ranges(&test_ranges, f.line));
+
+    let mut used = vec![false; pragmas.len()];
+    raw.retain(|f| {
+        let suppressed = pragmas.iter().enumerate().any(|(i, p)| {
+            let hit = p.target_line == f.line && p.rules.iter().any(|r| r == f.rule.name());
+            if hit {
+                used[i] = true;
+            }
+            hit
+        });
+        !suppressed
+    });
+
+    let mut findings = raw;
+    for e in pragma_errors {
+        // Pragma syntax is enforced everywhere, test code included — a
+        // malformed pragma in a test is still a lie waiting to move.
+        findings.push(Finding {
+            rule: Rule::BadPragma,
+            path: info.rel_path.clone(),
+            line: e.line,
+            what: e.message,
+        });
+    }
+    for (i, p) in pragmas.iter().enumerate() {
+        // An allow in a test region suppresses nothing by construction;
+        // only hold production pragmas to the must-be-used standard.
+        if !used[i] && !in_ranges(&test_ranges, p.line) {
+            findings.push(Finding {
+                rule: Rule::UnusedAllow,
+                path: info.rel_path.clone(),
+                line: p.line,
+                what: format!("allow({}) suppressed nothing", p.rules.join(", ")),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (a.line, a.rule, &a.what).cmp(&(b.line, b.rule, &b.what)));
+    findings
+}
+
+/// The token-level pattern matching for D1/D2/T1/W1.
+fn scan_tokens(info: &FileInfo, tokens: &[Token<'_>], out: &mut Vec<Finding>) {
+    let sig: Vec<&Token<'_>> = tokens.iter().filter(|t| t.is_significant()).collect();
+    let push = |out: &mut Vec<Finding>, rule: Rule, line: u32, what: &str| {
+        out.push(Finding { rule, path: info.rel_path.clone(), line, what: what.to_string() });
+    };
+    // `::` lexes as two ':' puncts.
+    let path_sep = |i: usize| {
+        sig.get(i).and_then(|t| t.punct()) == Some(':')
+            && sig.get(i + 1).and_then(|t| t.punct()) == Some(':')
+    };
+
+    for i in 0..sig.len() {
+        let tok = sig[i];
+        let prev = i.checked_sub(1).map(|j| sig[j]);
+        let next = sig.get(i + 1).copied();
+
+        if info.d1_applies() && tok.kind == TokenKind::Ident {
+            match tok.text {
+                "SystemTime" => push(out, Rule::Determinism, tok.line, "SystemTime"),
+                "thread_rng" => push(out, Rule::Determinism, tok.line, "thread_rng"),
+                "set_var" => push(out, Rule::Determinism, tok.line, "set_var"),
+                "remove_var" => push(out, Rule::Determinism, tok.line, "remove_var"),
+                "Instant"
+                    if path_sep(i + 1)
+                        && sig.get(i + 3).is_some_and(|t| t.text == "now") =>
+                {
+                    push(out, Rule::Determinism, tok.line, "Instant::now");
+                }
+                "random"
+                    if i >= 3
+                        && path_sep(i - 2)
+                        && sig[i - 3].text == "rand" =>
+                {
+                    push(out, Rule::Determinism, tok.line, "rand::random");
+                }
+                _ => {}
+            }
+        }
+
+        if info.d2_applies()
+            && tok.kind == TokenKind::Ident
+            && matches!(tok.text, "HashMap" | "HashSet")
+        {
+            push(out, Rule::OrderedState, tok.line, tok.text);
+        }
+
+        if info.t1_panic_applies() && tok.kind == TokenKind::Ident {
+            let method_call = prev.and_then(|t| t.punct()) == Some('.')
+                && next.and_then(|t| t.punct()) == Some('(');
+            let macro_call = next.and_then(|t| t.punct()) == Some('!');
+            match tok.text {
+                "unwrap" | "expect" if method_call => {
+                    push(out, Rule::Totality, tok.line, tok.text);
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented" if macro_call => {
+                    push(out, Rule::Totality, tok.line, tok.text);
+                }
+                _ => {}
+            }
+        }
+
+        if info.t1_index_applies() && tok.punct() == Some('[') {
+            let indexes = match prev {
+                Some(p) if p.kind == TokenKind::Ident => {
+                    !KEYWORDS_BEFORE_BRACKET.contains(&p.text)
+                }
+                Some(p) => matches!(p.punct(), Some(']') | Some(')') | Some('?')),
+                None => false,
+            };
+            if indexes {
+                push(out, Rule::Totality, tok.line, "indexing");
+            }
+        }
+
+        if info.w1_applies() {
+            if tok.kind == TokenKind::Ident && tok.text == "as" {
+                if let Some(n) = next {
+                    if n.kind == TokenKind::Ident && NARROWING_TARGETS.contains(&n.text) {
+                        push(out, Rule::WireSafety, tok.line, &format!("as {}", n.text));
+                    }
+                }
+            }
+            if tok.kind == TokenKind::Number {
+                if let Some(v) = int_literal_value(tok.text) {
+                    if RESERVED_CHANNEL_BYTES.contains(&v) {
+                        push(
+                            out,
+                            Rule::WireSafety,
+                            tok.line,
+                            &format!("reserved channel byte {v:#04x}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// W0: checks one crate-root file for `#![forbid(unsafe_code)]`.
+///
+/// `#![deny(unsafe_code)]` also satisfies the pass, but only together with a
+/// justified `allow(unsafe-code)` pragma in the same file (the escape hatch
+/// for a crate that genuinely needs unsafe someday).
+pub fn check_crate_root(rel_path: &str, src: &str) -> Vec<Finding> {
+    let tokens = lex(src);
+    let sig: Vec<&Token<'_>> = tokens.iter().filter(|t| t.is_significant()).collect();
+    let mut mode: Option<&str> = None;
+    for w in sig.windows(7) {
+        if w[0].punct() == Some('#')
+            && w[1].punct() == Some('!')
+            && w[2].punct() == Some('[')
+            && w[3].kind == TokenKind::Ident
+            && matches!(w[3].text, "forbid" | "deny")
+            && w[4].punct() == Some('(')
+            && w[5].text == "unsafe_code"
+            && w[6].punct() == Some(')')
+        {
+            mode = Some(w[3].text);
+            break;
+        }
+    }
+    let (pragmas, _) = find_pragmas(&tokens);
+    let has_allow = pragmas.iter().any(|p: &Pragma| p.rules.iter().any(|r| r == "unsafe-code"));
+    let missing = match mode {
+        Some("forbid") => None,
+        Some("deny") if has_allow => None,
+        Some("deny") => Some("#![deny(unsafe_code)] without a justified allow(unsafe-code) pragma"),
+        _ => Some("missing #![forbid(unsafe_code)]"),
+        // (deny+pragma documents *why* the weaker level is needed)
+    };
+    match missing {
+        Some(what) => vec![Finding {
+            rule: Rule::UnsafeCode,
+            path: rel_path.to_string(),
+            line: 1,
+            what: what.to_string(),
+        }],
+        None => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(path: &str, src: &str) -> Vec<(Rule, u32, String)> {
+        let info = FileInfo::classify(path);
+        check_file(&info, src).into_iter().map(|f| (f.rule, f.line, f.what)).collect()
+    }
+
+    #[test]
+    fn d1_catches_clock_and_rng() {
+        let src = "fn f() {\n    let t = Instant::now();\n    let r = thread_rng();\n    let s = SystemTime::now();\n    std::env::set_var(\"A\", \"1\");\n}\n";
+        let got = check("crates/core/src/sweep.rs", src);
+        let names: Vec<&str> = got.iter().map(|(_, _, w)| w.as_str()).collect();
+        assert_eq!(names, ["Instant::now", "thread_rng", "SystemTime", "set_var"]);
+    }
+
+    #[test]
+    fn d1_allows_env_reads_and_transport_clock() {
+        let src = "fn f() { let v = std::env::var(\"X\"); }\n";
+        assert!(check("crates/core/src/sweep.rs", src).is_empty());
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert!(check("crates/transport/src/runtime.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d2_flags_hash_containers_outside_tests() {
+        let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u8, u8>) {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\n";
+        let got = check("crates/crypto/src/group.rs", src);
+        assert_eq!(got.len(), 2, "both production mentions, not the test one: {got:?}");
+        assert!(got.iter().all(|(r, _, _)| *r == Rule::OrderedState));
+    }
+
+    #[test]
+    fn t1_panic_family() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    let a = x.unwrap();\n    let b = x.expect(\"set\");\n    if a == 0 { panic!(\"no\"); }\n    match b { 0 => unreachable!(), _ => b }\n}\n";
+        let got = check("crates/components/src/cbc.rs", src);
+        let names: Vec<&str> = got.iter().map(|(_, _, w)| w.as_str()).collect();
+        assert_eq!(names, ["unwrap", "expect", "panic", "unreachable"]);
+    }
+
+    #[test]
+    fn t1_ignores_unwrap_or_and_asserts() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    assert!(x.is_some());\n    x.unwrap_or(0)\n}\n";
+        assert!(check("crates/components/src/cbc.rs", src).is_empty());
+    }
+
+    #[test]
+    fn t1_indexing_only_on_codec_paths() {
+        let src = "fn f(v: &[u8]) -> u8 { v[0] }\n";
+        assert_eq!(check("crates/net/src/wire.rs", src).len(), 1);
+        assert!(check("crates/components/src/cbc.rs", src).is_empty());
+    }
+
+    #[test]
+    fn t1_indexing_shapes() {
+        let src = "fn f(v: Vec<Vec<u8>>, w: &[u8]) {\n    let a = v[0][1];\n    let b = f2()[2];\n    let c = w.get(0)?[3];\n    let [x, y] = [w[0], 1];\n    let t: [u8; 2] = [0, 0];\n    let s = &w[1..3];\n}\n";
+        let got = check("crates/net/src/wire.rs", src);
+        // v[0], [1], f2()[2], ?[3], w[0], w[1..3] — six index sites; the
+        // slice pattern and array literal/type are not flagged.
+        assert_eq!(got.len(), 6, "{got:?}");
+    }
+
+    #[test]
+    fn w1_narrowing_and_channel_bytes() {
+        let src = "fn f(n: usize, b: bool) {\n    let a = n as u8;\n    let c = n as u16;\n    let d = n as u64;\n    let e = n as usize;\n    let ch = 255;\n    let cl = 0xfe;\n    let sy = 0xFD_u8;\n    let ok = 0x20;\n}\n";
+        let got = check("crates/transport/src/client.rs", src);
+        let names: Vec<&str> = got.iter().map(|(_, _, w)| w.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "as u8",
+                "as u16",
+                "reserved channel byte 0xff",
+                "reserved channel byte 0xfe",
+                "reserved channel byte 0xfd"
+            ]
+        );
+    }
+
+    #[test]
+    fn pragma_suppresses_and_unused_is_flagged() {
+        let src = "// wbft-lint: allow(ordered-state) — lookup-only memo, never iterated\nuse std::collections::HashMap;\n// wbft-lint: allow(totality) — nothing here\nfn f() {}\n";
+        let got = check("crates/crypto/src/group.rs", src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].0, Rule::UnusedAllow);
+        assert_eq!(got[0].1, 3);
+    }
+
+    #[test]
+    fn trailing_pragma_suppresses_same_line() {
+        let src = "fn f(n: usize) -> u8 { n as u8 } // wbft-lint: allow(wire-safety) — caller asserts n <= 64\n";
+        assert!(check("crates/net/src/bitmap.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bad_pragma_reported_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    // wbft-lint: allow(totality)\n    fn t() {}\n}\n";
+        let got = check("crates/net/src/wire.rs", src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, Rule::BadPragma);
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = "// HashMap unwrap Instant::now 0xfe as u8\nfn f() { let s = \"HashMap.unwrap() 255 as u8\"; }\n";
+        assert!(check("crates/net/src/wire.rs", src).is_empty());
+    }
+
+    #[test]
+    fn crate_root_unsafe_modes() {
+        assert!(check_crate_root("crates/net/src/lib.rs", "#![forbid(unsafe_code)]\npub mod x;\n")
+            .is_empty());
+        assert_eq!(
+            check_crate_root("crates/net/src/lib.rs", "pub mod x;\n").len(),
+            1,
+            "missing attribute"
+        );
+        assert_eq!(
+            check_crate_root("crates/net/src/lib.rs", "#![deny(unsafe_code)]\npub mod x;\n").len(),
+            1,
+            "deny needs a pragma"
+        );
+        let denied = "#![deny(unsafe_code)]\n// wbft-lint: allow(unsafe-code) — FFI planned for the DMA path\npub mod x;\n";
+        assert!(check_crate_root("crates/net/src/lib.rs", denied).is_empty());
+    }
+
+    #[test]
+    fn doc_attr_does_not_match_w0() {
+        assert_eq!(check_crate_root("x/lib.rs", "#![doc = \"hi\"]\n").len(), 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Inline allow pragmas.
+//!
+//! A finding can be suppressed at its site with a justified pragma comment:
+//!
+//! ```text
+//! // wbft-lint: allow(wire-safety) — defining constant for the reserved channel
+//! pub const CONTROL_CHANNEL: u8 = 0xff;
+//! ```
+//!
+//! or trailing on the offending line itself:
+//!
+//! ```text
+//! Bitmap { bits: 0, len: len as u8 } // wbft-lint: allow(wire-safety) — asserted <= 64 above
+//! ```
+//!
+//! Rules: the justification after the dash is **required** (a bare
+//! `allow(rule)` is itself a `bad-pragma` finding), the rule name must be
+//! one the analyzer knows, and a pragma that suppresses nothing is an
+//! `unused-allow` finding — stale exemptions don't accumulate.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One parsed `// wbft-lint:` comment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pragma {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Line whose findings it suppresses (same line if trailing, else the
+    /// next line holding a significant token).
+    pub target_line: u32,
+    /// Rule names inside `allow(…)`, comma-separated.
+    pub rules: Vec<String>,
+    /// The justification text after the dash.
+    pub justification: String,
+}
+
+/// A malformed `wbft-lint:` comment and why it was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PragmaError {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// Extracts pragmas (and errors) from a lexed file.
+pub fn find_pragmas(tokens: &[Token<'_>]) -> (Vec<Pragma>, Vec<PragmaError>) {
+    let mut pragmas = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::LineComment {
+            continue;
+        }
+        let Some(rest) = comment_body(tok.text) else { continue };
+        match parse_body(rest) {
+            Ok((rules, justification)) => {
+                let trailing = tokens[..idx]
+                    .iter()
+                    .any(|t| t.line == tok.line && t.is_significant());
+                let target_line = if trailing {
+                    tok.line
+                } else {
+                    tokens[idx + 1..]
+                        .iter()
+                        .find(|t| t.is_significant())
+                        .map_or(tok.line + 1, |t| t.line)
+                };
+                pragmas.push(Pragma { line: tok.line, target_line, rules, justification });
+            }
+            Err(message) => errors.push(PragmaError { line: tok.line, message }),
+        }
+    }
+    (pragmas, errors)
+}
+
+/// Strips `//`+ and whitespace, returning the text after a `wbft-lint:`
+/// marker, or `None` for ordinary comments.
+fn comment_body(text: &str) -> Option<&str> {
+    let body = text.trim_start_matches('/').trim_start();
+    body.strip_prefix("wbft-lint:").map(str::trim_start)
+}
+
+/// Parses `allow(rule[, rule…]) — justification`. The dash may be an em
+/// dash, en dash, `--`, or `-`.
+fn parse_body(body: &str) -> Result<(Vec<String>, String), String> {
+    let Some(after_allow) = body.strip_prefix("allow") else {
+        return Err(format!("expected `allow(<rule>) — <justification>`, got `{body}`"));
+    };
+    let after_allow = after_allow.trim_start();
+    let Some(inner_start) = after_allow.strip_prefix('(') else {
+        return Err("expected `(` after `allow`".to_string());
+    };
+    let Some(close) = inner_start.find(')') else {
+        return Err("unclosed `allow(`".to_string());
+    };
+    let (inner, tail) = inner_start.split_at(close);
+    let rules: Vec<String> = inner
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("empty rule list in `allow()`".to_string());
+    }
+    for r in &rules {
+        if crate::rules::Rule::from_name(r).is_none() {
+            return Err(format!("unknown rule `{r}`"));
+        }
+    }
+    let tail = tail.trim_start_matches(')').trim_start();
+    let justification = ["—", "–", "--", "-"]
+        .iter()
+        .find_map(|d| tail.strip_prefix(d))
+        .map(str::trim)
+        .unwrap_or("");
+    if justification.is_empty() {
+        return Err("bare allow: a justification after `—` is required".to_string());
+    }
+    Ok((rules, justification.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn pragmas_of(src: &str) -> (Vec<Pragma>, Vec<PragmaError>) {
+        find_pragmas(&lex(src))
+    }
+
+    #[test]
+    fn own_line_targets_next_code_line() {
+        let (p, e) = pragmas_of(
+            "// wbft-lint: allow(totality) — index bounded by construction\n\nlet x = v[0];\n",
+        );
+        assert!(e.is_empty());
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].line, 1);
+        assert_eq!(p[0].target_line, 3, "skips the blank line");
+        assert_eq!(p[0].rules, ["totality"]);
+        assert_eq!(p[0].justification, "index bounded by construction");
+    }
+
+    #[test]
+    fn trailing_targets_own_line() {
+        let (p, e) = pragmas_of("let x = m.get(k); // wbft-lint: allow(ordered-state) -- never iterated\n");
+        assert!(e.is_empty());
+        assert_eq!(p[0].target_line, 1);
+    }
+
+    #[test]
+    fn bare_allow_rejected() {
+        let (p, e) = pragmas_of("// wbft-lint: allow(totality)\nlet x = v[0];\n");
+        assert!(p.is_empty());
+        assert_eq!(e.len(), 1);
+        assert!(e[0].message.contains("justification"));
+    }
+
+    #[test]
+    fn empty_justification_rejected() {
+        let (p, e) = pragmas_of("// wbft-lint: allow(totality) —   \nfoo();\n");
+        assert!(p.is_empty());
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_rejected() {
+        let (p, e) = pragmas_of("// wbft-lint: allow(no-such-rule) — because\nfoo();\n");
+        assert!(p.is_empty());
+        assert!(e[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn multiple_rules() {
+        let (p, e) = pragmas_of("// wbft-lint: allow(totality, wire-safety) — both fine here\nfoo();\n");
+        assert!(e.is_empty());
+        assert_eq!(p[0].rules, ["totality", "wire-safety"]);
+    }
+
+    #[test]
+    fn marker_in_string_is_not_a_pragma() {
+        let (p, e) = pragmas_of("let s = \"// wbft-lint: allow(totality)\";\n");
+        assert!(p.is_empty() && e.is_empty());
+    }
+
+    #[test]
+    fn ordinary_comments_ignored() {
+        let (p, e) = pragmas_of("// just a comment about HashMap\nfoo();\n");
+        assert!(p.is_empty() && e.is_empty());
+    }
+}

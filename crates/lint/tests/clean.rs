@@ -1,0 +1,41 @@
+//! The repository must satisfy its own analyzer.
+//!
+//! `cargo test` therefore enforces the same gate as the CI lint-check
+//! step: the workspace scan must produce no findings beyond the committed
+//! `lint-baseline.json`, and the hard invariants (totality and wire-safety
+//! in production protocol/wire code) must hold with no grandfathering at
+//! all.
+
+use wbft_lint::baseline::Baseline;
+use wbft_lint::rules::Rule;
+
+#[test]
+fn repo_is_clean_against_baseline() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = wbft_lint::run_workspace(&root).expect("workspace scan succeeds");
+    assert!(report.files_scanned > 50, "suspiciously small scan: {}", report.files_scanned);
+
+    let baseline_path = root.join("lint-baseline.json");
+    let baseline = if baseline_path.exists() {
+        let doc = wbft_report::json::read_file(&baseline_path).expect("baseline readable");
+        Baseline::from_json(&doc).expect("baseline parses")
+    } else {
+        Baseline::default()
+    };
+
+    let diff = baseline.diff(&report.findings);
+    assert!(
+        diff.regressions.is_empty(),
+        "lint regressions not in baseline:\n{}",
+        diff.regressions.iter().map(|f| format!("  {f}\n")).collect::<String>()
+    );
+
+    // The ratchet floor: panics and silent truncation in production
+    // protocol/wire code are fixed, never grandfathered.
+    for f in &report.findings {
+        assert!(
+            !matches!(f.rule, Rule::Totality | Rule::WireSafety),
+            "totality/wire-safety findings must be fixed, not baselined: {f}"
+        );
+    }
+}

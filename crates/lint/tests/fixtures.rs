@@ -1,0 +1,131 @@
+//! Exact-findings assertions over the fixture corpus in
+//! `tests/fixtures/lint/` at the workspace root.
+//!
+//! Each fixture is a standalone `.rs` file the workspace scanner skips
+//! (deliberate rule violations must not fail the real lint run). A header
+//! of `//@` directives pins down the analysis:
+//!
+//! ```text
+//! //@ path: crates/net/src/codec.rs      pretend workspace path (classification)
+//! //@ crate-root                          also run the W0 crate-root pass
+//! //@ expect: totality@6 indexing         one expected finding: rule@line what
+//! //@ expect: none                        explicitly expect zero findings
+//! ```
+//!
+//! Expected findings are compared exactly — extra findings, missing
+//! findings, wrong lines, and wrong `what` keys all fail.
+
+use wbft_lint::classify::FileInfo;
+use wbft_lint::passes;
+use wbft_lint::rules::Rule;
+
+struct Fixture {
+    name: String,
+    pretend_path: String,
+    crate_root: bool,
+    expected: Vec<(Rule, u32, String)>,
+    src: String,
+}
+
+fn parse_fixture(name: &str, src: &str) -> Fixture {
+    let mut pretend_path = None;
+    let mut crate_root = false;
+    let mut expected = Vec::new();
+    let mut saw_none = false;
+    for line in src.lines() {
+        let Some(directive) = line.strip_prefix("//@") else { continue };
+        let directive = directive.trim();
+        if let Some(p) = directive.strip_prefix("path:") {
+            pretend_path = Some(p.trim().to_string());
+        } else if directive == "crate-root" {
+            crate_root = true;
+        } else if let Some(e) = directive.strip_prefix("expect:") {
+            let e = e.trim();
+            if e == "none" {
+                saw_none = true;
+                continue;
+            }
+            let (rule_at_line, what) =
+                e.split_once(' ').unwrap_or_else(|| panic!("{name}: bad expect `{e}`"));
+            let (rule_name, line_no) = rule_at_line
+                .split_once('@')
+                .unwrap_or_else(|| panic!("{name}: expect needs rule@line, got `{e}`"));
+            let rule = Rule::from_name(rule_name)
+                .unwrap_or_else(|| panic!("{name}: unknown rule `{rule_name}`"));
+            let line_no: u32 =
+                line_no.parse().unwrap_or_else(|_| panic!("{name}: bad line in `{e}`"));
+            expected.push((rule, line_no, what.to_string()));
+        } else {
+            panic!("{name}: unknown directive `//@ {directive}`");
+        }
+    }
+    assert!(
+        !saw_none || expected.is_empty(),
+        "{name}: `expect: none` cannot mix with concrete expectations"
+    );
+    assert!(
+        saw_none || !expected.is_empty(),
+        "{name}: needs at least one `//@ expect:` (or `expect: none`)"
+    );
+    Fixture {
+        name: name.to_string(),
+        pretend_path: pretend_path.unwrap_or_else(|| panic!("{name}: missing `//@ path:`")),
+        crate_root,
+        expected,
+        src: src.to_string(),
+    }
+}
+
+fn fixture_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/lint")
+}
+
+#[test]
+fn fixture_corpus_matches_exactly() {
+    let dir = fixture_dir();
+    let mut names: Vec<_> = std::fs::read_dir(&dir)
+        .expect("fixture dir exists")
+        .map(|e| e.expect("readable entry").file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".rs"))
+        .collect();
+    names.sort();
+    assert!(names.len() >= 8, "fixture corpus unexpectedly small: {names:?}");
+
+    for name in names {
+        let src = std::fs::read_to_string(dir.join(&name)).expect("readable fixture");
+        let fx = parse_fixture(&name, &src);
+
+        let info = FileInfo::classify(&fx.pretend_path);
+        let mut findings = passes::check_file(&info, &fx.src);
+        if fx.crate_root {
+            findings.extend(passes::check_crate_root(&fx.pretend_path, &fx.src));
+        }
+        let got: Vec<(Rule, u32, String)> =
+            findings.into_iter().map(|f| (f.rule, f.line, f.what)).collect();
+
+        let mut want = fx.expected.clone();
+        want.sort_by(|a, b| (a.1, a.0, &a.2).cmp(&(b.1, b.0, &b.2)));
+        let mut got_sorted = got.clone();
+        got_sorted.sort_by(|a, b| (a.1, a.0, &a.2).cmp(&(b.1, b.0, &b.2)));
+        assert_eq!(
+            got_sorted, want,
+            "{}: findings diverge from the `//@ expect:` header",
+            fx.name
+        );
+    }
+}
+
+#[test]
+fn fixture_paths_are_never_scanned_in_real_runs() {
+    // The workspace walker must skip the corpus — its files are deliberate
+    // violations. A leak here would show up as nonzero findings in the
+    // repo-wide scan (also asserted by `repo_is_clean` in clean.rs).
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = wbft_lint::run_workspace(&root).expect("scan succeeds");
+    for f in &report.findings {
+        assert!(
+            !f.path.contains("fixtures/lint"),
+            "fixture leaked into the workspace scan: {f}"
+        );
+    }
+}

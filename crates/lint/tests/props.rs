@@ -1,0 +1,106 @@
+//! Property tests: the analyzer must be total over arbitrary input.
+//!
+//! The lexer and pragma parser run over every workspace file on every CI
+//! run — a panic on weird input would take the whole lint gate down, so
+//! totality is load-bearing, not cosmetic.
+
+use proptest::prelude::*;
+use wbft_lint::classify::{self, FileInfo};
+use wbft_lint::lexer::{int_literal_value, lex};
+use wbft_lint::passes::check_file;
+use wbft_lint::pragma::find_pragmas;
+
+/// Characters that exercise every lexer mode: comment markers, string and
+/// char delimiters, raw-string hashes, escapes, numbers, brackets, and the
+/// pragma dashes.
+const SOUP: &[char] = &[
+    'a', 'z', 'A', '_', '0', '9', '"', '\'', '/', '*', '#', '[', ']', '(', ')', '{', '}', '!',
+    ':', ';', ',', '.', '-', '—', ' ', '\n', '\\', 'x', 'u', 'b', 'r', 'c', '=', '<', '>', '&',
+    '|', '?', 'é', '\t',
+];
+
+fn soup(max_len: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..SOUP.len(), 0..max_len)
+        .prop_map(|ix| ix.into_iter().map(|i| SOUP[i]).collect())
+}
+
+/// Line-shaped source soup biased toward the constructs the pragma scanner
+/// and cfg(test) range finder care about.
+fn liney_soup() -> impl Strategy<Value = String> {
+    let line = prop_oneof![
+        Just("// wbft-lint: allow(totality) — justified\n".to_string()),
+        Just("// wbft-lint: allow(bogus)\n".to_string()),
+        Just("// wbft-lint: allow(\n".to_string()),
+        Just("#[cfg(test)]\n".to_string()),
+        Just("#[cfg(any(test, feature = \"x\"))]\n".to_string()),
+        Just("mod t { fn f() {} }\n".to_string()),
+        Just("fn g(v: Option<u8>) { v.unwrap(); }\n".to_string()),
+        Just("let s = \"}}{{ // wbft-lint: allow(totality)\";\n".to_string()),
+        soup(40).prop_map(|mut s| {
+            s.push('\n');
+            s
+        }),
+    ];
+    proptest::collection::vec(line, 0..20).prop_map(|lines| lines.concat())
+}
+
+proptest! {
+    /// Arbitrary bytes (lossily decoded) never panic the lexer, and the
+    /// token texts always reassemble into exactly the input (lossless).
+    #[test]
+    fn lexer_total_and_lossless(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let tokens = lex(&src);
+        let rendered: String = tokens.iter().map(|t| t.text).collect();
+        prop_assert_eq!(rendered, src);
+    }
+
+    /// Character soup covering every lexer mode is also lossless, and
+    /// lexing is a fixpoint: re-lexing the render yields identical tokens.
+    #[test]
+    fn lexing_fixpoint(src in soup(256)) {
+        let tokens = lex(&src);
+        let rendered: String = tokens.iter().map(|t| t.text).collect();
+        prop_assert_eq!(&rendered, &src);
+        let again = lex(&rendered);
+        let a: Vec<(&str, u32)> = tokens.iter().map(|t| (t.text, t.line)).collect();
+        let b: Vec<(&str, u32)> = again.iter().map(|t| (t.text, t.line)).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Pragma-shaped source never panics the pragma scanner or the
+    /// cfg(test) range finder.
+    #[test]
+    fn pragma_and_ranges_total(src in liney_soup()) {
+        let tokens = lex(&src);
+        let _ = find_pragmas(&tokens);
+        let _ = classify::test_line_ranges(&tokens);
+    }
+
+    /// Number-literal evaluation is total (never panics, even on
+    /// malformed or enormous literals lexed out of junk).
+    #[test]
+    fn int_literal_value_total(bytes in proptest::collection::vec(any::<u8>(), 1..24)) {
+        const DIGITS: &[u8] = b"0123456789abcdefxXoObB_uisze.+-";
+        let text: String =
+            bytes.iter().map(|&b| DIGITS[usize::from(b) % DIGITS.len()] as char).collect();
+        let _ = int_literal_value(&text);
+    }
+
+    /// The full per-file pass pipeline is total over soup for every
+    /// classification zone.
+    #[test]
+    fn check_file_total(src in liney_soup()) {
+        for path in [
+            "crates/net/src/fuzzed.rs",
+            "crates/components/src/fuzzed.rs",
+            "crates/core/src/recovery.rs",
+            "crates/transport/src/sync.rs",
+            "tests/fuzzed.rs",
+        ] {
+            let info = FileInfo::classify(path);
+            let _ = check_file(&info, &src);
+            let _ = wbft_lint::passes::check_crate_root(path, &src);
+        }
+    }
+}

@@ -19,6 +19,7 @@ impl Bitmap {
     /// Panics if `len > 64`.
     pub fn new(len: usize) -> Self {
         assert!(len <= 64, "bitmap capacity is 64, got {len}");
+        // wbft-lint: allow(wire-safety) — len asserted ≤ 64 just above
         Bitmap { bits: 0, len: len as u8 }
     }
 
@@ -109,6 +110,7 @@ impl Bitmap {
     pub fn from_raw(bits: u64, len: usize) -> Self {
         assert!(len <= 64, "bitmap capacity is 64, got {len}");
         let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+        // wbft-lint: allow(wire-safety) — len asserted ≤ 64 just above
         Bitmap { bits: bits & mask, len: len as u8 }
     }
 }

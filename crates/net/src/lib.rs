@@ -1,3 +1,7 @@
+#![forbid(unsafe_code)]
+// Totality backstop (type-aware side of wbft-lint's T1 rule): protocol
+// paths must not panic via unwrap/expect. Test code is exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! # wbft-net — the ConsensusBatcher packet module
 //!
 //! Wire-format layer of the reproduction of *"Asynchronous BFT Consensus

@@ -576,7 +576,7 @@ impl Body {
             | Body::BaseAbaAux { instance, round, value } => {
                 s.u8(*instance);
                 s.u16(*round);
-                s.u8(*value as u8);
+                s.u8(u8::from(*value));
             }
             Body::BaseAbaCoin { instance, round, flavor, share } => {
                 s.u8(*instance);
@@ -589,7 +589,7 @@ impl Body {
             }
             Body::BaseAbaDecided { instance, value } => {
                 s.u8(*instance);
-                s.u8(*value as u8);
+                s.u8(u8::from(*value));
             }
             Body::BaseAbaLcReport { instance, round, phase, voter, value } => {
                 s.u8(*instance);
@@ -924,10 +924,10 @@ impl Envelope {
         if r.remaining() != 0 {
             return Err(WireError::Malformed("trailing bytes"));
         }
-        let mut r_bytes = [0u8; 32];
-        r_bytes.copy_from_slice(&sig_bytes[..32]);
-        let mut z_bytes = [0u8; 32];
-        z_bytes.copy_from_slice(&sig_bytes[32..]);
+        let r_bytes: [u8; 32] =
+            sig_bytes.get(..32).and_then(|b| b.try_into().ok()).ok_or(WireError::Truncated)?;
+        let z_bytes: [u8; 32] =
+            sig_bytes.get(32..).and_then(|b| b.try_into().ok()).ok_or(WireError::Truncated)?;
         let sig_ok = match GroupElem::from_bytes(&r_bytes) {
             Ok(r_elem) => {
                 let sig = Signature { r: r_elem, z: Scalar::from_bytes_reduced(&z_bytes) };

@@ -112,7 +112,7 @@ impl BinValues {
 
     /// Two-bit wire code.
     pub fn code(&self) -> u8 {
-        (self.zero as u8) | ((self.one as u8) << 1)
+        u8::from(self.zero) | (u8::from(self.one) << 1)
     }
 
     /// Decodes a two-bit code.

@@ -172,7 +172,8 @@ impl Sink for ByteSink {
     fn bitmap(&mut self, v: &Bitmap) -> Result<(), WireError> {
         self.buf.put_u8(checked_bitmap_len(v.len())?);
         let raw = v.to_raw().to_le_bytes();
-        self.buf.put_slice(&raw[..v.wire_len()]);
+        let prefix = raw.get(..v.wire_len()).ok_or(WireError::Oversize("bitmap"))?;
+        self.buf.put_slice(prefix);
         Ok(())
     }
     fn sig_share(&mut self, v: &SigShare) {
@@ -313,37 +314,36 @@ impl<'a> WireReader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.remaining() < n {
-            return Err(WireError::Truncated);
-        }
-        let s = &self.data[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        let s = self.data.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
         Ok(s)
+    }
+
+    /// Reads exactly `N` bytes into an array.
+    fn take_arr<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        self.take(N)?.try_into().map_err(|_| WireError::Truncated)
     }
 
     /// Reads one byte.
     pub fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.take_arr()?;
+        Ok(b)
     }
 
     /// Reads a little-endian u16.
     pub fn u16(&mut self) -> Result<u16, WireError> {
-        let b = self.take(2)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
+        Ok(u16::from_le_bytes(self.take_arr()?))
     }
 
     /// Reads a little-endian u32.
     pub fn u32(&mut self) -> Result<u32, WireError> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        Ok(u32::from_le_bytes(self.take_arr()?))
     }
 
     /// Reads a little-endian u64.
     pub fn u64(&mut self) -> Result<u64, WireError> {
-        let b = self.take(8)?;
-        let mut a = [0u8; 8];
-        a.copy_from_slice(b);
-        Ok(u64::from_le_bytes(a))
+        Ok(u64::from_le_bytes(self.take_arr()?))
     }
 
     /// Reads a length-prefixed byte string.
@@ -354,10 +354,7 @@ impl<'a> WireReader<'a> {
 
     /// Reads a digest.
     pub fn digest(&mut self) -> Result<Digest32, WireError> {
-        let b = self.take(32)?;
-        let mut a = [0u8; 32];
-        a.copy_from_slice(b);
-        Ok(Digest32(a))
+        Ok(Digest32(self.take_arr()?))
     }
 
     /// Reads a bitmap.
@@ -369,14 +366,15 @@ impl<'a> WireReader<'a> {
         let nbytes = len.div_ceil(8);
         let b = self.take(nbytes)?;
         let mut raw = [0u8; 8];
-        raw[..nbytes].copy_from_slice(b);
+        let Some(dst) = raw.get_mut(..nbytes) else {
+            return Err(WireError::Malformed("bitmap length"));
+        };
+        dst.copy_from_slice(b);
         Ok(Bitmap::from_raw(u64::from_le_bytes(raw), len))
     }
 
     fn group_elem(&mut self) -> Result<GroupElem, WireError> {
-        let b = self.take(32)?;
-        let mut a = [0u8; 32];
-        a.copy_from_slice(b);
+        let a = self.take_arr()?;
         GroupElem::from_bytes(&a).map_err(|_| WireError::BadGroupElement)
     }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # wbft-report — machine-readable reports for the sweep harness
 //!
 //! The workspace's serde is an offline no-op shim, so this crate supplies

@@ -21,6 +21,7 @@ use wbft_net::WireError;
 
 /// Reserved datagram channel for client traffic (peer tables must not
 /// assign it, like the control channel).
+// wbft-lint: allow(wire-safety) — the defining constant for the reserved client channel
 pub const CLIENT_CHANNEL: u8 = 0xfe;
 
 /// Most digests one [`ClientMsg::Block`] may carry and still fit a single
@@ -111,11 +112,10 @@ impl ClientMsg {
         let mut out = Vec::new();
         match self {
             ClientMsg::Submit { tx } => {
-                if tx.len() > u16::MAX as usize {
-                    return Err(WireError::Oversize("client transaction"));
-                }
+                let len = u16::try_from(tx.len())
+                    .map_err(|_| WireError::Oversize("client transaction"))?;
                 out.push(TAG_SUBMIT);
-                out.extend_from_slice(&(tx.len() as u16).to_le_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
                 out.extend_from_slice(tx);
             }
             ClientMsg::SubmitReply { verdict, digest } => {
@@ -128,9 +128,11 @@ impl ClientMsg {
                 if digests.len() > MAX_BLOCK_DIGESTS {
                     return Err(WireError::Oversize("block digest list"));
                 }
+                let count = u16::try_from(digests.len())
+                    .map_err(|_| WireError::Oversize("block digest list"))?;
                 out.push(TAG_BLOCK);
                 out.extend_from_slice(&epoch.to_le_bytes());
-                out.extend_from_slice(&(digests.len() as u16).to_le_bytes());
+                out.extend_from_slice(&count.to_le_bytes());
                 for d in digests {
                     out.extend_from_slice(d);
                 }
@@ -151,12 +153,10 @@ impl ClientMsg {
                 (tx.len() == len).then(|| ClientMsg::Submit { tx: Bytes::copy_from_slice(tx) })
             }
             TAG_SUBMIT_REPLY => {
-                if rest.len() != 33 {
-                    return None;
-                }
+                let (&verdict_byte, digest_bytes) = rest.split_first()?;
                 Some(ClientMsg::SubmitReply {
-                    verdict: SubmitVerdict::from_byte(rest[0])?,
-                    digest: rest[1..33].try_into().ok()?,
+                    verdict: SubmitVerdict::from_byte(verdict_byte)?,
+                    digest: digest_bytes.try_into().ok()?,
                 })
             }
             TAG_SUBSCRIBE => rest.is_empty().then_some(ClientMsg::Subscribe),
@@ -167,10 +167,10 @@ impl ClientMsg {
                 if body.len() != count * 32 {
                     return None;
                 }
-                let digests = body
-                    .chunks_exact(32)
-                    .map(|c| c.try_into().expect("exact 32-byte chunks"))
-                    .collect();
+                let mut digests = Vec::with_capacity(count);
+                for c in body.chunks_exact(32) {
+                    digests.push(c.try_into().ok()?);
+                }
                 Some(ClientMsg::Block { epoch, digests })
             }
             TAG_STOP => rest.is_empty().then_some(ClientMsg::Stop),

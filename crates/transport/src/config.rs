@@ -71,11 +71,10 @@ impl PeerTable {
     /// channel 0 (the single-hop topology).
     pub fn loopback(ports: &[u16]) -> PeerTable {
         PeerTable {
-            peers: ports
-                .iter()
-                .enumerate()
-                .map(|(i, &port)| PeerEntry {
-                    node: i as u16,
+            peers: (0u16..)
+                .zip(ports)
+                .map(|(node, &port)| PeerEntry {
+                    node,
                     addr: SocketAddr::from(([127, 0, 0, 1], port)),
                     channels: vec![0],
                 })
@@ -143,7 +142,7 @@ impl PeerTable {
             }
         }
         for (i, a) in self.peers.iter().enumerate() {
-            for b in &self.peers[i + 1..] {
+            for b in self.peers.iter().skip(i + 1) {
                 if a.addr == b.addr {
                     return Err(format!("nodes {} and {} share address {}", a.node, b.node, a.addr));
                 }

@@ -48,6 +48,7 @@ const POLL_QUANTUM: Duration = Duration::from_millis(20);
 
 /// Reserved control channel for the startup barrier; peer tables must not
 /// assign it to protocol traffic.
+// wbft-lint: allow(wire-safety) — the defining constant for the reserved control channel
 pub const CONTROL_CHANNEL: u8 = 0xff;
 
 /// Barrier probe: "are you bound yet?". Answered with [`READY_PAYLOAD`].
@@ -359,7 +360,10 @@ impl<B: NodeBehavior> UdpRuntime<B> {
             nominal_len: 0,
             payload: Bytes::from_static(payload),
         };
-        let bytes = datagram.encode().expect("control frames are tiny");
+        let Ok(bytes) = datagram.encode() else {
+            self.stats.sends_failed += 1;
+            return;
+        };
         if self.socket.send_to(&bytes, addr).is_err() {
             self.stats.sends_failed += 1;
         }
@@ -372,7 +376,7 @@ impl<B: NodeBehavior> UdpRuntime<B> {
             if at > now_us {
                 break;
             }
-            let Reverse((_, _, id)) = self.timers.pop().expect("peeked");
+            let Some(Reverse((_, _, id))) = self.timers.pop() else { break };
             self.callback(|b, ctx| b.on_timer(id, ctx))?;
         }
         Ok(())
@@ -516,10 +520,15 @@ impl<B: NodeBehavior> UdpRuntime<B> {
     /// Sends one datagram to every member of the channel's multicast set.
     /// Send failures are counted, never fatal — UDP is lossy by contract.
     fn broadcast(&mut self, channel: ChannelId, payload: Bytes, nominal_len: usize) {
+        let Ok(nominal) = u32::try_from(nominal_len) else {
+            // Absurd claimed size: refuse like any other oversized send.
+            self.stats.sends_rejected += 1;
+            return;
+        };
         let datagram = Datagram {
             src: self.me.0,
             channel: channel.0,
-            nominal_len: nominal_len as u32,
+            nominal_len: nominal,
             payload,
         };
         let Ok(bytes) = datagram.encode() else {

@@ -24,6 +24,7 @@ use wbft_net::WireError;
 
 /// Reserved datagram channel for anti-entropy sync traffic (peer tables
 /// must not assign it, like the control and client channels).
+// wbft-lint: allow(wire-safety) — the defining constant for the reserved sync channel
 pub const SYNC_CHANNEL: u8 = 0xfd;
 
 /// Per-block framing cost inside a [`SyncMsg::BlockChunk`]: u16 payload
@@ -88,14 +89,15 @@ impl SyncMsg {
                 if blocks.len() > MAX_CHUNK_BLOCKS {
                     return Err(WireError::Oversize("sync chunk block count"));
                 }
+                let count = u8::try_from(blocks.len())
+                    .map_err(|_| WireError::Oversize("sync chunk block count"))?;
                 out.push(TAG_CHUNK);
                 out.extend_from_slice(&start_epoch.to_le_bytes());
-                out.push(blocks.len() as u8);
+                out.push(count);
                 for b in blocks {
-                    if b.payload.len() > u16::MAX as usize {
-                        return Err(WireError::Oversize("sync block payload"));
-                    }
-                    out.extend_from_slice(&(b.payload.len() as u16).to_le_bytes());
+                    let len = u16::try_from(b.payload.len())
+                        .map_err(|_| WireError::Oversize("sync block payload"))?;
+                    out.extend_from_slice(&len.to_le_bytes());
                     out.extend_from_slice(&b.payload);
                     out.extend_from_slice(&b.digest);
                 }
@@ -128,7 +130,7 @@ impl SyncMsg {
                     let payload = body.get(2..2 + len)?;
                     let digest: [u8; 32] = body.get(2 + len..2 + len + 32)?.try_into().ok()?;
                     blocks.push(SyncBlock { payload: Bytes::copy_from_slice(payload), digest });
-                    body = &body[2 + len + 32..];
+                    body = body.get(2 + len + 32..)?;
                 }
                 body.is_empty().then_some(SyncMsg::BlockChunk { start_epoch, blocks })
             }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # wbft-wireless — deterministic wireless-network simulator
 //!
 //! The testbed substrate of the ConsensusBatcher reproduction: a

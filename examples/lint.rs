@@ -1,0 +1,9 @@
+//! Workspace static analysis from the facade: `cargo run --example lint`.
+//!
+//! Thin delegate to the `wbft-lint` CLI (same as `cargo run -p wbft-lint`);
+//! see `--help`, `--list-rules`, and `--explain <rule>` for what it checks.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(wbft_lint::cli_main(&args));
+}

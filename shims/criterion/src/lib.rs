@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `criterion`.
 //!
 //! The five paper-figure benches in `wbft-bench` are plain `fn main`

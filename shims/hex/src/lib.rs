@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the `hex` crate.
 
 /// Lower-case hex encoding.

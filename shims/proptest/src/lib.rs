@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `proptest`.
 //!
 //! Implements the subset this workspace's property tests use: the

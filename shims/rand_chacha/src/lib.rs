@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the `rand_chacha` crate: a ChaCha12 RNG over the
 //! shared ChaCha core in the `rand` shim. Deterministic and self-consistent;
 //! not bit-compatible with upstream `rand_chacha` (nothing in this workspace

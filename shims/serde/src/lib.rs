@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `serde`.
 //!
 //! See the `serde_derive` shim for rationale: the derives are no-ops and

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for `serde_derive`.
 //!
 //! The workspace annotates wire/config types with

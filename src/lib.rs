@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # wbft — reproduction of *Asynchronous BFT Consensus Made Wireless*
 //!
 //! Facade crate re-exporting the workspace layers under one roof:

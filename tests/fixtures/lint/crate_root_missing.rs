@@ -1,0 +1,8 @@
+//@ path: crates/net/src/lib.rs
+//@ crate-root
+//@ expect: unsafe-code@1 missing #![forbid(unsafe_code)]
+//! A crate root without the mandatory lint gate.
+
+pub fn product() -> u8 {
+    1
+}

@@ -1,0 +1,9 @@
+//@ path: crates/net/src/lib.rs
+//@ crate-root
+//@ expect: none
+#![forbid(unsafe_code)]
+//! A compliant crate root.
+
+pub fn product() -> u8 {
+    1
+}

@@ -1,0 +1,30 @@
+//@ path: crates/wireless/src/sim.rs
+//@ expect: determinism@8 Instant::now
+//@ expect: determinism@11 SystemTime
+//@ expect: determinism@15 thread_rng
+//@ expect: determinism@17 rand::random
+//@ expect: determinism@20 set_var
+//@ expect: determinism@24 remove_var
+fn bad_clock() -> u128 { std::time::Instant::now().elapsed().as_micros() }
+
+fn bad_wall() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.elapsed().map(|d| d.as_secs()).unwrap_or(0)
+}
+
+fn bad_rng() -> u64 { rand::thread_rng().next_u64() }
+
+fn bad_ambient() -> u8 { rand::random() }
+
+fn bad_env_set() {
+    std::env::set_var("SEED", "7");
+}
+
+fn bad_env_del() {
+    std::env::remove_var("SEED");
+}
+
+fn fine_env_read() -> Option<String> {
+    // Reading the environment is legal; only mutation races.
+    std::env::var("WBFT_TRACE").ok()
+}

@@ -1,0 +1,15 @@
+//@ path: crates/wireless/src/sim.rs
+//@ expect: none
+fn production() -> u64 {
+    42
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+        let _ = std::time::SystemTime::now();
+        let _: u8 = rand::random();
+    }
+}

@@ -1,0 +1,10 @@
+//@ path: crates/core/src/sweep.rs
+//@ expect: determinism@10 thread_rng
+fn harness_may_panic(v: Option<u8>) -> u8 {
+    // The sweep harness fails fast on bad axes: panics are fine here,
+    // and so is indexing. Determinism still applies — the harness runs
+    // inside the byte-identity claim.
+    let first = [v.unwrap(); 4][0];
+    first.checked_add(1).expect("bounded")
+}
+fn still_deterministic() -> u64 { rand::thread_rng().next_u64() }

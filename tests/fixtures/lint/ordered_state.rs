@@ -1,0 +1,12 @@
+//@ path: crates/components/src/dedup.rs
+//@ expect: ordered-state@7 HashMap
+//@ expect: ordered-state@8 HashSet
+use std::collections::BTreeMap;
+
+struct Bad {
+    by_peer: std::collections::HashMap<u16, u64>,
+    seen: std::collections::HashSet<[u8; 32]>,
+    ordered: BTreeMap<u16, u64>,
+    // wbft-lint: allow(ordered-state) — lookup-only memo, never iterated
+    memo: std::collections::HashMap<u64, u64>,
+}

@@ -1,0 +1,26 @@
+//@ path: crates/components/src/pragmas.rs
+//@ expect: bad-pragma@13 bare allow: a justification after `—` is required
+//@ expect: totality@14 unwrap
+//@ expect: bad-pragma@16 unknown rule `totallity`
+//@ expect: totality@17 unwrap
+//@ expect: unused-allow@19 allow(ordered-state) suppressed nothing
+fn suppressed(v: Option<u8>) -> u8 {
+    // wbft-lint: allow(totality) — fixture: justified own-line allow
+    v.unwrap()
+}
+
+fn bare(v: Option<u8>) -> u8 {
+    // wbft-lint: allow(totality)
+    v.unwrap()
+}
+// wbft-lint: allow(totallity) — misspelled rule name
+fn misspelled(v: Option<u8>) -> u8 { v.unwrap() }
+
+// wbft-lint: allow(ordered-state) — aimed at a line with no finding
+fn stale() -> u8 {
+    7
+}
+
+fn trailing_ok(v: Option<u8>) -> u8 {
+    v.unwrap() // wbft-lint: allow(totality) — fixture: same-line allow
+}

@@ -1,0 +1,22 @@
+//@ path: crates/net/src/codec.rs
+//@ expect: totality@6 indexing
+//@ expect: totality@7 indexing
+//@ expect: totality@12 indexing
+fn decode(data: &[u8], tail: Vec<u8>) -> u8 {
+    let first = data[0];
+    let window = &data[4..8];
+    first ^ u8::from(window.len() == 4) ^ decode2(&tail)
+}
+
+fn decode2(tail: &[u8]) -> u8 {
+    tail[tail.len() - 1]
+}
+
+fn fine(data: &[u8]) -> Option<u8> {
+    // Checked accessors, array types, literals, and destructuring are
+    // not indexing expressions.
+    let buf: [u8; 4] = [0u8; 4];
+    let [a, _, _, _] = buf;
+    let b = *data.get(0)?;
+    Some(a ^ b)
+}

@@ -1,0 +1,28 @@
+//@ path: crates/components/src/aba.rs
+//@ expect: totality@9 unwrap
+//@ expect: totality@10 expect
+//@ expect: totality@13 panic
+//@ expect: totality@16 unreachable
+//@ expect: totality@17 todo
+//@ expect: totality@18 unimplemented
+fn bad(v: Option<u8>, r: Result<u8, ()>) -> u8 {
+    let a = v.unwrap();
+    let b = r.expect("present");
+    let c = match a {
+        0 => b,
+        _ => panic!("boom"),
+    };
+    match c {
+        0 => unreachable!(),
+        1 => todo!(),
+        _ => unimplemented!(),
+    }
+}
+
+fn fine(v: Option<u8>) -> u8 {
+    // assert! states the invariant without hiding it inside unwrap;
+    // unwrap_or is total.
+    assert!(v.is_some(), "caller guarantees presence");
+    debug_assert!(v.is_none() || v.is_some());
+    v.unwrap_or(0)
+}
