@@ -103,6 +103,11 @@ pub struct NodeCrypto {
     pub keypair: KeyPair,
     /// All nodes' packet verification keys.
     pub peer_keys: Vec<PublicKey>,
+    /// Key epoch these threshold shares belong to: 0 for a dealt genesis
+    /// bundle, incremented by each membership resharing roll. Share-
+    /// carrying wire traffic is tagged with it so stale-epoch shares are
+    /// rejected instead of combined.
+    pub key_epoch: u64,
     /// `(f, n)` threshold signatures — PRBC delivery proofs.
     pub prbc_pub: PublicKeySet,
     /// Secret share for `prbc_pub`.
@@ -144,6 +149,7 @@ pub fn deal_node_crypto(n: usize, suite: CryptoSuite, rng: &mut impl RngCore) ->
             suite,
             keypair,
             peer_keys: peer_keys.clone(),
+            key_epoch: 0,
             prbc_pub: prbc_pub.clone(),
             prbc_sec,
             cbc_pub: cbc_pub.clone(),

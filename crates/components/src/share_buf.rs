@@ -28,15 +28,44 @@ struct RawBuf<S> {
     /// `shares[..verified]` have passed verification.
     verified: usize,
     reporters: u64,
+    /// Key epoch the buffered shares belong to. Shares from another
+    /// threshold-key generation are structurally incompatible with this
+    /// buffer's verification keys — see [`RawBuf::insert_tagged`].
+    key_epoch: u64,
 }
 
 impl<S> Default for RawBuf<S> {
     fn default() -> Self {
-        RawBuf { shares: Vec::new(), verified: 0, reporters: 0 }
+        RawBuf { shares: Vec::new(), verified: 0, reporters: 0, key_epoch: 0 }
     }
 }
 
 impl<S: Copy> RawBuf<S> {
+    /// Drops every buffered share and moves the buffer to `key_epoch`.
+    /// Shares gathered under the old keys are useless under the new ones
+    /// (same indices, different share polynomial), so a buffer that
+    /// outlives a membership resharing roll must evict, not carry over.
+    fn roll_key_epoch(&mut self, key_epoch: u64) {
+        if key_epoch == self.key_epoch {
+            return;
+        }
+        self.key_epoch = key_epoch;
+        self.shares.clear();
+        self.verified = 0;
+        self.reporters = 0;
+    }
+
+    /// [`RawBuf::insert`] for a share tagged with the key epoch it was
+    /// produced under: a stale (or future) tag is rejected at the door —
+    /// it must never reach the batch verifier, where a whole quorum's
+    /// combine would fail instead.
+    fn insert_tagged(&mut self, share: S, index: ShareIndex, n: usize, tag: u64) -> bool {
+        if tag != self.key_epoch {
+            return false;
+        }
+        self.insert(share, index, n)
+    }
+
     fn insert(&mut self, share: S, index: ShareIndex, n: usize) -> bool {
         // The reporter bitmask (like every bitmap in the wire layer) caps
         // deployments at 64 nodes; make an oversized deployment fail loudly
@@ -93,6 +122,25 @@ impl SigShareBuf {
         self.0.insert(share, share.index, n)
     }
 
+    /// Accepts a share produced under key epoch `tag`; a tag other than
+    /// the buffer's current key epoch is rejected (never buffered, never
+    /// batch-verified).
+    pub fn insert_tagged(&mut self, share: SigShare, n: usize, tag: u64) -> bool {
+        self.0.insert_tagged(share, share.index, n, tag)
+    }
+
+    /// The key epoch this buffer currently collects for.
+    pub fn key_epoch(&self) -> u64 {
+        self.0.key_epoch
+    }
+
+    /// Moves the buffer to `key_epoch`, evicting every buffered share
+    /// (they belong to the superseded sharing). No-op for the current
+    /// epoch.
+    pub fn roll_key_epoch(&mut self, key_epoch: u64) {
+        self.0.roll_key_epoch(key_epoch);
+    }
+
     /// Bitmask of indices currently buffered (verified or pending).
     pub fn reporters(&self) -> u64 {
         self.0.reporters
@@ -124,6 +172,21 @@ impl CoinShareBuf {
     /// Accepts a coin share; same contract as [`SigShareBuf::insert`].
     pub fn insert(&mut self, share: CoinShare, n: usize) -> bool {
         self.0.insert(share, share.index, n)
+    }
+
+    /// Coin mirror of [`SigShareBuf::insert_tagged`].
+    pub fn insert_tagged(&mut self, share: CoinShare, n: usize, tag: u64) -> bool {
+        self.0.insert_tagged(share, share.index, n, tag)
+    }
+
+    /// The key epoch this buffer currently collects for.
+    pub fn key_epoch(&self) -> u64 {
+        self.0.key_epoch
+    }
+
+    /// Coin mirror of [`SigShareBuf::roll_key_epoch`].
+    pub fn roll_key_epoch(&mut self, key_epoch: u64) {
+        self.0.roll_key_epoch(key_epoch);
     }
 
     /// Bitmask of indices currently buffered (verified or pending).

@@ -174,6 +174,12 @@ impl<E: Engine> Engine for ByzantineEngine<E> {
         self.inner.blocks()
     }
 
+    fn key_epoch(&self, session: u64) -> u64 {
+        // The wrapper corrupts payloads, not the node's signing identity;
+        // the inner engine's key-epoch tag stays authoritative.
+        self.inner.key_epoch(session)
+    }
+
     fn is_done(&self) -> bool {
         // A Byzantine node never gates experiment completion.
         true

@@ -92,6 +92,17 @@ pub trait Engine {
     /// without chain state).
     fn adopt_chain(&mut self, _blocks: Vec<Block>, _out: &mut EngineOut) {}
 
+    /// The key epoch whose threshold keys cover traffic of `session` —
+    /// sealed into the session's outgoing envelopes as a wire tag and
+    /// required of incoming ones (a mismatched frame carries shares the
+    /// receiver could only mis-combine, so the driver drops it before the
+    /// engine sees it). Engines without dynamic membership run at key
+    /// epoch 0 forever; tag 0 encodes to nothing, keeping their wire
+    /// format byte-identical to pre-membership builds.
+    fn key_epoch(&self, _session: u64) -> u64 {
+        0
+    }
+
     /// Blocks decided so far, in epoch order.
     fn blocks(&self) -> &[Block];
 
@@ -120,6 +131,9 @@ impl Engine for Box<dyn Engine> {
     fn adopt_chain(&mut self, blocks: Vec<Block>, out: &mut EngineOut) {
         (**self).adopt_chain(blocks, out)
     }
+    fn key_epoch(&self, session: u64) -> u64 {
+        (**self).key_epoch(session)
+    }
     fn blocks(&self) -> &[Block] {
         (**self).blocks()
     }
@@ -145,6 +159,9 @@ pub mod sessions {
     pub const CBC_COMMIT: u64 = 5;
     /// Dumbo π coin.
     pub const PI_COIN: u64 = 6;
+    /// Membership resharing-ceremony deals (session epoch = the change's
+    /// activation epoch; traffic is signed under the *old* key epoch).
+    pub const RESHARE: u64 = 7;
     /// Multi-hop global consensus offset (added to everything global).
     pub const GLOBAL_BASE: u64 = 1 << 40;
 
@@ -232,6 +249,11 @@ const SYNC_ANNOUNCE_INTERVAL: SimDuration = SimDuration::from_millis(500);
 /// Transmit-queue slot for head announcements: a newer height supersedes a
 /// stale queued one instead of wasting airtime behind it.
 const SYNC_ANNOUNCE_SLOT: u64 = u64::MAX;
+
+/// Most block chunks one head announcement may trigger — bounds the
+/// airtime burst while letting a far-behind peer pull several chunks per
+/// announce interval instead of lock-stepping at one.
+const SYNC_CHUNKS_PER_ANNOUNCE: usize = 4;
 
 impl<E: Engine> ProtocolNode<E> {
     /// Binds an engine to a node's crypto identity and radio channel.
@@ -357,11 +379,13 @@ impl<E: Engine> ProtocolNode<E> {
         }
         let sign_cost = self.crypto.suite.ecdsa.profile().sign_us;
         for (session, body) in out.sends.drain(..) {
+            let tag = self.engine.key_epoch(session);
             let env = Envelope { src: self.crypto.me as u16, session, body };
             ctx.charge_cpu(SimDuration::from_micros(sign_cost));
             // An unencodable (oversized) body is dropped, never a panic: a
             // hostile or runaway message must not abort the node.
-            let Ok((bytes, nominal)) = env.seal(&self.crypto.keypair, &self.sizing) else {
+            let Ok((bytes, nominal)) = env.seal_tagged(&self.crypto.keypair, &self.sizing, tag)
+            else {
                 continue;
             };
             // Slot: combined packets supersede stale queued versions; the
@@ -425,30 +449,48 @@ impl<E: Engine> ProtocolNode<E> {
                 }
                 let Some(sync) = &mut self.sync else { return };
                 let blocks = self.engine.blocks();
-                let mut chunk = Vec::new();
-                let mut used = 0usize;
-                for e in height as usize..blocks.len() {
-                    let payload =
-                        Bytes::from(crate::recovery::encode_block_payload(&blocks[e].txs));
-                    let sb = SyncBlock { payload, digest: sync.digests[e] };
-                    if chunk.len() >= MAX_CHUNK_BLOCKS
-                        || used + sb.wire_len() > SYNC_CHUNK_BUDGET
-                    {
-                        sync.dropped += (blocks.len() - e) as u64;
+                // Serve several budgeted chunks per announcement instead of
+                // one: a single chunk per 500 ms announce interval caps
+                // catch-up at MAX_CHUNK_BLOCKS per interval, which turns a
+                // long-lagging peer (a fresh joiner bootstrapping from
+                // epoch 0) into a lock-step crawl. A burst cap still bounds
+                // the airtime one announcement can trigger.
+                let mut served_any = false;
+                let mut e = height as usize;
+                for _ in 0..SYNC_CHUNKS_PER_ANNOUNCE {
+                    let mut chunk = Vec::new();
+                    let mut used = 0usize;
+                    let start = e;
+                    while e < blocks.len() {
+                        let payload =
+                            Bytes::from(crate::recovery::encode_block_payload(&blocks[e].txs));
+                        let sb = SyncBlock { payload, digest: sync.digests[e] };
+                        if chunk.len() >= MAX_CHUNK_BLOCKS
+                            || used + sb.wire_len() > SYNC_CHUNK_BUDGET
+                        {
+                            break;
+                        }
+                        used += sb.wire_len();
+                        chunk.push(sb);
+                        e += 1;
+                    }
+                    if chunk.is_empty() {
                         break;
                     }
-                    used += sb.wire_len();
-                    chunk.push(sb);
+                    sync.shipped += chunk.len() as u64;
+                    let reply =
+                        SyncMsg::BlockChunk { start_epoch: start as u64, blocks: chunk };
+                    if let Ok(bytes) = reply.encode() {
+                        let nominal = bytes.len();
+                        ctx.broadcast(sync.channel, bytes, nominal);
+                        served_any = true;
+                    }
                 }
-                if chunk.is_empty() {
-                    return;
+                if e < blocks.len() {
+                    sync.dropped += (blocks.len() - e) as u64;
                 }
-                sync.served += 1;
-                sync.shipped += chunk.len() as u64;
-                let reply = SyncMsg::BlockChunk { start_epoch: height, blocks: chunk };
-                if let Ok(bytes) = reply.encode() {
-                    let nominal = bytes.len();
-                    ctx.broadcast(sync.channel, bytes, nominal);
+                if served_any {
+                    sync.served += 1;
                 }
             }
             SyncMsg::BlockChunk { start_epoch, blocks } => {
@@ -522,11 +564,18 @@ impl<E: Engine> NodeBehavior for ProtocolNode<E> {
         // not — the radio delivered it, the CPU must check it).
         ctx.charge_cpu(SimDuration::from_micros(self.crypto.suite.ecdsa.profile().verify_us));
         let peer_keys = &self.crypto.peer_keys;
-        let opened = Envelope::open(&frame.payload, |src| {
+        let opened = Envelope::open_tagged(&frame.payload, |src| {
             peer_keys.get(src as usize).copied()
         });
-        let Ok((env, sig_ok)) = opened else { return };
+        let Ok((env, tag, sig_ok)) = opened else { return };
         if !sig_ok {
+            return;
+        }
+        // Key-epoch fencing: a frame tagged for another threshold-key
+        // generation carries shares this node could only mis-combine (or,
+        // pre-roll, cannot verify at all) — drop it; the sender's
+        // retransmission cadence re-serves it once the epochs line up.
+        if tag != self.engine.key_epoch(env.session) {
             return;
         }
         let mut out = std::mem::take(&mut self.scratch);

@@ -194,6 +194,11 @@ pub fn run_case(case: &FuzzCase) -> FuzzOutcome {
         let (mut sim, honest, stores, crypto) = testbed::build_crash_single_hop(&case.cfg);
         testbed::apply_crash_timeline(&case.cfg, &mut sim, &crypto, &stores);
         (sim, honest)
+    } else if case.cfg.churn.is_some() {
+        // Membership runs simulate joiners from the start; a joiner (or
+        // leaver) that never adopts the agreed chain shows up as a stall,
+        // a bad reshare/activation as divergence.
+        testbed::build_churn_single_hop(&case.cfg)
     } else {
         testbed::build_single_hop(&case.cfg)
     };
@@ -281,6 +286,13 @@ pub fn coverage_key(case: &FuzzCase, out: &FuzzOutcome) -> u64 {
             fnv1a(&mut h, &bucket(ev.restart_us).to_le_bytes());
         }
     }
+    // Fold only present plans so pre-membership keys are unchanged.
+    if let Some(plan) = &case.cfg.churn {
+        fnv1a(&mut h, &plan.from_epoch.to_le_bytes());
+        for op in &plan.ops {
+            fnv1a(&mut h, format!("{op}").as_bytes());
+        }
+    }
     fnv1a(&mut h, out.verdict.name().as_bytes());
     fnv1a(&mut h, &bucket(out.events).to_le_bytes());
     fnv1a(&mut h, &out.blocks.to_le_bytes());
@@ -295,19 +307,26 @@ pub fn coverage_key(case: &FuzzCase, out: &FuzzOutcome) -> u64 {
 fn mutate(case: &FuzzCase, protocols: &[Protocol], rng: &mut ChaCha12Rng) -> FuzzCase {
     let mut cfg = case.cfg.clone();
     // One structural mutation per generation keeps minimization short.
-    match rng.random_range(0..11u32) {
+    match rng.random_range(0..12u32) {
         0 => cfg.seed = rng.random_range(1..1 << 16),
-        1 => cfg.protocol = protocols[rng.random_range(0..protocols.len())],
+        1 => {
+            cfg.protocol = protocols[rng.random_range(0..protocols.len())];
+            if !cfg.protocol.supports_churn() {
+                cfg.churn = None;
+            }
+        }
         2 => {
             // Place (or clear) one Byzantine node; n=4 tolerates f=1, so a
             // placement also clears any crash plan (churn + Byzantine
-            // together would exceed f).
+            // together would exceed f) and any membership plan (honest
+            // runs only).
             cfg.byzantine.clear();
             if rng.random_bool(0.75) {
                 let node = rng.random_range(0..cfg.n);
                 let mode = ByzantineMode::ALL[rng.random_range(0..ByzantineMode::ALL.len())];
                 cfg.byzantine.push((node, mode));
                 cfg.crash = None;
+                cfg.churn = None;
             }
         }
         3 => {
@@ -330,13 +349,24 @@ fn mutate(case: &FuzzCase, protocols: &[Protocol], rng: &mut ChaCha12Rng) -> Fuz
             cfg.sched = Some(SchedConfig { seed, budget, policy });
         }
         5 => cfg.sched = None,
-        6 => cfg.epochs = rng.random_range(1..=2),
+        6 => {
+            cfg.epochs = rng.random_range(1..=2);
+            // Too few epochs for a membership change to activate.
+            cfg.churn = None;
+        }
         7 => cfg.workload.batch_size = [4usize, 8, 16][rng.random_range(0..3usize)],
-        8 => cfg.pipeline_depth = [1u64, 2, 4][rng.random_range(0..3usize)],
+        8 => {
+            cfg.pipeline_depth = [1u64, 2, 4][rng.random_range(0..3usize)];
+            if cfg.pipeline_depth != 1 {
+                cfg.churn = None;
+            }
+        }
         9 => {
             // Crash one node mid-run; the plan replaces any Byzantine
-            // placement (churn + Byzantine together would exceed f = 1).
+            // placement (crash + Byzantine together would exceed f = 1)
+            // and any membership plan (they do not compose yet).
             cfg.byzantine.clear();
+            cfg.churn = None;
             let node = rng.random_range(0..cfg.n);
             let at_us = rng.random_range(1..=20u64) * 1_000_000;
             let down_us = rng.random_range(5..=40u64) * 1_000_000;
@@ -348,7 +378,33 @@ fn mutate(case: &FuzzCase, protocols: &[Protocol], rng: &mut ChaCha12Rng) -> Fuz
                 }],
             });
         }
-        _ => cfg.crash = None,
+        10 => cfg.crash = None,
+        _ => {
+            // Schedule (or clear) one membership swap: a fresh node joins,
+            // a random genesis member leaves. Membership runs are honest,
+            // sequential, crash-free and HoneyBadger-family only, so the
+            // arm clears everything it does not compose with.
+            cfg.churn = None;
+            let family: Vec<Protocol> =
+                protocols.iter().copied().filter(Protocol::supports_churn).collect();
+            if rng.random_bool(0.75) && !family.is_empty() {
+                if !cfg.protocol.supports_churn() {
+                    cfg.protocol = family[rng.random_range(0..family.len())];
+                }
+                cfg.byzantine.clear();
+                cfg.crash = None;
+                cfg.pipeline_depth = 1;
+                let from_epoch = rng.random_range(0..=1u64);
+                cfg.epochs = cfg.epochs.max(from_epoch + wbft_membership::ACTIVATION_DELAY + 1);
+                cfg.churn = Some(crate::testbed::ChurnPlan {
+                    from_epoch,
+                    ops: vec![
+                        wbft_membership::MembershipOp::Join(cfg.n as u16),
+                        wbft_membership::MembershipOp::Leave(rng.random_range(0..cfg.n as u16)),
+                    ],
+                });
+            }
+        }
     }
     FuzzCase { label: String::new(), cfg, event_budget: case.event_budget }
 }
@@ -369,8 +425,9 @@ fn relabel(case: &mut FuzzCase, index: u32) {
         format!(".w{}", case.cfg.pipeline_depth)
     };
     let churn = if case.cfg.crash.is_some() { ".churn" } else { "" };
+    let member = if case.cfg.churn.is_some() { ".member" } else { "" };
     case.label = format!(
-        "fuzz-{index:04}.{}.n{}.{sched}.{byz}{depth}{churn}.seed{}",
+        "fuzz-{index:04}.{}.n{}.{sched}.{byz}{depth}{churn}{member}.seed{}",
         case.cfg.protocol.slug(),
         case.cfg.n,
         case.cfg.seed
@@ -475,6 +532,26 @@ pub fn crash_restart_case(protocol: Protocol, event_budget: u64) -> FuzzCase {
     case
 }
 
+/// The canonical dynamic-membership case: node `n` joins and node 0
+/// leaves, committed from epoch 0 and activating two epochs later, so the
+/// last epoch runs under the new committee's quorum math and reshared
+/// keys. A joiner that never adopts the chain (or a leaver that never
+/// learns the tail) shows up as a stall; a bad reshare or a quorum-math
+/// split as divergence.
+pub fn membership_churn_case(protocol: Protocol, event_budget: u64) -> FuzzCase {
+    let mut case = base_case(protocol, event_budget);
+    case.cfg.epochs = 3;
+    case.cfg.churn = Some(crate::testbed::ChurnPlan {
+        from_epoch: 0,
+        ops: vec![
+            wbft_membership::MembershipOp::Join(case.cfg.n as u16),
+            wbft_membership::MembershipOp::Leave(0),
+        ],
+    });
+    case.label = format!("membership-swap.{}", protocol.slug());
+    case
+}
+
 /// The canonical protocol-aware attack: hold back every coin share after
 /// the first, per receiver and round, for the full budget — the
 /// quorum-completing `f+1`-th share arrives late everywhere, so every ABA
@@ -504,7 +581,8 @@ pub fn campaign(cfg: &FuzzConfig) -> FuzzReport {
 
     // Seed corpus: every protocol's base case, its coin-starvation schedule
     // (only meaningful for shared-coin deployments but harmless elsewhere —
-    // the classifier just never fires), and its crash-restart churn case.
+    // the classifier just never fires), its crash-restart churn case, and —
+    // for the HoneyBadger family — its membership-swap case.
     let mut pending: Vec<FuzzCase> = cfg
         .protocols
         .iter()
@@ -515,6 +593,12 @@ pub fn campaign(cfg: &FuzzConfig) -> FuzzReport {
                 crash_restart_case(*p, cfg.event_budget),
             ]
         })
+        .chain(
+            cfg.protocols
+                .iter()
+                .filter(|p| p.supports_churn())
+                .map(|p| membership_churn_case(*p, cfg.event_budget)),
+        )
         .collect();
 
     while executed < cfg.scenarios {
@@ -554,15 +638,22 @@ pub fn campaign(cfg: &FuzzConfig) -> FuzzReport {
 /// The result is the fixture a regression test replays.
 pub fn minimize(case: &FuzzCase, verdict: FuzzVerdict) -> FuzzCase {
     let mut best = case.clone();
-    let attempts: [fn(&mut TestbedConfig); 8] = [
+    let attempts: [fn(&mut TestbedConfig); 9] = [
         |c| c.byzantine.clear(),
         |c| c.loss = wbft_wireless::LossModel::None,
         |c| c.sched = None,
         |c| c.adversary = wbft_wireless::AdversaryConfig::benign(),
-        |c| c.epochs = 1,
+        // Epochs can only shrink where no membership change needs the room
+        // to activate.
+        |c| {
+            if c.churn.is_none() {
+                c.epochs = 1;
+            }
+        },
         |c| c.workload.batch_size = 4,
         |c| c.pipeline_depth = 1,
         |c| c.crash = None,
+        |c| c.churn = None,
     ];
     for attempt in attempts {
         let mut candidate = best.clone();
@@ -677,6 +768,22 @@ mod tests {
         let out = run_case(&crash_restart_case(Protocol::Beat, DEFAULT_EVENT_BUDGET));
         assert_eq!(out.verdict, FuzzVerdict::Ok, "events={} blocks={}", out.events, out.blocks);
         assert_eq!(out.blocks, 2);
+    }
+
+    #[test]
+    fn membership_churn_case_converges() {
+        let out = run_case(&membership_churn_case(Protocol::Beat, DEFAULT_EVENT_BUDGET));
+        assert_eq!(out.verdict, FuzzVerdict::Ok, "events={} blocks={}", out.events, out.blocks);
+        assert_eq!(out.blocks, 3);
+    }
+
+    #[test]
+    fn membership_case_replay_is_deterministic() {
+        let case = membership_churn_case(Protocol::HoneyBadgerSc, DEFAULT_EVENT_BUDGET);
+        let a = run_case(&case);
+        let b = run_case(&case);
+        assert_eq!(a, b);
+        assert_eq!(a.to_json().pretty(), b.to_json().pretty());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! and the unbatched `*-baseline` variants.
 
 use crate::driver::{sessions, Block, Engine, EngineOut, Tx};
+use crate::membership::MembershipCtl;
 use crate::service::StopCondition;
 use crate::workload::{decode_batch, encode_batch, BatchSource};
 #[cfg(test)]
@@ -31,6 +32,17 @@ use wbft_crypto::GroupElem;
 use wbft_net::{Bitmap, Body, CoinFlavor, RetransmitPolicy};
 
 const TIMER_DEC_RETX: u32 = 0;
+
+/// Retransmission timer of this node's resharing deal (reshare sessions).
+const TIMER_RESHARE_RETX: u32 = 0;
+
+/// Cadence at which a canonical dealer re-serves its deal set. Deals are
+/// idempotent (duplicates drop at the ceremony), so a fixed cadence is
+/// enough; it keeps running until the dealer's engine is done because a
+/// lagging receiver — a joiner still bootstrapping its chain — may need
+/// the deal long after the chain passed the activation epoch.
+const RESHARE_RETX_DELAY: wbft_wireless::SimDuration =
+    wbft_wireless::SimDuration::from_millis(700);
 
 // ------------------------------------------------------------------
 // Ciphertext wire helpers (no binary serde in the dependency set).
@@ -268,6 +280,10 @@ impl DecStage {
 /// One epoch's live components.
 struct EpochState<B, A> {
     epoch: u64,
+    /// Committee size of this epoch (varies across a membership change).
+    n: usize,
+    /// Fault budget of this epoch.
+    f: usize,
     rbc: B,
     aba: A,
     dec: DecStage,
@@ -278,6 +294,10 @@ struct EpochState<B, A> {
     decided: Option<Block>,
     committed: bool,
 }
+
+/// Per-epoch ABA factory: builds a fresh agreement instance from the
+/// epoch's committee parameters and the node's (key-epoch-aware) crypto.
+type MakeAba<A> = Box<dyn FnMut(Params, &NodeCrypto) -> A + Send>;
 
 /// HoneyBadgerBFT/BEAT engine, generic over deployment style.
 pub struct HbEngine<B, A> {
@@ -293,11 +313,14 @@ pub struct HbEngine<B, A> {
     /// chain. `W = 1` is the strictly sequential behavior.
     depth: u64,
     make_rbc: Box<dyn FnMut(Params) -> B + Send>,
-    make_aba: Box<dyn FnMut(Params) -> A + Send>,
+    make_aba: MakeAba<A>,
     batched_dec: bool,
     epochs: VecDeque<EpochState<B, A>>,
     blocks: Vec<Block>,
     rng: rand_chacha::ChaCha12Rng,
+    /// Dynamic membership (`None` = the fixed genesis committee forever;
+    /// that path is byte-identical to builds without this field).
+    membership: Option<MembershipCtl>,
 }
 
 impl<B: Broadcaster, A: BinaryAgreement> HbEngine<B, A> {
@@ -309,7 +332,7 @@ impl<B: Broadcaster, A: BinaryAgreement> HbEngine<B, A> {
         stop: StopCondition,
         batched_dec: bool,
         make_rbc: Box<dyn FnMut(Params) -> B + Send>,
-        make_aba: Box<dyn FnMut(Params) -> A + Send>,
+        make_aba: MakeAba<A>,
     ) -> Self {
         use rand::SeedableRng;
         let source = source.into();
@@ -332,6 +355,7 @@ impl<B: Broadcaster, A: BinaryAgreement> HbEngine<B, A> {
             epochs: VecDeque::new(),
             blocks: Vec::new(),
             rng,
+            membership: None,
         }
     }
 
@@ -348,27 +372,72 @@ impl<B: Broadcaster, A: BinaryAgreement> HbEngine<B, A> {
         self
     }
 
+    /// Enables dynamic membership: per-epoch committee parameters and
+    /// threshold keys come from the chain-derived controller instead of
+    /// the fixed genesis deal. Schedule the node's own join/leave ops on
+    /// the controller before passing it in.
+    pub fn with_membership(mut self, ctl: MembershipCtl) -> Self {
+        self.membership = Some(ctl);
+        self
+    }
+
+    /// The crypto bundle in effect at `epoch`: the membership controller's
+    /// per-key-epoch bundle, falling back to the engine's fixed genesis
+    /// bundle (the only bundle there is without membership; with it, open
+    /// epochs are gated on the controller's bundle existing).
+    fn epoch_crypto<'a>(
+        base: &'a NodeCrypto,
+        membership: &'a Option<MembershipCtl>,
+        epoch: u64,
+    ) -> &'a NodeCrypto {
+        match membership {
+            Some(ctl) => ctl.crypto_at(epoch).unwrap_or(base),
+            None => base,
+        }
+    }
+
     fn begin_epoch(&mut self, epoch: u64, out: &mut EngineOut) {
         self.started = self.started.max(epoch + 1);
-        let p_rbc = Params::new(self.n, self.me, sessions::of(epoch, sessions::BROADCAST));
-        let p_aba = Params::new(self.n, self.me, sessions::of(epoch, sessions::ABA));
-        let p_dec = Params::new(self.n, self.me, sessions::of(epoch, sessions::DEC));
+        let (n, f, me) = match &self.membership {
+            Some(ctl) => match ctl.committee_at(epoch) {
+                Some(t) => t,
+                // `open_epochs` gates on `can_open`; reaching this means a
+                // logic bug upstream — refuse to open rather than panic.
+                None => return,
+            },
+            None => (self.n, self.f, self.me),
+        };
+        let p_rbc = Params::new(n, me, sessions::of(epoch, sessions::BROADCAST));
+        let p_aba = Params::new(n, me, sessions::of(epoch, sessions::ABA));
+        let p_dec = Params::new(n, me, sessions::of(epoch, sessions::DEC));
+        let crypto = Self::epoch_crypto(&self.crypto, &self.membership, epoch);
         let mut rbc = (self.make_rbc)(p_rbc);
-        let aba = (self.make_aba)(p_aba);
+        let aba = (self.make_aba)(p_aba, crypto);
         let dec = DecStage::new(p_dec, epoch, self.batched_dec);
 
-        // Threshold-encrypt the batch (censorship resilience).
-        let txs = self.source.batch(epoch, self.me);
+        // Threshold-encrypt the batch (censorship resilience). Membership
+        // ops this node wants committed ride along as reserved
+        // transactions (deduplicated by the union-commit, like any tx).
+        let mut txs = self.source.batch(epoch, me);
+        if let Some(ctl) = &self.membership {
+            for tx in ctl.injectable(epoch) {
+                if !txs.contains(&tx) {
+                    txs.push(tx);
+                }
+            }
+        }
         let pt = encode_batch(&txs);
         // Charge an encryption as one share-signing-class operation.
         let mut acts = Actions::new();
-        acts.charge(self.crypto.suite.threshold.signature_profile().sign_share_us);
-        let ct = self.crypto.enc_pub.encrypt(&ct_label(epoch, self.me), &pt, &mut self.rng);
+        acts.charge(crypto.suite.threshold.signature_profile().sign_share_us);
+        let ct = crypto.enc_pub.encrypt(&ct_label(epoch, me), &pt, &mut self.rng);
         rbc.start(encode_ciphertext(&ct), &mut acts);
         out.absorb(p_rbc.session, &mut acts);
 
         self.epochs.push_back(EpochState {
             epoch,
+            n,
+            f,
             rbc,
             aba,
             dec,
@@ -394,6 +463,15 @@ impl<B: Broadcaster, A: BinaryAgreement> HbEngine<B, A> {
     fn open_epochs(&mut self, out: &mut EngineOut) {
         while self.started < self.blocks.len() as u64 + self.depth && self.stop.allows(self.started)
         {
+            // Membership gate: only committee members open an epoch, and
+            // only once its key epoch's threshold keys exist (a running
+            // resharing ceremony holds the activation epoch back; a
+            // leaver stops here for good and finishes by sync adoption).
+            if let Some(ctl) = &self.membership {
+                if !ctl.can_open(self.started) {
+                    break;
+                }
+            }
             if self.started > self.blocks.len() as u64 && !self.source.has_work() {
                 break;
             }
@@ -427,9 +505,12 @@ impl<B: Broadcaster, A: BinaryAgreement> HbEngine<B, A> {
 
     /// Runs the epoch state machine after any component progress.
     fn poll(&mut self, epoch: u64, out: &mut EngineOut) {
-        let quorum = 2 * self.f + 1;
-        let n = self.n;
         let Some(idx) = self.epochs.iter().position(|e| e.epoch == epoch) else { return };
+        // Quorum math of *this epoch's* committee (membership changes can
+        // resize it between epochs; without membership these are the
+        // engine-constant n and f).
+        let n = self.epochs[idx].n;
+        let quorum = 2 * self.epochs[idx].f + 1;
 
         // 1. Feed ABA inputs when 2f+1 RBCs delivered — all at once. At
         //    pipelined depths the agreement lane of a *future* epoch stays
@@ -464,11 +545,12 @@ impl<B: Broadcaster, A: BinaryAgreement> HbEngine<B, A> {
         //     simply never combined.
         if self.depth > 1 {
             let session = sessions::of(epoch, sessions::DEC);
+            let crypto = Self::epoch_crypto(&self.crypto, &self.membership, epoch);
             let st = &mut self.epochs[idx];
             if st.aba_inputs_sent && st.accepted.is_none() {
                 for j in 0..n {
                     if st.aba.decided(j) != Some(false) {
-                        Self::activate_dec(&self.crypto, st, j, session, out);
+                        Self::activate_dec(crypto, st, j, session, out);
                     }
                 }
             }
@@ -485,10 +567,11 @@ impl<B: Broadcaster, A: BinaryAgreement> HbEngine<B, A> {
         // 3. Activate decryption for accepted instances whose value we hold.
         {
             let session = sessions::of(epoch, sessions::DEC);
+            let crypto = Self::epoch_crypto(&self.crypto, &self.membership, epoch);
             let st = &mut self.epochs[idx];
             if let Some(accepted) = st.accepted.clone() {
                 for j in accepted {
-                    Self::activate_dec(&self.crypto, st, j, session, out);
+                    Self::activate_dec(crypto, st, j, session, out);
                 }
             }
         }
@@ -536,6 +619,7 @@ impl<B: Broadcaster, A: BinaryAgreement> HbEngine<B, A> {
                 handle.resolve_commit(&block);
             }
             self.blocks.push(block);
+            self.on_membership_commit(next, out);
             advanced = true;
         }
         if advanced {
@@ -543,6 +627,48 @@ impl<B: Broadcaster, A: BinaryAgreement> HbEngine<B, A> {
             // The next epoch just became the chain head: release its
             // parked agreement lane (no-op when it has no RBC quorum yet
             // or at depth 1, where the head is the only open epoch).
+            let head = self.blocks.len() as u64;
+            self.poll(head, out);
+        }
+    }
+
+    /// Chain-commit hook of the membership subsystem: folds the epoch's
+    /// ops into the committee log and, when a change lands, broadcasts
+    /// this node's resharing deal (if it is a canonical dealer) on the
+    /// activation epoch's reshare session, with a retransmission timer.
+    fn on_membership_commit(&mut self, epoch: u64, out: &mut EngineOut) {
+        let Some(ctl) = &mut self.membership else { return };
+        let Some(block) = self.blocks.iter().find(|b| b.epoch == epoch) else { return };
+        if ctl.on_commit(epoch, &block.txs).is_none() {
+            return;
+        }
+        if let Some((activation, key_epoch, deal)) = ctl.make_my_deal(&mut self.rng) {
+            let session = sessions::of(activation, sessions::RESHARE);
+            out.sends.push((
+                session,
+                Body::Reshare { key_epoch, dealer: ctl.me_global(), deal },
+            ));
+            out.timers.push((session, TIMER_RESHARE_RETX, RESHARE_RETX_DELAY));
+        }
+    }
+
+    /// Absorbs a dealer's reshare deal set. When the deal completes the
+    /// ceremony, the new key epoch's bundle just became available and the
+    /// epochs blocked on it can open.
+    fn on_reshare(&mut self, from: usize, body: &Body, out: &mut EngineOut) {
+        let Some(ctl) = &mut self.membership else { return };
+        let Body::Reshare { key_epoch, dealer, deal } = body else { return };
+        // The envelope signature authenticated `from`; a deal claiming a
+        // different dealer identity is forged (or corrupt) — drop it.
+        if *dealer as usize != from {
+            return;
+        }
+        let Some(deal) = wbft_membership::DealSet::decode(deal) else { return };
+        if deal.dealer != *dealer {
+            return;
+        }
+        if ctl.absorb_deal(*key_epoch, deal) {
+            self.open_epochs(out);
             let head = self.blocks.len() as u64;
             self.poll(head, out);
         }
@@ -567,6 +693,14 @@ impl<B: Broadcaster, A: BinaryAgreement> Engine for HbEngine<B, A> {
         // relative to `blocks.len()`, so no per-epoch state is needed).
         self.started = self.started.max(blocks.len() as u64);
         self.blocks = blocks;
+        // Membership runs: refold the committee log from the restored
+        // prefix. No deals can be broadcast from here (pre-start, nothing
+        // to send through); a restart landing mid-ceremony relies on the
+        // other dealers' retransmissions or anti-entropy adoption.
+        for i in 0..self.blocks.len() {
+            let Some(ctl) = &mut self.membership else { break };
+            ctl.on_commit(self.blocks[i].epoch, &self.blocks[i].txs);
+        }
     }
 
     fn adopt_chain(&mut self, blocks: Vec<Block>, out: &mut EngineOut) {
@@ -583,7 +717,9 @@ impl<B: Broadcaster, A: BinaryAgreement> Engine for HbEngine<B, A> {
             if let BatchSource::Service { handle, .. } = &self.source {
                 handle.resolve_commit(&block);
             }
+            let epoch = block.epoch;
             self.blocks.push(block);
+            self.on_membership_commit(epoch, out);
             advanced = true;
         }
         if advanced {
@@ -596,14 +732,30 @@ impl<B: Broadcaster, A: BinaryAgreement> Engine for HbEngine<B, A> {
 
     fn handle(&mut self, session: u64, from: usize, body: &Body, out: &mut EngineOut) {
         let (epoch, role) = sessions::split(session);
+        if role == sessions::RESHARE {
+            self.on_reshare(from, body, out);
+            return;
+        }
+        // Envelopes carry global node ids; components speak committee
+        // slots. Without membership the two coincide.
+        let from = match &self.membership {
+            Some(ctl) => match ctl.slot_at(epoch, from as u16) {
+                Some(slot) => slot,
+                // Not a member of this epoch's committee (e.g. a leaver's
+                // stale traffic): nothing a component could attribute.
+                None => return,
+            },
+            None => from,
+        };
         let Some(idx) = self.epochs.iter().position(|e| e.epoch == epoch) else { return };
         let mut acts = Actions::new();
         {
+            let crypto = Self::epoch_crypto(&self.crypto, &self.membership, epoch);
             let st = &mut self.epochs[idx];
             match role {
                 sessions::BROADCAST => st.rbc.handle(from, body, &mut acts),
                 sessions::ABA => st.aba.handle(from, body, &mut acts),
-                sessions::DEC => st.dec.handle(from, body, &self.crypto, &mut acts),
+                sessions::DEC => st.dec.handle(from, body, crypto, &mut acts),
                 _ => {}
             }
         }
@@ -613,6 +765,19 @@ impl<B: Broadcaster, A: BinaryAgreement> Engine for HbEngine<B, A> {
 
     fn on_timer(&mut self, session: u64, local: u32, out: &mut EngineOut) {
         let (epoch, role) = sessions::split(session);
+        if role == sessions::RESHARE {
+            if local != TIMER_RESHARE_RETX || self.is_done() {
+                return;
+            }
+            let Some(ctl) = &self.membership else { return };
+            let Some((_, key_epoch, deal)) = ctl.retx_deal() else { return };
+            out.sends.push((
+                session,
+                Body::Reshare { key_epoch, dealer: ctl.me_global(), deal },
+            ));
+            out.timers.push((session, TIMER_RESHARE_RETX, RESHARE_RETX_DELAY));
+            return;
+        }
         let Some(idx) = self.epochs.iter().position(|e| e.epoch == epoch) else { return };
         let mut acts = Actions::new();
         {
@@ -635,8 +800,25 @@ impl<B: Broadcaster, A: BinaryAgreement> Engine for HbEngine<B, A> {
         &self.blocks
     }
 
+    fn key_epoch(&self, session: u64) -> u64 {
+        match &self.membership {
+            Some(ctl) => ctl.wire_key_epoch(session),
+            None => 0,
+        }
+    }
+
     fn is_done(&self) -> bool {
-        self.stop.is_done(self.started, self.blocks.len() as u64)
+        let committed = self.blocks.len() as u64;
+        if self.stop.is_done(self.started, committed) {
+            return true;
+        }
+        // Membership runs: a node outside the committee at its chain head
+        // (a leaver past activation, a joiner before it) opens nothing
+        // itself — it finishes by sync adoption once the chain it adopts
+        // reaches the stop.
+        self.membership
+            .as_ref()
+            .is_some_and(|ctl| !ctl.member_at(committed) && !self.stop.allows(committed))
     }
 }
 
@@ -650,16 +832,14 @@ pub fn hb_sc(
     source: impl Into<BatchSource>,
     stop: StopCondition,
 ) -> HbEngine<RbcBatch, AbaScBatch> {
-    let coin_pub = crypto.coin_pub.clone();
-    let coin_sec = crypto.coin_sec.clone();
     HbEngine::new(
         crypto,
         source,
         stop,
         true,
         Box::new(RbcBatch::new),
-        Box::new(move |p| {
-            AbaScBatch::new_parallel(p, CoinFlavor::ThreshSig, coin_pub.clone(), coin_sec.clone())
+        Box::new(|p, c: &NodeCrypto| {
+            AbaScBatch::new_parallel(p, CoinFlavor::ThreshSig, c.coin_pub.clone(), c.coin_sec.clone())
         }),
     )
 }
@@ -677,7 +857,7 @@ pub fn hb_lc(
         stop,
         true,
         Box::new(RbcBatch::new),
-        Box::new(AbaLcBatch::new),
+        Box::new(|p, _: &NodeCrypto| AbaLcBatch::new(p)),
     )
 }
 
@@ -688,16 +868,14 @@ pub fn beat(
     source: impl Into<BatchSource>,
     stop: StopCondition,
 ) -> HbEngine<RbcBatch, AbaScBatch> {
-    let coin_pub = crypto.coin_pub.clone();
-    let coin_sec = crypto.coin_sec.clone();
     HbEngine::new(
         crypto,
         source,
         stop,
         true,
         Box::new(RbcBatch::new),
-        Box::new(move |p| {
-            AbaScBatch::new_parallel(p, CoinFlavor::CoinFlip, coin_pub.clone(), coin_sec.clone())
+        Box::new(|p, c: &NodeCrypto| {
+            AbaScBatch::new_parallel(p, CoinFlavor::CoinFlip, c.coin_pub.clone(), c.coin_sec.clone())
         }),
     )
 }
@@ -708,16 +886,14 @@ pub fn hb_sc_baseline(
     source: impl Into<BatchSource>,
     stop: StopCondition,
 ) -> HbEngine<BaselineRbcSet, BaselineAbaSet> {
-    let coin_pub = crypto.coin_pub.clone();
-    let coin_sec = crypto.coin_sec.clone();
     HbEngine::new(
         crypto,
         source,
         stop,
         false,
         Box::new(BaselineRbcSet::new),
-        Box::new(move |p| {
-            BaselineAbaSet::new(p, CoinFlavor::ThreshSig, coin_pub.clone(), coin_sec.clone())
+        Box::new(|p, c: &NodeCrypto| {
+            BaselineAbaSet::new(p, CoinFlavor::ThreshSig, c.coin_pub.clone(), c.coin_sec.clone())
         }),
     )
 }
@@ -728,16 +904,14 @@ pub fn beat_baseline(
     source: impl Into<BatchSource>,
     stop: StopCondition,
 ) -> HbEngine<BaselineRbcSet, BaselineAbaSet> {
-    let coin_pub = crypto.coin_pub.clone();
-    let coin_sec = crypto.coin_sec.clone();
     HbEngine::new(
         crypto,
         source,
         stop,
         false,
         Box::new(BaselineRbcSet::new),
-        Box::new(move |p| {
-            BaselineAbaSet::new(p, CoinFlavor::CoinFlip, coin_pub.clone(), coin_sec.clone())
+        Box::new(|p, c: &NodeCrypto| {
+            BaselineAbaSet::new(p, CoinFlavor::CoinFlip, c.coin_pub.clone(), c.coin_sec.clone())
         }),
     )
 }

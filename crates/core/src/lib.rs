@@ -26,6 +26,7 @@ pub mod driver;
 pub mod dumbo;
 pub mod fuzz;
 pub mod honeybadger;
+pub mod membership;
 pub mod multihop;
 pub mod netrun;
 pub mod protocol;
@@ -38,6 +39,7 @@ pub mod workload;
 
 pub use byzantine::{ByzantineEngine, ByzantineMode};
 pub use driver::{Block, Engine, EngineOut, ProtocolNode, Tx};
+pub use membership::{CeremonyKickoff, MembershipCtl};
 pub use fuzz::{
     build_scheduler, campaign, replay_fixture, FuzzCase, FuzzConfig, FuzzOutcome, FuzzReport,
     FuzzVerdict,

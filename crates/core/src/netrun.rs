@@ -305,6 +305,10 @@ pub struct ServiceNodeOpts {
     /// journal: recovered blocks re-enter the block stream and the mempool
     /// dedup set, and the engine resumes from the recovered epoch.
     pub journal: Option<std::path::PathBuf>,
+    /// Node ids the startup barrier must not wait for: designated late
+    /// joiners whose processes start mid-run and catch up over the
+    /// anti-entropy sync channel. Empty for an ordinary node.
+    pub late_peers: Vec<u16>,
 }
 
 /// Runs node `me` of a single-hop `cfg` deployment as a live consensus
@@ -376,6 +380,7 @@ pub fn run_udp_service_node(
     }
     let rng_seed = cfg.seed ^ ((me as u64) << 32) ^ 0x11d9;
     let mut runtime = UdpRuntime::new(peers, me as u16, node, rng_seed)?;
+    runtime.set_late_peers(opts.late_peers.iter().copied());
     runtime.set_client_gateway(Box::new(ServiceGateway::new(handle.clone())));
     let completed = runtime.run_until(opts.wall, opts.linger, |node| node.is_done())?;
     if let Some((served, shipped, dropped)) = runtime.behavior().sync_counters() {

@@ -4,6 +4,7 @@
 use crate::driver::Engine;
 use crate::dumbo::{DumboEngine, DumboVariant};
 use crate::honeybadger;
+use crate::membership::MembershipCtl;
 use crate::service::{ConsensusHandle, StopCondition};
 use crate::workload::{BatchSource, Workload};
 use wbft_components::NodeCrypto;
@@ -155,6 +156,62 @@ impl Protocol {
             StopCondition::Service { handle, max_epochs },
             depth,
         )
+    }
+
+    /// Builds a dynamic-membership engine: quorum math, committee slots
+    /// and threshold keys follow the chain-derived committee view in `ctl`
+    /// instead of the fixed genesis deal. HoneyBadger-family deployments
+    /// only.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the Dumbo deployments — their CBC/leader-election lanes
+    /// are not membership-plumbed yet (tracked as a follow-on).
+    /// `true` iff [`Protocol::churn_engine`] can build this deployment —
+    /// the HoneyBadger-family engines whose quorum lanes consult the
+    /// chain-derived committee view.
+    pub fn supports_churn(&self) -> bool {
+        matches!(
+            self,
+            Protocol::HoneyBadgerLc
+                | Protocol::HoneyBadgerSc
+                | Protocol::Beat
+                | Protocol::HoneyBadgerScBaseline
+                | Protocol::BeatBaseline
+        )
+    }
+
+    pub fn churn_engine(
+        &self,
+        crypto: NodeCrypto,
+        ctl: MembershipCtl,
+        workload: Workload,
+        epochs: u64,
+    ) -> Box<dyn Engine> {
+        let source: BatchSource = workload.into();
+        let stop = StopCondition::Epochs(epochs);
+        match self {
+            Protocol::HoneyBadgerLc => {
+                Box::new(honeybadger::hb_lc(crypto, source, stop).with_membership(ctl))
+            }
+            Protocol::HoneyBadgerSc => {
+                Box::new(honeybadger::hb_sc(crypto, source, stop).with_membership(ctl))
+            }
+            Protocol::Beat => {
+                Box::new(honeybadger::beat(crypto, source, stop).with_membership(ctl))
+            }
+            Protocol::HoneyBadgerScBaseline => {
+                Box::new(honeybadger::hb_sc_baseline(crypto, source, stop).with_membership(ctl))
+            }
+            Protocol::BeatBaseline => {
+                Box::new(honeybadger::beat_baseline(crypto, source, stop).with_membership(ctl))
+            }
+            // wbft-lint: allow(totality) — harness misuse guard: testbed validate rejects churn for non-supports_churn protocols first
+            Protocol::DumboLc | Protocol::DumboSc | Protocol::DumboScBaseline => panic!(
+                "dynamic membership is HoneyBadger-family only for now \
+                 (Dumbo churn is a follow-on)"
+            ),
+        }
     }
 
     /// Builds the engine for one node from any proposal source and stop

@@ -12,10 +12,11 @@ use crate::byzantine::ByzantineMode;
 use crate::protocol::Protocol;
 use crate::service::{ArrivalSpec, LatencySummary, ServiceConfig, ServiceReport};
 use crate::sweep::SweepRun;
-use crate::testbed::{CrashEvent, CrashPlan, RunReport, TestbedConfig};
+use crate::testbed::{ChurnPlan, CrashEvent, CrashPlan, RunReport, TestbedConfig};
 use crate::workload::Workload;
 use std::io;
 use std::path::{Path, PathBuf};
+use wbft_membership::MembershipOp;
 use wbft_report::{field, member, FromJson, Json, JsonError, ToJson};
 
 /// Decodes an *optional trailing* member: absent means `None`. Service
@@ -222,6 +223,48 @@ impl FromJson for CrashPlan {
     }
 }
 
+// `MembershipOp` and the codec traits are both foreign to this crate, so
+// the op encoding lives in free helpers used by the `ChurnPlan` impls.
+fn membership_op_to_json(op: &MembershipOp) -> Json {
+    let (kind, node) = match op {
+        MembershipOp::Join(n) => ("join", *n),
+        MembershipOp::Leave(n) => ("leave", *n),
+    };
+    Json::obj([("op", Json::str(kind)), ("node", Json::u64(node as u64))])
+}
+
+fn membership_op_from_json(j: &Json) -> Result<MembershipOp, JsonError> {
+    let node: u64 = field(j, "node")?;
+    let node: u16 =
+        node.try_into().map_err(|_| JsonError("membership node id out of range".into()))?;
+    match member(j, "op")?.as_str() {
+        Some("join") => Ok(MembershipOp::Join(node)),
+        Some("leave") => Ok(MembershipOp::Leave(node)),
+        _ => Err(JsonError("unknown membership op".into())),
+    }
+}
+
+impl ToJson for ChurnPlan {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("from_epoch", Json::u64(self.from_epoch)),
+            ("ops", Json::arr(self.ops.iter().map(membership_op_to_json))),
+        ])
+    }
+}
+
+impl FromJson for ChurnPlan {
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        let ops = member(j, "ops")?
+            .as_arr()
+            .ok_or_else(|| JsonError("expected ops array".into()))?
+            .iter()
+            .map(membership_op_from_json)
+            .collect::<Result<_, _>>()?;
+        Ok(ChurnPlan { from_epoch: field(j, "from_epoch")?, ops })
+    }
+}
+
 impl ToJson for TestbedConfig {
     fn to_json(&self) -> Json {
         let mut members = vec![
@@ -254,6 +297,9 @@ impl ToJson for TestbedConfig {
         if let Some(crash) = &self.crash {
             members.push(("crash", crash.to_json()));
         }
+        if let Some(churn) = &self.churn {
+            members.push(("churn", churn.to_json()));
+        }
         Json::obj(members)
     }
 }
@@ -279,6 +325,7 @@ impl FromJson for TestbedConfig {
             sched: opt_field(j, "sched")?,
             pipeline_depth: opt_field::<u64>(j, "pipeline_depth")?.unwrap_or(1),
             crash: opt_field(j, "crash")?,
+            churn: opt_field(j, "churn")?,
         })
     }
 }
@@ -522,6 +569,24 @@ mod tests {
         assert!(text.contains("restart_us"));
         let decoded = TestbedConfig::from_json(&wbft_report::parse(&text).unwrap()).unwrap();
         assert_eq!(decoded.crash, cfg.crash);
+        assert_eq!(decoded.to_json().pretty(), text);
+    }
+
+    #[test]
+    fn churn_member_is_optional_and_round_trips() {
+        let mut cfg = TestbedConfig::single_hop(Protocol::Beat);
+        assert!(
+            !cfg.to_json().pretty().contains("churn"),
+            "absent when unset so pre-membership configs keep their bytes"
+        );
+        cfg.churn = Some(ChurnPlan {
+            from_epoch: 1,
+            ops: vec![MembershipOp::Join(4), MembershipOp::Leave(0)],
+        });
+        let text = cfg.to_json().pretty();
+        assert!(text.contains("from_epoch"));
+        let decoded = TestbedConfig::from_json(&wbft_report::parse(&text).unwrap()).unwrap();
+        assert_eq!(decoded.churn, cfg.churn);
         assert_eq!(decoded.to_json().pretty(), text);
     }
 

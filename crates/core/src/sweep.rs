@@ -17,7 +17,8 @@
 use crate::byzantine::ByzantineMode;
 use crate::protocol::Protocol;
 use crate::service::ServiceConfig;
-use crate::testbed::{run, CrashPlan, RunReport, TestbedConfig};
+use crate::testbed::{run, ChurnPlan, CrashPlan, RunReport, TestbedConfig};
+use wbft_membership::MembershipOp;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use wbft_crypto::CryptoSuite;
@@ -59,6 +60,13 @@ pub struct SweepSpec {
     /// `.crash…` label segment, so churn-free labels keep their exact
     /// pre-churn form. Single-hop, non-service only.
     pub crashes: Vec<Option<CrashPlan>>,
+    /// Dynamic-membership schedules: `None` = static committee, `Some` =
+    /// the plan's join/leave ops ride the ordered transaction path and the
+    /// committee reconfigures mid-run (threshold keys reshared before
+    /// activation). Churn points append a `.churn…` label segment, so
+    /// static labels keep their exact pre-membership form. Single-hop,
+    /// honest, sequential, HoneyBadger-family only.
+    pub churns: Vec<Option<ChurnPlan>>,
     /// Simulation seeds.
     pub seeds: Vec<u64>,
     /// Epochs per run.
@@ -85,6 +93,7 @@ impl SweepSpec {
             services: vec![None],
             pipeline_depths: vec![1],
             crashes: vec![None],
+            churns: vec![None],
             seeds: vec![7],
             epochs: 1,
             batch_size: 8,
@@ -118,6 +127,7 @@ impl SweepSpec {
             * self.services.len()
             * self.pipeline_depths.len()
             * self.crashes.len()
+            * self.churns.len()
             * self.seeds.len()
     }
 
@@ -155,6 +165,18 @@ impl SweepSpec {
              service load — crash/churn runs are single-hop, non-service only",
             self.name
         );
+        assert!(
+            self.churns.iter().all(Option::is_none)
+                || (self.topologies.iter().all(Option::is_none)
+                    && self.services.iter().all(Option::is_none)
+                    && self.crashes.iter().all(Option::is_none)
+                    && self.pipeline_depths.iter().all(|&d| d == 1)
+                    && self.placements.iter().all(Vec::is_empty)),
+            "sweep \"{}\" combines a membership churn plan with a multi-hop topology, \
+             service load, crash plan, pipeline depth > 1 or Byzantine placement — \
+             membership churn runs are single-hop, honest, sequential only",
+            self.name
+        );
         // Reject dishonest axis values before any worker starts: a loss
         // model that can swallow messages forever or an adversary without
         // a finite delay bound breaks the eventual-delivery assumption
@@ -178,47 +200,56 @@ impl SweepSpec {
                             for service in &self.services {
                                 for &depth in &self.pipeline_depths {
                                     for crash in &self.crashes {
-                                        for &seed in &self.seeds {
-                                            let mut cfg = TestbedConfig::single_hop(protocol);
-                                            cfg.n = self.n;
-                                            cfg.clusters = topology;
-                                            cfg.suite = suite;
-                                            cfg.loss = loss.clone();
-                                            cfg.byzantine = placement.clone();
-                                            cfg.service = service.clone();
-                                            cfg.pipeline_depth = depth;
-                                            cfg.crash = crash.clone();
-                                            cfg.seed = seed;
-                                            cfg.epochs = self.epochs;
-                                            cfg.workload.batch_size = self.batch_size;
-                                            cfg.deadline = self.deadline;
-                                            // Sequential labels stay exactly
-                                            // as before; the depth, service
-                                            // and crash segments appear only
-                                            // on pipelined, live-submission
-                                            // and churn points.
-                                            let label = format!(
-                                                "{}.{}.{}.{}.{}{}.seed{}{}{}",
-                                                protocol.slug(),
-                                                topology
-                                                    .map_or("sh".into(), |m| format!("mh{m}")),
-                                                suite_label(&suite),
-                                                loss_label(loss, li),
-                                                placement_label(placement),
-                                                if depth == 1 {
-                                                    String::new()
-                                                } else {
-                                                    format!(".w{depth}")
-                                                },
-                                                seed,
-                                                service
-                                                    .as_ref()
-                                                    .map_or(String::new(), service_label),
-                                                crash
-                                                    .as_ref()
-                                                    .map_or(String::new(), crash_label),
-                                            );
-                                            out.push(Scenario { label, cfg });
+                                        for churn in &self.churns {
+                                            for &seed in &self.seeds {
+                                                let mut cfg =
+                                                    TestbedConfig::single_hop(protocol);
+                                                cfg.n = self.n;
+                                                cfg.clusters = topology;
+                                                cfg.suite = suite;
+                                                cfg.loss = loss.clone();
+                                                cfg.byzantine = placement.clone();
+                                                cfg.service = service.clone();
+                                                cfg.pipeline_depth = depth;
+                                                cfg.crash = crash.clone();
+                                                cfg.churn = churn.clone();
+                                                cfg.seed = seed;
+                                                cfg.epochs = self.epochs;
+                                                cfg.workload.batch_size = self.batch_size;
+                                                cfg.deadline = self.deadline;
+                                                // Sequential labels stay
+                                                // exactly as before; the
+                                                // depth, service, crash and
+                                                // churn segments appear only
+                                                // on the points that use
+                                                // those axes.
+                                                let label = format!(
+                                                    "{}.{}.{}.{}.{}{}.seed{}{}{}{}",
+                                                    protocol.slug(),
+                                                    topology.map_or("sh".into(), |m| {
+                                                        format!("mh{m}")
+                                                    }),
+                                                    suite_label(&suite),
+                                                    loss_label(loss, li),
+                                                    placement_label(placement),
+                                                    if depth == 1 {
+                                                        String::new()
+                                                    } else {
+                                                        format!(".w{depth}")
+                                                    },
+                                                    seed,
+                                                    service
+                                                        .as_ref()
+                                                        .map_or(String::new(), service_label),
+                                                    crash
+                                                        .as_ref()
+                                                        .map_or(String::new(), crash_label),
+                                                    churn
+                                                        .as_ref()
+                                                        .map_or(String::new(), churn_label),
+                                                );
+                                                out.push(Scenario { label, cfg });
+                                            }
                                         }
                                     }
                                 }
@@ -272,6 +303,19 @@ fn crash_label(plan: &CrashPlan) -> String {
         .collect::<Vec<_>>()
         .join("+");
     format!(".crash{events}")
+}
+
+fn churn_label(plan: &ChurnPlan) -> String {
+    let ops = plan
+        .ops
+        .iter()
+        .map(|op| match op {
+            MembershipOp::Join(n) => format!("j{n}"),
+            MembershipOp::Leave(n) => format!("l{n}"),
+        })
+        .collect::<Vec<_>>()
+        .join("+");
+    format!(".churn-{ops}@e{}", plan.from_epoch)
 }
 
 fn placement_label(placement: &[(usize, ByzantineMode)]) -> String {
@@ -449,6 +493,44 @@ mod tests {
             "beat.sh.secp160r1+bn158.loss-none.honest.seed7.crash2@5000000-30000000"
         );
         assert!(scenarios[1].cfg.crash.is_some());
+    }
+
+    #[test]
+    fn churn_axis_expands_and_tags_labels() {
+        use crate::testbed::ChurnPlan;
+        let mut spec = SweepSpec::new("membership");
+        spec.churns = vec![
+            None,
+            Some(ChurnPlan {
+                from_epoch: 1,
+                ops: vec![MembershipOp::Join(4), MembershipOp::Leave(0)],
+            }),
+        ];
+        assert_eq!(spec.len(), 2);
+        let scenarios = spec.expand();
+        // The static point keeps the exact pre-membership label shape.
+        assert_eq!(scenarios[0].label, "beat.sh.secp160r1+bn158.loss-none.honest.seed7");
+        assert!(scenarios[0].cfg.churn.is_none());
+        assert_eq!(
+            scenarios[1].label,
+            "beat.sh.secp160r1+bn158.loss-none.honest.seed7.churn-j4+l0@e1"
+        );
+        assert!(scenarios[1].cfg.churn.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "single-hop, honest, sequential only")]
+    fn churn_crash_sweeps_are_rejected() {
+        use crate::testbed::{ChurnPlan, CrashEvent, CrashPlan};
+        let mut spec = SweepSpec::new("bad-membership");
+        spec.churns = vec![Some(ChurnPlan {
+            from_epoch: 1,
+            ops: vec![MembershipOp::Join(4), MembershipOp::Leave(0)],
+        })];
+        spec.crashes = vec![Some(CrashPlan {
+            crashes: vec![CrashEvent { node: 1, at_us: 1, restart_us: 2 }],
+        })];
+        spec.expand();
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::byzantine::{ByzantineEngine, ByzantineMode};
 use crate::driver::{Engine, ProtocolNode};
+use crate::membership::MembershipCtl;
 use crate::multihop::ClusterNode;
 use crate::protocol::Protocol;
 use crate::recovery::BlockJournal;
@@ -16,6 +17,7 @@ use crate::service::{ConsensusHandle, ServiceConfig, ServiceReport, ServiceStats
 use crate::workload::Workload;
 use wbft_components::deal_node_crypto;
 use wbft_crypto::CryptoSuite;
+use wbft_membership::{MembershipOp, ACTIVATION_DELAY};
 use wbft_journal::SharedMem;
 use wbft_transport::SYNC_CHANNEL;
 use wbft_wireless::{
@@ -47,6 +49,23 @@ pub struct CrashEvent {
 pub struct CrashPlan {
     /// Crash events; at most one per node, nodes disjoint from `byzantine`.
     pub crashes: Vec<CrashEvent>,
+}
+
+/// A consensus-ordered membership change: from `from_epoch` on, the
+/// genesis members inject the listed join/leave ops into their proposals
+/// as reserved-class transactions. Whatever epoch `e` the ops commit in,
+/// the change activates at `e + ACTIVATION_DELAY`, after the old
+/// committee's canonical dealers have reshared the threshold keys to the
+/// new committee — so the simulated nodes cover the genesis committee
+/// *and* every joiner, and the run only completes once all of them hold
+/// the agreed chain.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChurnPlan {
+    /// Epoch from which the ops enter proposals. They commit together as
+    /// one configuration change.
+    pub from_epoch: u64,
+    /// The membership operations of the change.
+    pub ops: Vec<MembershipOp>,
 }
 
 /// Full description of one testbed experiment.
@@ -103,6 +122,13 @@ pub struct TestbedConfig {
     /// caught up. Absent from the JSON encoding when `None` so pre-churn
     /// configs keep their exact bytes. Single-hop, non-service only.
     pub crash: Option<CrashPlan>,
+    /// `Some` = dynamic-membership schedule: join/leave ops ride the
+    /// ordered transaction path, quorum math follows the chain-derived
+    /// committee view, and threshold keys are reshared to the new
+    /// committee before activation. Absent from the JSON encoding when
+    /// `None` so pre-membership configs keep their exact bytes.
+    /// Single-hop, non-service, depth-1, HoneyBadger-family only.
+    pub churn: Option<ChurnPlan>,
 }
 
 impl TestbedConfig {
@@ -127,6 +153,7 @@ impl TestbedConfig {
             service: None,
             pipeline_depth: 1,
             crash: None,
+            churn: None,
         }
     }
 
@@ -285,6 +312,81 @@ pub fn validate(cfg: &TestbedConfig) {
             );
         }
     }
+    if let Some(plan) = &cfg.churn {
+        if cfg.clusters.is_some() {
+            panic!("churn plans are single-hop only (clustered churn is a follow-on)");
+        }
+        if cfg.service.is_some() {
+            panic!("churn plans do not compose with service mode (follow-on)");
+        }
+        if cfg.pipeline_depth != 1 {
+            panic!("churn plans require pipeline depth 1 (pipelined churn is a follow-on)");
+        }
+        if !cfg.byzantine.is_empty() {
+            panic!("churn plans do not compose with Byzantine nodes (follow-on)");
+        }
+        if cfg.crash.is_some() {
+            panic!("churn plans do not compose with crash plans (follow-on)");
+        }
+        if !cfg.protocol.supports_churn() {
+            panic!(
+                "dynamic membership is HoneyBadger-family only for now \
+                 (Dumbo churn is a follow-on)"
+            );
+        }
+        if plan.ops.is_empty() {
+            panic!("churn plan has no ops (use churn: None for a static committee)");
+        }
+        for (i, op) in plan.ops.iter().enumerate() {
+            if plan.ops[..i].contains(op) {
+                panic!("churn plan repeats {op}");
+            }
+        }
+        let mut join_ids: Vec<usize> = Vec::new();
+        let mut leaves = 0usize;
+        for op in &plan.ops {
+            match op {
+                MembershipOp::Join(id) => {
+                    if (*id as usize) < cfg.n {
+                        panic!("churn {op} names a genesis member (ids below n = {})", cfg.n);
+                    }
+                    join_ids.push(*id as usize);
+                }
+                MembershipOp::Leave(id) => {
+                    if (*id as usize) >= cfg.n {
+                        panic!("churn {op} names a node outside the genesis committee (n = {})", cfg.n);
+                    }
+                    leaves += 1;
+                }
+            }
+        }
+        // Joins must use contiguous fresh ids: every simulated node has to
+        // end up a member eventually, or the run can never complete (a
+        // dealt-but-never-joining node would idle at the stop forever).
+        join_ids.sort_unstable();
+        for (k, id) in join_ids.iter().enumerate() {
+            if *id != cfg.n + k {
+                panic!(
+                    "churn joins must use contiguous fresh ids from n = {} (got join({id}))",
+                    cfg.n
+                );
+            }
+        }
+        let new_n = cfg.n + join_ids.len() - leaves;
+        if new_n < 4 || !(new_n - 1).is_multiple_of(3) {
+            panic!("churn plan leaves an invalid committee size {new_n} (need 3f+1 >= 4)");
+        }
+        // The change commits no earlier than `from_epoch` and activates
+        // ACTIVATION_DELAY epochs later; at least one epoch must run under
+        // the new committee or the plan is dead weight.
+        if plan.from_epoch + ACTIVATION_DELAY >= cfg.epochs {
+            panic!(
+                "churn from epoch {} cannot activate within {} epochs \
+                 (activation = commit + {ACTIVATION_DELAY})",
+                plan.from_epoch, cfg.epochs
+            );
+        }
+    }
 }
 
 /// Executes one experiment.
@@ -297,6 +399,7 @@ pub fn run(cfg: &TestbedConfig) -> RunReport {
     match (cfg.clusters, &cfg.service) {
         (Some(m), _) => run_multi_hop(cfg, m),
         (None, Some(svc)) => run_service_single_hop(cfg, svc),
+        (None, None) if cfg.churn.is_some() => run_single_hop_with_churn(cfg),
         (None, None) if cfg.crash.is_some() => run_single_hop_with_crashes(cfg),
         (None, None) => run_single_hop(cfg),
     }
@@ -318,6 +421,85 @@ fn sim_config(cfg: &TestbedConfig) -> SimConfig {
         adversary: cfg.adversary.clone(),
         seed: cfg.seed,
     }
+}
+
+/// Deals the cryptographic identities of a churn run. Node *identity* is
+/// static — all `n_total` nodes (genesis members and future joiners alike)
+/// hold a packet keypair and everyone's verification keys from the start;
+/// *committee membership* is what changes at runtime. The threshold deals
+/// are sized to the `n_genesis`-node genesis committee: genesis members
+/// get real secret shares, while joiners (ids `n_genesis..`) get the
+/// genesis *public* sets — they need them to verify certificates on the
+/// chain they bootstrap — plus placeholder zero secret shares at their own
+/// index. A placeholder share used before the resharing ceremony hands the
+/// joiner real shares produces shares that fail verification loudly
+/// instead of silently combining into garbage.
+pub fn deal_churn_crypto(
+    n_genesis: usize,
+    n_total: usize,
+    suite: CryptoSuite,
+    rng: &mut impl rand::RngCore,
+) -> Vec<wbft_components::NodeCrypto> {
+    use wbft_crypto::schnorr::{KeyPair, PublicKey};
+    use wbft_crypto::{Scalar, ShareIndex};
+    assert!(
+        n_genesis >= 4 && (n_genesis - 1).is_multiple_of(3),
+        "need genesis n = 3f+1 >= 4, got {n_genesis}"
+    );
+    assert!(n_total >= n_genesis, "total node count below the genesis committee");
+    let f = (n_genesis - 1) / 3;
+    let keypairs: Vec<KeyPair> =
+        (0..n_total).map(|_| KeyPair::generate(suite.ecdsa, rng)).collect();
+    let peer_keys: Vec<PublicKey> = keypairs.iter().map(|k| k.public()).collect();
+    let (prbc_pub, prbc_secs) = wbft_crypto::thresh_sig::deal(n_genesis, f, suite.threshold, rng);
+    let (cbc_pub, cbc_secs) =
+        wbft_crypto::thresh_sig::deal(n_genesis, 2 * f, suite.threshold, rng);
+    let (coin_pub, coin_secs) =
+        wbft_crypto::thresh_coin::deal_coin(n_genesis, f, suite.threshold, rng);
+    let (enc_pub, enc_secs) = wbft_crypto::thresh_enc::deal_enc(n_genesis, f, suite.threshold, rng);
+    (0..n_total)
+        .map(|me| {
+            let idx = ShareIndex::for_node(me);
+            let (prbc_sec, cbc_sec, coin_sec, enc_sec) = if me < n_genesis {
+                (
+                    prbc_secs[me].clone(),
+                    cbc_secs[me].clone(),
+                    coin_secs[me].clone(),
+                    enc_secs[me].clone(),
+                )
+            } else {
+                (
+                    wbft_crypto::thresh_sig::SecretKeyShare::from_parts(
+                        idx,
+                        Scalar::ZERO,
+                        suite.threshold,
+                    ),
+                    wbft_crypto::thresh_sig::SecretKeyShare::from_parts(
+                        idx,
+                        Scalar::ZERO,
+                        suite.threshold,
+                    ),
+                    wbft_crypto::thresh_coin::CoinSecretShare::from_parts(idx, Scalar::ZERO),
+                    wbft_crypto::thresh_enc::EncSecretShare::from_parts(idx, Scalar::ZERO),
+                )
+            };
+            wbft_components::NodeCrypto {
+                me,
+                suite,
+                keypair: keypairs[me].clone(),
+                peer_keys: peer_keys.clone(),
+                key_epoch: 0,
+                prbc_pub: prbc_pub.clone(),
+                prbc_sec,
+                cbc_pub: cbc_pub.clone(),
+                cbc_sec,
+                coin_pub: coin_pub.clone(),
+                coin_sec,
+                enc_pub: enc_pub.clone(),
+                enc_sec,
+            }
+        })
+        .collect()
 }
 
 /// Builds the single-hop simulator and honesty mask shared by the standard
@@ -536,6 +718,107 @@ fn run_single_hop_with_crashes(cfg: &TestbedConfig) -> RunReport {
     finish_report(completed, elapsed, decision_times, total_txs, sim.metrics().clone(), cfg.epochs)
 }
 
+/// Builds the single-hop simulator for a dynamic-membership run: all
+/// `n_total` nodes (genesis members plus scheduled joiners) from the
+/// start, every one sync-capable and membership-aware. The honesty mask is
+/// all-true (churn plans are honest-only). Shared by the standard churn
+/// path and the fuzz harness.
+pub(crate) fn build_churn_single_hop(
+    cfg: &TestbedConfig,
+) -> (Simulator<ProtocolNode<Box<dyn Engine>>>, Vec<bool>) {
+    use rand::SeedableRng;
+    let plan = cfg.churn.clone().expect("churn path requires a plan");
+    let n_total = plan
+        .ops
+        .iter()
+        .filter_map(|op| match op {
+            MembershipOp::Join(id) => Some(*id as usize + 1),
+            MembershipOp::Leave(_) => None,
+        })
+        .max()
+        .unwrap_or(cfg.n)
+        .max(cfg.n);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0xdea1);
+    let crypto = deal_churn_crypto(cfg.n, n_total, cfg.suite, &mut rng);
+    let behaviors: Vec<_> = crypto
+        .into_iter()
+        .map(|c| {
+            let mut ctl = MembershipCtl::new(c.clone(), cfg.n);
+            // Genesis members sponsor the change; joiners cannot propose
+            // until they are members, so they schedule nothing.
+            if c.me < cfg.n {
+                for op in &plan.ops {
+                    ctl.schedule_op(plan.from_epoch, *op);
+                }
+            }
+            let engine =
+                cfg.protocol.churn_engine(c.clone(), ctl, cfg.workload.clone(), cfg.epochs);
+            ProtocolNode::new(engine, c, ChannelId(0)).with_sync(ChannelId(SYNC_CHANNEL))
+        })
+        .collect();
+    let mut topo = Topology::single_hop(n_total);
+    for i in 0..n_total {
+        topo.join_channel(NodeId(i as u16), ChannelId(SYNC_CHANNEL));
+    }
+    let mut sim = Simulator::new(sim_config(cfg), topo, behaviors);
+    install_scheduler(cfg, &mut sim);
+    let honest = vec![true; n_total];
+    (sim, honest)
+}
+
+/// [`run_single_hop`] with the dynamic-membership axis engaged. All
+/// `n_total` nodes (genesis members plus scheduled joiners) are simulated
+/// from the start: joiners idle until they bootstrap the chain over the
+/// anti-entropy sync channel, genesis members inject the plan's ops into
+/// their proposals, and once the ops commit the old committee reshare's
+/// canonical dealers hand the threshold keys to the new committee before
+/// it activates. Completion requires every node — leavers and joiners
+/// included — to hold the full agreed chain.
+fn run_single_hop_with_churn(cfg: &TestbedConfig) -> RunReport {
+    let plan = cfg.churn.clone().expect("churn path requires a plan");
+    let (mut sim, _) = build_churn_single_hop(cfg);
+    let deadline = SimTime::ZERO + cfg.deadline;
+    // Every node gates completion: leavers and joiners finish by adopting
+    // the agreed chain over the sync channel.
+    let completed = sim.run_until_pred(deadline, |s| s.behaviors().all(|(_, b)| b.is_done()));
+    let elapsed = sim.now().saturating_since(SimTime::ZERO);
+    let decision_times: Vec<Vec<SimTime>> =
+        sim.behaviors().map(|(_, b)| b.clock().completed.clone()).collect();
+    // Reference chain: a genesis member that never leaves — it follows the
+    // whole run natively, before and after activation.
+    let survives = |i: usize| -> bool {
+        i < cfg.n && !plan.ops.contains(&MembershipOp::Leave(i as u16))
+    };
+    let reference = sim
+        .behaviors()
+        .find(|(id, _)| survives(id.index()))
+        .map(|(_, b)| b.blocks().to_vec())
+        .unwrap_or_default();
+    let total_txs: u64 = reference.iter().map(|b| b.txs.len() as u64).sum();
+    for (id, b) in sim.behaviors() {
+        // Prefix agreement always; level chains once completed — the
+        // honest digest chains of old and new members alike must agree as
+        // a common prefix of the same ledger.
+        let common = b.blocks().len().min(reference.len());
+        assert_eq!(&b.blocks()[..common], &reference[..common], "agreement violated at {id}");
+        if completed {
+            assert_eq!(b.blocks().len(), reference.len(), "chains not level at {id}");
+        }
+    }
+    if completed {
+        // The plan must actually have bitten inside the run: every
+        // scheduled op sits committed in the agreed chain.
+        let committed: Vec<MembershipOp> = reference
+            .iter()
+            .flat_map(|b| b.txs.iter().filter_map(|tx| wbft_membership::decode_op(tx.as_ref())))
+            .collect();
+        for op in &plan.ops {
+            assert!(committed.contains(op), "churn op {op} never committed");
+        }
+    }
+    finish_report(completed, elapsed, decision_times, total_txs, sim.metrics().clone(), cfg.epochs)
+}
+
 /// The live-service counterpart of [`run_single_hop`]: every node owns a
 /// [`ConsensusHandle`] whose mempool is fed by the deterministic open-loop
 /// arrival schedule (injected through driver timers), epochs pull
@@ -718,6 +1001,74 @@ mod tests {
                 CrashEvent { node: 0, at_us: 1, restart_us: 2 },
                 CrashEvent { node: 1, at_us: 1, restart_us: 2 },
             ],
+        });
+        validate(&cfg);
+    }
+
+    #[test]
+    fn membership_swap_commits_under_new_committee() {
+        // The issue's headline scenario: node n joins and node 0 leaves
+        // mid-run; the run keeps committing epochs under the new
+        // committee's quorum math and every node — the leaver and the
+        // joiner included — converges on the same chain.
+        let mut cfg = TestbedConfig::single_hop(Protocol::Beat);
+        cfg.epochs = 5;
+        cfg.workload.batch_size = 8;
+        cfg.churn = Some(ChurnPlan {
+            from_epoch: 1,
+            ops: vec![MembershipOp::Join(4), MembershipOp::Leave(0)],
+        });
+        let report = run(&cfg);
+        assert!(report.completed, "churn run must converge");
+        assert_eq!(report.epoch_latencies.len(), 5);
+        assert!(report.total_txs > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot activate")]
+    fn churn_without_activation_room_is_rejected() {
+        let mut cfg = TestbedConfig::single_hop(Protocol::Beat);
+        // Default epochs = 2: a change from epoch 0 activates at 2 at the
+        // earliest, past the stop.
+        cfg.churn = Some(ChurnPlan {
+            from_epoch: 0,
+            ops: vec![MembershipOp::Join(4), MembershipOp::Leave(0)],
+        });
+        validate(&cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid committee size")]
+    fn churn_to_invalid_size_is_rejected() {
+        let mut cfg = TestbedConfig::single_hop(Protocol::Beat);
+        cfg.epochs = 8;
+        cfg.churn = Some(ChurnPlan { from_epoch: 1, ops: vec![MembershipOp::Leave(0)] });
+        validate(&cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "HoneyBadger-family only")]
+    fn dumbo_churn_is_rejected() {
+        let mut cfg = TestbedConfig::single_hop(Protocol::DumboSc);
+        cfg.epochs = 8;
+        cfg.churn = Some(ChurnPlan {
+            from_epoch: 1,
+            ops: vec![MembershipOp::Join(4), MembershipOp::Leave(0)],
+        });
+        validate(&cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not compose with crash plans")]
+    fn churn_and_crash_together_are_rejected() {
+        let mut cfg = TestbedConfig::single_hop(Protocol::Beat);
+        cfg.epochs = 8;
+        cfg.churn = Some(ChurnPlan {
+            from_epoch: 1,
+            ops: vec![MembershipOp::Join(4), MembershipOp::Leave(0)],
+        });
+        cfg.crash = Some(CrashPlan {
+            crashes: vec![CrashEvent { node: 1, at_us: 1_000, restart_us: 2_000 }],
         });
         validate(&cfg);
     }

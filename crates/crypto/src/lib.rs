@@ -67,6 +67,7 @@ pub mod hash;
 mod limbs;
 pub mod merkle;
 pub mod profile;
+pub mod reshare;
 pub mod schnorr;
 pub mod shamir;
 pub mod thresh_coin;

@@ -98,6 +98,12 @@ impl Polynomial {
         self.coeffs[0]
     }
 
+    /// All coefficients, low degree first (`coeffs[0]` is the secret).
+    /// Resharing publishes Feldman commitments `g^{coeffs[k]}` to these.
+    pub fn coefficients(&self) -> &[Scalar] {
+        &self.coeffs
+    }
+
     /// Evaluates at `x` by Horner's rule.
     pub fn eval(&self, x: &Scalar) -> Scalar {
         let mut acc = Scalar::ZERO;

@@ -140,6 +140,28 @@ fn coin_exponent(name: CoinName) -> Scalar {
 }
 
 impl CoinPublicSet {
+    /// Assembles a coin set from rolled parts (resharing ceremony). A coin
+    /// set has no combined `vk`; coin *values* are preserved across a roll
+    /// because they are a function of the shared secret, which resharing
+    /// keeps fixed.
+    pub fn from_parts(
+        curve: ThresholdCurve,
+        threshold: usize,
+        vk_shares: Vec<GroupElem>,
+    ) -> Self {
+        CoinPublicSet { curve, threshold, vk_shares, precomp: PrecompCache::default() }
+    }
+
+    /// Per-share verification keys, by zero-based node slot.
+    pub fn share_keys(&self) -> &[GroupElem] {
+        &self.vk_shares
+    }
+
+    /// The curve deployment of this key set.
+    pub fn curve(&self) -> ThresholdCurve {
+        self.curve
+    }
+
     /// Shares needed to reveal a coin.
     pub fn threshold(&self) -> usize {
         self.threshold
@@ -291,6 +313,16 @@ impl CoinPublicSet {
 }
 
 impl CoinSecretShare {
+    /// Assembles a share from rolled parts (resharing combination).
+    pub fn from_parts(index: ShareIndex, secret: Scalar) -> Self {
+        CoinSecretShare { index, secret }
+    }
+
+    /// The raw secret scalar, for acting as a resharing dealer.
+    pub fn secret_scalar(&self) -> Scalar {
+        self.secret
+    }
+
     /// This share's index.
     pub fn index(&self) -> ShareIndex {
         self.index

@@ -156,6 +156,28 @@ pub fn deal_enc(
 }
 
 impl EncPublicSet {
+    /// Assembles an encryption set from rolled parts (resharing ceremony);
+    /// `vk` stays the genesis value, so ciphertexts encrypted before the
+    /// roll remain decryptable by the new committee.
+    pub fn from_parts(
+        curve: ThresholdCurve,
+        threshold: usize,
+        vk: GroupElem,
+        vk_shares: Vec<GroupElem>,
+    ) -> Self {
+        EncPublicSet { curve, threshold, vk, vk_shares }
+    }
+
+    /// The combined encryption key `g^s` — stable across resharing.
+    pub fn group_key(&self) -> GroupElem {
+        self.vk
+    }
+
+    /// Per-share verification keys, by zero-based node slot.
+    pub fn share_keys(&self) -> &[GroupElem] {
+        &self.vk_shares
+    }
+
     /// Shares needed to decrypt.
     pub fn threshold(&self) -> usize {
         self.threshold
@@ -249,6 +271,16 @@ impl EncPublicSet {
 }
 
 impl EncSecretShare {
+    /// Assembles a share from rolled parts (resharing combination).
+    pub fn from_parts(index: ShareIndex, secret: Scalar) -> Self {
+        EncSecretShare { index, secret }
+    }
+
+    /// The raw secret scalar, for acting as a resharing dealer.
+    pub fn secret_scalar(&self) -> Scalar {
+        self.secret
+    }
+
     /// This share's index.
     pub fn index(&self) -> ShareIndex {
         self.index

@@ -164,6 +164,33 @@ pub fn deal(
 }
 
 impl PublicKeySet {
+    /// Assembles a key set from rolled parts — the resharing ceremony
+    /// derives `vk_shares` publicly from the dealings' commitment vectors
+    /// while `vk` stays the genesis value (see [`crate::reshare`]).
+    pub fn from_parts(
+        curve: ThresholdCurve,
+        threshold: usize,
+        vk: GroupElem,
+        vk_shares: Vec<GroupElem>,
+    ) -> Self {
+        PublicKeySet { curve, threshold, vk, vk_shares, precomp: PrecompCache::default() }
+    }
+
+    /// The combined verification key `g^s` — stable across resharing.
+    pub fn group_key(&self) -> GroupElem {
+        self.vk
+    }
+
+    /// Per-share verification keys, by zero-based node slot.
+    pub fn share_keys(&self) -> &[GroupElem] {
+        &self.vk_shares
+    }
+
+    /// The curve deployment of this key set.
+    pub fn curve(&self) -> ThresholdCurve {
+        self.curve
+    }
+
     /// The reconstruction threshold: `threshold + 1` shares combine.
     pub fn threshold(&self) -> usize {
         self.threshold
@@ -337,6 +364,18 @@ impl PublicKeySet {
 }
 
 impl SecretKeyShare {
+    /// Assembles a share from rolled parts (resharing combination).
+    pub fn from_parts(index: ShareIndex, secret: Scalar, curve: ThresholdCurve) -> Self {
+        SecretKeyShare { index, secret, curve }
+    }
+
+    /// The raw secret scalar — the resharing ceremony needs it to act as a
+    /// dealer. Same security caveat as the whole crate: this is a
+    /// simulation substrate, not production key management.
+    pub fn secret_scalar(&self) -> Scalar {
+        self.secret
+    }
+
     /// This share's index.
     pub fn index(&self) -> ShareIndex {
         self.index

@@ -7,7 +7,7 @@ use wbft_crypto::field::{Fe, Scalar};
 use wbft_crypto::group::GroupElem;
 use wbft_crypto::merkle::MerkleTree;
 use wbft_crypto::shamir::{reconstruct_secret, Polynomial, ShareIndex};
-use wbft_crypto::{thresh_coin, thresh_enc, thresh_sig, ThresholdCurve};
+use wbft_crypto::{reshare, thresh_coin, thresh_enc, thresh_sig, ThresholdCurve};
 
 fn arb_fe() -> impl Strategy<Value = Fe> {
     any::<[u8; 32]>().prop_map(|b| Fe::from_bytes_reduced(&b))
@@ -269,6 +269,157 @@ proptest! {
         // First call may populate the memo, second reads it back.
         prop_assert_eq!(GroupElem::from_bytes(&b), GroupElem::from_bytes_uncached(&b));
         prop_assert_eq!(GroupElem::from_bytes(&b), Ok(x));
+    }
+
+    // ---------------------------------------------------------- resharing
+
+    #[test]
+    fn resharing_preserves_the_secret_for_random_shapes(
+        seed in any::<u64>(),
+        t_old in 1usize..4,
+        t_new in 1usize..4,
+        extra_dealers in 0usize..3,
+        rot in any::<u8>(),
+    ) {
+        // Random old/new thresholds, a rotated dealer subset of size
+        // t_old + 1 + extra, and a shifted new index set: the interpolated
+        // shares must reconstruct the original secret.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n_old = 3 * t_old + 1;
+        let secret = Scalar::random(&mut rng);
+        let poly = Polynomial::random(secret, t_old, &mut rng);
+        let mut old: Vec<(ShareIndex, Scalar)> = (0..n_old)
+            .map(|i| {
+                let idx = ShareIndex::for_node(i);
+                (idx, poly.share(idx))
+            })
+            .collect();
+        old.rotate_left((rot as usize) % n_old);
+        let dealer_count = (t_old + 1 + extra_dealers).min(n_old);
+        let n_new = 3 * t_new + 1;
+        let new_indices: Vec<ShareIndex> = (0..n_new).map(ShareIndex::for_node).collect();
+        let dealings: Vec<reshare::ReshareDealing> = old[..dealer_count]
+            .iter()
+            .map(|(idx, s)| {
+                let d = reshare::ReshareDealing::deal(*s, *idx, &new_indices, t_new, &mut rng);
+                d.verify(&GroupElem::from_exponent(s)).unwrap();
+                d
+            })
+            .collect();
+        let refs: Vec<&reshare::ReshareDealing> = dealings.iter().collect();
+        prop_assert_eq!(
+            reshare::derive_group_key(&refs).unwrap(),
+            GroupElem::from_exponent(&secret)
+        );
+        let new_shares: Vec<(ShareIndex, Scalar)> = new_indices
+            .iter()
+            .map(|&j| (j, reshare::combine_subshares(&refs, j).unwrap()))
+            .collect();
+        let got = reconstruct_secret(&new_shares[..t_new + 1], t_new).unwrap();
+        prop_assert_eq!(got, secret);
+        // Publicly derived vk shares match the interpolated secrets.
+        for (j, s) in &new_shares {
+            prop_assert_eq!(
+                reshare::derive_vk_share(&refs, *j).unwrap(),
+                GroupElem::from_exponent(s)
+            );
+        }
+    }
+
+    #[test]
+    fn post_reshare_signatures_verify_under_the_genesis_vk(seed in any::<u64>(), msg in any::<Vec<u8>>()) {
+        // Roll a (f, n) signature key set to a fresh committee and combine
+        // a signature from the *new* shares: the genesis PublicKeySet must
+        // accept it unchanged.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (genesis, old_secrets) = thresh_sig::deal(4, 1, ThresholdCurve::Bn158, &mut rng);
+        let new_indices: Vec<ShareIndex> = (0..4).map(ShareIndex::for_node).collect();
+        let dealings: Vec<reshare::ReshareDealing> = old_secrets[1..4]
+            .iter()
+            .map(|sk| {
+                reshare::ReshareDealing::deal(
+                    sk.secret_scalar(),
+                    sk.index(),
+                    &new_indices,
+                    1,
+                    &mut rng,
+                )
+            })
+            .collect();
+        let refs: Vec<&reshare::ReshareDealing> = dealings.iter().collect();
+        let new_sks: Vec<_> = new_indices
+            .iter()
+            .map(|&j| {
+                thresh_sig::SecretKeyShare::from_parts(
+                    j,
+                    reshare::combine_subshares(&refs, j).unwrap(),
+                    ThresholdCurve::Bn158,
+                )
+            })
+            .collect();
+        let new_vk_shares: Vec<GroupElem> = new_indices
+            .iter()
+            .map(|&j| reshare::derive_vk_share(&refs, j).unwrap())
+            .collect();
+        let rolled = thresh_sig::PublicKeySet::from_parts(
+            ThresholdCurve::Bn158,
+            1,
+            genesis.group_key(),
+            new_vk_shares,
+        );
+        let shares: Vec<_> = new_sks.iter().map(|sk| sk.sign_share(&msg)).collect();
+        for s in &shares {
+            prop_assert!(rolled.verify_share(&msg, s).is_ok());
+        }
+        let sig = rolled.combine(&shares[2..4]).unwrap();
+        prop_assert!(genesis.verify(&msg, &sig).is_ok());
+        // An old share combined under the rolled set is caught.
+        let stale = old_secrets[0].sign_share(&msg);
+        prop_assert!(rolled.verify_share(&msg, &stale).is_err());
+    }
+
+    #[test]
+    fn post_reshare_coins_keep_their_values(seed in any::<u64>(), round in any::<u32>()) {
+        // Coin values are a pure function of the shared secret, so a rolled
+        // committee must flip exactly the same coins.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (genesis, old_secrets) = thresh_coin::deal_coin(4, 1, ThresholdCurve::Bn158, &mut rng);
+        let name = thresh_coin::CoinName { session: seed, round, domain: 0 };
+        let before = genesis
+            .combine_value(name, &[old_secrets[0].coin_share(name), old_secrets[1].coin_share(name)])
+            .unwrap();
+        let new_indices: Vec<ShareIndex> = (0..4).map(ShareIndex::for_node).collect();
+        let dealings: Vec<reshare::ReshareDealing> = old_secrets[..2]
+            .iter()
+            .map(|sk| {
+                reshare::ReshareDealing::deal(
+                    sk.secret_scalar(),
+                    sk.index(),
+                    &new_indices,
+                    1,
+                    &mut rng,
+                )
+            })
+            .collect();
+        let refs: Vec<&reshare::ReshareDealing> = dealings.iter().collect();
+        let rolled_pub = thresh_coin::CoinPublicSet::from_parts(
+            ThresholdCurve::Bn158,
+            1,
+            new_indices.iter().map(|&j| reshare::derive_vk_share(&refs, j).unwrap()).collect(),
+        );
+        let rolled_secs: Vec<_> = new_indices
+            .iter()
+            .map(|&j| {
+                thresh_coin::CoinSecretShare::from_parts(
+                    j,
+                    reshare::combine_subshares(&refs, j).unwrap(),
+                )
+            })
+            .collect();
+        let after = rolled_pub
+            .combine_value(name, &[rolled_secs[2].coin_share(name), rolled_secs[3].coin_share(name)])
+            .unwrap();
+        prop_assert_eq!(before, after);
     }
 
     #[test]

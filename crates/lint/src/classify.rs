@@ -20,8 +20,8 @@
 //!   deliberately panics early on bad axes, shims mirror external APIs.
 //!
 //! Test code (files under a `tests/` directory and `#[cfg(test)]` regions,
-//! which [`test_line_ranges`] finds token-wise) is exempt from everything:
-//! an `unwrap` in a test is the assertion.
+//! which [`test_scopes`] tracks brace-aware down to the token) is exempt
+//! from everything: an `unwrap` in a test is the assertion.
 
 use crate::lexer::{Token, TokenKind};
 
@@ -148,15 +148,18 @@ impl FileInfo {
     }
 }
 
-/// Finds `#[cfg(test)]`-gated line ranges (inclusive) in a token stream.
+/// Finds `#[cfg(test)]`-gated scopes in a significant-token stream, as
+/// inclusive index ranges into `sig`.
 ///
 /// Matches any `#[cfg(…)]` attribute whose argument mentions `test`, then
-/// extends the range over the following item: past any further attributes,
+/// extends the scope over the following item: past any further attributes,
 /// to the matching `}` of the item's first top-level brace (a `mod tests {…}`
-/// or `fn …() {…}`), or to the terminating `;` for brace-less items.
-pub fn test_line_ranges(tokens: &[Token<'_>]) -> Vec<(u32, u32)> {
-    let sig: Vec<&Token<'_>> = tokens.iter().filter(|t| t.is_significant()).collect();
-    let mut ranges = Vec::new();
+/// or `fn …() {…}`), or to the terminating `;` for brace-less items. The
+/// scope is *token-exact* — it ends at the module's real closing brace, so
+/// production tokens sharing a line with a test region are still linted
+/// (and test tokens sharing a line with production code stay exempt).
+pub fn test_scopes(sig: &[&Token<'_>]) -> Vec<(usize, usize)> {
+    let mut scopes = Vec::new();
     let mut i = 0;
     while i < sig.len() {
         if sig[i].punct() == Some('#')
@@ -166,12 +169,10 @@ pub fn test_line_ranges(tokens: &[Token<'_>]) -> Vec<(u32, u32)> {
             && sig[i + 2].kind == TokenKind::Ident
             && (sig[i + 2].text == "cfg" || sig[i + 2].text == "cfg_attr")
         {
-            let start_line = sig[i].line;
-            let (attr_end, mentions_test) = scan_attribute(&sig, i + 1);
+            let (attr_end, mentions_test) = scan_attribute(sig, i + 1);
             if mentions_test {
-                let end = item_end(&sig, attr_end + 1);
-                let end_line = sig.get(end).map_or(start_line, |t| t.line);
-                ranges.push((start_line, end_line));
+                let end = item_end(sig, attr_end + 1);
+                scopes.push((i, end));
                 i = end + 1;
                 continue;
             }
@@ -180,7 +181,24 @@ pub fn test_line_ranges(tokens: &[Token<'_>]) -> Vec<(u32, u32)> {
         }
         i += 1;
     }
-    ranges
+    scopes
+}
+
+/// `true` if significant-token index `i` falls inside any test scope.
+pub fn in_scopes(scopes: &[(usize, usize)], i: usize) -> bool {
+    scopes.iter().any(|&(a, b)| (a..=b).contains(&i))
+}
+
+/// The line-granular projection of [`test_scopes`] (inclusive 1-based line
+/// ranges). Only for constructs that live in comments — pragmas — which
+/// have no significant-token index; token-level passes use the scopes
+/// directly.
+pub fn test_line_ranges(tokens: &[Token<'_>]) -> Vec<(u32, u32)> {
+    let sig: Vec<&Token<'_>> = tokens.iter().filter(|t| t.is_significant()).collect();
+    test_scopes(&sig)
+        .into_iter()
+        .map(|(a, b)| (sig[a].line, sig.get(b).map_or(sig[a].line, |t| t.line)))
+        .collect()
 }
 
 /// Scans a `[` … `]` attribute starting at the `[`; returns the index of the
@@ -324,6 +342,25 @@ mod tests {
     fn cfg_any_test_counts() {
         let src = "#[cfg(any(test, feature = \"slow\"))]\nmod m {\n    fn f() {}\n}\n";
         assert_eq!(test_line_ranges(&lex(src)), vec![(1, 4)]);
+    }
+
+    #[test]
+    fn scopes_end_at_the_real_closing_brace() {
+        // Production tokens after the test module's `}` — even on the same
+        // line — are outside the scope; the line projection still covers
+        // the whole line for the comment-level (pragma) consumers.
+        let src = "#[cfg(test)]\nmod tests { fn f() {} } fn prod() {}\n";
+        let toks = lex(src);
+        let sig: Vec<_> = toks.iter().filter(|t| t.is_significant()).collect();
+        let scopes = test_scopes(&sig);
+        assert_eq!(scopes.len(), 1);
+        let (a, b) = scopes[0];
+        assert_eq!(sig[a].punct(), Some('#'));
+        assert_eq!(sig[b].punct(), Some('}'));
+        assert!(in_scopes(&scopes, a) && in_scopes(&scopes, b));
+        assert!(!in_scopes(&scopes, b + 1), "prod tokens are outside the scope");
+        assert_eq!(sig[b + 1].text, "fn");
+        assert_eq!(test_line_ranges(&toks), vec![(1, 2)]);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The analysis passes: token-pattern matching per file, pragma
 //! suppression, and the crate-root unsafe check.
 
-use crate::classify::{in_ranges, test_line_ranges, FileInfo};
+use crate::classify::{in_ranges, in_scopes, test_scopes, FileInfo};
 use crate::lexer::{int_literal_value, lex, Token, TokenKind};
 use crate::pragma::{find_pragmas, Pragma};
 use crate::rules::{Finding, Rule};
@@ -13,8 +13,8 @@ const KEYWORDS_BEFORE_BRACKET: [&str; 14] = [
     "else", "box",
 ];
 
-/// Reserved radio-channel byte values (CONTROL/CLIENT/SYNC).
-const RESERVED_CHANNEL_BYTES: [u128; 3] = [0xff, 0xfe, 0xfd];
+/// Reserved radio-channel byte values (CONTROL/CLIENT/SYNC/MEMBERSHIP).
+const RESERVED_CHANNEL_BYTES: [u128; 4] = [0xff, 0xfe, 0xfd, 0xfc];
 
 /// Narrowing cast targets W1 denies.
 const NARROWING_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
@@ -24,12 +24,20 @@ const NARROWING_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 /// `unused-allow` findings for the pragma system itself).
 pub fn check_file(info: &FileInfo, src: &str) -> Vec<Finding> {
     let tokens = lex(src);
-    let test_ranges = test_line_ranges(&tokens);
+    let sig: Vec<&Token<'_>> = tokens.iter().filter(|t| t.is_significant()).collect();
+    // Test exemption is token-scoped: a `#[cfg(test)]` scope ends at the
+    // item's real closing brace, so production code sharing a line with a
+    // test region is still linted. Pragmas live in comments (no
+    // significant-token index), so they get the line-granular projection.
+    let scopes = test_scopes(&sig);
+    let test_ranges: Vec<(u32, u32)> = scopes
+        .iter()
+        .map(|&(a, b)| (sig[a].line, sig.get(b).map_or(sig[a].line, |t| t.line)))
+        .collect();
     let (pragmas, pragma_errors) = find_pragmas(&tokens);
 
     let mut raw = Vec::new();
-    scan_tokens(info, &tokens, &mut raw);
-    raw.retain(|f| !in_ranges(&test_ranges, f.line));
+    scan_tokens(info, &sig, &scopes, &mut raw);
 
     let mut used = vec![false; pragmas.len()];
     raw.retain(|f| {
@@ -70,9 +78,14 @@ pub fn check_file(info: &FileInfo, src: &str) -> Vec<Finding> {
     findings
 }
 
-/// The token-level pattern matching for D1/D2/T1/W1.
-fn scan_tokens(info: &FileInfo, tokens: &[Token<'_>], out: &mut Vec<Finding>) {
-    let sig: Vec<&Token<'_>> = tokens.iter().filter(|t| t.is_significant()).collect();
+/// The token-level pattern matching for D1/D2/T1/W1. Tokens inside a
+/// `#[cfg(test)]` scope (indices in `scopes`) are exempt.
+fn scan_tokens(
+    info: &FileInfo,
+    sig: &[&Token<'_>],
+    scopes: &[(usize, usize)],
+    out: &mut Vec<Finding>,
+) {
     let push = |out: &mut Vec<Finding>, rule: Rule, line: u32, what: &str| {
         out.push(Finding { rule, path: info.rel_path.clone(), line, what: what.to_string() });
     };
@@ -83,6 +96,9 @@ fn scan_tokens(info: &FileInfo, tokens: &[Token<'_>], out: &mut Vec<Finding>) {
     };
 
     for i in 0..sig.len() {
+        if in_scopes(scopes, i) {
+            continue;
+        }
         let tok = sig[i];
         let prev = i.checked_sub(1).map(|j| sig[j]);
         let next = sig.get(i + 1).copied();
@@ -290,6 +306,16 @@ mod tests {
                 "reserved channel byte 0xfd"
             ]
         );
+    }
+
+    #[test]
+    fn test_exemption_is_token_scoped_not_line_scoped() {
+        // Production code sharing a line with the test region's closing
+        // brace must still be linted; the test-side unwrap stays exempt.
+        let src = "#[cfg(test)]\nmod tests { fn t(x: Option<u8>) { x.unwrap(); } } fn prod(y: Option<u8>) -> u8 { y.unwrap() }\n";
+        let got = check("crates/components/src/cbc.rs", src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0], (Rule::Totality, 2, "unwrap".to_string()));
     }
 
     #[test]

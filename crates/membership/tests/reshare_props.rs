@@ -1,0 +1,213 @@
+//! Property tests for the dealerless resharing ceremony and the key-epoch
+//! hygiene of the share buffers.
+//!
+//! The ceremony's whole contract is "the group secret never moves": for
+//! *any* supported committee change and *any* quorum-sized subset of the
+//! rolled shares, signatures and coins combined by the new committee must
+//! verify under the genesis public keys, while shares from the superseded
+//! sharing must die at the door. Unit tests pin one swap; these tests walk
+//! random committee sizes, random leave/join sets, random deal-absorption
+//! orders and random combine subsets.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use wbft_components::{deal_node_crypto, CoinShareBuf, NodeCrypto, SigShareBuf};
+use wbft_crypto::profile::CryptoSuite;
+use wbft_crypto::thresh_coin::CoinName;
+use wbft_crypto::{thresh_coin, thresh_sig, ThresholdCurve};
+use wbft_membership::{CommitteeLog, DealSet, MembershipOp, ReshareCeremony};
+
+/// Fisher–Yates over a copy; the shim's `StdRng` is deterministic per seed
+/// so every failing case replays exactly.
+fn shuffled<T: Copy>(items: &[T], rng: &mut impl RngCore) -> Vec<T> {
+    let mut v = items.to_vec();
+    for i in (1..v.len()).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+    v
+}
+
+/// A random supported change from a genesis committee of `n_old` to some
+/// committee of `n_new`: a random leave set topped up with fresh joiner
+/// ids. Guaranteed non-no-op, so `CommitteeLog::on_commit` accepts it.
+fn random_ops(n_old: usize, n_new: usize, rng: &mut impl RngCore) -> Vec<MembershipOp> {
+    let min_leaves = n_old.saturating_sub(n_new);
+    let mut leaves = min_leaves + (rng.next_u64() as usize) % (n_old - min_leaves + 1);
+    if n_old == n_new && leaves == 0 {
+        leaves = 1; // pure no-op sets are rejected by the log
+    }
+    let old_ids: Vec<u16> = (0..n_old as u16).collect();
+    let leaving = &shuffled(&old_ids, rng)[..leaves];
+    let joins = n_new - (n_old - leaves);
+    let mut ops: Vec<MembershipOp> = leaving.iter().map(|&l| MembershipOp::Leave(l)).collect();
+    ops.extend((0..joins as u16).map(|j| MembershipOp::Join(n_old as u16 + j)));
+    ops
+}
+
+/// Runs the full ceremony for the change and rolls every new member's
+/// bundle. Deals are wire-roundtripped and absorbed in a random order.
+fn roll_committee(
+    genesis: &[NodeCrypto],
+    ops: &[MembershipOp],
+    rng: &mut impl RngCore,
+) -> (ReshareCeremony, Vec<NodeCrypto>) {
+    let mut log = CommitteeLog::new(genesis.len());
+    let new = log.on_commit(1, ops).cloned().expect("random ops form a valid change");
+    let mut ceremony = ReshareCeremony::new(log.config_at(0).clone(), new.clone());
+    for d in shuffled(ceremony.dealers(), rng) {
+        let deal = ceremony.make_deal(&genesis[d as usize], d, rng).expect("dealer has shares");
+        let deal = DealSet::decode(&deal.encode()).expect("encode/decode is total");
+        assert!(ceremony.absorb(deal, &genesis[0]));
+    }
+    assert!(ceremony.complete());
+    let rolled = new
+        .members
+        .iter()
+        .map(|&g| {
+            // Joiners hold only genesis *public* material; any old bundle
+            // stands in for that.
+            let old = &genesis[(g as usize).min(genesis.len() - 1)];
+            ceremony.rolled_crypto(old, g).expect("new member rolls")
+        })
+        .collect();
+    (ceremony, rolled)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// For random committee sizes, random leave/join sets, random deal
+    /// order and random quorum subsets: the rolled shares combine into
+    /// signatures and coins the *genesis* public sets accept, and every
+    /// new member derives byte-identical public sets.
+    #[test]
+    fn rolled_quorums_verify_under_genesis_keys(
+        seed in any::<u64>(),
+        n_old_sel in 0usize..2,
+        n_new_sel in 0usize..2,
+    ) {
+        let (n_old, n_new) = ([4, 7][n_old_sel], [4, 7][n_new_sel]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let genesis = deal_node_crypto(n_old, CryptoSuite::light(), &mut rng);
+        let ops = random_ops(n_old, n_new, &mut rng);
+        let (ceremony, rolled) = roll_committee(&genesis, &ops, &mut rng);
+        let f_new = ceremony.target().f();
+        prop_assert_eq!(ceremony.target().n(), n_new);
+
+        for c in &rolled {
+            prop_assert_eq!(c.key_epoch, 1);
+            prop_assert_eq!(c.prbc_pub.share_keys(), rolled[0].prbc_pub.share_keys());
+            prop_assert_eq!(c.cbc_pub.share_keys(), rolled[0].cbc_pub.share_keys());
+        }
+
+        // A random (f+1)-subset of new-committee PRBC shares combines into
+        // a signature the genesis set verifies; same for a (2f+1)-subset
+        // of CBC shares.
+        let msg = seed.to_le_bytes();
+        let slots: Vec<usize> = (0..n_new).collect();
+        let prbc_quorum = &shuffled(&slots, &mut rng)[..f_new + 1];
+        let shares: Vec<_> =
+            prbc_quorum.iter().map(|&s| rolled[s].prbc_sec.sign_share(&msg)).collect();
+        let sig = rolled[0].prbc_pub.combine(&shares).unwrap();
+        prop_assert!(genesis[0].prbc_pub.verify(&msg, &sig).is_ok());
+        let cbc_quorum = &shuffled(&slots, &mut rng)[..2 * f_new + 1];
+        let cbc_shares: Vec<_> =
+            cbc_quorum.iter().map(|&s| rolled[s].cbc_sec.sign_share(&msg)).collect();
+        let cbc_sig = rolled[0].cbc_pub.combine(&cbc_shares).unwrap();
+        prop_assert!(genesis[0].cbc_pub.verify(&msg, &cbc_sig).is_ok());
+
+        // The coin is a pure function of the fixed group secret: old and
+        // new committees flip the same coin, from random quorum subsets.
+        let name = CoinName {
+            session: rng.next_u64() % 1024,
+            round: (rng.next_u64() % 64) as u32,
+            domain: (rng.next_u64() % 8) as u32,
+        };
+        let old_slots: Vec<usize> = (0..n_old).collect();
+        let old_quorum = &shuffled(&old_slots, &mut rng)[..genesis.len() / 3 + 1];
+        let old_shares: Vec<_> =
+            old_quorum.iter().map(|&s| genesis[s].coin_sec.coin_share(name)).collect();
+        let new_quorum = &shuffled(&slots, &mut rng)[..f_new + 1];
+        let new_shares: Vec<_> =
+            new_quorum.iter().map(|&s| rolled[s].coin_sec.coin_share(name)).collect();
+        prop_assert_eq!(
+            genesis[0].coin_pub.combine(name, &old_shares).unwrap(),
+            rolled[0].coin_pub.combine(name, &new_shares).unwrap(),
+        );
+    }
+
+    /// Across the key-epoch boundary the *old* shares are dead: a leaver
+    /// gets no rolled bundle, and a genesis share fails verification under
+    /// the rolled public set even though the group key is unchanged.
+    #[test]
+    fn stale_shares_die_at_the_boundary(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let genesis = deal_node_crypto(4, CryptoSuite::light(), &mut rng);
+        // Force at least one leaver so the leaver property always fires.
+        let leaver = (rng.next_u64() % 4) as u16;
+        let ops = [MembershipOp::Leave(leaver), MembershipOp::Join(4)];
+        let (ceremony, rolled) = roll_committee(&genesis, &ops, &mut rng);
+        prop_assert!(ceremony.rolled_crypto(&genesis[leaver as usize], leaver).is_none());
+
+        // Same group key before and after the roll...
+        prop_assert_eq!(rolled[0].prbc_pub.group_key(), genesis[0].prbc_pub.group_key());
+        // ...yet every genesis share is rejected by the rolled set: the
+        // share polynomial moved even where a survivor kept its slot.
+        let msg = b"stale";
+        for g in &genesis {
+            let stale = g.prbc_sec.sign_share(msg);
+            prop_assert!(rolled[0].prbc_pub.verify_share(msg, &stale).is_err());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Share buffers enforce the key epoch at the door: a mistagged share
+    /// never buffers, and rolling the buffer evicts everything — including
+    /// the reporter bits, so the same indices can report again under the
+    /// new epoch.
+    #[test]
+    fn share_bufs_reject_mistagged_and_evict_on_roll(
+        seed in any::<u64>(),
+        epoch in 1u64..1_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (pks, sks) = thresh_sig::deal(4, 1, ThresholdCurve::Bn158, &mut rng);
+        let msg = b"tagged";
+
+        let mut buf = SigShareBuf::default();
+        prop_assert_eq!(buf.key_epoch(), 0);
+        // Wrong tag (future epoch): rejected, nothing buffered.
+        prop_assert!(!buf.insert_tagged(sks[0].sign_share(msg), 4, epoch));
+        prop_assert_eq!(buf.reporters(), 0);
+        // Right tag: buffered.
+        prop_assert!(buf.insert_tagged(sks[0].sign_share(msg), 4, 0));
+        prop_assert!(buf.insert_tagged(sks[1].sign_share(msg), 4, 0));
+        prop_assert!(buf.settle(&pks, msg, 2));
+        // Roll: everything evicted, reporter bits freed.
+        buf.roll_key_epoch(epoch);
+        prop_assert_eq!(buf.key_epoch(), epoch);
+        prop_assert!(buf.shares().is_empty());
+        prop_assert_eq!(buf.reporters(), 0);
+        // Old-tag shares are now the stale ones; new-tag shares reuse the
+        // freed slots.
+        prop_assert!(!buf.insert_tagged(sks[0].sign_share(msg), 4, 0));
+        prop_assert!(buf.insert_tagged(sks[0].sign_share(msg), 4, epoch));
+
+        let (cpub, csec) = thresh_coin::deal_coin(4, 1, ThresholdCurve::Bn158, &mut rng);
+        let name = CoinName { session: epoch, round: 0, domain: 0 };
+        let mut cbuf = CoinShareBuf::default();
+        prop_assert!(!cbuf.insert_tagged(csec[2].coin_share(name), 4, epoch));
+        prop_assert!(cbuf.insert_tagged(csec[2].coin_share(name), 4, 0));
+        prop_assert!(cbuf.insert_tagged(csec[0].coin_share(name), 4, 0));
+        prop_assert!(cbuf.settle(&cpub, name, 2));
+        cbuf.roll_key_epoch(epoch);
+        prop_assert!(cbuf.shares().is_empty());
+        prop_assert_eq!(cbuf.reporters(), 0);
+        prop_assert!(cbuf.insert_tagged(csec[2].coin_share(name), 4, epoch));
+    }
+}

@@ -331,6 +331,19 @@ pub enum Body {
         /// Transactions ordered globally in this epoch (for reporting).
         tx_count: u32,
     },
+    /// Membership: one canonical dealer's resharing of all threshold key
+    /// sets toward a new committee configuration. The deal set itself is
+    /// opaque bytes (`wbft_membership::DealSet` codec) so the wire layer
+    /// stays independent of membership types; dealers are identified by
+    /// *global* node id.
+    Reshare {
+        /// Key epoch the ceremony produces (the new configuration's).
+        key_epoch: u64,
+        /// Dealer's global node id.
+        dealer: u16,
+        /// Encoded `DealSet`.
+        deal: Bytes,
+    },
 }
 
 impl Body {
@@ -361,6 +374,7 @@ impl Body {
             Body::BaseDecShare { .. } => 21,
             Body::Complaint { .. } => 22,
             Body::GlobalDecision { .. } => 23,
+            Body::Reshare { .. } => 24,
         }
     }
 
@@ -415,6 +429,9 @@ impl Body {
             Body::BaseDecShare { proposer, .. } => *proposer as u64,
             Body::Complaint { epoch, .. } => *epoch,
             Body::GlobalDecision { epoch, .. } => *epoch,
+            // One live deal per (dealer, key epoch): a retransmission may
+            // supersede its own queued copy, never another dealer's.
+            Body::Reshare { key_epoch, dealer, .. } => *key_epoch << 16 | *dealer as u64,
         };
         kind << 48 | sub
     }
@@ -620,6 +637,11 @@ impl Body {
                 s.digest(digest);
                 s.u32(*tx_count);
             }
+            Body::Reshare { key_epoch, dealer, deal } => {
+                s.u64(*key_epoch);
+                s.u16(*dealer);
+                s.bytes(deal)?;
+            }
         }
         Ok(())
     }
@@ -783,6 +805,7 @@ impl Body {
                 digest: r.digest()?,
                 tx_count: r.u32()?,
             },
+            24 => Body::Reshare { key_epoch: r.u64()?, dealer: r.u16()?, deal: r.bytes()? },
             other => return Err(WireError::UnknownKind(other)),
         })
     }
@@ -875,11 +898,35 @@ impl Envelope {
     /// [`WireError::Oversize`] when the body does not fit the wire format's
     /// length prefixes; callers drop the send instead of aborting.
     pub fn seal(&self, keypair: &KeyPair, sizing: &Sizing) -> Result<(Bytes, usize), WireError> {
-        let nominal = self.nominal_len(sizing)?;
+        self.seal_tagged(keypair, sizing, 0)
+    }
+
+    /// [`Envelope::seal`] with a key-epoch tag binding share-carrying
+    /// traffic to a threshold-key generation. The tag is *trailing-
+    /// optional*: a zero tag (every pre-membership deployment) encodes to
+    /// nothing, so churn-free byte streams are identical to the untagged
+    /// format; a nonzero tag is appended after the body, inside the signed
+    /// region.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversize`] under the same conditions as
+    /// [`Envelope::seal`].
+    pub fn seal_tagged(
+        &self,
+        keypair: &KeyPair,
+        sizing: &Sizing,
+        key_epoch: u64,
+    ) -> Result<(Bytes, usize), WireError> {
+        let mut nominal = self.nominal_len(sizing)?;
         let mut sink = ByteSink::new();
         sink.u16(self.src);
         sink.u64(self.session);
         self.body.encode_into(&mut sink)?;
+        if key_epoch != 0 {
+            sink.u64(key_epoch);
+            nominal += 8;
+        }
         let sig = keypair.sign(sink.as_slice());
         sink.raw(&sig.r.to_bytes());
         sink.raw(&sig.z.to_bytes());
@@ -913,6 +960,23 @@ impl Envelope {
         bytes: &[u8],
         pk_of: impl Fn(u16) -> Option<PublicKey>,
     ) -> Result<(Envelope, bool), WireError> {
+        let (env, _, sig_ok) = Self::open_tagged(bytes, pk_of)?;
+        Ok((env, sig_ok))
+    }
+
+    /// [`Envelope::open`], also recovering the key-epoch tag: `0` when the
+    /// packet carries none (the pre-membership format), the signed trailing
+    /// value otherwise. Callers drop packets whose tag does not match the
+    /// key epoch they expect for the session — a stale-epoch share is
+    /// rejected at the door, never handed to a combiner.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] under the same conditions as [`Envelope::open`].
+    pub fn open_tagged(
+        bytes: &[u8],
+        pk_of: impl Fn(u16) -> Option<PublicKey>,
+    ) -> Result<(Envelope, u64, bool), WireError> {
         if bytes.len() < 64 {
             return Err(WireError::Truncated);
         }
@@ -921,9 +985,11 @@ impl Envelope {
         let src = r.u16()?;
         let session = r.u64()?;
         let body = Body::decode(&mut r)?;
-        if r.remaining() != 0 {
-            return Err(WireError::Malformed("trailing bytes"));
-        }
+        let key_epoch = match r.remaining() {
+            0 => 0,
+            8 => r.u64()?,
+            _ => return Err(WireError::Malformed("trailing bytes")),
+        };
         let r_bytes: [u8; 32] =
             sig_bytes.get(..32).and_then(|b| b.try_into().ok()).ok_or(WireError::Truncated)?;
         let z_bytes: [u8; 32] =
@@ -935,7 +1001,7 @@ impl Envelope {
             }
             Err(_) => false,
         };
-        Ok((Envelope { src, session, body }, sig_ok))
+        Ok((Envelope { src, session, body }, key_epoch, sig_ok))
     }
 }
 
@@ -1062,6 +1128,11 @@ mod tests {
             Body::BaseDecShare { proposer: 1, share: dec },
             Body::Complaint { epoch: 9, accused: 2, digest: d },
             Body::GlobalDecision { epoch: 9, digest: d, tx_count: 120 },
+            Body::Reshare {
+                key_epoch: 3,
+                dealer: 2,
+                deal: Bytes::from_static(b"opaque-deal-set"),
+            },
         ]
     }
 
@@ -1167,6 +1238,64 @@ mod tests {
     #[test]
     fn truncated_envelope_errors() {
         assert_eq!(Envelope::open(&[0u8; 10], |_| None), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn zero_key_epoch_tag_is_byte_identical_to_the_untagged_format() {
+        let kp = keypair();
+        for body in sample_bodies() {
+            let env = Envelope { src: 1, session: 77, body };
+            let (plain, nom_plain) = env.seal(&kp, &Sizing::light(4)).unwrap();
+            let (tagged, nom_tagged) = env.seal_tagged(&kp, &Sizing::light(4), 0).unwrap();
+            assert_eq!(plain, tagged);
+            assert_eq!(nom_plain, nom_tagged);
+        }
+    }
+
+    #[test]
+    fn key_epoch_tag_roundtrips_and_is_signed() {
+        let kp = keypair();
+        for body in sample_bodies() {
+            let env = Envelope { src: 2, session: 99, body };
+            let (bytes, nominal) = env.seal_tagged(&kp, &Sizing::light(4), 5).unwrap();
+            assert_eq!(nominal, env.nominal_len(&Sizing::light(4)).unwrap() + 8);
+            let (opened, key_epoch, sig_ok) =
+                Envelope::open_tagged(&bytes, |_| Some(kp.public())).unwrap();
+            assert_eq!(opened, env);
+            assert_eq!(key_epoch, 5);
+            assert!(sig_ok, "{:?}", env.body);
+            // The legacy entry point still parses tagged frames.
+            let (opened, sig_ok) = Envelope::open(&bytes, |_| Some(kp.public())).unwrap();
+            assert_eq!(opened, env);
+            assert!(sig_ok);
+            // Stripping or altering the tag breaks the signature.
+            let mut stripped = bytes.to_vec();
+            stripped.drain(bytes.len() - 72..bytes.len() - 64);
+            if let Ok((_, tag, sig_ok)) = Envelope::open_tagged(&stripped, |_| Some(kp.public())) {
+                assert!(!sig_ok || tag != 5);
+            }
+            let mut flipped = bytes.to_vec();
+            let tag_at = bytes.len() - 65;
+            flipped[tag_at] ^= 1;
+            let (_, _, sig_ok) = Envelope::open_tagged(&flipped, |_| Some(kp.public())).unwrap();
+            assert!(!sig_ok);
+        }
+    }
+
+    #[test]
+    fn untagged_frames_open_with_tag_zero() {
+        let kp = keypair();
+        let env = Envelope {
+            src: 0,
+            session: 3,
+            body: Body::BaseAbaDecided { instance: 1, value: false },
+        };
+        let (bytes, _) = env.seal(&kp, &Sizing::light(4)).unwrap();
+        let (opened, key_epoch, sig_ok) =
+            Envelope::open_tagged(&bytes, |_| Some(kp.public())).unwrap();
+        assert_eq!(opened, env);
+        assert_eq!(key_epoch, 0);
+        assert!(sig_ok);
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! The membership control wire protocol: how running processes keep their
+//! peer tables in step with consensus-ordered committee changes.
+//!
+//! Rides the reserved [`MEMBERSHIP_CHANNEL`] with ordinary datagram
+//! framing. When a membership op commits and activates, every node derives
+//! the same committee change from its chain prefix; the transport's job is
+//! only the *network* half of that change — which sockets exist and which
+//! channels they listen on. A [`PeerUpdate`] carries one [`PeerOp`]
+//! (admit a peer entry, retire a node id) stamped with the table version
+//! it produces, and [`PeerTable::apply`](crate::PeerTable::apply) refuses
+//! anything but the exact next version — updates are idempotent to replay
+//! and immune to reordering, exactly like the chain they mirror.
+//!
+//! Messages are *unsigned* (like sync traffic, the channel is inside the
+//! peer multicast fabric but UDP sources are spoofable): a receiver MUST
+//! only apply updates it can derive from its own committed chain — the
+//! wire message is a prompt, the chain is the authority. The codec is a
+//! total inverse pair: every `encode` output decodes to the same value and
+//! malformed bytes decode to `None`.
+
+use std::net::SocketAddr;
+
+use bytes::Bytes;
+
+use crate::config::PeerEntry;
+
+/// Reserved datagram channel for membership control traffic (peer tables
+/// must not assign it, like the control, client and sync channels).
+// wbft-lint: allow(wire-safety) — the defining constant for the reserved membership channel
+pub const MEMBERSHIP_CHANNEL: u8 = 0xfc;
+
+/// One network-level membership operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PeerOp {
+    /// Admit a new peer: id, socket address, listened channels.
+    Join(PeerEntry),
+    /// Retire the peer with this node id.
+    Leave(u16),
+}
+
+/// One versioned table change: applying `op` to a table at
+/// `version - 1` yields a table at `version`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PeerUpdate {
+    /// The table version this update produces (genesis tables are
+    /// version 0, so the first update is version 1).
+    pub version: u64,
+    /// The operation.
+    pub op: PeerOp,
+}
+
+/// One message on the membership channel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MembershipMsg {
+    /// "The committee changed; your table should now be at this version."
+    Update(PeerUpdate),
+}
+
+const TAG_UPDATE: u8 = 1;
+const OP_JOIN: u8 = 1;
+const OP_LEAVE: u8 = 2;
+
+impl MembershipMsg {
+    /// Encodes the message payload (goes inside a datagram on
+    /// [`MEMBERSHIP_CHANNEL`]).
+    pub fn encode(&self) -> Bytes {
+        let MembershipMsg::Update(u) = self;
+        let mut v = Vec::new();
+        v.push(TAG_UPDATE);
+        v.extend_from_slice(&u.version.to_le_bytes());
+        match &u.op {
+            PeerOp::Join(e) => {
+                v.push(OP_JOIN);
+                v.extend_from_slice(&e.node.to_le_bytes());
+                let addr = e.addr.to_string();
+                // A SocketAddr display is at most 58 bytes ([ipv6]:port).
+                v.push(addr.len() as u8); // wbft-lint: allow(wire-safety) — bounded by SocketAddr display length
+                v.extend_from_slice(addr.as_bytes());
+                // Channel ids are u8-valued, so a valid entry lists < 256.
+                v.push(e.channels.len() as u8); // wbft-lint: allow(wire-safety) — validated tables list < 256 channels
+                v.extend_from_slice(&e.channels);
+            }
+            PeerOp::Leave(node) => {
+                v.push(OP_LEAVE);
+                v.extend_from_slice(&node.to_le_bytes());
+            }
+        }
+        Bytes::from(v)
+    }
+
+    /// Total inverse of [`MembershipMsg::encode`]: `None` on any malformed
+    /// or trailing bytes.
+    pub fn decode(data: &[u8]) -> Option<MembershipMsg> {
+        let mut c = Cursor(data);
+        if c.u8()? != TAG_UPDATE {
+            return None;
+        }
+        let version = c.u64()?;
+        let op = match c.u8()? {
+            OP_JOIN => {
+                let node = c.u16()?;
+                let addr_len = c.u8()? as usize;
+                let addr = std::str::from_utf8(c.take(addr_len)?).ok()?;
+                let addr: SocketAddr = addr.parse().ok()?;
+                let n_channels = c.u8()? as usize;
+                let channels = c.take(n_channels)?.to_vec();
+                PeerOp::Join(PeerEntry { node, addr, channels })
+            }
+            OP_LEAVE => PeerOp::Leave(c.u16()?),
+            _ => return None,
+        };
+        if !c.0.is_empty() {
+            return None;
+        }
+        Some(MembershipMsg::Update(PeerUpdate { version, op }))
+    }
+}
+
+struct Cursor<'a>(&'a [u8]);
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let (&head, rest) = self.0.split_first()?;
+        self.0 = rest;
+        Some(head)
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        let (head, rest) = self.0.split_first_chunk::<2>()?;
+        self.0 = rest;
+        Some(u16::from_le_bytes(*head))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let (head, rest) = self.0.split_first_chunk::<8>()?;
+        self.0 = rest;
+        Some(u64::from_le_bytes(*head))
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.0.len() < n {
+            return None;
+        }
+        let (head, rest) = self.0.split_at(n);
+        self.0 = rest;
+        Some(head)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(node: u16, port: u16) -> PeerEntry {
+        PeerEntry {
+            node,
+            addr: SocketAddr::from(([127, 0, 0, 1], port)),
+            channels: vec![0],
+        }
+    }
+
+    #[test]
+    fn updates_round_trip() {
+        for msg in [
+            MembershipMsg::Update(PeerUpdate { version: 1, op: PeerOp::Join(entry(4, 47005)) }),
+            MembershipMsg::Update(PeerUpdate { version: 2, op: PeerOp::Leave(0) }),
+        ] {
+            let bytes = msg.encode();
+            assert_eq!(MembershipMsg::decode(&bytes), Some(msg));
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_decode_to_none() {
+        assert_eq!(MembershipMsg::decode(&[]), None);
+        assert_eq!(MembershipMsg::decode(&[99]), None);
+        let good = MembershipMsg::Update(PeerUpdate { version: 1, op: PeerOp::Leave(3) }).encode();
+        assert_eq!(MembershipMsg::decode(&good[..good.len() - 1]), None);
+        let mut trailing = good.to_vec();
+        trailing.push(0);
+        assert_eq!(MembershipMsg::decode(&trailing), None);
+        // A join whose address bytes are not an address.
+        let mut bad = Vec::new();
+        bad.push(TAG_UPDATE);
+        bad.extend_from_slice(&1u64.to_le_bytes());
+        bad.push(OP_JOIN);
+        bad.extend_from_slice(&4u16.to_le_bytes());
+        bad.push(3);
+        bad.extend_from_slice(b"zzz");
+        bad.push(0);
+        assert_eq!(MembershipMsg::decode(&bad), None);
+    }
+}

@@ -119,6 +119,9 @@ pub struct UdpRuntime<B: NodeBehavior> {
     completed_at: Option<SimTime>,
     /// Peers confirmed reachable by the startup barrier.
     ready_peers: BTreeSet<u16>,
+    /// Peers the barrier does not wait for (designated late joiners that
+    /// bootstrap over anti-entropy once they appear).
+    late_peers: BTreeSet<u16>,
     /// Protocol frames received during the barrier, delivered after start.
     pending_frames: Vec<Frame>,
     metrics: Metrics,
@@ -178,12 +181,24 @@ impl<B: NodeBehavior> UdpRuntime<B> {
             started: false,
             completed_at: None,
             ready_peers: BTreeSet::new(),
+            late_peers: BTreeSet::new(),
             pending_frames: Vec::new(),
             metrics: Metrics::new(n),
             stats: TransportStats::default(),
             client: None,
             buf: vec![0; RECV_BUF_BYTES],
         })
+    }
+
+    /// Declares peers the startup barrier must not wait for: designated
+    /// late joiners whose processes start mid-run and bootstrap their
+    /// chains over the anti-entropy sync channel. Waiting for an absent
+    /// joiner would deadlock the whole cluster at the barrier, so the
+    /// quorum of on-time peers starts without them — their datagrams are
+    /// accepted whenever they do appear (the receive path never requires
+    /// barrier readiness from a sender).
+    pub fn set_late_peers(&mut self, peers: impl IntoIterator<Item = u16>) {
+        self.late_peers = peers.into_iter().collect();
     }
 
     /// Installs the client-channel gateway: datagrams on
@@ -331,8 +346,13 @@ impl<B: NodeBehavior> UdpRuntime<B> {
     ///
     /// Returns `false` if `wall_deadline` passed before all peers appeared.
     fn barrier(&mut self, wall_deadline: Duration) -> io::Result<bool> {
-        let want: Vec<u16> =
-            self.peers.peers.iter().map(|p| p.node).filter(|&id| id != self.me.0).collect();
+        let want: Vec<u16> = self
+            .peers
+            .peers
+            .iter()
+            .map(|p| p.node)
+            .filter(|&id| id != self.me.0 && !self.late_peers.contains(&id))
+            .collect();
         let mut last_hello = Instant::now() - HELLO_INTERVAL;
         while !want.iter().all(|id| self.ready_peers.contains(id)) {
             if self.start.elapsed() >= wall_deadline {
@@ -655,6 +675,37 @@ mod tests {
             .unwrap();
         assert!(ok);
         assert_eq!(rt.behavior().fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn a_designated_late_peer_does_not_block_the_barrier() {
+        // Node 0's socket stays bound but silent (it never answers HELLO).
+        // Marked late, it must not hold node 1 in the barrier; unmarked, it
+        // must (the deadline elapses and run_until reports failure).
+        let (mut sockets, table) = loopback_cluster(2);
+        let receiver_socket = sockets.pop().unwrap();
+        let _absent_joiner = sockets.pop().unwrap();
+        let mut rt = UdpRuntime::from_socket(
+            receiver_socket.try_clone().unwrap(),
+            table.clone(),
+            1,
+            Chatter { to_send: 0, received: Vec::new() },
+            8,
+        )
+        .unwrap();
+        rt.set_late_peers([0]);
+        let ok = rt.run_until(Duration::from_secs(5), Duration::ZERO, |_| true).unwrap();
+        assert!(ok, "barrier must not wait for a designated late joiner");
+        let mut strict = UdpRuntime::from_socket(
+            receiver_socket,
+            table,
+            1,
+            Chatter { to_send: 0, received: Vec::new() },
+            9,
+        )
+        .unwrap();
+        let ok = strict.run_until(Duration::from_millis(200), Duration::ZERO, |_| true).unwrap();
+        assert!(!ok, "without the late marking the barrier must wait for node 0");
     }
 
     #[test]

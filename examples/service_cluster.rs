@@ -45,6 +45,7 @@ fn usage() -> ! {
          \x20                      [--interval-ms MS] [--mempool-cap C] [--seed S]\n\
          \x20                      [--max-epochs E] [--duration SECS] [--out DIR]\n\
          \x20                      [--linger-ms MS] [--journal] [--crash-node I@T]\n\
+         \x20                      [--join-node I@T]\n\
          \n\
          Spawns N node processes serving consensus over loopback UDP, then\n\
          submits K transactions per client wave from this (external) process,\n\
@@ -55,6 +56,10 @@ fn usage() -> ! {
          into the run and respawns it — the restart must recover its journal,\n\
          catch up over anti-entropy, and end in agreement, or the launcher\n\
          exits non-zero.\n\
+         --join-node I@T spawns node I's process only T ms into the run: the\n\
+         rest of the committee starts (and commits) without it, the joiner\n\
+         bootstraps the missed chain over the anti-entropy sync channel, and\n\
+         its digest chain must converge with the original committee's.\n\
          Reports: <out>/<slug>/node<i>.json (RunReport + service stats)"
     );
     std::process::exit(2);
@@ -76,19 +81,27 @@ struct ClusterDoc {
     /// Each node journals committed blocks to `<out>/node<i>.journal` and
     /// recovers from it on (re)start.
     journal: bool,
+    /// Designated late joiner (the `--join-node` drill): every other node
+    /// excludes this id from its startup barrier, and the joiner itself is
+    /// judged on chain convergence rather than fresh client commits.
+    late_node: Option<usize>,
 }
 
 impl ClusterDoc {
     fn to_json(&self) -> Json {
-        Json::obj([
-            ("config", self.cfg.to_json()),
-            ("peers", self.peers.to_json()),
-            ("wall_secs", Json::u64(self.wall_secs)),
-            ("linger_ms", Json::u64(self.linger_ms)),
-            ("max_epochs", Json::u64(self.max_epochs)),
-            ("mempool_cap", Json::u64(self.mempool_cap)),
-            ("journal", Json::Bool(self.journal)),
-        ])
+        let mut members: Vec<(String, Json)> = vec![
+            ("config".into(), self.cfg.to_json()),
+            ("peers".into(), self.peers.to_json()),
+            ("wall_secs".into(), Json::u64(self.wall_secs)),
+            ("linger_ms".into(), Json::u64(self.linger_ms)),
+            ("max_epochs".into(), Json::u64(self.max_epochs)),
+            ("mempool_cap".into(), Json::u64(self.mempool_cap)),
+            ("journal".into(), Json::Bool(self.journal)),
+        ];
+        if let Some(late) = self.late_node {
+            members.push(("late_node".into(), Json::u64(late as u64)));
+        }
+        Json::Obj(members)
     }
 
     fn from_json(j: &Json) -> Result<Self, wbft_report::JsonError> {
@@ -100,6 +113,7 @@ impl ClusterDoc {
             max_epochs: field(j, "max_epochs")?,
             mempool_cap: field(j, "mempool_cap")?,
             journal: field(j, "journal")?,
+            late_node: j.get("late_node").and_then(Json::as_u64).map(|v| v as usize),
         })
     }
 }
@@ -118,6 +132,12 @@ fn child_main(me: usize, cluster_path: &Path, out_dir: &Path) -> ! {
         max_epochs: doc.max_epochs,
         mempool_capacity: doc.mempool_cap as usize,
         journal: doc.journal.then(|| out_dir.join(format!("node{me}.journal"))),
+        // The on-time committee must not wait at the startup barrier for a
+        // joiner whose process does not exist yet.
+        late_peers: match doc.late_node {
+            Some(late) if late != me => vec![late as u16],
+            _ => Vec::new(),
+        },
     };
     let outcome = run_udp_service_node(&doc.cfg, doc.peers, me, &opts)
         .unwrap_or_else(|e| fatal(&format!("node {me}: {e}")));
@@ -160,12 +180,13 @@ fn child_main(me: usize, cluster_path: &Path, out_dir: &Path) -> ! {
     );
     // The node is considered successful when it served at least one client
     // transaction to commit; the hard bounds may have cut the run short. A
-    // journaled restart may legitimately commit nothing new itself (its
-    // incarnation's txs all recovered or arrived over anti-entropy), so
-    // there a non-empty chain counts — the launcher separately enforces
-    // that the chain agrees with and keeps up with the peers'.
+    // journaled restart — or a late joiner whose whole chain arrived over
+    // anti-entropy — may legitimately commit nothing new itself, so there a
+    // non-empty chain counts; the launcher separately enforces that the
+    // chain agrees with and keeps up with the peers'.
+    let lenient = doc.journal || doc.late_node == Some(me);
     let ok = service.committed_client_txs >= 1
-        || (doc.journal && !outcome.block_digests.is_empty());
+        || (lenient && !outcome.block_digests.is_empty());
     std::process::exit(if ok { 0 } else { 3 });
 }
 
@@ -313,8 +334,9 @@ fn run_client(
 // ------------------------------------------------------------------
 // Launcher.
 
-/// Parses `I@T`: SIGKILL node `I` at `T` milliseconds into the run.
-fn parse_crash(spec: &str) -> Option<(usize, u64)> {
+/// Parses `I@T`: node `I` at `T` milliseconds into the run (SIGKILL for
+/// `--crash-node`, first spawn for `--join-node`).
+fn parse_node_at(spec: &str) -> Option<(usize, u64)> {
     let (node, at) = spec.split_once('@')?;
     Some((node.parse().ok()?, at.parse().ok()?))
 }
@@ -363,6 +385,7 @@ fn main() {
     let mut linger_ms = 2_000u64;
     let mut journal = false;
     let mut crash: Option<(usize, u64)> = None;
+    let mut join: Option<(usize, u64)> = None;
     let mut out = report_root().join("service");
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -381,7 +404,8 @@ fn main() {
             "--duration" => duration_secs = value().parse().unwrap_or_else(|_| usage()),
             "--linger-ms" => linger_ms = value().parse().unwrap_or_else(|_| usage()),
             "--journal" => journal = true,
-            "--crash-node" => crash = Some(parse_crash(value()).unwrap_or_else(|| usage())),
+            "--crash-node" => crash = Some(parse_node_at(value()).unwrap_or_else(|| usage())),
+            "--join-node" => join = Some(parse_node_at(value()).unwrap_or_else(|| usage())),
             "--out" => out = value().into(),
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -399,6 +423,16 @@ fn main() {
         // A crash-restart run without a journal would restart from genesis
         // and only converge by luck; durability is the point of the drill.
         journal = true;
+    }
+    if let Some((idx, _)) = join {
+        if idx >= n {
+            eprintln!("--join-node index {idx} out of range for n={n}");
+            std::process::exit(2);
+        }
+        if crash.is_some() {
+            eprintln!("--join-node and --crash-node are separate drills; run them separately");
+            std::process::exit(2);
+        }
     }
 
     let mut cfg = TestbedConfig::single_hop(protocol);
@@ -427,6 +461,7 @@ fn main() {
         max_epochs,
         mempool_cap,
         journal,
+        late_node: join.map(|(idx, _)| idx),
     };
     let cluster_path = dir.join("cluster.json");
     wbft_report::write_file(&cluster_path, &doc.to_json()).expect("write cluster doc");
@@ -443,7 +478,12 @@ fn main() {
             .spawn()
             .unwrap_or_else(|e| fatal(&format!("spawn node {me}: {e}")))
     };
-    let mut children: Vec<(usize, Child)> = (0..n).map(|me| (me, spawn_node(me))).collect();
+    // The late joiner (if any) is spawned by the drill schedule below, not
+    // here — the point is that its process does not exist at cluster start.
+    let mut children: Vec<(usize, Child)> = (0..n)
+        .filter(|&me| join.map(|(idx, _)| idx) != Some(me))
+        .map(|me| (me, spawn_node(me)))
+        .collect();
 
     // Give the cluster a moment to pass its startup barrier, then drive
     // live traffic from a client thread while this thread runs the crash
@@ -469,6 +509,14 @@ fn main() {
         eprintln!("launcher: killed node {idx} at {:?}; respawning", run_started.elapsed());
         std::thread::sleep(Duration::from_millis(500));
         children[idx].1 = spawn_node(idx);
+    }
+    if let Some((idx, at_ms)) = join {
+        let at = Duration::from_millis(at_ms);
+        std::thread::sleep(at.saturating_sub(run_started.elapsed()));
+        eprintln!("launcher: spawning late joiner node {idx} at {:?}", run_started.elapsed());
+        children.push((idx, spawn_node(idx)));
+        // Restore position == node id for the per-node bookkeeping below.
+        children.sort_by_key(|&(me, _)| me);
     }
     let client = client.join().expect("client thread");
     let mut lat = client.latencies_ms.clone();
@@ -533,7 +581,13 @@ fn main() {
                     service.rejected_full,
                     service.rejected_dup,
                 );
-                if service.committed_client_txs == 0 || service.latency.count == 0 {
+                // The late joiner's chain may be all anti-entropy catch-up
+                // (no fresh commits of its own); the join drill judges it
+                // on chain convergence below instead.
+                let is_joiner = join.map(|(idx, _)| idx) == Some(me);
+                if (service.committed_client_txs == 0 || service.latency.count == 0)
+                    && !is_joiner
+                {
                     eprintln!("node {me}: no committed client transactions");
                     success = false;
                 }
@@ -590,6 +644,32 @@ fn main() {
         } else {
             println!(
                 "crash drill: node {idx} restarted with {} blocks, peers hold >= {others_min}",
+                chains[idx].len()
+            );
+        }
+    }
+    // Convergence after the join drill: the late joiner must have
+    // bootstrapped the chain it missed over anti-entropy — its digest chain
+    // may not lag behind the shortest on-time peer's (prefix agreement
+    // above already proved the contents identical).
+    if let Some((idx, _)) = join {
+        let others_min = chains
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != idx)
+            .map(|(_, c)| c.len())
+            .min()
+            .unwrap_or(0);
+        if chains[idx].len() < others_min {
+            eprintln!(
+                "JOIN CATCH-UP FAILURE — late joiner {idx} holds {} blocks, shortest \
+                 on-time peer holds {others_min}",
+                chains[idx].len()
+            );
+            success = false;
+        } else {
+            println!(
+                "join drill: node {idx} joined late with {} blocks, peers hold >= {others_min}",
                 chains[idx].len()
             );
         }

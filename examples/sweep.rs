@@ -16,8 +16,9 @@ use std::time::Instant;
 use wbft_consensus::fuzz::{campaign, fixture_string, FuzzConfig};
 use wbft_consensus::report::{report_root, scenario_string, write_reports};
 use wbft_consensus::sweep::{resolve_threads, run_scenarios, SweepSpec};
-use wbft_consensus::testbed::{CrashEvent, CrashPlan};
+use wbft_consensus::testbed::{ChurnPlan, CrashEvent, CrashPlan};
 use wbft_consensus::{ArrivalSpec, ByzantineMode, Protocol, ServiceConfig};
+use wbft_membership::MembershipOp;
 use wbft_wireless::LossModel;
 
 fn usage() -> ! {
@@ -26,7 +27,7 @@ fn usage() -> ! {
          \x20            [--seeds S1,S2,...] [--epochs E] [--batch B] [--n N]\n\
          \x20            [--loss P1,P2,...] [--byz MODE@NODE,...] [--suites light,medium]\n\
          \x20            [--service IAMSxCOUNT[@CAP]] [--depths W1,W2,...]\n\
-         \x20            [--crash NODE@T1-T2,...] [--threads T]\n\
+         \x20            [--crash NODE@T1-T2,...] [--churn OPS@EPOCH] [--threads T]\n\
          \x20            [--out DIR] [--verify-serial]\n\
          \x20      sweep --fuzz SCENARIOS [--seeds CAMPAIGN_SEED] [--protocols LIST]\n\
          \x20            [--out DIR]\n\
@@ -50,6 +51,12 @@ fn usage() -> ! {
          \x20          --crash 2@5-30 = node 2 dies 5s in and restarts at 30s,\n\
          \x20          recovering its journal and catching up via anti-entropy\n\
          \x20          (seconds of simulated time; single-hop, non-service only)\n\
+         churn:     adds a dynamic-membership axis next to the static-committee\n\
+         \x20          run, e.g. --churn join4+leave0@1 = from epoch 1 the genesis\n\
+         \x20          members propose admitting node 4 and retiring node 0; the\n\
+         \x20          ops commit on-chain, threshold keys are reshared dealerlessly,\n\
+         \x20          and the new committee takes over two epochs after the commit\n\
+         \x20          (single-hop, honest, sequential, HoneyBadger-family only)\n\
          reports:   one <label>.json per scenario under --out\n\
          \x20          (default target/reports/sweep); WBFT_SWEEP_THREADS sets the\n\
          \x20          default worker count"
@@ -107,6 +114,26 @@ fn parse_byz(entry: &str) -> (usize, ByzantineMode) {
 
 fn parse_list<T: std::str::FromStr>(arg: &str) -> Vec<T> {
     arg.split(',').map(|v| v.parse().unwrap_or_else(|_| usage())).collect()
+}
+
+/// Parses `OPS@EPOCH` (e.g. `join4+leave0@1`): the listed membership ops
+/// enter proposals from the given epoch and commit as one change.
+fn parse_churn(arg: &str) -> ChurnPlan {
+    let (ops, epoch) = arg.rsplit_once('@').unwrap_or_else(|| usage());
+    let from_epoch: u64 = epoch.parse().unwrap_or_else(|_| usage());
+    let ops = ops
+        .split('+')
+        .map(|op| {
+            if let Some(id) = op.strip_prefix("join") {
+                MembershipOp::Join(id.parse().unwrap_or_else(|_| usage()))
+            } else if let Some(id) = op.strip_prefix("leave") {
+                MembershipOp::Leave(id.parse().unwrap_or_else(|_| usage()))
+            } else {
+                usage()
+            }
+        })
+        .collect();
+    ChurnPlan { from_epoch, ops }
 }
 
 /// Parses one `NODE@T1-T2` crash event (seconds of simulated time).
@@ -179,6 +206,11 @@ fn main() {
                 let events: Vec<CrashEvent> = value().split(',').map(parse_crash).collect();
                 spec.crashes = vec![None, Some(CrashPlan { crashes: events })];
             }
+            "--churn" => {
+                // The reconfiguring run sits next to the static-committee
+                // run (mirrors --service's and --crash's axis shape).
+                spec.churns = vec![None, Some(parse_churn(value()))];
+            }
             "--threads" => threads = Some(value().parse().unwrap_or_else(|_| usage())),
             "--out" => out = Some(value().into()),
             "--verify-serial" => verify_serial = true,
@@ -205,12 +237,49 @@ fn main() {
         usage();
     }
 
+    // Contradictory axes are configuration bugs, not scenarios — reject
+    // them here with the offending axis value's index, like the loss-model
+    // validation inside expand(), instead of panicking in a worker thread.
+    for (ci, churn) in spec.churns.iter().enumerate() {
+        let Some(plan) = churn else { continue };
+        for (ti, topo) in spec.topologies.iter().enumerate() {
+            if topo.is_some() {
+                eprintln!(
+                    "sweep: churn axis value #{ci} contradicts topology axis value #{ti} \
+                     (clustered) — membership churn is single-hop only"
+                );
+                std::process::exit(2);
+            }
+        }
+        for (ki, crash) in spec.crashes.iter().enumerate() {
+            let Some(crash_plan) = crash else { continue };
+            // A crash of a node scheduled to leave is doubly contradictory
+            // — name it specifically before the generic rejection.
+            for ev in &crash_plan.crashes {
+                if plan.ops.contains(&MembershipOp::Leave(ev.node as u16)) {
+                    eprintln!(
+                        "sweep: churn axis value #{ci} schedules node {} to leave the \
+                         committee while crash axis value #{ki} crash-restarts it — \
+                         drop one of the two",
+                        ev.node
+                    );
+                    std::process::exit(2);
+                }
+            }
+            eprintln!(
+                "sweep: churn axis value #{ci} contradicts crash axis value #{ki} — \
+                 membership churn and crash plans do not compose yet"
+            );
+            std::process::exit(2);
+        }
+    }
+
     // Precedence: --threads > WBFT_SWEEP_THREADS > available parallelism
     // (a zero at either level falls through to the next).
     let threads = resolve_threads(threads, |key| std::env::var(key).ok());
     let scenarios = spec.expand();
     println!(
-        "sweep: {} scenarios ({} protocols x {} topologies x {} suites x {} loss x {} placements x {} depths x {} crash x {} seeds), {} threads",
+        "sweep: {} scenarios ({} protocols x {} topologies x {} suites x {} loss x {} placements x {} depths x {} crash x {} churn x {} seeds), {} threads",
         scenarios.len(),
         spec.protocols.len(),
         spec.topologies.len(),
@@ -219,6 +288,7 @@ fn main() {
         spec.placements.len(),
         spec.pipeline_depths.len(),
         spec.crashes.len(),
+        spec.churns.len(),
         spec.seeds.len(),
         threads,
     );

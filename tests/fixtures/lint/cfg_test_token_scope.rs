@@ -1,0 +1,14 @@
+//@ path: crates/components/src/buf.rs
+//@ expect: totality@8 unwrap
+// The #[cfg(test)] exemption is brace-aware and token-exact: it ends at
+// the module's real closing brace, so a production item sharing that line
+// is still linted while the test body's unwrap stays exempt.
+fn shadowed(x: Option<u8>) -> u8 {
+    // Outside any test scope: flagged.
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests { fn t(x: Option<u8>) { x.unwrap(); } } impl Dummy { }
+
+struct Dummy;

@@ -1,10 +1,11 @@
 //@ path: crates/transport/src/frames.rs
-//@ expect: wire-safety@9 as u8
-//@ expect: wire-safety@10 as u16
-//@ expect: wire-safety@11 as u32
-//@ expect: wire-safety@13 reserved channel byte 0xff
-//@ expect: wire-safety@14 reserved channel byte 0xfe
-//@ expect: wire-safety@15 reserved channel byte 0xfd
+//@ expect: wire-safety@10 as u8
+//@ expect: wire-safety@11 as u16
+//@ expect: wire-safety@12 as u32
+//@ expect: wire-safety@14 reserved channel byte 0xff
+//@ expect: wire-safety@15 reserved channel byte 0xfe
+//@ expect: wire-safety@16 reserved channel byte 0xfd
+//@ expect: wire-safety@17 reserved channel byte 0xfc
 fn bad_casts(len: usize) -> (u8, u16, u32) {
     let a = len as u8;
     let b = len as u16;
@@ -13,11 +14,12 @@ fn bad_casts(len: usize) -> (u8, u16, u32) {
 const RAW_CONTROL: u8 = 0xff;
 const RAW_CLIENT: u8 = 254;
 fn is_sync(c: u8) -> bool { c == 0xfd }
+const RAW_MEMBERSHIP: u8 = 0xfc;
 
 fn fine(len: usize, x: u32) -> (u64, usize, u8) {
     // Widening casts, non-reserved literals, and checked narrowing are fine.
     let w = len as u64;
     let back = x as usize;
-    let c = u8::try_from(len).unwrap_or(0xfc);
+    let c = u8::try_from(len).unwrap_or(0x20);
     (w, back, c)
 }

@@ -316,6 +316,7 @@ fn udp_service_nodes_serve_live_submissions() {
         max_epochs: 100_000,
         mempool_capacity: 64,
         journal: None,
+        late_peers: Vec::new(),
     };
     let handles: Vec<_> = (0..n)
         .map(|me| {
